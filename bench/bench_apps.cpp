@@ -1,0 +1,88 @@
+// Fig 7: real-world application overheads across the five configurations.
+//   (a) execution time / throughput per app
+//   (b) memory utilization (component arenas + checkpoints + logs + app)
+//
+// Workloads follow §VII-C (scaled down by default; VAMPOS_BENCH_FULL=1 for
+// larger runs): SQLite inserts 1-byte rows with synchronous journal writes;
+// Nginx serves a 180-byte file over 40 persistent connections; Redis runs
+// SETs of a 4-byte key / 3-byte value with AOF+fsync; Echo returns 159-byte
+// messages on per-message connections.
+#include <cstdio>
+#include <string>
+
+#include "workloads.h"
+
+namespace vampos::bench {
+namespace {
+
+void Run() {
+  const bool full = FullScale();
+  const int sqlite_n = full ? 10000 : 2000;
+  const int nginx_n = full ? 4000 : 800;
+  const int redis_n = full ? 100000 : 5000;
+  const int echo_n = full ? 4000 : 600;
+
+  Header("Fig 7a: application execution time (lower is better)");
+  std::printf("  workload sizes: sqlite=%d nginx=%d redis=%d echo=%d%s\n\n",
+              sqlite_n, nginx_n, redis_n, echo_n,
+              full ? " (full)" : " (scaled; VAMPOS_BENCH_FULL=1 for full)");
+  std::printf("  %-14s %14s %14s %14s %14s\n", "config", "sqlite[s]",
+              "nginx[s]", "redis[s]", "echo[s]");
+
+  std::map<Config, std::map<std::string, AppResult>> all;
+  for (Config cfg : AllConfigs()) {
+    auto& row = all[cfg];
+    row["sqlite"] = RunSqlite(cfg, sqlite_n);
+    row["nginx"] = RunNginx(cfg, nginx_n);
+    row["redis"] = RunRedis(cfg, redis_n);
+    row["echo"] = RunEcho(cfg, echo_n);
+    std::printf("  %-14s %14.3f %14.3f %14.3f %14.3f\n", Name(cfg),
+                row["sqlite"].seconds, row["nginx"].seconds,
+                row["redis"].seconds, row["echo"].seconds);
+  }
+
+  std::printf("\n  Relative to Unikraft (x):\n");
+  for (Config cfg : AllConfigs()) {
+    if (cfg == Config::kUnikraft) continue;
+    std::printf("  %-14s", Name(cfg));
+    for (const char* app : {"sqlite", "nginx", "redis", "echo"}) {
+      const double base = all[Config::kUnikraft][app].seconds;
+      const double v = all[cfg][app].seconds;
+      if (base <= 0 || v <= 0) {
+        std::printf(" %14s", "n/a");
+      } else {
+        std::printf(" %14.2f", v / base);
+      }
+    }
+    std::printf("\n");
+  }
+
+  Header("Fig 7b: memory utilization [MB]");
+  std::printf("  %-14s %11s %11s %11s %11s   (VampOS overhead: checkpoints+logs)\n",
+              "config", "sqlite", "nginx", "redis", "echo");
+  for (Config cfg : AllConfigs()) {
+    std::printf("  %-14s", Name(cfg));
+    for (const char* app : {"sqlite", "nginx", "redis", "echo"}) {
+      std::printf(" %11.1f",
+                  static_cast<double>(all[cfg][app].mem_total) / 1e6);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  VampOS space overhead (checkpoints + call logs) [MB]:\n");
+  for (Config cfg : AllConfigs()) {
+    std::printf("  %-14s", Name(cfg));
+    for (const char* app : {"sqlite", "nginx", "redis", "echo"}) {
+      std::printf(" %11.2f",
+                  static_cast<double>(all[cfg][app].mem_overhead) / 1e6);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace vampos::bench
+
+int main() {
+  vampos::bench::Run();
+  return 0;
+}

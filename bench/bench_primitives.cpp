@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the primitives underneath every
+// paper number: buddy allocation, snapshot capture/restore vs component
+// footprint (the dominant term in Fig 6), fiber context switches and
+// message push/pull + logging (the per-transition costs in Fig 5), and the
+// direct-vs-message call gap.
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.h"
+#include "mem/arena.h"
+#include "mem/buddy_allocator.h"
+#include "mem/snapshot.h"
+#include "msg/domain.h"
+#include "sched/fiber.h"
+#include "testing_components.h"
+
+namespace vampos {
+namespace {
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  mem::Arena arena(8u << 20);
+  mem::BuddyAllocator alloc(arena);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = alloc.Alloc(size);
+    benchmark::DoNotOptimize(p);
+    alloc.Free(p);
+  }
+}
+BENCHMARK(BM_BuddyAllocFree)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SnapshotCapture(benchmark::State& state) {
+  mem::Arena arena(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto snap = mem::Snapshot::Capture(arena);
+    benchmark::DoNotOptimize(snap.size_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnapshotCapture)->Arg(1 << 20)->Arg(8 << 20)->Arg(16 << 20);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  mem::Arena arena(static_cast<std::size_t>(state.range(0)));
+  const mem::Snapshot snap = mem::Snapshot::Capture(arena);
+  for (auto _ : state) {
+    snap.Restore(arena);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnapshotRestore)->Arg(1 << 20)->Arg(8 << 20)->Arg(16 << 20);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sched::FiberManager fm;
+  sched::Fiber* f = fm.Spawn("spin", 0, [&fm] {
+    while (true) fm.Yield();
+  });
+  for (auto _ : state) {
+    fm.Dispatch(f);  // two context switches: in + out
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_DomainPushPull(benchmark::State& state) {
+  msg::MessageDomain dom(4u << 20, nullptr);
+  dom.EnsureCapacity(1);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'p');
+  for (auto _ : state) {
+    msg::Message m;
+    m.to = 1;
+    dom.Push(m, {msg::MsgValue(payload)});
+    benchmark::DoNotOptimize(dom.Pull(1));
+  }
+}
+BENCHMARK(BM_DomainPushPull)->Arg(8)->Arg(222)->Arg(4096);
+
+void BM_CallDirectVsMessage(benchmark::State& state) {
+  const bool message_mode = state.range(0) == 1;
+  core::RuntimeOptions opts;
+  opts.mode = message_mode ? core::Mode::kVampOS : core::Mode::kUnikraft;
+  opts.hang_threshold = 0;
+  core::Runtime rt(opts);
+  const ComponentId id =
+      rt.AddComponent(std::make_unique<bench_testing::NopComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  const FunctionId nop = rt.Lookup("nop", "nop");
+  for (auto _ : state) {
+    std::int64_t out = 0;
+    rt.SpawnApp("call", [&] { out = rt.Call(nop, {}).i64(); });
+    rt.RunUntilIdle();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(message_mode ? "message-passing" : "direct");
+}
+BENCHMARK(BM_CallDirectVsMessage)->Arg(0)->Arg(1);
+
+void BM_LoggedVsUnloggedCall(benchmark::State& state) {
+  const bool logged = state.range(0) == 1;
+  core::RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  opts.log_shrink_threshold = 64;
+  core::Runtime rt(opts);
+  const ComponentId id = rt.AddComponent(
+      std::make_unique<bench_testing::NopComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  const FunctionId fn =
+      rt.Lookup("nop", logged ? "nop_logged" : "nop");
+  for (auto _ : state) {
+    rt.SpawnApp("call", [&] { (void)rt.Call(fn, {}); });
+    rt.RunUntilIdle();
+  }
+  state.SetLabel(logged ? "logged" : "unlogged");
+}
+BENCHMARK(BM_LoggedVsUnloggedCall)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace vampos
+
+BENCHMARK_MAIN();

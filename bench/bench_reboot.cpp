@@ -1,0 +1,115 @@
+// Fig 6: component reboot times after 1,000 GET requests to the web server.
+// Components: PROCESS (stateless), VFS, LWIP, 9PFS (stateful), and the
+// merged VFS+9PFS / LWIP+NETDEV groups. 10 trials each; reports the
+// snapshot-restore / log-replay breakdown the paper discusses (snapshot
+// restoration dominates; replay is in the hundred-microsecond range).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/webserver.h"
+#include "harness.h"
+
+namespace vampos::bench {
+namespace {
+
+using apps::SimClient;
+using apps::StackSpec;
+using apps::WebServer;
+
+constexpr int kRequests = 1000;
+constexpr int kTrials = 10;
+
+struct Workload {
+  explicit Workload(Config cfg) : rig(cfg, StackSpec::Nginx()) {
+    rig.platform.ninep.PutFile("/www/index.html", std::string(180, 'x'));
+    server = std::make_unique<WebServer>(*rig.px, 80, "/www");
+    rig.rt.SpawnApp("nginx", [this] {
+      server->Setup();
+      server->RunLoop(&stop);
+    });
+    rig.rt.RunUntilIdle();
+    client = std::make_unique<SimClient>(&rig.platform.net, 80);
+    h = client->Connect();
+    rig.Pump(*client);
+  }
+  ~Workload() {
+    stop = true;
+    rig.rt.UnparkApps();
+    rig.rt.RunUntilIdle();
+  }
+  void SendGets(int n) {
+    for (int i = 0; i < n; ++i) {
+      client->Send(h, "GET /index.html\n");
+      rig.Pump(*client, 2);
+      client->TakeReceived(h);
+    }
+  }
+  Rig rig;
+  std::unique_ptr<WebServer> server;
+  std::unique_ptr<SimClient> client;
+  int h = -1;
+  bool stop = false;
+};
+
+void MeasureReboot(Workload& w, ComponentId id, const char* label) {
+  Series total, stop_t, snapshot, replay;
+  std::size_t entries = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto result = w.rig.rt.Reboot(id);
+    if (!result.ok()) {
+      std::printf("  %-16s reboot refused: %s\n", label,
+                  result.status().message().c_str());
+      return;
+    }
+    const auto& r = result.value();
+    total.Add(static_cast<double>(r.total_ns));
+    stop_t.Add(static_cast<double>(r.stop_ns));
+    snapshot.Add(static_cast<double>(r.snapshot_ns));
+    replay.Add(static_cast<double>(r.replay_ns));
+    entries = r.entries_replayed;
+    w.rig.rt.RunUntilIdle();  // drain any retried work
+  }
+  std::printf("  %-16s %10.3f %10.3f %10.3f %10.3f %8zu\n", label,
+              total.Mean() / 1e6, stop_t.Mean() / 1e6, snapshot.Mean() / 1e6,
+              replay.Mean() / 1e6, entries);
+}
+
+void Run() {
+  Header("Fig 6: component reboot time [ms] after 1,000 GETs (10 trials)");
+  std::printf("  %-16s %10s %10s %10s %10s %8s\n", "component", "total",
+              "stop", "snapshot", "replay", "log");
+
+  {
+    Workload w(Config::kDaS);
+    w.SendGets(kRequests);
+    MeasureReboot(w, w.rig.info.process, "PROCESS");
+    MeasureReboot(w, w.rig.info.ninep, "9PFS");
+    MeasureReboot(w, w.rig.info.lwip, "LWIP");
+    MeasureReboot(w, w.rig.info.vfs, "VFS");
+    MeasureReboot(w, w.rig.info.virtio, "VIRTIO");
+  }
+  {
+    Workload w(Config::kFSm);
+    w.SendGets(kRequests);
+    MeasureReboot(w, w.rig.info.vfs, "VFS+9PFS");
+  }
+  {
+    Workload w(Config::kNETm);
+    w.SendGets(kRequests);
+    MeasureReboot(w, w.rig.info.lwip, "LWIP+NETDEV");
+  }
+
+  std::printf(
+      "\n  Note: stateful reboots are dominated by the snapshot restore\n"
+      "  (proportional to component footprint); replay stays in the\n"
+      "  sub-millisecond range thanks to session-aware log shrinking.\n");
+}
+
+}  // namespace
+}  // namespace vampos::bench
+
+int main() {
+  vampos::bench::Run();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Fig 5 + Table III: system-call execution times across the five
+// configurations, and per-syscall log-space deltas with and without
+// session-aware shrinking.
+//
+// Workload mirrors §VII-A: getpid, open, write(1B), read(1B), close,
+// socket_read(222B), socket_write(222B); 100 trials each.
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+namespace vampos::bench {
+namespace {
+
+using apps::SimClient;
+using apps::StackSpec;
+
+constexpr int kTrials = 100;
+constexpr int kPayload = 222;
+
+struct NetSetup {
+  int h = -1;
+  std::int64_t listen_fd = -1;
+  std::int64_t conn = -1;
+};
+
+NetSetup EstablishConnection(Rig& rig, SimClient& client) {
+  NetSetup net;
+  rig.rt.SpawnApp("listen", [&] {
+    net.listen_fd = rig.px->Socket();
+    rig.px->Bind(net.listen_fd, 80);
+    rig.px->Listen(net.listen_fd);
+  });
+  rig.rt.RunUntilIdle();
+  net.h = client.Connect();
+  rig.rt.SpawnApp("accept", [&] {
+    for (int i = 0; i < 50 && net.conn < 0; ++i) {
+      net.conn = rig.px->Accept(net.listen_fd);
+    }
+  });
+  rig.rt.RunUntilIdle();
+  client.Poll();
+  return net;
+}
+
+std::map<std::string, Series> MeasureConfig(Config cfg) {
+  Rig rig(cfg, StackSpec::Nginx());
+  rig.platform.ninep.PutFile("/bench", "x");
+  SimClient client(&rig.platform.net, 80);
+  NetSetup net = EstablishConnection(rig, client);
+  if (net.conn < 0) {
+    std::fprintf(stderr, "%s: connection setup failed\n", Name(cfg));
+    return {};
+  }
+  // Preload one inbound 222-byte message per socket_read trial.
+  for (int i = 0; i < kTrials; ++i) {
+    client.Send(net.h, std::string(kPayload, 'm'));
+  }
+
+  std::map<std::string, Series> results;
+  std::map<std::string, Series> transitions;
+  rig.rt.SpawnApp("measure", [&] {
+    auto timed = [&](const char* name, auto&& op) {
+      const auto msgs0 = rig.rt.Stats().messages;
+      const Nanos t0 = NowNs();
+      op();
+      results[name].Add(static_cast<double>(NowNs() - t0));
+      transitions[name].Add(
+          static_cast<double>(rig.rt.Stats().messages - msgs0));
+    };
+    const std::int64_t wfd = rig.px->Create("/wbench");
+    for (int i = 0; i < kTrials; ++i) {
+      timed("getpid", [&] { rig.px->Getpid(); });
+
+      std::int64_t fd = -1;
+      timed("open", [&] { fd = rig.px->Open("/bench"); });
+      timed("read", [&] { rig.px->Read(fd, 1); });
+      timed("close", [&] { rig.px->Close(fd); });
+
+      timed("write", [&] { rig.px->Write(wfd, "y"); });
+
+      timed("socket_read", [&] { rig.px->Recv(net.conn, kPayload); });
+      timed("socket_write", [&] {
+        rig.px->Send(net.conn, std::string(kPayload, 'r'));
+      });
+    }
+    rig.px->Close(wfd);
+  });
+  rig.rt.RunUntilIdle();
+
+  std::printf("  %-14s", Name(cfg));
+  for (const char* call : {"getpid", "open", "write", "read", "close",
+                           "socket_read", "socket_write"}) {
+    std::printf(" %9.2f", results[call].Median() / 1000.0);
+  }
+  std::printf("\n");
+  return results;
+}
+
+void Fig5() {
+  Header("Fig 5: system call execution time [us], median of 100 trials");
+  std::printf("  %-14s %9s %9s %9s %9s %9s %9s %9s\n", "config", "getpid",
+              "open", "write", "read", "close", "sock_rd", "sock_wr");
+  std::map<Config, std::map<std::string, Series>> all;
+  for (Config cfg : AllConfigs()) all[cfg] = MeasureConfig(cfg);
+
+  std::printf("\n  Relative to Unikraft (x):\n");
+  std::printf("  %-14s %9s %9s %9s %9s %9s %9s %9s\n", "config", "getpid",
+              "open", "write", "read", "close", "sock_rd", "sock_wr");
+  for (Config cfg : AllConfigs()) {
+    if (cfg == Config::kUnikraft) continue;
+    std::printf("  %-14s", Name(cfg));
+    for (const char* call : {"getpid", "open", "write", "read", "close",
+                             "socket_read", "socket_write"}) {
+      const double base = all[Config::kUnikraft][call].Median();
+      std::printf(" %9.2f", base > 0 ? all[cfg][call].Median() / base : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+// ------------------------------------------------------------- Table III
+
+std::size_t TotalLogEntries(Rig& rig) { return rig.rt.Memory().log_entries; }
+
+std::map<std::string, double> LogDeltas(bool shrink) {
+  core::RuntimeOptions opts = OptionsFor(Config::kDaS);
+  opts.session_shrink = shrink;
+  if (!shrink) opts.log_shrink_threshold = 0;
+  Rig rig(Config::kDaS, StackSpec::Nginx(), opts, /*use_override=*/true);
+  rig.platform.ninep.PutFile("/bench", "x");
+  SimClient client(&rig.platform.net, 80);
+  NetSetup net = EstablishConnection(rig, client);
+  constexpr int kLogTrials = 20;
+  for (int i = 0; i < kLogTrials; ++i) {
+    client.Send(net.h, std::string(kPayload, 'm'));
+  }
+
+  std::map<std::string, Series> deltas;
+  rig.rt.SpawnApp("measure", [&] {
+    auto count = [&](const char* name, auto&& op, bool record) {
+      const auto before = TotalLogEntries(rig);
+      op();
+      if (record) {
+        deltas[name].Add(static_cast<double>(TotalLogEntries(rig)) -
+                         static_cast<double>(before));
+      }
+    };
+    const std::int64_t wfd = rig.px->Create("/wbench");
+    for (int i = 0; i < kLogTrials; ++i) {
+      // Skip trial 0 for open/close: fd-number reuse (which drives the
+      // shrunk open() delta negative) only exists from the second
+      // iteration on, matching the paper's steady-state measurement.
+      const bool rec = i > 0;
+      count("getpid", [&] { rig.px->Getpid(); }, rec);
+      std::int64_t fd = -1;
+      count("open", [&] { fd = rig.px->Open("/bench"); }, rec);
+      count("read", [&] { rig.px->Read(fd, 1); }, rec);
+      count("close", [&] { rig.px->Close(fd); }, rec);
+      count("write", [&] { rig.px->Write(wfd, "y"); }, rec);
+      count("socket_read", [&] { rig.px->Recv(net.conn, kPayload); }, rec);
+      count("socket_write",
+            [&] { rig.px->Send(net.conn, std::string(kPayload, 'r')); },
+            rec);
+    }
+    rig.px->Close(wfd);
+  });
+  rig.rt.RunUntilIdle();
+
+  std::map<std::string, double> medians;
+  for (auto& [name, series] : deltas) medians[name] = series.Median();
+  return medians;
+}
+
+void TableIII() {
+  Header("Table III: log space overhead per system call [entries]");
+  auto normal = LogDeltas(/*shrink=*/false);
+  auto shrunk = LogDeltas(/*shrink=*/true);
+  std::printf("  %-14s %10s %10s\n", "system call", "normal", "shrunk");
+  for (const char* call : {"getpid", "open", "read", "write", "close",
+                           "socket_read", "socket_write"}) {
+    std::printf("  %-14s %10.0f %10.0f\n", call, normal[call], shrunk[call]);
+  }
+}
+
+}  // namespace
+}  // namespace vampos::bench
+
+int main() {
+  vampos::bench::Fig5();
+  vampos::bench::TableIII();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared bench-harness helpers: the five paper configurations, rig assembly,
+// client pumping, timing, and table formatting.
+//
+// Workload sizes default to a laptop-friendly scale; set VAMPOS_BENCH_FULL=1
+// to run the paper's full sizes (10k SQLite inserts, 1M Redis SETs, ...).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "core/runtime.h"
+
+namespace vampos::bench {
+
+// The five configurations of Fig 5 / Fig 7.
+enum class Config { kUnikraft, kNoop, kDaS, kFSm, kNETm };
+
+inline const char* Name(Config c) {
+  switch (c) {
+    case Config::kUnikraft: return "Unikraft";
+    case Config::kNoop: return "VampOS-Noop";
+    case Config::kDaS: return "VampOS-DaS";
+    case Config::kFSm: return "VampOS-FSm";
+    case Config::kNETm: return "VampOS-NETm";
+  }
+  return "?";
+}
+
+inline const std::vector<Config>& AllConfigs() {
+  static const std::vector<Config> kAll = {
+      Config::kUnikraft, Config::kNoop, Config::kDaS, Config::kFSm,
+      Config::kNETm};
+  return kAll;
+}
+
+inline core::RuntimeOptions OptionsFor(Config c) {
+  core::RuntimeOptions o;
+  o.hang_threshold = 0;  // benches measure steady state, not hangs
+  switch (c) {
+    case Config::kUnikraft:
+      o.mode = core::Mode::kUnikraft;
+      break;
+    case Config::kNoop:
+      o.mode = core::Mode::kVampOS;
+      o.policy = core::SchedPolicy::kRoundRobin;
+      break;
+    default:
+      o.mode = core::Mode::kVampOS;
+      o.policy = core::SchedPolicy::kDependencyAware;
+      break;
+  }
+  return o;
+}
+
+inline apps::StackSpec SpecFor(Config c, apps::StackSpec base) {
+  if (c == Config::kFSm) base.merge_fs = true;
+  if (c == Config::kNETm) base.merge_net = true;
+  return base;
+}
+
+/// One assembled unikernel-linked application.
+struct Rig {
+  Rig(Config config, apps::StackSpec base,
+      core::RuntimeOptions opts_override = core::RuntimeOptions{},
+      bool use_override = false)
+      : rt(use_override ? opts_override : OptionsFor(config)) {
+    info = apps::BuildStack(rt, platform, rings, SpecFor(config, base));
+    apps::BootAndMount(rt);
+    px = std::make_unique<apps::Posix>(rt);
+  }
+
+  /// Client/server pump: poll the host-side client, wake parked servers,
+  /// run the runtime to idle. One call ~= one network quantum.
+  void Pump(apps::SimClient& client, int rounds = 6) {
+    for (int i = 0; i < rounds; ++i) {
+      client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      client.Poll();
+    }
+  }
+
+  uk::Platform platform;
+  uk::HostRingView rings;
+  core::Runtime rt;
+  apps::StackInfo info;
+  std::unique_ptr<apps::Posix> px;
+};
+
+inline bool FullScale() {
+  const char* env = std::getenv("VAMPOS_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline Nanos NowNs() { return SteadyClock::Instance().Now(); }
+
+struct Series {
+  std::vector<double> samples;
+  void Add(double v) { samples.push_back(v); }
+  [[nodiscard]] double Mean() const {
+    if (samples.empty()) return 0;
+    return std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  }
+  [[nodiscard]] double Stddev() const {
+    if (samples.size() < 2) return 0;
+    const double m = Mean();
+    double acc = 0;
+    for (double s : samples) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+  }
+  [[nodiscard]] double Median() {
+    if (samples.empty()) return 0;
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  }
+};
+
+inline void Header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace vampos::bench

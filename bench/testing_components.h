@@ -1,0 +1,34 @@
+// Minimal components for micro-benchmarks.
+#pragma once
+
+#include "comp/component.h"
+
+namespace vampos::bench_testing {
+
+/// Stateful no-op component: one unlogged and one logged entry point, used
+/// to isolate the cost of call dispatch and of function-call logging.
+class NopComponent final : public comp::Component {
+ public:
+  NopComponent()
+      : Component("nop", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    counter_ = MakeState<std::int64_t>(0);
+    ctx.Export("nop", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(++*counter_);
+               });
+    // Session-bound + canceled immediately so the log cannot grow without
+    // bound during long benchmark runs.
+    ctx.Export("nop_logged",
+               comp::FnOptions{.logged = true, .session_arg = -1},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(++*counter_);
+               });
+  }
+
+ private:
+  std::int64_t* counter_ = nullptr;
+};
+
+}  // namespace vampos::bench_testing

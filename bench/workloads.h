@@ -1,0 +1,187 @@
+// Shared application-workload runners used by bench_apps (Fig 7),
+// bench_logshrink (Table IV), and the ablation benches. Each runs one app
+// to completion under a configuration and reports time / throughput /
+// memory.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/echo.h"
+#include "apps/kvstore.h"
+#include "apps/minidb.h"
+#include "apps/webserver.h"
+#include "harness.h"
+
+namespace vampos::bench {
+
+using apps::EchoServer;
+using apps::KvStore;
+using apps::MiniDb;
+using apps::SimClient;
+using apps::StackSpec;
+using apps::WebServer;
+
+struct AppResult {
+  double seconds = 0;
+  double ops = 0;
+  std::size_t mem_overhead = 0;  // VampOS: snapshots + logs
+  std::size_t mem_total = 0;     // + arenas + app footprint
+  std::size_t log_entries = 0;
+  std::size_t log_bytes = 0;
+  std::uint64_t pkru_writes = 0;
+};
+
+inline AppResult Finish(Rig& rig, Nanos t0, double ops, std::size_t app_bytes) {
+  AppResult r;
+  r.seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  r.ops = ops;
+  const auto mem = rig.rt.Memory();
+  r.mem_overhead = mem.snapshot_bytes + mem.log_bytes;
+  r.mem_total = r.mem_overhead + mem.component_arena_bytes + app_bytes;
+  r.log_entries = mem.log_entries;
+  r.log_bytes = mem.log_bytes;
+  r.pkru_writes = rig.rt.Stats().pkru_writes;
+  return r;
+}
+
+inline Rig MakeRig(Config cfg, StackSpec spec,
+                   const std::optional<core::RuntimeOptions>& opts) {
+  if (opts.has_value()) return Rig(cfg, spec, *opts, /*use_override=*/true);
+  return Rig(cfg, spec);
+}
+
+inline AppResult RunSqlite(Config cfg, int inserts,
+                           std::optional<core::RuntimeOptions> opts = {}) {
+  if (cfg == Config::kNETm) return {};  // SQLite's stack has no network
+  Rig rig = MakeRig(cfg, StackSpec::Sqlite(), opts);
+  AppResult out;
+  rig.rt.SpawnApp("sqlite", [&] {
+    MiniDb db(*rig.px, "/db.journal", /*fsync_each=*/true);
+    db.Open();
+    const Nanos t0 = NowNs();
+    for (int i = 0; i < inserts; ++i) {
+      db.Insert("k" + std::to_string(i), "x");  // 1-byte data item
+    }
+    out = Finish(rig, t0, inserts, db.Count() * 64);
+    db.Close();
+  });
+  rig.rt.RunUntilIdle();
+  return out;
+}
+
+inline AppResult RunNginx(Config cfg, int requests,
+                          std::optional<core::RuntimeOptions> opts = {}) {
+  Rig rig = MakeRig(cfg, StackSpec::Nginx(), opts);
+  rig.platform.ninep.PutFile("/www/index.html", std::string(180, 'x'));
+  if (cfg == Config::kUnikraft) {
+    // Baseline: serve the same requests with direct calls (no message
+    // passing); network frames still flow through the host queues.
+  }
+  bool stop = false;
+  WebServer server(*rig.px, 80, "/www");
+  rig.rt.SpawnApp("nginx", [&] {
+    server.Setup();
+    server.RunLoop(&stop);
+  });
+  rig.rt.RunUntilIdle();
+
+  constexpr int kConns = 40;
+  SimClient client(&rig.platform.net, 80);
+  std::vector<int> handles;
+  for (int i = 0; i < kConns; ++i) handles.push_back(client.Connect());
+  rig.Pump(client, 12);
+
+  const Nanos t0 = NowNs();
+  int sent = 0;
+  while (sent < requests) {
+    for (int h : handles) {
+      if (sent >= requests) break;
+      if (!client.Established(h)) continue;
+      client.Send(h, "GET /index.html\n");
+      sent++;
+    }
+    rig.Pump(client, 2);
+  }
+  rig.Pump(client, 6);
+  AppResult out = Finish(rig, t0, server.requests_served(), 180 * kConns);
+  stop = true;
+  rig.rt.UnparkApps();
+  rig.rt.RunUntilIdle();
+  return out;
+}
+
+inline AppResult RunRedis(Config cfg, int sets,
+                          std::optional<core::RuntimeOptions> opts = {}) {
+  Rig rig = MakeRig(cfg, StackSpec::Redis(), opts);
+  bool stop = false;
+  KvStore kv(*rig.px, "/aof", /*aof_enabled=*/true);
+  rig.rt.SpawnApp("redis", [&] {
+    kv.OpenAof();
+    kv.Setup(6379);
+    kv.RunLoop(&stop);
+  });
+  rig.rt.RunUntilIdle();
+
+  SimClient client(&rig.platform.net, 6379);
+  const int h = client.Connect();
+  rig.Pump(client, 8);
+
+  const Nanos t0 = NowNs();
+  constexpr int kBatch = 16;  // pipelined commands, redis-benchmark style
+  for (int i = 0; i < sets; i += kBatch) {
+    for (int j = i; j < i + kBatch && j < sets; ++j) {
+      client.Send(h, "SET k" + std::to_string(j % 10000) + " v" +
+                         std::to_string(j % 100) + "\n");
+    }
+    rig.Pump(client, 2);
+    client.TakeReceived(h);
+  }
+  rig.Pump(client, 6);
+  AppResult out = Finish(rig, t0, kv.commands_served(), kv.MemoryBytes());
+  stop = true;
+  rig.rt.UnparkApps();
+  rig.rt.RunUntilIdle();
+  return out;
+}
+
+inline AppResult RunEcho(Config cfg, int messages,
+                         std::optional<core::RuntimeOptions> opts = {}) {
+  Rig rig = MakeRig(cfg, StackSpec::Echo(), opts);
+  bool stop = false;
+  EchoServer server(*rig.px, 7);
+  rig.rt.SpawnApp("echo", [&] {
+    server.Setup();
+    server.RunLoop(&stop);
+  });
+  rig.rt.RunUntilIdle();
+
+  SimClient client(&rig.platform.net, 7);
+  const std::string payload(159, 'e');
+  const Nanos t0 = NowNs();
+  // Paper's Echo clients close their connection after each message, so the
+  // component logs stay empty (Fig 7b: negligible space overhead).
+  int h = client.Connect();
+  rig.Pump(client, 4);
+  for (int i = 0; i < messages; ++i) {
+    client.Send(h, payload);
+    rig.Pump(client, 2);
+    client.TakeReceived(h);
+    if ((i + 1) % 50 == 0) {
+      client.Close(h);
+      rig.Pump(client, 2);
+      h = client.Connect();
+      rig.Pump(client, 4);
+    }
+  }
+  AppResult out = Finish(rig, t0, server.messages_echoed(), 159);
+  stop = true;
+  rig.rt.UnparkApps();
+  rig.rt.RunUntilIdle();
+  return out;
+}
+
+
+}  // namespace vampos::bench

@@ -1,0 +1,69 @@
+// Echo server demo: the smallest full-stack VampOS application (the paper's
+// fourth workload). Shows the Echo component set (no 9PFS/SYSINFO), the
+// client harness, and that per-message sessions keep the restoration logs
+// empty thanks to session-aware shrinking.
+//
+//   $ ./examples/echo_server
+#include <cstdio>
+#include <string>
+
+#include "apps/echo.h"
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+
+using namespace vampos;  // NOLINT: example brevity
+
+int main() {
+  uk::Platform platform;
+  uk::HostRingView rings;
+  core::Runtime rt;
+  apps::StackInfo info =
+      apps::BuildStack(rt, platform, rings, apps::StackSpec::Echo());
+  apps::BootAndMount(rt);
+  apps::Posix px(rt);
+
+  bool stop = false;
+  apps::EchoServer server(px, 7);
+  rt.SpawnApp("echo", [&] {
+    server.Setup();
+    server.RunLoop(&stop);
+  });
+  rt.RunUntilIdle();
+
+  apps::SimClient client(&platform.net, 7);
+  auto pump = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      client.Poll();
+    }
+  };
+
+  // The paper's workload: a 159-byte message per short-lived connection.
+  const std::string payload(159, '#');
+  int ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int h = client.Connect();
+    pump(4);
+    client.Send(h, payload);
+    pump(4);
+    if (client.TakeReceived(h) == payload) ok++;
+    client.Close(h);
+    pump(2);
+    if (i == 9) {
+      // Mid-run rejuvenation of the transport stack: invisible to clients.
+      (void)rt.Reboot(info.lwip);
+      (void)rt.Reboot(info.netdev);
+    }
+  }
+  std::printf("echoed %d/20 messages (2 transport reboots mid-run)\n", ok);
+  std::printf("restoration logs after run: lwip=%zu vfs=%zu entries "
+              "(sessions canceled on close)\n",
+              rt.LogEntries(info.lwip), rt.LogEntries(info.vfs));
+  stop = true;
+  rt.UnparkApps();
+  rt.RunUntilIdle();
+  return ok == 20 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Inspector: prints the paper's Table I (components and their recovery
+// classes) and Table II (function calls logged for encapsulated reboots)
+// directly from a live runtime's registry, then runs a small workload and
+// shows the observability surface: per-function metrics, memory accounting,
+// and the full state dump.
+//
+//   $ ./examples/inspector
+#include <cstdio>
+
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "comp/component.h"
+#include "core/runtime.h"
+
+using namespace vampos;  // NOLINT: example brevity
+
+namespace {
+
+const char* Statefulness(comp::Statefulness s) {
+  switch (s) {
+    case comp::Statefulness::kStateless: return "stateless (re-Init)";
+    case comp::Statefulness::kStateful: return "stateful (replayed)";
+    case comp::Statefulness::kUnrebootable: return "UNREBOOTABLE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  uk::Platform platform;
+  platform.ninep.PutFile("/www/index.html", "inspect me");
+  uk::HostRingView rings;
+  core::Runtime rt;
+  apps::StackInfo info =
+      apps::BuildStack(rt, platform, rings, apps::StackSpec::Nginx());
+  apps::BootAndMount(rt);
+  apps::Posix px(rt);
+
+  std::printf("Table I — components in this stack (Nginx configuration):\n");
+  for (ComponentId id : rt.Components()) {
+    std::printf("  %-10s %s\n", rt.component(id).name().c_str(),
+                Statefulness(rt.component(id).statefulness()));
+  }
+  std::printf("  MPK tags in use: %d (of 16)\n\n", rt.MpkTagsInUse());
+
+  // A small mixed workload so the metrics below have something to show.
+  rt.SpawnApp("workload", [&] {
+    for (int i = 0; i < 50; ++i) {
+      const auto fd = px.Open("/www/index.html");
+      px.Read(fd, 64);
+      px.Close(fd);
+      px.Getpid();
+    }
+  });
+  rt.RunUntilIdle();
+  (void)rt.Reboot(info.vfs);
+
+  std::printf("Table II — logged function calls (from live logs):\n");
+  for (ComponentId id : {info.vfs, info.lwip, info.ninep}) {
+    std::printf("  %-6s: %zu entries, %zu bytes after shrinking\n",
+                rt.component(id).name().c_str(), rt.LogEntries(id),
+                rt.LogBytes(id));
+  }
+
+  std::printf("\nTop functions by handler time:\n");
+  for (const auto& f : rt.TopFunctions(8)) {
+    std::printf("  %-22s calls=%-6llu total=%8.1fus errors=%llu\n",
+                f.name.c_str(), static_cast<unsigned long long>(f.calls),
+                static_cast<double>(f.total_ns) / 1000.0,
+                static_cast<unsigned long long>(f.errors));
+  }
+
+  const auto mem = rt.Memory();
+  std::printf("\nMemory: arenas=%.1fMB checkpoints=%.1fMB logs=%zuB\n",
+              static_cast<double>(mem.component_arena_bytes) / 1e6,
+              static_cast<double>(mem.snapshot_bytes) / 1e6, mem.log_bytes);
+
+  std::printf("\nFull state dump:\n");
+  rt.DumpState(stdout);
+  return 0;
+}

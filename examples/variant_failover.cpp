@@ -1,0 +1,112 @@
+// Multi-version failover demo (paper §VIII, "Handling Failures from
+// Deterministic Bugs"): a component with a deterministic bug crashes, the
+// reboot+retry crashes again, and instead of fail-stopping the runtime
+// swaps in a registered alternate implementation and replays the log into
+// it. A graceful-termination hook is registered too, showing what would
+// happen if no variant existed.
+//
+//   $ ./examples/variant_failover
+#include <cstdio>
+#include <memory>
+
+#include "comp/component.h"
+#include "core/runtime.h"
+
+using namespace vampos;  // NOLINT: example brevity
+
+// Both versions implement the same "stats" interface: record(x) and mean().
+// v1 has a deterministic divide-by-state bug; v2 computes correctly.
+class StatsV1 final : public comp::Component {
+ public:
+  StatsV1() : Component("stats", comp::Statefulness::kStateful, 128 * 1024) {}
+  void Init(comp::InitCtx& ctx) override {
+    s_ = MakeState<State>();
+    ctx.Export("record", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 s_->sum += args[0].i64();
+                 s_->count++;
+                 return msg::MsgValue(s_->count);
+               });
+    ctx.Export("mean", comp::FnOptions{},
+               [this](comp::CallCtx& c, const msg::Args&) -> msg::MsgValue {
+                 if (s_->count % 5 == 0) {
+                   // The deterministic bug: every 5th sample corrupts a
+                   // pointer and crashes — and will crash again on retry.
+                   c.Panic("v1 bug: mean() crashes when count %% 5 == 0");
+                 }
+                 return msg::MsgValue(s_->sum / s_->count);
+               });
+  }
+
+ private:
+  struct State {
+    std::int64_t sum = 0;
+    std::int64_t count = 0;
+  };
+  State* s_ = nullptr;
+};
+
+class StatsV2 final : public comp::Component {
+ public:
+  StatsV2() : Component("stats", comp::Statefulness::kStateful, 128 * 1024) {}
+  void Init(comp::InitCtx& ctx) override {
+    s_ = MakeState<State>();
+    ctx.Export("record", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 s_->sum += args[0].i64();
+                 s_->count++;
+                 return msg::MsgValue(s_->count);
+               });
+    ctx.Export("mean", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(
+                     s_->count == 0 ? std::int64_t{0} : s_->sum / s_->count);
+               });
+  }
+
+ private:
+  struct State {
+    std::int64_t sum = 0;
+    std::int64_t count = 0;
+  };
+  State* s_ = nullptr;
+};
+
+int main() {
+  core::Runtime rt;
+  const ComponentId stats = rt.AddComponent(std::make_unique<StatsV1>());
+  rt.AddAppDependency(stats);
+  rt.RegisterVariant(stats, std::make_unique<StatsV2>());
+  rt.RegisterTerminationHook([] {
+    std::printf("[hook] would save state before exit (not reached: the "
+                "variant takes over)\n");
+  });
+  rt.Boot();
+
+  const FunctionId record = rt.Lookup("stats", "record");
+  const FunctionId mean = rt.Lookup("stats", "mean");
+
+  // Feed five samples: count == 5 arms v1's deterministic bug.
+  rt.SpawnApp("feed", [&] {
+    for (std::int64_t x : {10, 20, 30, 40, 50}) {
+      rt.Call(record, {msg::MsgValue(x)});
+    }
+  });
+  rt.RunUntilIdle();
+
+  std::int64_t m = -1;
+  rt.SpawnApp("query", [&] { m = rt.Call(mean, {}).i64(); });
+  rt.RunUntilIdle();
+
+  std::printf("mean after failover = %lld (expected 30)\n",
+              static_cast<long long>(m));
+  std::printf("reboots: %llu, variant swaps: %llu, terminal fault: %s\n",
+              static_cast<unsigned long long>(rt.Stats().reboots),
+              static_cast<unsigned long long>(rt.variant_swaps()),
+              rt.terminal_fault().has_value() ? "yes" : "no");
+  std::printf("\nwhat happened: v1 crashed, VampOS rebooted it and retried;\n"
+              "the retry crashed again (deterministic), so the v2 variant\n"
+              "was swapped in and the call log replayed into it — the five\n"
+              "recorded samples survived the version change.\n");
+  return (m == 30 && rt.variant_swaps() == 1) ? 0 : 1;
+}

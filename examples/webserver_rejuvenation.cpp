@@ -1,0 +1,89 @@
+// Webserver rejuvenation demo (the paper's §VII-D scenario): a web server
+// serving persistent connections while every unikernel component is
+// rejuvenated one by one. No connection drops, no request fails.
+//
+//   $ ./examples/webserver_rejuvenation
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "apps/webserver.h"
+
+using namespace vampos;  // NOLINT: example brevity
+
+int main() {
+  uk::Platform platform;
+  platform.ninep.PutFile("/www/index.html",
+                         "<html>still alive after every reboot</html>");
+  uk::HostRingView rings;
+  core::RuntimeOptions options;
+  core::Runtime rt(options);
+  apps::StackInfo info =
+      apps::BuildStack(rt, platform, rings, apps::StackSpec::Nginx());
+  apps::BootAndMount(rt);
+  apps::Posix px(rt);
+
+  bool stop = false;
+  apps::WebServer server(px, 80, "/www");
+  rt.SpawnApp("nginx", [&] {
+    server.Setup();
+    server.RunLoop(&stop);
+  });
+  rt.RunUntilIdle();
+
+  apps::SimClient client(&platform.net, 80);
+  std::vector<int> conns;
+  for (int i = 0; i < 10; ++i) conns.push_back(client.Connect());
+  auto pump = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      client.Poll();
+    }
+  };
+  pump(10);
+
+  const std::vector<std::pair<const char*, ComponentId>> plan = {
+      {"PROCESS", info.process}, {"SYSINFO", info.sysinfo},
+      {"USER", info.user},       {"TIMER", info.timer},
+      {"NETDEV", info.netdev},   {"9PFS", info.ninep},
+      {"LWIP", info.lwip},       {"VFS", info.vfs},
+  };
+
+  int ok = 0, bad = 0;
+  for (const auto& [name, id] : plan) {
+    // Fire a request on every connection, then reboot the component while
+    // replies are being produced.
+    for (int h : conns) client.Send(h, "GET /index.html\n");
+    auto result = rt.Reboot(id);
+    pump(8);
+    int round_ok = 0;
+    for (int h : conns) {
+      if (client.Broken(h)) {
+        bad++;
+        continue;
+      }
+      if (client.TakeReceived(h).find("200") != std::string::npos) {
+        round_ok++;
+        ok++;
+      }
+    }
+    std::printf("rejuvenated %-8s in %7.3f ms — %d/%zu requests served, "
+                "connections intact\n",
+                name,
+                result.ok()
+                    ? static_cast<double>(result.value().total_ns) / 1e6
+                    : -1.0,
+                round_ok, conns.size());
+  }
+  std::printf("\ntotal: %d served, %d lost across full rejuvenation cycle\n",
+              ok, bad);
+  stop = true;
+  rt.UnparkApps();
+  rt.RunUntilIdle();
+  return bad == 0 ? 0 : 1;
+}

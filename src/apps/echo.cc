@@ -1,0 +1,51 @@
+#include "apps/echo.h"
+
+#include <algorithm>
+
+namespace vampos::apps {
+
+EchoServer::EchoServer(Posix& px, std::uint16_t port)
+    : px_(px), port_(port) {}
+
+bool EchoServer::Setup() {
+  listen_fd_ = px_.Socket();
+  if (listen_fd_ < 0) return false;
+  if (px_.Bind(listen_fd_, port_) < 0) return false;
+  return px_.Listen(listen_fd_) >= 0;
+}
+
+bool EchoServer::PumpOnce() {
+  bool progress = false;
+  while (true) {
+    const std::int64_t fd = px_.Accept(listen_fd_);
+    if (fd < 0) break;
+    conns_.push_back(fd);
+    progress = true;
+  }
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    IoResult r = px_.Recv(*it, 4096);
+    if (r.ok() && !r.data.empty()) {
+      px_.Send(*it, r.data);
+      echoed_++;
+      progress = true;
+      ++it;
+    } else if (r.closed()) {
+      px_.Close(*it);
+      it = conns_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+void EchoServer::RunLoop(const bool* stop) {
+  while (!*stop) {
+    if (!PumpOnce()) px_.runtime().ParkApp();
+  }
+  for (std::int64_t fd : conns_) px_.Close(fd);
+  conns_.clear();
+}
+
+}  // namespace vampos::apps

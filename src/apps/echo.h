@@ -1,0 +1,30 @@
+// EchoServer: the paper's fourth application — returns every received byte.
+// Clients close their connection after each exchange, so its log footprint
+// stays near zero (the session-aware shrinking removes everything).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/posix.h"
+
+namespace vampos::apps {
+
+class EchoServer {
+ public:
+  EchoServer(Posix& px, std::uint16_t port);
+
+  bool Setup();
+  bool PumpOnce();
+  void RunLoop(const bool* stop);
+  [[nodiscard]] std::uint64_t messages_echoed() const { return echoed_; }
+
+ private:
+  Posix& px_;
+  std::uint16_t port_;
+  std::int64_t listen_fd_ = -1;
+  std::vector<std::int64_t> conns_;
+  std::uint64_t echoed_ = 0;
+};
+
+}  // namespace vampos::apps

@@ -1,0 +1,176 @@
+#include "apps/kvstore.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace vampos::apps {
+
+KvStore::KvStore(Posix& px, std::string aof_path, bool aof_enabled)
+    : px_(px), aof_path_(std::move(aof_path)), aof_enabled_(aof_enabled) {}
+
+bool KvStore::OpenAof() {
+  if (!aof_enabled_) return true;
+  aof_fd_ = px_.Open(aof_path_, Posix::kOCreat | Posix::kOAppend);
+  return aof_fd_ >= 0;
+}
+
+void KvStore::CloseAof() {
+  if (aof_fd_ >= 0) px_.Close(aof_fd_);
+  aof_fd_ = -1;
+}
+
+std::int64_t KvStore::Set(const std::string& key, const std::string& value) {
+  if (aof_enabled_) {
+    if (aof_fd_ < 0) return ToWire(Status::Error(Errno::kBadF));
+    const std::int64_t n = px_.Write(aof_fd_, "S " + key + " " + value + "\n");
+    if (n < 0) return n;
+    px_.Fsync(aof_fd_);  // synchronous persistence, as in the paper
+  }
+  auto [it, inserted] = table_.insert_or_assign(key, value);
+  (void)it;
+  if (inserted) mem_bytes_ += key.size() + value.size() + 64;
+  return 0;
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t KvStore::Del(const std::string& key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return 0;
+  if (aof_enabled_ && aof_fd_ >= 0) {
+    px_.Write(aof_fd_, "D " + key + "\n");
+    px_.Fsync(aof_fd_);
+  }
+  mem_bytes_ -= std::min(mem_bytes_, key.size() + it->second.size() + 64);
+  table_.erase(it);
+  return 1;
+}
+
+std::int64_t KvStore::Incr(const std::string& key) {
+  std::int64_t v = 0;
+  if (auto cur = Get(key)) {
+    char* end = nullptr;
+    v = std::strtoll(cur->c_str(), &end, 10);
+    if (end == cur->c_str() || *end != '\0') {
+      return ToWire(Status::Error(Errno::kInval, "not an integer"));
+    }
+  }
+  ++v;
+  const std::int64_t rc = Set(key, std::to_string(v));
+  return rc == 0 ? v : rc;
+}
+
+std::size_t KvStore::LoadAof() {
+  table_.clear();
+  mem_bytes_ = 0;
+  const std::int64_t fd = px_.Open(aof_path_);
+  if (fd < 0) return 0;
+  std::string content;
+  while (true) {
+    IoResult chunk = px_.Read(fd, 65536);
+    if (!chunk.ok() || chunk.data.empty()) break;
+    content += chunk.data;
+  }
+  px_.Close(fd);
+  std::istringstream in(content);
+  std::string line;
+  std::size_t applied = 0;
+  while (std::getline(in, line)) {
+    std::istringstream rec(line);
+    std::string op, k, v;
+    rec >> op >> k >> v;
+    if (op == "S") {
+      if (table_.insert_or_assign(k, v).second) {
+        mem_bytes_ += k.size() + v.size() + 64;
+      }
+      applied++;
+    } else if (op == "D") {
+      table_.erase(k);
+      applied++;
+    }
+  }
+  return applied;
+}
+
+std::string KvStore::HandleCommand(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb, k, v;
+  in >> verb;
+  if (verb == "SET") {
+    in >> k >> v;
+    return Set(k, v) == 0 ? "+OK\n" : "-ERR\n";
+  }
+  if (verb == "GET") {
+    in >> k;
+    auto val = Get(k);
+    return val.has_value() ? "$" + *val + "\n" : "$-1\n";
+  }
+  if (verb == "DEL") {
+    in >> k;
+    return ":" + std::to_string(Del(k)) + "\n";
+  }
+  if (verb == "INCR") {
+    in >> k;
+    const std::int64_t v = Incr(k);
+    return v < 0 ? "-ERR not an integer\n" : ":" + std::to_string(v) + "\n";
+  }
+  if (verb == "EXISTS") {
+    in >> k;
+    return Exists(k) ? ":1\n" : ":0\n";
+  }
+  if (verb == "PING") return "+PONG\n";
+  if (verb == "DBSIZE") return ":" + std::to_string(table_.size()) + "\n";
+  return "-ERR unknown\n";
+}
+
+bool KvStore::Setup(std::uint16_t port) {
+  listen_fd_ = px_.Socket();
+  if (listen_fd_ < 0) return false;
+  if (px_.Bind(listen_fd_, port) < 0) return false;
+  return px_.Listen(listen_fd_) >= 0;
+}
+
+bool KvStore::PumpOnce() {
+  bool progress = false;
+  while (true) {
+    const std::int64_t fd = px_.Accept(listen_fd_);
+    if (fd < 0) break;
+    conns_.push_back(Conn{fd, {}});
+    progress = true;
+  }
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    IoResult r = px_.Recv(it->fd, 4096);
+    if (r.ok() && !r.data.empty()) {
+      it->pending += r.data;
+      std::size_t nl;
+      while ((nl = it->pending.find('\n')) != std::string::npos) {
+        px_.Send(it->fd, HandleCommand(it->pending.substr(0, nl)));
+        served_++;
+        it->pending.erase(0, nl + 1);
+      }
+      progress = true;
+      ++it;
+    } else if (r.closed()) {
+      px_.Close(it->fd);
+      it = conns_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+void KvStore::RunLoop(const bool* stop) {
+  while (!*stop) {
+    if (!PumpOnce()) px_.runtime().ParkApp();
+  }
+  for (const Conn& c : conns_) px_.Close(c.fd);
+  conns_.clear();
+}
+
+}  // namespace vampos::apps

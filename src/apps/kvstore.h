@@ -1,0 +1,72 @@
+// KvStore: the Redis stand-in.
+//
+// In-memory key-value store whose table lives in *application* memory — the
+// memory VampOS preserves across unikernel component reboots. With AOF
+// (Append Only File) enabled, every SET is appended to a journal and
+// fsync()ed through VFS/9PFS, matching the paper's Redis configuration
+// ("preserves volatile KVs into storage synchronously via fsync()").
+//
+// Serves the redis-benchmark-shaped wire protocol over LWIP:
+//   "SET <k> <v>\n" -> "+OK\n"        "GET <k>\n" -> "$<v>\n" | "$-1\n"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/posix.h"
+
+namespace vampos::apps {
+
+class KvStore {
+ public:
+  KvStore(Posix& px, std::string aof_path, bool aof_enabled);
+
+  bool OpenAof();  // no-op success when AOF disabled
+  void CloseAof();
+
+  std::int64_t Set(const std::string& key, const std::string& value);
+  std::optional<std::string> Get(const std::string& key) const;
+  /// Removes a key; returns 1 if it existed (logged to the AOF).
+  std::int64_t Del(const std::string& key);
+  /// Atomic integer increment (missing key counts as 0); AOF-logged as the
+  /// resulting SET. Returns the new value, or kInval for non-numeric.
+  std::int64_t Incr(const std::string& key);
+  [[nodiscard]] bool Exists(const std::string& key) const {
+    return table_.contains(key);
+  }
+  [[nodiscard]] std::size_t Size() const { return table_.size(); }
+  [[nodiscard]] std::size_t MemoryBytes() const { return mem_bytes_; }
+
+  /// Full-reboot recovery: rebuild the table from the AOF. Returns entries
+  /// applied. This is the slow path VampOS avoids (Fig 8 baseline).
+  std::size_t LoadAof();
+
+  // ------------- network server mode -------------
+  bool Setup(std::uint16_t port);
+  bool PumpOnce();
+  void RunLoop(const bool* stop);
+  [[nodiscard]] std::uint64_t commands_served() const { return served_; }
+
+ private:
+  std::string HandleCommand(const std::string& line);
+
+  Posix& px_;
+  std::string aof_path_;
+  bool aof_enabled_;
+  std::int64_t aof_fd_ = -1;
+  std::unordered_map<std::string, std::string> table_;
+  std::size_t mem_bytes_ = 0;
+
+  std::int64_t listen_fd_ = -1;
+  struct Conn {
+    std::int64_t fd;
+    std::string pending;
+  };
+  std::vector<Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace vampos::apps

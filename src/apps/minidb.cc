@@ -1,0 +1,114 @@
+#include "apps/minidb.h"
+
+#include <sstream>
+
+namespace vampos::apps {
+
+MiniDb::MiniDb(Posix& px, std::string journal_path, bool fsync_each)
+    : px_(px), path_(std::move(journal_path)), fsync_each_(fsync_each) {}
+
+bool MiniDb::Open() {
+  fd_ = px_.Open(path_, Posix::kOCreat | Posix::kOAppend);
+  return fd_ >= 0;
+}
+
+void MiniDb::Close() {
+  if (fd_ >= 0) px_.Close(fd_);
+  fd_ = -1;
+}
+
+std::int64_t MiniDb::Insert(const std::string& key, const std::string& value) {
+  if (fd_ < 0) return ToWire(Status::Error(Errno::kBadF));
+  const std::string rec = "I " + key + " " + value + "\n";
+  const std::int64_t n = px_.Write(fd_, rec);
+  if (n < 0) return n;
+  if (fsync_each_) px_.Fsync(fd_);
+  table_[key] = value;
+  return 0;
+}
+
+std::optional<std::string> MiniDb::Select(const std::string& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t MiniDb::Delete(const std::string& key) {
+  if (fd_ < 0) return ToWire(Status::Error(Errno::kBadF));
+  const std::int64_t n = px_.Write(fd_, "D " + key + "\n");
+  if (n < 0) return n;
+  if (fsync_each_) px_.Fsync(fd_);
+  table_.erase(key);
+  return 0;
+}
+
+std::string MiniDb::Exec(const std::string& sql) {
+  std::istringstream in(sql);
+  std::string verb;
+  in >> verb;
+  if (verb == "INSERT") {
+    std::string k, v;
+    in >> k >> v;
+    return Insert(k, v) == 0 ? "OK" : "ERR";
+  }
+  if (verb == "SELECT") {
+    std::string k;
+    in >> k;
+    auto v = Select(k);
+    return v.has_value() ? *v : "(null)";
+  }
+  if (verb == "DELETE") {
+    std::string k;
+    in >> k;
+    return Delete(k) == 0 ? "OK" : "ERR";
+  }
+  if (verb == "UPDATE") {  // UPDATE k v — errors if the row is absent
+    std::string k, v;
+    in >> k >> v;
+    if (!table_.contains(k)) return "ERR no such row";
+    return Insert(k, v) == 0 ? "OK" : "ERR";
+  }
+  if (verb == "KEYS") {  // newline-separated key listing
+    std::string out;
+    for (const auto& [k, v] : table_) {
+      (void)v;
+      out += k;
+      out += '\n';
+    }
+    return out;
+  }
+  if (verb == "COUNT") return std::to_string(Count());
+  return "ERR syntax";
+}
+
+std::size_t MiniDb::ReplayJournal() {
+  table_.clear();
+  const std::int64_t fd = px_.Open(path_);
+  if (fd < 0) return 0;
+  std::string content;
+  while (true) {
+    IoResult chunk = px_.Read(fd, 65536);
+    if (!chunk.ok() || chunk.data.empty()) break;
+    content += chunk.data;
+  }
+  px_.Close(fd);
+  std::istringstream in(content);
+  std::string line;
+  std::size_t applied = 0;
+  while (std::getline(in, line)) {
+    std::istringstream rec(line);
+    std::string op, k, v;
+    rec >> op >> k;
+    if (op == "I") {
+      rec >> v;
+      table_[k] = v;
+      applied++;
+    } else if (op == "D") {
+      table_.erase(k);
+      applied++;
+    }
+  }
+  return applied;
+}
+
+}  // namespace vampos::apps

@@ -1,0 +1,47 @@
+// MiniDb: the SQLite stand-in.
+//
+// A relational-ish row store with a tiny SQL front end (INSERT / SELECT /
+// DELETE / COUNT) that persists every mutation to a write-ahead journal file
+// through VFS/9PFS, exactly the I/O pattern of the paper's SQLite workload
+// (10,000 1-byte inserts). The in-memory table lives in application memory
+// and therefore survives unikernel component reboots; the journal allows a
+// cold rebuild after a *full* reboot (the paper's baseline).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/posix.h"
+
+namespace vampos::apps {
+
+class MiniDb {
+ public:
+  MiniDb(Posix& px, std::string journal_path, bool fsync_each = false);
+
+  /// Opens (creating if needed) the journal. Must run on an app fiber.
+  bool Open();
+  void Close();
+
+  std::int64_t Insert(const std::string& key, const std::string& value);
+  std::optional<std::string> Select(const std::string& key) const;
+  std::int64_t Delete(const std::string& key);
+  [[nodiscard]] std::size_t Count() const { return table_.size(); }
+
+  /// Tiny SQL front end: "INSERT k v" / "SELECT k" / "DELETE k" / "COUNT".
+  std::string Exec(const std::string& sql);
+
+  /// Cold rebuild from the journal (full-reboot recovery path).
+  std::size_t ReplayJournal();
+
+ private:
+  Posix& px_;
+  std::string path_;
+  bool fsync_each_;
+  std::int64_t fd_ = -1;
+  std::map<std::string, std::string> table_;
+};
+
+}  // namespace vampos::apps

@@ -1,0 +1,124 @@
+#include "apps/netclient.h"
+
+namespace vampos::apps {
+
+using uk::Frame;
+
+std::uint16_t SimClient::next_port_ = 20000;
+
+SimClient::SimClient(uk::HostNet* net, std::uint16_t server_port)
+    : net_(net), server_port_(server_port) {}
+
+SimClient::Conn* SimClient::ByPort(std::uint16_t port) {
+  for (auto& c : conns_) {
+    if (c.local_port == port) return &c;
+  }
+  return nullptr;
+}
+
+void SimClient::SendSyn(Conn& c) {
+  net_->HostSend(Frame{.flags = Frame::kSyn,
+                       .src_port = c.local_port,
+                       .dst_port = server_port_,
+                       .seq = c.snd_seq - 1,
+                       .ack = 0,
+                       .payload = {}});
+  c.polls_since_syn = 0;
+}
+
+int SimClient::Connect() {
+  Conn c;
+  c.local_port = next_port_++;
+  if (next_port_ >= 40000) next_port_ = 20000;  // wrap well below LWIP's range
+  c.snd_seq = kClientIsq + static_cast<std::uint32_t>(conns_.size());
+  SendSyn(c);
+  conns_.push_back(c);
+  return static_cast<int>(conns_.size()) - 1;
+}
+
+void SimClient::Poll() {
+  // Drain first, then process: frames for other host-side consumers (other
+  // SimClients on the same tap) are requeued, and requeuing during the
+  // drain loop would spin.
+  std::vector<Frame> batch;
+  while (auto f = net_->HostRecv()) batch.push_back(std::move(*f));
+  for (Frame& frame : batch) {
+    auto* f = &frame;
+    Conn* c = ByPort(f->dst_port);
+    if (c == nullptr) {
+      net_->HostRequeue(std::move(frame));
+      continue;
+    }
+    if ((f->flags & Frame::kRst) != 0) {
+      if (c->state != ConnState::kClosed) {
+        c->state = ConnState::kBroken;
+        resets_++;
+      }
+      continue;
+    }
+    if ((f->flags & (Frame::kSyn | Frame::kAck)) ==
+        (Frame::kSyn | Frame::kAck)) {
+      if (c->state == ConnState::kSynSent) {
+        c->state = ConnState::kEstablished;
+        c->rcv_ack = f->seq + 1;
+      }
+      continue;
+    }
+    if ((f->flags & Frame::kFin) != 0) {
+      if (c->state == ConnState::kEstablished) c->state = ConnState::kClosed;
+      continue;
+    }
+    if ((f->flags & Frame::kData) != 0) {
+      if (c->state != ConnState::kEstablished) continue;
+      if (f->seq != c->rcv_ack) {
+        // Server lost our connection state: a reboot without restoration.
+        c->state = ConnState::kBroken;
+        resets_++;
+        continue;
+      }
+      c->rcv_ack += static_cast<std::uint32_t>(f->payload.size());
+      c->rcvbuf += f->payload;
+    }
+  }
+  // SYN retransmission (TCP behavior): a reboot may have dropped a pending
+  // SYN from the listener queue; resend until accepted.
+  for (auto& c : conns_) {
+    if (c.state == ConnState::kSynSent &&
+        ++c.polls_since_syn >= kSynRetryPolls) {
+      SendSyn(c);
+    }
+  }
+}
+
+void SimClient::Send(int h, const std::string& data) {
+  Conn& c = conns_[h];
+  if (c.state != ConnState::kEstablished) return;
+  net_->HostSend(Frame{.flags = Frame::kData,
+                       .src_port = c.local_port,
+                       .dst_port = server_port_,
+                       .seq = c.snd_seq,
+                       .ack = c.rcv_ack,
+                       .payload = data});
+  c.snd_seq += static_cast<std::uint32_t>(data.size());
+}
+
+std::string SimClient::TakeReceived(int h) {
+  std::string out = std::move(conns_[h].rcvbuf);
+  conns_[h].rcvbuf.clear();
+  return out;
+}
+
+void SimClient::Close(int h) {
+  Conn& c = conns_[h];
+  if (c.state == ConnState::kEstablished) {
+    net_->HostSend(Frame{.flags = Frame::kFin,
+                         .src_port = c.local_port,
+                         .dst_port = server_port_,
+                         .seq = c.snd_seq,
+                         .ack = 0,
+                         .payload = {}});
+  }
+  c.state = ConnState::kClosed;
+}
+
+}  // namespace vampos::apps

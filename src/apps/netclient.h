@@ -1,0 +1,76 @@
+// SimClient: host-side mini-TCP peer, standing in for siege / redis-benchmark
+// / external web clients. It talks to the unikernel's LWIP through the
+// HostNet queues, tracks per-connection sequence numbers, retransmits lost
+// SYNs, and — crucially for the paper's Table V — observes RSTs and sequence
+// discontinuities as *lost connections*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uk/platform.h"
+
+namespace vampos::apps {
+
+class SimClient {
+ public:
+  SimClient(uk::HostNet* net, std::uint16_t server_port);
+
+  /// Opens a connection (sends SYN). Returns a handle.
+  int Connect();
+  /// Processes all pending server->client frames; retransmits stale SYNs.
+  void Poll();
+  /// Sends request bytes on an established connection.
+  void Send(int h, const std::string& data);
+  /// Takes everything received so far on h.
+  std::string TakeReceived(int h);
+  [[nodiscard]] bool Established(int h) const {
+    return conns_[h].state == ConnState::kEstablished;
+  }
+  /// Connection was reset / sequence-broken by the server side.
+  [[nodiscard]] bool Broken(int h) const {
+    return conns_[h].state == ConnState::kBroken;
+  }
+  [[nodiscard]] bool Closed(int h) const {
+    return conns_[h].state == ConnState::kClosed;
+  }
+  void Close(int h);
+
+  [[nodiscard]] int connections() const {
+    return static_cast<int>(conns_.size());
+  }
+  [[nodiscard]] std::uint64_t resets_seen() const { return resets_; }
+
+ private:
+  enum class ConnState : std::uint8_t {
+    kSynSent,
+    kEstablished,
+    kClosed,
+    kBroken,
+  };
+  struct Conn {
+    ConnState state = ConnState::kSynSent;
+    std::uint16_t local_port = 0;
+    std::uint32_t snd_seq = 0;
+    std::uint32_t rcv_ack = 0;  // 0 until SYN-ACK seen
+    std::string rcvbuf;
+    int polls_since_syn = 0;
+  };
+
+  void SendSyn(Conn& c);
+  Conn* ByPort(std::uint16_t port);
+
+  uk::HostNet* net_;
+  std::uint16_t server_port_;
+  std::vector<Conn> conns_;
+  std::uint64_t resets_ = 0;
+
+  static constexpr std::uint32_t kClientIsq = 5000;
+  static constexpr int kSynRetryPolls = 8;
+  // Process-wide ephemeral-port allocator: several SimClients can share one
+  // HostNet tap without colliding.
+  static std::uint16_t next_port_;
+};
+
+}  // namespace vampos::apps

@@ -1,0 +1,150 @@
+#include "apps/posix.h"
+
+namespace vampos::apps {
+
+using msg::MsgValue;
+
+namespace {
+std::int64_t Bound(core::Runtime& rt, const char* comp, const char* fn) {
+  return rt.TryLookup(comp, fn).value_or(-1);
+}
+}  // namespace
+
+Posix::Posix(core::Runtime& rt) : rt_(rt) {
+  fn_mount_ = Bound(rt, "vfs", "mount");
+  fn_mkdir_ = Bound(rt, "vfs", "mkdir");
+  fn_dup_ = Bound(rt, "vfs", "dup");
+  fn_unlink_ = Bound(rt, "vfs", "unlink");
+  fn_rename_ = Bound(rt, "vfs", "rename");
+  fn_ftruncate_ = Bound(rt, "vfs", "ftruncate");
+  fn_readdir_ = Bound(rt, "vfs", "readdir");
+  fn_stat_path_ = Bound(rt, "vfs", "stat_path");
+  fn_open_ = Bound(rt, "vfs", "open");
+  fn_create_ = Bound(rt, "vfs", "create");
+  fn_read_ = Bound(rt, "vfs", "read");
+  fn_write_ = Bound(rt, "vfs", "write");
+  fn_pread_ = Bound(rt, "vfs", "pread");
+  fn_pwrite_ = Bound(rt, "vfs", "pwrite");
+  fn_lseek_ = Bound(rt, "vfs", "lseek");
+  fn_fsync_ = Bound(rt, "vfs", "fsync");
+  fn_close_ = Bound(rt, "vfs", "close");
+  fn_fcntl_ = Bound(rt, "vfs", "fcntl");
+  fn_pipe_ = Bound(rt, "vfs", "pipe");
+  fn_socket_ = Bound(rt, "vfs", "socket");
+  fn_bind_ = Bound(rt, "vfs", "bind");
+  fn_listen_ = Bound(rt, "vfs", "listen");
+  fn_accept_ = Bound(rt, "vfs", "accept");
+  fn_connect_ = Bound(rt, "vfs", "connect");
+  fn_socket_dgram_ = Bound(rt, "vfs", "socket_dgram");
+  fn_sendto_ = Bound(rt, "vfs", "sendto");
+  fn_recvfrom_ = Bound(rt, "vfs", "recvfrom");
+  fn_last_peer_ = Bound(rt, "vfs", "last_peer");
+  fn_getpid_ = Bound(rt, "process", "getpid");
+  fn_getuid_ = Bound(rt, "user", "getuid");
+  fn_uname_ = Bound(rt, "sysinfo", "uname");
+  fn_time_ = Bound(rt, "timer", "time_ms");
+}
+
+IoResult Posix::ToIo(MsgValue v) {
+  if (v.is_bytes()) return IoResult{v.bytes(), 0};
+  return IoResult{{}, v.i64()};
+}
+
+std::int64_t Posix::Mount(const std::string& path) {
+  return rt_.Call(fn_mount_, {MsgValue(path)}).i64();
+}
+std::int64_t Posix::Mkdir(const std::string& path) {
+  return rt_.Call(fn_mkdir_, {MsgValue(path)}).i64();
+}
+std::int64_t Posix::Open(const std::string& path, std::int64_t flags) {
+  return rt_.Call(fn_open_, {MsgValue(path), MsgValue(flags)}).i64();
+}
+std::int64_t Posix::Create(const std::string& path) {
+  return rt_.Call(fn_create_, {MsgValue(path)}).i64();
+}
+IoResult Posix::Read(std::int64_t fd, std::int64_t len) {
+  return ToIo(rt_.Call(fn_read_, {MsgValue(fd), MsgValue(len)}));
+}
+std::int64_t Posix::Write(std::int64_t fd, const std::string& data) {
+  return rt_.Call(fn_write_, {MsgValue(fd), MsgValue(data)}).i64();
+}
+IoResult Posix::Pread(std::int64_t fd, std::int64_t len, std::int64_t off) {
+  return ToIo(
+      rt_.Call(fn_pread_, {MsgValue(fd), MsgValue(len), MsgValue(off)}));
+}
+std::int64_t Posix::Pwrite(std::int64_t fd, const std::string& data,
+                           std::int64_t off) {
+  return rt_.Call(fn_pwrite_, {MsgValue(fd), MsgValue(data), MsgValue(off)})
+      .i64();
+}
+std::int64_t Posix::Lseek(std::int64_t fd, std::int64_t off,
+                          std::int64_t whence) {
+  return rt_.Call(fn_lseek_, {MsgValue(fd), MsgValue(off), MsgValue(whence)})
+      .i64();
+}
+std::int64_t Posix::Fsync(std::int64_t fd) {
+  return rt_.Call(fn_fsync_, {MsgValue(fd)}).i64();
+}
+std::int64_t Posix::Close(std::int64_t fd) {
+  return rt_.Call(fn_close_, {MsgValue(fd)}).i64();
+}
+std::int64_t Posix::Fcntl(std::int64_t fd, std::int64_t cmd,
+                          std::int64_t arg) {
+  return rt_.Call(fn_fcntl_, {MsgValue(fd), MsgValue(cmd), MsgValue(arg)})
+      .i64();
+}
+std::int64_t Posix::Pipe() { return rt_.Call(fn_pipe_, {}).i64(); }
+std::int64_t Posix::Dup(std::int64_t fd) {
+  return rt_.Call(fn_dup_, {MsgValue(fd)}).i64();
+}
+std::int64_t Posix::Unlink(const std::string& path) {
+  return rt_.Call(fn_unlink_, {MsgValue(path)}).i64();
+}
+std::int64_t Posix::Rename(const std::string& from, const std::string& to) {
+  return rt_.Call(fn_rename_, {MsgValue(from), MsgValue(to)}).i64();
+}
+std::int64_t Posix::Ftruncate(std::int64_t fd, std::int64_t len) {
+  return rt_.Call(fn_ftruncate_, {MsgValue(fd), MsgValue(len)}).i64();
+}
+IoResult Posix::Readdir(const std::string& path) {
+  return ToIo(rt_.Call(fn_readdir_, {MsgValue(path)}));
+}
+std::int64_t Posix::StatPath(const std::string& path) {
+  return rt_.Call(fn_stat_path_, {MsgValue(path)}).i64();
+}
+
+std::int64_t Posix::Socket() { return rt_.Call(fn_socket_, {}).i64(); }
+std::int64_t Posix::Bind(std::int64_t fd, std::int64_t port) {
+  return rt_.Call(fn_bind_, {MsgValue(fd), MsgValue(port)}).i64();
+}
+std::int64_t Posix::Listen(std::int64_t fd, std::int64_t backlog) {
+  return rt_.Call(fn_listen_, {MsgValue(fd), MsgValue(backlog)}).i64();
+}
+std::int64_t Posix::Accept(std::int64_t fd) {
+  return rt_.Call(fn_accept_, {MsgValue(fd)}).i64();
+}
+std::int64_t Posix::Connect(std::int64_t fd, std::int64_t port) {
+  return rt_.Call(fn_connect_, {MsgValue(fd), MsgValue(port)}).i64();
+}
+
+std::int64_t Posix::SocketDgram() {
+  return rt_.Call(fn_socket_dgram_, {}).i64();
+}
+std::int64_t Posix::SendTo(std::int64_t fd, std::int64_t port,
+                           const std::string& data) {
+  return rt_.Call(fn_sendto_, {MsgValue(fd), MsgValue(port), MsgValue(data)})
+      .i64();
+}
+IoResult Posix::RecvFrom(std::int64_t fd) {
+  return ToIo(rt_.Call(fn_recvfrom_, {MsgValue(fd)}));
+}
+std::int64_t Posix::LastPeer(std::int64_t fd) {
+  return rt_.Call(fn_last_peer_, {MsgValue(fd)}).i64();
+}
+
+std::int64_t Posix::Getpid() { return rt_.Call(fn_getpid_, {}).i64(); }
+std::int64_t Posix::Getuid() { return rt_.Call(fn_getuid_, {}).i64(); }
+std::string Posix::Uname() { return rt_.Call(fn_uname_, {}).bytes(); }
+std::int64_t Posix::TimeMs() { return rt_.Call(fn_time_, {}).i64(); }
+
+}  // namespace vampos::apps

@@ -1,0 +1,106 @@
+// Posix: the application-facing syscall facade.
+//
+// In a unikernel the "syscall layer" is just the set of functions VFS /
+// PROCESS / etc. export; this class binds those FunctionIds once at
+// construction and exposes typed wrappers. All calls must be issued from an
+// app fiber in VampOS mode (they block on message replies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/runtime.h"
+
+namespace vampos::apps {
+
+/// Outcome of a byte-returning syscall (read/recv): data or a negative errno.
+struct IoResult {
+  std::string data;
+  std::int64_t err = 0;  // 0 = ok (data valid), < 0 = -errno
+
+  [[nodiscard]] bool ok() const { return err == 0; }
+  [[nodiscard]] bool again() const {
+    return err == -static_cast<std::int64_t>(Errno::kAgain);
+  }
+  [[nodiscard]] bool closed() const {
+    return err == -static_cast<std::int64_t>(Errno::kNotConn);
+  }
+};
+
+class Posix {
+ public:
+  explicit Posix(core::Runtime& rt);
+
+  // ----- files
+  std::int64_t Mount(const std::string& path);
+  std::int64_t Mkdir(const std::string& path);
+  std::int64_t Open(const std::string& path, std::int64_t flags = 0);
+  std::int64_t Create(const std::string& path);
+  IoResult Read(std::int64_t fd, std::int64_t len);
+  std::int64_t Write(std::int64_t fd, const std::string& data);
+  IoResult Pread(std::int64_t fd, std::int64_t len, std::int64_t off);
+  std::int64_t Pwrite(std::int64_t fd, const std::string& data,
+                      std::int64_t off);
+  std::int64_t Lseek(std::int64_t fd, std::int64_t off, std::int64_t whence);
+  std::int64_t Fsync(std::int64_t fd);
+  std::int64_t Close(std::int64_t fd);
+  std::int64_t Fcntl(std::int64_t fd, std::int64_t cmd, std::int64_t arg);
+  std::int64_t Pipe();
+  std::int64_t Dup(std::int64_t fd);
+  std::int64_t Unlink(const std::string& path);
+  std::int64_t Rename(const std::string& from, const std::string& to);
+  std::int64_t Ftruncate(std::int64_t fd, std::int64_t len);
+  /// Directory listing: newline-separated child names, or an errno.
+  IoResult Readdir(const std::string& path);
+  /// File size by path, or -ENOENT.
+  std::int64_t StatPath(const std::string& path);
+
+  // ----- sockets (through VFS, as in the paper's POSIX surface)
+  std::int64_t Socket();
+  std::int64_t Bind(std::int64_t fd, std::int64_t port);
+  std::int64_t Listen(std::int64_t fd, std::int64_t backlog = 16);
+  std::int64_t Accept(std::int64_t fd);
+  std::int64_t Connect(std::int64_t fd, std::int64_t port);
+  std::int64_t Send(std::int64_t fd, const std::string& data) {
+    return Write(fd, data);
+  }
+  IoResult Recv(std::int64_t fd, std::int64_t len) { return Read(fd, len); }
+
+  // Datagram (UDP) sockets.
+  std::int64_t SocketDgram();
+  std::int64_t SendTo(std::int64_t fd, std::int64_t port,
+                      const std::string& data);
+  IoResult RecvFrom(std::int64_t fd);
+  std::int64_t LastPeer(std::int64_t fd);
+
+  // ----- process / misc
+  std::int64_t Getpid();
+  std::int64_t Getuid();
+  std::string Uname();
+  std::int64_t TimeMs();
+
+  [[nodiscard]] core::Runtime& runtime() { return rt_; }
+  [[nodiscard]] bool has_fs() const { return fn_open_ >= 0; }
+  [[nodiscard]] bool has_net() const { return fn_socket_ >= 0; }
+
+  static constexpr std::int64_t kOCreat = 0x40;
+  static constexpr std::int64_t kOAppend = 0x400;
+  static constexpr std::int64_t kSeekSet = 0;
+  static constexpr std::int64_t kSeekCur = 1;
+  static constexpr std::int64_t kSeekEnd = 2;
+
+ private:
+  IoResult ToIo(msg::MsgValue v);
+
+  core::Runtime& rt_;
+  FunctionId fn_mkdir_, fn_dup_, fn_unlink_, fn_rename_, fn_ftruncate_,
+      fn_readdir_, fn_stat_path_;
+  FunctionId fn_mount_, fn_open_, fn_create_, fn_read_, fn_write_, fn_pread_,
+      fn_pwrite_, fn_lseek_, fn_fsync_, fn_close_, fn_fcntl_, fn_pipe_,
+      fn_socket_, fn_bind_, fn_listen_, fn_accept_, fn_connect_, fn_getpid_,
+      fn_getuid_, fn_uname_, fn_time_;
+  FunctionId fn_socket_dgram_, fn_sendto_, fn_recvfrom_, fn_last_peer_;
+};
+
+}  // namespace vampos::apps

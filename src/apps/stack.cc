@@ -1,0 +1,81 @@
+#include "apps/stack.h"
+
+#include "apps/posix.h"
+#include "uk/lwip/lwip.h"
+#include "uk/netdev/netdev.h"
+#include "uk/ninep/ninep.h"
+#include "uk/ramfs/ramfs.h"
+#include "uk/procinfo/procinfo.h"
+#include "uk/vfs/vfs.h"
+
+namespace vampos::apps {
+
+StackInfo BuildStack(core::Runtime& rt, uk::Platform& platform,
+                     uk::HostRingView& host_rings, const StackSpec& spec) {
+  StackInfo info;
+  info.host_rings = &host_rings;
+
+  info.process = rt.AddComponent(std::make_unique<uk::ProcessComponent>());
+  if (spec.with_sysinfo) {
+    info.sysinfo = rt.AddComponent(std::make_unique<uk::SysinfoComponent>());
+  }
+  info.user = rt.AddComponent(std::make_unique<uk::UserComponent>());
+  info.timer = rt.AddComponent(
+      std::make_unique<uk::TimerComponent>(rt.options().clock));
+  info.virtio = rt.AddComponent(
+      std::make_unique<uk::VirtioComponent>(&platform, &host_rings));
+  if (spec.with_fs) {
+    info.ninep = spec.ramfs
+                     ? rt.AddComponent(std::make_unique<uk::RamFsComponent>())
+                     : rt.AddComponent(
+                           std::make_unique<uk::NinePfsComponent>());
+  }
+  if (spec.with_net) {
+    info.netdev = rt.AddComponent(std::make_unique<uk::NetdevComponent>());
+    info.lwip = rt.AddComponent(std::make_unique<uk::LwipComponent>());
+  }
+  info.vfs = rt.AddComponent(std::make_unique<uk::VfsComponent>(
+      spec.ramfs ? "ramfs" : "9pfs"));
+
+  // Dependency graph (paper §V-C: "VFS passes messages to two components
+  // (9PFS and LWIP), while LWIP communicates with VFS and NETDEV").
+  rt.AddAppDependency(info.vfs);
+  rt.AddAppDependency(info.process);
+  if (info.sysinfo != kComponentNone) rt.AddAppDependency(info.sysinfo);
+  rt.AddAppDependency(info.user);
+  rt.AddAppDependency(info.timer);
+  if (info.ninep != kComponentNone) {
+    rt.AddDependency(info.vfs, info.ninep);
+    rt.AddDependency(info.ninep, info.virtio);
+  }
+  if (info.lwip != kComponentNone) {
+    rt.AddDependency(info.vfs, info.lwip);
+    rt.AddDependency(info.lwip, info.netdev);
+    rt.AddDependency(info.netdev, info.virtio);
+  }
+  rt.AddDependency(info.vfs, info.timer);
+  rt.AddDependency(info.vfs, info.user);
+
+  if (spec.merge_fs && info.ninep != kComponentNone) {
+    rt.Merge({info.vfs, info.ninep});
+  }
+  if (spec.merge_net && info.lwip != kComponentNone) {
+    rt.Merge({info.lwip, info.netdev});
+  }
+  return info;
+}
+
+std::int64_t BootAndMount(core::Runtime& rt) {
+  rt.Boot();
+  if (!rt.TryLookup("9pfs", "mount").has_value() &&
+      !rt.TryLookup("ramfs", "mount").has_value()) {
+    return 0;
+  }
+  std::int64_t result = -1;
+  Posix px(rt);
+  rt.SpawnApp("mount", [&] { result = px.Mount("/"); });
+  rt.RunUntilIdle();
+  return result;
+}
+
+}  // namespace vampos::apps

@@ -1,0 +1,70 @@
+// Stack assembly: builds the per-application component sets from §VI of the
+// paper, wires the dependency graph for dependency-aware scheduling, and
+// applies the FSm/NETm merges.
+//
+//   SQLite: PROCESS SYSINFO USER TIMER VFS 9PFS VIRTIO            (7)
+//   Nginx : PROCESS SYSINFO USER NETDEV TIMER VFS 9PFS LWIP VIRTIO (9)
+//   Redis : same as Nginx                                          (9)
+//   Echo  : PROCESS USER NETDEV TIMER VFS LWIP VIRTIO              (7)
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "uk/platform.h"
+#include "uk/virtio/virtio.h"
+
+namespace vampos::apps {
+
+struct StackSpec {
+  bool with_sysinfo = true;
+  bool with_fs = true;    // filesystem backend (VFS is always present)
+  bool ramfs = false;     // in-unikernel RAMFS instead of host-backed 9PFS
+  bool with_net = false;  // LWIP + NETDEV
+  bool merge_fs = false;  // VampOS-FSm: merge VFS+9PFS
+  bool merge_net = false; // VampOS-NETm: merge LWIP+NETDEV
+
+  static StackSpec Sqlite() {
+    StackSpec s;
+    s.with_net = false;
+    return s;
+  }
+  static StackSpec Nginx() {
+    StackSpec s;
+    s.with_net = true;
+    return s;
+  }
+  static StackSpec Redis() { return Nginx(); }
+  static StackSpec Echo() {
+    StackSpec s;
+    s.with_sysinfo = false;
+    s.with_fs = false;
+    s.with_net = true;
+    return s;
+  }
+};
+
+struct StackInfo {
+  ComponentId process = kComponentNone;
+  ComponentId sysinfo = kComponentNone;
+  ComponentId user = kComponentNone;
+  ComponentId timer = kComponentNone;
+  ComponentId vfs = kComponentNone;
+  ComponentId ninep = kComponentNone;
+  ComponentId lwip = kComponentNone;
+  ComponentId netdev = kComponentNone;
+  ComponentId virtio = kComponentNone;
+  uk::HostRingView* host_rings = nullptr;  // owned by the harness caller
+};
+
+/// Adds all components for `spec` to `rt`, wires dependencies and merges.
+/// Does NOT call rt.Boot() — the caller may inject faults or adjust options
+/// first. `host_rings` must outlive the runtime.
+StackInfo BuildStack(core::Runtime& rt, uk::Platform& platform,
+                     uk::HostRingView& host_rings, const StackSpec& spec);
+
+/// Boot + mount the 9P root (when the stack has a filesystem). Runs the
+/// mount on a temporary app fiber. Returns the mount status.
+std::int64_t BootAndMount(core::Runtime& rt);
+
+}  // namespace vampos::apps

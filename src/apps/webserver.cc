@@ -1,0 +1,99 @@
+#include "apps/webserver.h"
+
+#include <algorithm>
+
+namespace vampos::apps {
+
+WebServer::WebServer(Posix& px, std::uint16_t port, std::string docroot)
+    : px_(px), port_(port), docroot_(std::move(docroot)) {}
+
+bool WebServer::Setup() {
+  listen_fd_ = px_.Socket();
+  if (listen_fd_ < 0) return false;
+  if (px_.Bind(listen_fd_, port_) < 0) return false;
+  return px_.Listen(listen_fd_) >= 0;
+}
+
+void WebServer::ServeRequest(std::int64_t fd, const std::string& request) {
+  // "GET /path" -> 200 with file body; "HEAD /path" -> headers only; 404
+  // otherwise.
+  std::string path;
+  bool head = false;
+  if (request.rfind("GET ", 0) == 0) {
+    path = request.substr(4);
+  } else if (request.rfind("HEAD ", 0) == 0) {
+    path = request.substr(5);
+    head = true;
+  }
+  while (!path.empty() && (path.back() == '\n' || path.back() == '\r')) {
+    path.pop_back();
+  }
+  std::string body;
+  bool found = false;
+  if (!path.empty()) {
+    const std::int64_t ffd = px_.Open(docroot_ + path);
+    if (ffd >= 0) {
+      while (true) {
+        IoResult chunk = px_.Read(ffd, 4096);
+        if (!chunk.ok() || chunk.data.empty()) break;
+        body += chunk.data;
+      }
+      px_.Close(ffd);
+      found = true;
+    }
+  }
+  std::string response;
+  if (!found) {
+    response = "HTTP/1.0 404\n\n";
+  } else if (head) {
+    response =
+        "HTTP/1.0 200\nContent-Length: " + std::to_string(body.size()) +
+        "\n\n";
+  } else {
+    response = "HTTP/1.0 200\n\n" + body;
+  }
+  px_.Send(fd, response);
+  served_++;
+}
+
+bool WebServer::PumpOnce() {
+  bool progress = false;
+  // Accept every pending connection.
+  while (true) {
+    const std::int64_t fd = px_.Accept(listen_fd_);
+    if (fd < 0) break;
+    conns_.push_back(Conn{fd, {}});
+    progress = true;
+  }
+  // Serve whatever is readable. One request per line; keep-alive.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    IoResult r = px_.Recv(it->fd, 4096);
+    if (r.ok() && !r.data.empty()) {
+      it->pending += r.data;
+      std::size_t nl;
+      while ((nl = it->pending.find('\n')) != std::string::npos) {
+        ServeRequest(it->fd, it->pending.substr(0, nl));
+        it->pending.erase(0, nl + 1);
+      }
+      progress = true;
+      ++it;
+    } else if (r.closed()) {
+      px_.Close(it->fd);
+      it = conns_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+void WebServer::RunLoop(const bool* stop) {
+  while (!*stop) {
+    if (!PumpOnce()) px_.runtime().ParkApp();
+  }
+  for (const Conn& c : conns_) px_.Close(c.fd);
+  conns_.clear();
+}
+
+}  // namespace vampos::apps

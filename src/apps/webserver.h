@@ -1,0 +1,50 @@
+// WebServer: the Nginx stand-in.
+//
+// Serves static files from the 9P-backed filesystem over persistent
+// connections using the paper's request shape: "GET /path\n" -> "HTTP/1.0
+// 200\n\n<body>". Connections are long-lived (siege keeps its 100 client
+// threads connected); surviving component rejuvenation without dropping them
+// is the Table V experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/posix.h"
+
+namespace vampos::apps {
+
+class WebServer {
+ public:
+  WebServer(Posix& px, std::uint16_t port, std::string docroot);
+
+  /// socket/bind/listen. Must run on an app fiber.
+  bool Setup();
+
+  /// One pump: accept pending connections, serve readable requests.
+  /// Returns true if any progress was made.
+  bool PumpOnce();
+
+  /// Run as an app-fiber body: pump until *stop, parking when idle.
+  void RunLoop(const bool* stop);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+
+ private:
+  void ServeRequest(std::int64_t fd, const std::string& request);
+
+  Posix& px_;
+  std::uint16_t port_;
+  std::string docroot_;
+  std::int64_t listen_fd_ = -1;
+  struct Conn {
+    std::int64_t fd;
+    std::string pending;  // partial request bytes
+  };
+  std::vector<Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace vampos::apps

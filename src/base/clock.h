@@ -1,0 +1,59 @@
+// Monotonic time helpers. All measurements in the bench harness use
+// SteadyClock; the hang detector takes a Clock interface so tests can inject
+// a fake clock and trigger hang thresholds without real waiting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vampos {
+
+/// Nanoseconds since an arbitrary epoch, monotonic.
+using Nanos = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Nanos Now() const = 0;
+};
+
+/// Real monotonic clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static SteadyClock& Instance() {
+    static SteadyClock clock;
+    return clock;
+  }
+};
+
+/// Manually advanced clock for deterministic tests.
+class FakeClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos Now() const override { return now_; }
+  void Advance(Nanos delta) { now_ += delta; }
+  void Set(Nanos t) { now_ = t; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// Busy-waits for `ns` of CPU time. Used by the VIRTIO simulation to model
+/// the guest-visible cost of a hypercall / VM exit, so baseline I/O is not
+/// artificially free relative to message passing.
+inline void SpinFor(Nanos ns) {
+  if (ns <= 0) return;
+  const Nanos start = SteadyClock::Instance().Now();
+  while (SteadyClock::Instance().Now() - start < ns) {
+  }
+}
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+}  // namespace vampos

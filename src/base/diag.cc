@@ -1,0 +1,48 @@
+#include "base/diag.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace vampos {
+
+namespace {
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read from env on first use
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("VAMPOS_DIAG");
+  if (env == nullptr) return 0;
+  if (std::strcmp(env, "error") == 0) return 1;
+  if (std::strcmp(env, "info") == 0) return 2;
+  if (std::strcmp(env, "trace") == 0) return 3;
+  return std::atoi(env);
+}
+}  // namespace
+
+DiagLevel GetDiagLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = InitLevelFromEnv();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<DiagLevel>(level);
+}
+
+void SetDiagLevel(DiagLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void DiagPrintf(DiagLevel level, const char* fmt, ...) {
+  static const char* const kTags[] = {"off", "E", "I", "T"};
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "[vampos:%s] ", kTags[static_cast<int>(level)]);
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+}  // namespace detail
+
+}  // namespace vampos

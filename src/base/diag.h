@@ -1,0 +1,33 @@
+// Minimal diagnostic logging for the runtime itself (distinct from the
+// function-call logs used for restoration). Off by default; enabled per run
+// via SetDiagLevel or the VAMPOS_DIAG environment variable.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+namespace vampos {
+
+enum class DiagLevel : int { kOff = 0, kError = 1, kInfo = 2, kTrace = 3 };
+
+DiagLevel GetDiagLevel();
+void SetDiagLevel(DiagLevel level);
+
+namespace detail {
+void DiagPrintf(DiagLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define VAMPOS_DIAG(level, ...)                                     \
+  do {                                                              \
+    if (static_cast<int>(::vampos::GetDiagLevel()) >=               \
+        static_cast<int>(level)) {                                  \
+      ::vampos::detail::DiagPrintf(level, __VA_ARGS__);             \
+    }                                                               \
+  } while (0)
+
+#define VAMPOS_ERROR(...) VAMPOS_DIAG(::vampos::DiagLevel::kError, __VA_ARGS__)
+#define VAMPOS_INFO(...) VAMPOS_DIAG(::vampos::DiagLevel::kInfo, __VA_ARGS__)
+#define VAMPOS_TRACE(...) VAMPOS_DIAG(::vampos::DiagLevel::kTrace, __VA_ARGS__)
+
+}  // namespace vampos

@@ -1,0 +1,23 @@
+#include "base/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vampos {
+
+void Panic(ComponentId component, std::string detail) {
+  throw ComponentFault(component, FaultKind::kPanic, std::move(detail));
+}
+
+void Fatal(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "vampos fatal: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+  std::abort();
+}
+
+}  // namespace vampos

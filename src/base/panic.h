@@ -1,0 +1,64 @@
+// Component fault types. A fault unwinds the faulting fiber's stack back to
+// the scheduler, which marks the component failed and hands control to the
+// message thread's reboot path — the software analogue of the paper's
+// "illegal memory accesses and panic() invocations transfer the control to
+// error handlers and trigger the reboot".
+#pragma once
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "base/types.h"
+
+namespace vampos {
+
+/// Classifies why a component failed; drives recovery policy (e.g. VIRTIO
+/// refuses reboots, deterministic faults re-trigger and fail-stop).
+enum class FaultKind {
+  kPanic,          // explicit panic() by component code
+  kMpkViolation,   // cross-domain memory access caught by the MPK simulator
+  kHang,           // message processing exceeded the hang threshold
+  kAllocFailure,   // component heap exhausted (aging / leak)
+  kInjected,       // test-injected fail-stop
+};
+
+inline const char* ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPanic: return "panic";
+    case FaultKind::kMpkViolation: return "mpk-violation";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kAllocFailure: return "alloc-failure";
+    case FaultKind::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+/// Thrown inside a component fiber on fail-stop. Caught only by the fiber
+/// trampoline; never escapes into another component's stack (isolation).
+class ComponentFault : public std::exception {
+ public:
+  ComponentFault(ComponentId component, FaultKind kind, std::string detail)
+      : component_(component), kind_(kind), detail_(std::move(detail)) {
+    what_ = std::string("component fault [") + ToString(kind_) + "]: " + detail_;
+  }
+
+  [[nodiscard]] ComponentId component() const { return component_; }
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& detail() const { return detail_; }
+  [[nodiscard]] const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  ComponentId component_;
+  FaultKind kind_;
+  std::string detail_;
+  std::string what_;
+};
+
+/// panic() equivalent for component code. Always throws.
+[[noreturn]] void Panic(ComponentId component, std::string detail);
+
+/// Fatal error in the runtime itself (not a component fault): aborts.
+[[noreturn]] void Fatal(const char* fmt, ...);
+
+}  // namespace vampos

@@ -1,0 +1,60 @@
+// Deterministic PRNG (splitmix64 + xoshiro256**) used by workload generators
+// and fault injectors so experiments are reproducible run-to-run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vampos {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into 4 lanes.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& lane : s_) lane = next();
+  }
+
+  std::uint64_t Next() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) { return Below(den) < num; }
+
+  double NextDouble() {  // [0,1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace vampos

@@ -1,0 +1,98 @@
+// Core identifier and error types shared by every VampOS module.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vampos {
+
+/// Identifies a component instance within one runtime. Dense, assigned at
+/// registration time; kComponentNone means "no component" (e.g. the
+/// application context or the message thread).
+using ComponentId = std::int32_t;
+inline constexpr ComponentId kComponentNone = -1;
+
+/// Identifies an exported function on a component interface. Unique per
+/// runtime (allocated by the interface registry), stable across reboots of
+/// the component so logs remain replayable.
+using FunctionId = std::int32_t;
+
+/// Monotonic sequence number for log entries inside one message domain.
+using LogSeq = std::uint64_t;
+
+/// POSIX-style error codes surfaced through the syscall facade. Negative
+/// values are errors, non-negative are success payloads (fd numbers, byte
+/// counts, ...), mirroring the kernel ABI the paper's components expose.
+enum class Errno : int {
+  kOk = 0,
+  kNoEnt = 2,
+  kIo = 5,
+  kBadF = 9,
+  kAgain = 11,
+  kNoMem = 12,
+  kFault = 14,
+  kExist = 17,
+  kNotDir = 20,
+  kIsDir = 21,
+  kInval = 22,
+  kMFile = 24,
+  kNoSpc = 28,
+  kPipe = 32,
+  kNotConn = 107,
+  kConnRefused = 111,
+};
+
+/// Lightweight status type: either kOk or an Errno with a short message.
+/// Cheaper than exceptions on hot syscall paths; exceptions are reserved for
+/// component faults (see panic.h).
+class Status {
+ public:
+  Status() = default;
+  explicit Status(Errno code, std::string msg = {})
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status{}; }
+  static Status Error(Errno code, std::string msg = {}) {
+    return Status{code, std::move(msg)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == Errno::kOk; }
+  [[nodiscard]] Errno code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
+
+ private:
+  Errno code_ = Errno::kOk;
+  std::string msg_;
+};
+
+/// Result<T>: value or Status. Used by component-internal APIs; the wire
+/// format between components flattens this to an errno-style i64.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+  [[nodiscard]] const Status& status() const { return std::get<Status>(v_); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Converts a Result-ish syscall outcome to the flat i64 wire convention:
+/// >= 0 payload, < 0 negated errno.
+inline std::int64_t ToWire(const Status& s, std::int64_t payload = 0) {
+  return s.ok() ? payload : -static_cast<std::int64_t>(s.code());
+}
+inline bool WireOk(std::int64_t w) { return w >= 0; }
+inline Errno WireErrno(std::int64_t w) {
+  return w >= 0 ? Errno::kOk : static_cast<Errno>(-w);
+}
+
+}  // namespace vampos

@@ -1,0 +1,13 @@
+#include "comp/component.h"
+
+#include <utility>
+
+namespace vampos::comp {
+
+Component::Component(std::string name, Statefulness statefulness,
+                     std::size_t arena_size)
+    : name_(std::move(name)),
+      statefulness_(statefulness),
+      arena_(arena_size, name_) {}
+
+}  // namespace vampos::comp

@@ -1,0 +1,200 @@
+// Component model: the unit of isolation, scheduling, and reboot.
+//
+// A VampOS component owns an arena (data + heap), exports functions through
+// the runtime's interface registry, and is executed only by its own fibers.
+// All cross-component interaction goes through Runtime::Call, which the
+// runtime turns into message passing (VampOS mode) or a plain function call
+// (vanilla-Unikraft baseline mode).
+//
+// Statefulness drives the recovery strategy, matching the paper's prototype:
+//   kStateless    — PROCESS, SYSINFO, USER, NETDEV, TIMER: reboot = re-Init.
+//   kStateful     — VFS, LWIP, 9PFS: reboot = checkpoint restore + replay
+//                   (encapsulated restoration).
+//   kUnrebootable — VIRTIO: shares state with the host; reboot refused (§VIII).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/panic.h"
+#include "base/types.h"
+#include "mem/arena.h"
+#include "mem/buddy_allocator.h"
+#include "msg/value.h"
+
+namespace vampos::core {
+class Runtime;
+}
+
+namespace vampos::comp {
+
+enum class Statefulness { kStateless, kStateful, kUnrebootable };
+
+/// Per-exported-function metadata. Mirrors what makes a component
+/// "VampOS-aware" in the paper: which calls are logged (Table II), how a log
+/// entry binds to a session (fd / socket id) for session-aware shrinking,
+/// and which functions cancel a session's entries.
+struct FnOptions {
+  /// Record inbound calls of this function for encapsulated restoration.
+  bool logged = false;
+  /// Replayed during restoration. Functions that do not change component
+  /// state (fstat-style reads) set this false and are skipped.
+  bool state_changing = true;
+  /// Index of the argument holding the session id (fd, socket); -1 if none.
+  int session_arg = -1;
+  /// Session id comes from the return value (open() returning the fd).
+  bool session_from_ret = false;
+  /// Canceling function (close()): on success, prunes the session's
+  /// read/write-style entries and any stale same-id open/close pair.
+  bool canceling = false;
+};
+
+class CallCtx;
+
+/// Exported-function implementation. Runs on the owning component's fiber in
+/// normal execution and on the message thread in restore mode.
+using Handler = std::function<msg::MsgValue(CallCtx&, const msg::Args&)>;
+
+/// Execution context passed to handlers (and app code via the runtime).
+class CallCtx {
+ public:
+  CallCtx(core::Runtime& rt, ComponentId self, bool restoring,
+          std::optional<std::int64_t> forced_session = std::nullopt)
+      : rt_(rt),
+        self_(self),
+        restoring_(restoring),
+        forced_session_(forced_session) {}
+
+  /// Invokes a function on another component. In normal mode: message-pass
+  /// and block until the reply. In restore mode: the logged return value is
+  /// fed back and the target component is never entered (paper Fig 3).
+  msg::MsgValue Call(FunctionId fn, msg::Args args);
+
+  [[nodiscard]] ComponentId self() const { return self_; }
+  [[nodiscard]] bool restoring() const { return restoring_; }
+  [[nodiscard]] core::Runtime& runtime() { return rt_; }
+
+  /// Runtime-data vault (paper §V-B): saves component data that cannot be
+  /// reconstructed by replay (e.g. LWIP's TCP sequence/ACK numbers). The
+  /// vault lives in the message domain's trust zone and survives reboots.
+  void SaveRuntimeData(const std::string& key, msg::MsgValue value);
+  std::optional<msg::MsgValue> LoadRuntimeData(const std::string& key);
+
+  /// Explicit fail-stop for the calling component.
+  [[noreturn]] void Panic(const std::string& detail);
+
+  /// During replay of a session-creating call (open/socket/lookup), the
+  /// session id the original execution allocated. Handlers MUST install the
+  /// returned resource under this id so that later replayed entries, and
+  /// running components holding the id, stay consistent even after
+  /// session-aware shrinking pruned unrelated allocations.
+  [[nodiscard]] std::optional<std::int64_t> forced_session() const {
+    return forced_session_;
+  }
+
+ private:
+  core::Runtime& rt_;
+  ComponentId self_;
+  bool restoring_;
+  std::optional<std::int64_t> forced_session_;
+};
+
+/// Interface used by Component::Init to export functions and claim arena
+/// memory, and by Component::Bind to import other components' functions.
+class InitCtx {
+ public:
+  InitCtx(core::Runtime& rt, ComponentId self) : rt_(rt), self_(self) {}
+
+  FunctionId Export(const std::string& name, FnOptions options,
+                    Handler handler);
+
+  /// Resolves a function exported by another component; fatal if missing
+  /// (configuration errors should fail at boot, not at first call).
+  FunctionId Import(const std::string& component,
+                    const std::string& function);
+
+  [[nodiscard]] core::Runtime& runtime() { return rt_; }
+  [[nodiscard]] ComponentId self() const { return self_; }
+
+ private:
+  core::Runtime& rt_;
+  ComponentId self_;
+};
+
+/// Hook-compaction request: when a component's log exceeds the shrink
+/// threshold, the runtime asks the component to summarize a session's entry
+/// run into synthetic entries (paper: "extracts and resets the offset value
+/// in VFS after calling close()"). Returns the replacement entries' (fn,
+/// args) pairs; the originals are dropped.
+struct CompactionRequest {
+  std::int64_t session;
+  std::vector<std::pair<FunctionId, msg::Args>> entries;  // originals
+};
+using CompactionHook = std::function<
+    std::vector<std::pair<FunctionId, msg::Args>>(const CompactionRequest&)>;
+
+class Component {
+ public:
+  Component(std::string name, Statefulness statefulness,
+            std::size_t arena_size);
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Phase 1 of boot (and of every stateless re-Init): allocate state inside
+  /// the arena, export functions. Must be deterministic.
+  virtual void Init(InitCtx& ctx) = 0;
+
+  /// Phase 2 of boot: resolve imported function ids. Not re-run on reboot
+  /// (ids are stable).
+  virtual void Bind(InitCtx& /*ctx*/) {}
+
+  /// Called after a checkpoint restore, before log replay. Components that
+  /// saved runtime data re-ingest it here (or after replay, see
+  /// OnReplayed). `ctx.restoring()` is true.
+  virtual void OnRestored(CallCtx& /*ctx*/) {}
+
+  /// Called after log replay completes; last chance to patch state from the
+  /// runtime-data vault (LWIP re-installs live TCP seq/ACK numbers here).
+  virtual void OnReplayed(CallCtx& /*ctx*/) {}
+
+  /// Optional compaction hook for threshold-triggered log shrinking.
+  [[nodiscard]] virtual CompactionHook compaction_hook() { return nullptr; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Statefulness statefulness() const { return statefulness_; }
+  [[nodiscard]] ComponentId id() const { return id_; }
+  [[nodiscard]] mem::Arena& arena() { return arena_; }
+  [[nodiscard]] mem::BuddyAllocator& alloc() { return *alloc_; }
+
+ protected:
+  /// Convenience: placement-construct the component's state root in the
+  /// arena. Call from Init().
+  template <typename T, typename... Args>
+  T* MakeState(Args&&... args);
+
+ private:
+  friend class core::Runtime;
+
+  std::string name_;
+  Statefulness statefulness_;
+  mem::Arena arena_;
+  std::optional<mem::BuddyAllocator> alloc_;
+  ComponentId id_ = kComponentNone;
+};
+
+template <typename T, typename... Args>
+T* Component::MakeState(Args&&... args) {
+  void* p = alloc().Alloc(sizeof(T));
+  if (p == nullptr) {
+    throw ComponentFault(id_, FaultKind::kAllocFailure,
+                         "arena exhausted during Init of " + name_);
+  }
+  return new (p) T(std::forward<Args>(args)...);
+}
+
+}  // namespace vampos::comp

@@ -1,0 +1,588 @@
+// Recovery half of the VampOS runtime: function-call logging, session-aware
+// log shrinking, component reboot, encapsulated restoration, and failure
+// detection/handling.
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "base/diag.h"
+#include "core/runtime.h"
+
+namespace vampos::core {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::Statefulness;
+using msg::Args;
+using msg::CallLogEntry;
+using msg::Message;
+using msg::MsgValue;
+
+// ----------------------------------------------------------- registration
+
+FunctionId Runtime::ExportFn(ComponentId owner, const std::string& name,
+                             FnOptions options, comp::Handler handler) {
+  const std::string qualified =
+      slots_[owner].component->name() + "." + name;
+  // Re-Init of a stateless component re-exports its functions: replace the
+  // handler in place so FunctionIds (and therefore logs) stay stable.
+  if (auto it = fn_by_name_.find(qualified); it != fn_by_name_.end()) {
+    fns_[static_cast<std::size_t>(it->second)].handler = std::move(handler);
+    fns_[static_cast<std::size_t>(it->second)].options = options;
+    return it->second;
+  }
+  const auto id = static_cast<FunctionId>(fns_.size());
+  fns_.push_back(FnEntry{id, owner, name, options, std::move(handler)});
+  fn_by_name_.emplace(qualified, id);
+  return id;
+}
+
+// ---------------------------------------------------------------- logging
+
+LogSeq Runtime::MaybeLogCall(const FnEntry& fn, const Args& args) {
+  if (!fn.options.logged) return 0;
+  CallLogEntry entry;
+  entry.fn = fn.id;
+  entry.args = args;
+  entry.state_changing = fn.options.state_changing;
+  if (fn.options.session_arg >= 0 &&
+      static_cast<std::size_t>(fn.options.session_arg) < args.size()) {
+    entry.session = args[static_cast<std::size_t>(fn.options.session_arg)].i64();
+  }
+  stats_.log_appends++;
+  return domain_->LogFor(fn.owner).Append(std::move(entry));
+}
+
+void Runtime::FinishLog(const FnEntry& fn, LogSeq seq, const MsgValue& ret,
+                        const Args& args) {
+  msg::CallLog& log = domain_->LogFor(fn.owner);
+  log.SetReturn(seq, ret);
+
+  // open()-style functions: the session id is the returned descriptor. If
+  // the descriptor number was used by an earlier, already-closed session,
+  // the stale open/close pair is pruned now — this is why Table III reports
+  // a net *negative* log delta for open() under shrinking.
+  if (fn.options.session_from_ret && ret.is_i64() && ret.i64() >= 0) {
+    const std::int64_t session = ret.i64();
+    if (options_.session_shrink) {
+      const std::size_t pruned = log.PruneIf([&](const CallLogEntry& e) {
+        return e.session == session && e.seq < seq;
+      });
+      stats_.log_pruned_entries += pruned;
+    }
+    log.SetSession(seq, session);
+  }
+  // A failed session-creating call (open of a missing file) built no state;
+  // replaying it is pointless, so drop it immediately.
+  if (fn.options.session_from_ret && ret.is_i64() && ret.i64() < 0) {
+    log.Erase(seq);
+    stats_.log_pruned_entries++;
+  }
+
+  if (options_.session_shrink && fn.options.canceling && ret.is_i64() &&
+      ret.i64() >= 0) {
+    ApplySessionShrink(fn, seq, ret, args);
+  }
+  MaybeCompact(fn.owner);
+}
+
+void Runtime::ApplySessionShrink(const FnEntry& fn, LogSeq seq,
+                                 const MsgValue& /*ret*/,
+                                 const Args& /*args*/) {
+  // Canceling function (close(), shutdown(), ...): the state built up by the
+  // session's read/write-style calls is no longer needed for restoration.
+  // The session-origin entry (open/socket) and the canceling entry itself
+  // are kept so a replay reproduces the descriptor-table allocation; they
+  // are pruned later if the descriptor number is reused (see FinishLog).
+  msg::CallLog& log = domain_->LogFor(fn.owner);
+  const CallLogEntry* self = nullptr;
+  for (const auto& e : log.entries()) {
+    if (e.seq == seq) {
+      self = &e;
+      break;
+    }
+  }
+  if (self == nullptr || self->session < 0) return;
+  const std::int64_t session = self->session;
+  const std::size_t pruned = log.PruneIf([&](const CallLogEntry& e) {
+    if (e.session != session || e.seq == seq) return false;
+    const FnEntry& efn = Fn(e.fn);
+    return !efn.options.session_from_ret && !efn.options.canceling;
+  });
+  stats_.log_pruned_entries += pruned;
+}
+
+void Runtime::MaybeCompact(ComponentId owner) {
+  if (options_.log_shrink_threshold == 0) return;
+  msg::CallLog& log = domain_->LogFor(owner);
+  if (log.size() <= options_.log_shrink_threshold) return;
+  comp::CompactionHook hook = slots_[owner].component->compaction_hook();
+  if (!hook) return;
+
+  // Collapse each session's completed, non-boundary entries into the
+  // synthetic state-setting entries the component supplies ("extract and
+  // reset the offset value in VFS", §V-F). One pass over the log groups the
+  // candidates; sessions with fewer than two prunable entries are skipped.
+  std::unordered_map<std::int64_t, comp::CompactionRequest> per_session;
+  for (const auto& e : log.entries()) {
+    if (e.session < 0 || e.synthetic || !e.have_ret) continue;
+    const FnEntry& efn = Fn(e.fn);
+    if (efn.options.session_from_ret || efn.options.canceling) continue;
+    auto& req = per_session[e.session];
+    req.session = e.session;
+    req.entries.emplace_back(e.fn, e.args);
+  }
+  bool compacted = false;
+  for (auto& [session, req] : per_session) {
+    if (req.entries.size() < 2) continue;
+    auto replacement = hook(req);
+    if (replacement.size() >= req.entries.size()) continue;
+    const std::int64_t s = session;
+    // Drop the session's history *and* any synthetic summary from a prior
+    // compaction round — the new summary supersedes it.
+    stats_.log_pruned_entries += log.PruneIf([&](const CallLogEntry& e) {
+      if (e.session != s || (!e.have_ret && !e.synthetic)) return false;
+      const FnEntry& efn = Fn(e.fn);
+      return !efn.options.session_from_ret && !efn.options.canceling;
+    });
+    for (auto& [fn_id, fn_args] : replacement) {
+      CallLogEntry synth;
+      synth.fn = fn_id;
+      synth.args = std::move(fn_args);
+      synth.session = s;
+      synth.synthetic = true;
+      synth.have_ret = true;
+      log.Append(std::move(synth));
+    }
+    compacted = true;
+  }
+  if (compacted) stats_.compactions++;
+}
+
+void Runtime::RecordOutboundForCaller(const Message& reply,
+                                      const MsgValue& ret) {
+  // Record the return value the caller observed, keyed to the caller's
+  // in-flight inbound log entry, so the caller's own future restoration can
+  // feed it back without re-entering this component (paper Fig 3). The
+  // caller's execution context is found via the fiber that issued the rpc.
+  if (reply.to == kComponentNone || reply.caller_fiber == nullptr) return;
+  auto it = exec_ctx_.find(reply.caller_fiber);
+  if (it == exec_ctx_.end()) return;
+  const ExecCtx& ctx = it->second;
+  if (ctx.inbound_seq == 0) return;  // caller's inbound call is not logged
+  domain_->LogFor(ctx.component).RecordOutbound(ctx.inbound_seq, reply.fn,
+                                                ret);
+}
+
+// -------------------------------------------------------------- injection
+
+void Runtime::InjectFault(ComponentId id, FaultKind kind, int trigger_after,
+                          bool sticky) {
+  slots_[LeaderOf(id)].injection =
+      FaultInjection{kind, trigger_after, true, sticky};
+}
+
+// ----------------------------------------------------------------- reboot
+
+void Runtime::StopComponentFibers(ComponentId leader) {
+  Slot& slot = slots_[leader];
+  // Collect in-flight messages (handlers interrupted mid-execution) for
+  // post-restore retry, and drop their incomplete log entries: a partially
+  // executed call has an incomplete outbound record and must not be
+  // replayed.
+  std::vector<sched::Fiber*> victims;
+  if (slot.resident != nullptr) victims.push_back(slot.resident);
+  victims.insert(victims.end(), slot.aux.begin(), slot.aux.end());
+  for (sched::Fiber* f : victims) {
+    auto it = exec_ctx_.find(f);
+    if (it != exec_ctx_.end()) {
+      inflight_retry_.emplace_back(it->second.msg, it->second.args);
+      exec_ctx_.erase(it);
+    }
+    // Drop pending-reply slots owned by this fiber: the rpcs it issued will
+    // be answered to a dead fiber and must be discarded on arrival.
+    for (auto pit = pending_replies_.begin(); pit != pending_replies_.end();) {
+      if (pit->second.waiter == f) {
+        pit = pending_replies_.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+    fibers_.Destroy(f);
+  }
+  if (slot.inflight_failed.has_value()) {
+    inflight_retry_.push_back(*slot.inflight_failed);
+    slot.inflight_failed.reset();
+  }
+  slot.resident = nullptr;
+  slot.aux.clear();
+  slot.busy = 0;
+  // Erase incomplete log entries for the interrupted calls.
+  for (auto& [m, args] : inflight_retry_) {
+    (void)args;
+    if (m.log_seq != 0) domain_->LogFor(Fn(m.fn).owner).Erase(m.log_seq);
+  }
+}
+
+Result<RebootReport> Runtime::Reboot(ComponentId id) {
+  const ComponentId leader = LeaderOf(id);
+  Slot& slot = slots_[leader];
+  for (ComponentId m : slot.group) {
+    if (slots_[m].component->statefulness() == Statefulness::kUnrebootable) {
+      return Status::Error(
+          Errno::kInval,
+          "component '" + slots_[m].component->name() +
+              "' shares state with the host and cannot be rebooted (§VIII)");
+    }
+  }
+  if (options_.mode == Mode::kUnikraft) {
+    return Status::Error(Errno::kInval,
+                         "component-level reboot requires VampOS mode");
+  }
+
+  RebootReport report;
+  report.component = leader;
+  report.name = slot.component->name();
+  report.stateless =
+      slot.component->statefulness() == Statefulness::kStateless;
+  VAMPOS_TRACE("reboot '%s' begin", report.name.c_str());
+  const Nanos t0 = options_.clock->Now();
+
+  inflight_retry_.clear();
+  StopComponentFibers(leader);
+  const Nanos t1 = options_.clock->Now();
+  report.stop_ns = t1 - t0;
+
+  // Restore each primitive of the group: stateless components re-run Init on
+  // a freshly formatted arena; stateful ones restore the post-init
+  // checkpoint (dominant cost, proportional to the component footprint).
+  for (ComponentId m : slot.group) {
+    Slot& ms = slots_[m];
+    comp::Component& c = *ms.component;
+    if (c.statefulness() == Statefulness::kStateful) {
+      ms.checkpoint.Restore(c.arena());
+      c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
+      CallCtx rctx(*this, m, /*restoring=*/true);
+      c.OnRestored(rctx);
+    } else {
+      c.alloc_.emplace(c.arena());  // reformat
+      comp::InitCtx ictx(*this, m);
+      c.Init(ictx);
+    }
+  }
+  const Nanos t2 = options_.clock->Now();
+  report.snapshot_ns = t2 - t1;
+
+  // Encapsulated restoration: replay the (shrunk) logs. A fault during
+  // replay means the component cannot be restored (e.g. a deterministic
+  // bug triggered by its own history) — surface it as a failed reboot
+  // instead of letting the exception unwind into the caller.
+  try {
+    for (ComponentId m : slot.group) {
+      if (slots_[m].component->statefulness() == Statefulness::kStateful) {
+        ReplayLog(m, report);
+      }
+    }
+    for (ComponentId m : slot.group) {
+      if (slots_[m].component->statefulness() == Statefulness::kStateful) {
+        CallCtx rctx(*this, m, /*restoring=*/true);
+        restore_stack_.push_back(ExecCtx{m, 0, Message{}, Args{}});
+        slots_[m].component->OnReplayed(rctx);
+        restore_stack_.pop_back();
+      }
+    }
+  } catch (const ComponentFault& fault) {
+    restore_stack_.clear();
+    replay_entry_ = nullptr;
+    slot.failed = true;
+    return Status::Error(Errno::kIo, std::string("restoration failed: ") +
+                                         fault.what());
+  }
+  const Nanos t3 = options_.clock->Now();
+  report.replay_ns = t3 - t2;
+
+  slot.failed = false;
+  slot.reboots++;
+  RespawnResident(leader);
+
+  // Re-feed the interrupted requests: a non-deterministic fault will not
+  // trigger again on the same input (paper §II-B). The retry budget is one;
+  // a repeat failure fail-stops.
+  if (options_.retry_inflight) {
+    for (auto& [m, args] : inflight_retry_) {
+      Message retry = m;
+      retry.enqueued_at = options_.clock->Now();
+      retry.log_seq = MaybeLogCall(Fn(m.fn), args);
+      domain_->Push(retry, args);
+      stats_.messages++;
+      slot.retried_once = true;
+    }
+  } else {
+    for (auto& [m, args] : inflight_retry_) {
+      (void)args;
+      Message r;
+      r.kind = Message::Kind::kReply;
+      r.rpc_id = m.rpc_id;
+      r.from = leader;
+      r.to = m.from;
+      r.fn = m.fn;
+      r.caller_fiber = m.caller_fiber;
+      domain_->PushReply(
+          r, Args{MsgValue(ToWire(Status::Error(Errno::kIo, "rebooted")))});
+    }
+  }
+  inflight_retry_.clear();
+
+  report.total_ns = options_.clock->Now() - t0;
+  VAMPOS_TRACE("reboot '%s' done (%lld us, %zu replayed)",
+               report.name.c_str(),
+               static_cast<long long>(report.total_ns / 1000),
+               report.entries_replayed);
+  stats_.reboots++;
+  reboot_history_.push_back(report);
+  return report;
+}
+
+void Runtime::ReplayLog(ComponentId id, RebootReport& report) {
+  if (!domain_->HasLog(id)) return;
+  msg::CallLog& log = domain_->LogFor(id);
+  for (const CallLogEntry& entry : log.entries()) {
+    if (!entry.state_changing) continue;  // fstat-style calls are skipped
+    if (!entry.have_ret && !entry.synthetic) continue;  // never completed
+    replay_entry_ = &entry;
+    replay_outbound_cursor_ = 0;
+    restore_stack_.push_back(ExecCtx{id, entry.seq, Message{}, Args{}, 0});
+    // Session-creating calls must re-allocate the *original* id: shrinking
+    // may have pruned earlier allocations, so natural lowest-free allocation
+    // would diverge from what running components still hold.
+    std::optional<std::int64_t> forced;
+    if (Fn(entry.fn).options.session_from_ret && entry.session >= 0) {
+      forced = entry.session;
+    }
+    CallCtx rctx(*this, id, /*restoring=*/true, forced);
+    MsgValue ret;
+    try {
+      ret = Fn(entry.fn).handler(rctx, entry.args);
+    } catch (const ComponentFault& fault) {
+      restore_stack_.pop_back();
+      replay_entry_ = nullptr;
+      VAMPOS_ERROR("fault during replay of %s entry %llu: %s",
+                   slots_[id].component->name().c_str(),
+                   static_cast<unsigned long long>(entry.seq), fault.what());
+      throw;
+    }
+    restore_stack_.pop_back();
+    if (entry.have_ret && !entry.synthetic && !(ret == entry.ret)) {
+      VAMPOS_ERROR("replay divergence in %s.%s (entry %llu)",
+                   slots_[id].component->name().c_str(),
+                   Fn(entry.fn).name.c_str(),
+                   static_cast<unsigned long long>(entry.seq));
+    }
+    report.entries_replayed++;
+  }
+  replay_entry_ = nullptr;
+}
+
+msg::MsgValue Runtime::RestoreFeed(ComponentId restoring, FunctionId fn) {
+  // Encapsulated restoration: feed the logged return value instead of
+  // invoking the (running, consistent) other component.
+  if (replay_entry_ == nullptr) {
+    // OnReplayed hooks may probe other components; nothing was recorded for
+    // them, so surface a benign error.
+    return MsgValue(ToWire(Status::Error(Errno::kAgain, "no replay feed")));
+  }
+  const auto& outbound = replay_entry_->outbound;
+  if (replay_outbound_cursor_ >= outbound.size() ||
+      outbound[replay_outbound_cursor_].first != fn) {
+    VAMPOS_ERROR("replay feed mismatch for component %d fn %s",
+                 restoring, Fn(fn).name.c_str());
+    return MsgValue(ToWire(Status::Error(Errno::kIo, "replay feed mismatch")));
+  }
+  return outbound[replay_outbound_cursor_++].second;
+}
+
+std::vector<RebootReport> Runtime::RejuvenateAll() {
+  std::vector<RebootReport> reports;
+  for (auto& slot : slots_) {
+    const ComponentId id = slot.component->id();
+    if (slot.leader != id) continue;
+    bool rebootable = true;
+    for (ComponentId m : slot.group) {
+      rebootable = rebootable && slots_[m].component->statefulness() !=
+                                     Statefulness::kUnrebootable;
+    }
+    if (!rebootable) continue;
+    auto result = Reboot(id);
+    if (result.ok()) reports.push_back(result.value());
+  }
+  return reports;
+}
+
+// ----------------------------------------------------------------- faults
+
+void Runtime::RegisterTerminationHook(std::function<void()> hook) {
+  termination_hooks_.push_back(std::move(hook));
+}
+
+void Runtime::RegisterVariant(ComponentId id,
+                              std::unique_ptr<comp::Component> variant) {
+  Slot& slot = slots_[LeaderOf(id)];
+  if (variant->name() != slot.component->name()) {
+    Fatal("variant for '%s' must keep the component name (got '%s')",
+          slot.component->name().c_str(), variant->name().c_str());
+  }
+  slot.variant = std::move(variant);
+}
+
+bool Runtime::TrySwapVariant(ComponentId leader) {
+  // Multi-versioning failover (§VIII): the primary re-triggered its failure
+  // after a reboot — a deterministic bug. Swap in the registered variant
+  // (same name, same interface, different implementation), rebuild its
+  // state from the log, and continue.
+  Slot& slot = slots_[leader];
+  if (slot.variant == nullptr || slot.group.size() != 1) return false;
+
+  inflight_retry_.clear();
+  StopComponentFibers(leader);
+  // The deterministic bug lives in the old implementation; the injected
+  // fault does not carry over to the variant.
+  slot.injection.reset();
+
+  std::unique_ptr<comp::Component> variant = std::move(slot.variant);
+  variant->id_ = leader;
+  slot.component = std::move(variant);
+  comp::Component& c = *slot.component;
+  if (isolation_ && slot.key != mpk::kDefaultKey) {
+    domains_.TagArena(c.arena(), slot.key, c.name() + "+variant");
+  }
+  c.alloc_.emplace(c.arena());
+  comp::InitCtx ictx(*this, leader);
+  c.Init(ictx);  // Export() replaces handlers in place: fn ids stay stable
+  c.Bind(ictx);
+
+  const bool stateful =
+      c.statefulness() == comp::Statefulness::kStateful;
+  RebootReport report;
+  report.component = leader;
+  report.name = c.name() + "+variant";
+  if (stateful) {
+    slot.checkpoint = mem::Snapshot::Capture(c.arena());
+    try {
+      ReplayLog(leader, report);
+      comp::CallCtx rctx(*this, leader, /*restoring=*/true);
+      restore_stack_.push_back(ExecCtx{leader, 0, Message{}, Args{}, 0});
+      c.OnReplayed(rctx);
+      restore_stack_.pop_back();
+    } catch (const ComponentFault&) {
+      // The variant cannot be restored either: give up on the swap.
+      restore_stack_.clear();
+      replay_entry_ = nullptr;
+      slot.failed = true;
+      return false;
+    }
+  }
+  slot.failed = false;
+  slot.retried_once = false;
+  slot.reboots++;
+  RespawnResident(leader);
+  variant_swaps_++;
+  reboot_history_.push_back(report);
+
+  for (auto& [m, args] : inflight_retry_) {
+    Message retry = m;
+    retry.enqueued_at = options_.clock->Now();
+    retry.log_seq = MaybeLogCall(Fn(m.fn), args);
+    domain_->Push(retry, args);
+    stats_.messages++;
+  }
+  inflight_retry_.clear();
+  VAMPOS_INFO("deterministic fault in '%s': swapped in variant",
+              c.name().c_str());
+  return true;
+}
+
+void Runtime::HandleFaultedFiber(sched::Fiber* fiber) {
+  const ComponentFault fault =
+      fiber->fault().value_or(ComponentFault(fiber->owner(),
+                                             FaultKind::kInjected, "unknown"));
+  if (fiber->owner() == kComponentNone) {
+    // Application-layer fault: outside VampOS's fault model; fail-stop.
+    FailStop(fault);
+    return;
+  }
+  const ComponentId leader = LeaderOf(fiber->owner());
+  Slot& slot = slots_[leader];
+  slot.failed = true;
+  VAMPOS_INFO("component '%s' failed: %s",
+              slot.component->name().c_str(), fault.what());
+  if (slot.retried_once) {
+    // The rebooted component faced the failure again: a deterministic
+    // fault. A registered variant can take over (§VIII); otherwise this is
+    // out of scope and the runtime fail-stops (paper §II-B).
+    if (TrySwapVariant(leader)) return;
+    FailStop(fault);
+    return;
+  }
+  auto result = Reboot(leader);
+  if (!result.ok()) FailStop(fault);
+}
+
+void Runtime::CheckHangs() {
+  // Paper §V-A: the message thread periodically checks the processing time
+  // of pulled messages and treats a component as hung past the threshold.
+  // Only fibers that are dispatchable (kReady) count: a fiber blocked on a
+  // nested reply is waiting on someone else, not hung itself.
+  if (options_.hang_threshold <= 0) return;
+  const Nanos now = options_.clock->Now();
+  ComponentId hung = kComponentNone;
+  for (const auto& [fiber, ctx] : exec_ctx_) {
+    if (fiber->state() != sched::FiberState::kReady) continue;
+    if (now - ctx.started_at <= options_.hang_threshold) continue;
+    hung = ctx.component;
+    break;
+  }
+  if (hung == kComponentNone) return;
+  Slot& slot = slots_[LeaderOf(hung)];
+  stats_.hangs_detected++;
+  VAMPOS_INFO("hang detected in '%s'", slot.component->name().c_str());
+  if (slot.retried_once) {
+    if (TrySwapVariant(LeaderOf(hung))) return;
+    FailStop(ComponentFault(hung, FaultKind::kHang,
+                            "hang re-occurred after reboot"));
+    return;
+  }
+  auto result = Reboot(LeaderOf(hung));
+  if (!result.ok()) {
+    FailStop(
+        ComponentFault(hung, FaultKind::kHang, result.status().message()));
+  }
+}
+
+void Runtime::FailStop(const ComponentFault& fault) {
+  terminal_fault_ = fault;
+  VAMPOS_ERROR("fail-stop: %s", fault.what());
+  // Unblock every waiter with an error so app fibers can observe the
+  // failure and terminate gracefully (graceful termination, §VIII).
+  for (auto& [rpc, pending] : pending_replies_) {
+    (void)rpc;
+    if (pending.waiter != nullptr &&
+        pending.waiter->state() == sched::FiberState::kBlocked &&
+        !pending.arrived) {
+      pending.arrived = true;
+      pending.value =
+          MsgValue(ToWire(Status::Error(Errno::kIo, "fail-stop")));
+      fibers_.Wake(pending.waiter);
+    }
+  }
+  // Graceful termination (§VIII): give the application a chance to save its
+  // state through the still-undamaged components before it exits.
+  if (!termination_hooks_ran_ && !termination_hooks_.empty()) {
+    termination_hooks_ran_ = true;
+    int n = 0;
+    for (auto& hook : termination_hooks_) {
+      SpawnApp("termination-hook-" + std::to_string(n++), hook);
+    }
+  }
+}
+
+}  // namespace vampos::core

@@ -1,0 +1,48 @@
+#include "core/rejuvenation.h"
+
+#include <algorithm>
+
+namespace vampos::core {
+
+RejuvenationScheduler RejuvenationScheduler::ForAllComponents(
+    Runtime& rt, Nanos interval) {
+  std::vector<ComponentId> plan;
+  for (ComponentId id : rt.Components()) {
+    if (rt.GroupLeader(id) != id) continue;  // merged members ride the leader
+    if (rt.component(id).statefulness() ==
+        comp::Statefulness::kUnrebootable) {
+      continue;
+    }
+    plan.push_back(id);
+  }
+  // Stateless first: the cheapest reboots lead each cycle.
+  std::stable_sort(plan.begin(), plan.end(), [&rt](ComponentId a,
+                                                   ComponentId b) {
+    const bool sa = rt.component(a).statefulness() ==
+                    comp::Statefulness::kStateless;
+    const bool sb = rt.component(b).statefulness() ==
+                    comp::Statefulness::kStateless;
+    return sa && !sb;
+  });
+  return RejuvenationScheduler(rt, std::move(plan), interval);
+}
+
+std::optional<RebootReport> RejuvenationScheduler::Tick() {
+  if (plan_.empty()) return std::nullopt;
+  const Nanos now = rt_.options().clock->Now();
+  if (now - last_ < interval_) return std::nullopt;
+  return ForceNext();
+}
+
+std::optional<RebootReport> RejuvenationScheduler::ForceNext() {
+  if (plan_.empty()) return std::nullopt;
+  last_ = rt_.options().clock->Now();
+  const ComponentId target = plan_[next_];
+  next_ = (next_ + 1) % plan_.size();
+  if (next_ == 0) cycles_++;
+  auto result = rt_.Reboot(target);
+  if (!result.ok()) return std::nullopt;
+  return result.value();
+}
+
+}  // namespace vampos::core

@@ -1,0 +1,779 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "base/diag.h"
+
+namespace vampos::core {
+
+using comp::CallCtx;
+using comp::Component;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::Message;
+using msg::MsgValue;
+
+// ------------------------------------------------------------- lifecycle
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  isolation_ = options_.isolation && options_.mode == Mode::kVampOS;
+  domain_ = std::make_unique<msg::MessageDomain>(
+      options_.msg_arena_size, isolation_ ? &domains_ : nullptr);
+}
+
+Runtime::~Runtime() = default;
+
+ComponentId Runtime::AddComponent(std::unique_ptr<Component> component) {
+  if (booted_) Fatal("AddComponent after Boot()");
+  const auto id = static_cast<ComponentId>(slots_.size());
+  component->id_ = id;
+  Slot slot;
+  slot.component = std::move(component);
+  slot.leader = id;
+  slot.group = {id};
+  slots_.push_back(std::move(slot));
+  domain_->EnsureCapacity(id);
+  return id;
+}
+
+void Runtime::AddDependency(ComponentId from, ComponentId to) {
+  slots_[from].deps.push_back(to);
+}
+
+void Runtime::AddAppDependency(ComponentId to) { app_deps_.push_back(to); }
+
+void Runtime::Merge(const std::vector<ComponentId>& members) {
+  if (booted_) Fatal("Merge after Boot()");
+  if (members.size() < 2) Fatal("Merge needs at least two components");
+  const ComponentId leader = members.front();
+  slots_[leader].group = members;
+  for (ComponentId m : members) {
+    slots_[m].leader = leader;
+  }
+}
+
+void Runtime::Boot() {
+  if (booted_) Fatal("double Boot()");
+  // Phase 0: protection domains. Each leader gets one MPK key; merged
+  // members share the leader's key (one tag manages the merged domain).
+  if (isolation_) {
+    if (options_.virtualize_mpk_keys) domains_.EnableKeyVirtualization();
+    for (auto& slot : slots_) {
+      if (slot.leader != slot.component->id()) continue;
+      auto key = domains_.AssignKey(slot.component->arena(),
+                                    slot.component->name());
+      if (!key.has_value()) {
+        // Physical keys exhausted (paper §V-D): isolation degrades to the
+        // default key rather than failing boot.
+        VAMPOS_ERROR("out of MPK keys at component '%s'; left unisolated",
+                     slot.component->name().c_str());
+        continue;
+      }
+      slot.key = *key;
+      for (ComponentId m : slot.group) {
+        slots_[m].key = *key;
+        if (m != slot.component->id()) {
+          domains_.TagArena(slots_[m].component->arena(), *key,
+                            slots_[m].component->name());
+        }
+      }
+    }
+    for (auto& slot : slots_) {
+      mpk::Pkru pkru = mpk::Pkru::AllDenied();
+      if (slot.key != mpk::kDefaultKey) pkru.Allow(slot.key, /*write=*/true);
+      pkru.Allow(domain_->key(), /*write=*/true);
+      slot.pkru = pkru;
+    }
+  }
+
+  // Phase 1: Init — allocate state, export functions.
+  for (auto& slot : slots_) {
+    slot.component->alloc_.emplace(slot.component->arena());
+    InitCtx ctx(*this, slot.component->id());
+    slot.component->Init(ctx);
+  }
+  // Phase 2: Bind — resolve imports (all exports now exist).
+  for (auto& slot : slots_) {
+    InitCtx ctx(*this, slot.component->id());
+    slot.component->Bind(ctx);
+  }
+  // Phase 3: checkpoint-based initialization — capture the post-init image
+  // of every stateful component (paper §V-E). The vanilla-Unikraft baseline
+  // carries no recovery machinery and skips this.
+  if (options_.mode == Mode::kVampOS) {
+    for (auto& slot : slots_) {
+      if (slot.component->statefulness() == Statefulness::kStateful) {
+        slot.checkpoint = mem::Snapshot::Capture(slot.component->arena());
+      }
+    }
+  }
+  // Phase 4: resident fibers, one per leader (VampOS mode only).
+  if (options_.mode == Mode::kVampOS) {
+    for (auto& slot : slots_) {
+      if (slot.leader != slot.component->id()) continue;
+      RespawnResident(slot.component->id());
+    }
+  }
+  booted_ = true;
+}
+
+void Runtime::RespawnResident(ComponentId id) {
+  Slot& slot = slots_[id];
+  slot.resident = fibers_.Spawn(slot.component->name() + "/resident", id,
+                                [this, id] { ResidentLoop(id); });
+}
+
+// ------------------------------------------------------------- app plane
+
+sched::Fiber* Runtime::SpawnApp(const std::string& name,
+                                std::function<void()> body) {
+  sched::Fiber* f =
+      fibers_.Spawn("app/" + name, kComponentNone, std::move(body));
+  app_fibers_.push_back(f);
+  return f;
+}
+
+namespace {
+bool FiberReady(const sched::Fiber* f) {
+  return f != nullptr && f->state() == sched::FiberState::kReady;
+}
+}  // namespace
+
+void Runtime::ParkApp() {
+  sched::Fiber* self = fibers_.Current();
+  if (self == nullptr || self->owner() != kComponentNone) {
+    Fatal("ParkApp() outside an app fiber");
+  }
+  parked_apps_.push_back(self);
+  fibers_.Block();
+}
+
+void Runtime::UnparkApps() {
+  for (sched::Fiber* f : parked_apps_) {
+    if (f->state() == sched::FiberState::kBlocked) fibers_.Wake(f);
+  }
+  parked_apps_.clear();
+}
+
+bool Runtime::RunUntil(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!Step()) return false;
+  }
+  return true;
+}
+
+void Runtime::RunUntilIdle() {
+  static const long spin_limit = [] {
+    const char* env = std::getenv("VAMPOS_SPIN_LIMIT");
+    return env != nullptr ? std::atol(env) : 0L;
+  }();
+  long steps = 0;
+  while (Step()) {
+    if (spin_limit > 0 && ++steps > spin_limit) {
+      DumpState(stderr);
+      Fatal("RunUntilIdle exceeded VAMPOS_SPIN_LIMIT=%ld steps", spin_limit);
+    }
+  }
+  // Reap finished app fibers so long-running servers that spawn one fiber
+  // per request do not accumulate stacks.
+  for (auto it = app_fibers_.begin(); it != app_fibers_.end();) {
+    if ((*it)->state() == sched::FiberState::kDone) {
+      fibers_.Destroy(*it);
+      it = app_fibers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Runtime::Step() {
+  DeliverReplies();
+  CheckHangs();
+  MaybeSpawnAux();
+
+  // Idle detection: work exists if an app fiber can run, a message or reply
+  // is queued, or a handler is mid-flight.
+  bool has_work = domain_->HasReply();
+  if (!has_work) {
+    for (auto* f : app_fibers_) {
+      if (FiberReady(f)) {
+        has_work = true;
+        break;
+      }
+    }
+  }
+  if (!has_work) {
+    for (std::size_t id = 0; id < slots_.size() && !has_work; ++id) {
+      if (domain_->HasMessage(static_cast<ComponentId>(id)) ||
+          slots_[id].busy > 0) {
+        has_work = true;
+      }
+    }
+  }
+  if (!has_work) return false;
+
+  sched::Fiber* f = PickNext();
+  if (f == nullptr) return false;
+  InstallPkruFor(f->owner());
+  const sched::FiberState st = fibers_.Dispatch(f);
+  InstallMessageThreadPkru();
+  if (st == sched::FiberState::kFaulted) {
+    HandleFaultedFiber(f);
+  } else if (st == sched::FiberState::kDone) {
+    // Aux fibers finish after one message; reap them here. App fibers are
+    // reaped by RunUntilIdle.
+    if (f->owner() != kComponentNone) {
+      Slot& slot = slots_[LeaderOf(f->owner())];
+      auto it = std::find(slot.aux.begin(), slot.aux.end(), f);
+      if (it != slot.aux.end()) {
+        slot.aux.erase(it);
+        fibers_.Destroy(f);
+      }
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ scheduling
+
+sched::Fiber* Runtime::PickNext() {
+  // Application fibers run as soon as they are ready (their syscall
+  // returned); this mirrors the unikernel returning to the app thread.
+  for (auto* f : app_fibers_) {
+    if (FiberReady(f)) return f;
+  }
+  return options_.policy == SchedPolicy::kDependencyAware
+             ? PickDependencyAware()
+             : PickRoundRobin();
+}
+
+sched::Fiber* Runtime::PickRoundRobin() {
+  // The round-robin scheduler dispatches component threads in ring order,
+  // including components whose queues are empty — they poll and yield. This
+  // is the overhead VampOS-Noop pays in Fig 5.
+  const std::size_t n = slots_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (rr_cursor_ + i) % n;
+    Slot& slot = slots_[idx];
+    if (slot.leader != static_cast<ComponentId>(idx)) continue;
+    // Aux fibers first: they hold in-flight handlers (possibly just woken
+    // by a reply) and would starve behind the always-ready resident poller.
+    for (auto* aux : slot.aux) {
+      if (FiberReady(aux)) {
+        rr_cursor_ = (idx + 1) % n;
+        return aux;
+      }
+    }
+    if (FiberReady(slot.resident)) {
+      rr_cursor_ = (idx + 1) % n;
+      return slot.resident;
+    }
+  }
+  return nullptr;
+}
+
+sched::Fiber* Runtime::PickDependencyAware() {
+  // Dependency-aware scheduling (§V-C): the candidates are the components
+  // correlated with the most recent sender; empty-queue candidates still
+  // get a (cheap) poll dispatch, but unrelated components are skipped.
+  auto fiber_of = [this](ComponentId leader) -> sched::Fiber* {
+    Slot& slot = slots_[leader];
+    // Aux before resident: an aux fiber holds an in-flight handler and must
+    // not starve behind the resident's ever-ready polling loop.
+    for (auto* aux : slot.aux) {
+      if (FiberReady(aux)) return aux;
+    }
+    if (FiberReady(slot.resident)) return slot.resident;
+    return nullptr;
+  };
+
+  while (!das_candidates_.empty()) {
+    const ComponentId c = LeaderOf(das_candidates_.front());
+    das_candidates_.pop_front();
+    if (sched::Fiber* f = fiber_of(c)) return f;
+  }
+  // Fallbacks: the oldest pending message's destination, then any ready
+  // component fiber (e.g. a caller woken by a reply).
+  const ComponentId dest = domain_->OldestPendingDestination();
+  if (dest != kComponentNone) {
+    if (sched::Fiber* f = fiber_of(LeaderOf(dest))) return f;
+  }
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (sched::Fiber* f = fiber_of(LeaderOf(static_cast<ComponentId>(id)))) {
+      if (slots_[LeaderOf(static_cast<ComponentId>(id))].busy > 0 ||
+          domain_->HasMessage(static_cast<ComponentId>(id))) {
+        return f;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::MaybeSpawnAux() {
+  // On-demand thread attach (§V-A): if a component has pending messages but
+  // every one of its fibers is blocked inside a handler, attach a fresh
+  // fiber so the arriving message can be handled (deadlock avoidance).
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    const auto cid = static_cast<ComponentId>(id);
+    if (!domain_->HasMessage(cid)) continue;
+    Slot& slot = slots_[LeaderOf(cid)];
+    if (slot.failed) continue;
+    bool any_available = FiberReady(slot.resident);
+    for (auto* aux : slot.aux) {
+      any_available = any_available || FiberReady(aux);
+    }
+    if (any_available) continue;
+    if (slot.aux.size() >= kMaxAuxFibers) continue;
+    sched::Fiber* aux = fibers_.Spawn(
+        slot.component->name() + "/aux", slot.component->id(),
+        [this, cid] { ExecuteOne(cid); });
+    slot.aux.push_back(aux);
+    stats_.aux_fibers_spawned++;
+  }
+}
+
+void Runtime::NoteDispatched(ComponentId) {}
+
+// ------------------------------------------------------------- call plane
+
+msg::MsgValue Runtime::Call(FunctionId fn_id, Args args) {
+  const FnEntry& fn = Fn(fn_id);
+  stats_.calls++;
+
+  // Restore mode: replay runs on the message thread with restore_stack_
+  // tracking the component being restored.
+  if (!restore_stack_.empty() && fibers_.Current() == nullptr) {
+    const ComponentId restoring = restore_stack_.back().component;
+    if (SameGroup(restoring, fn.owner)) {
+      // Intra-group calls execute for real during replay: the whole merged
+      // group is being restored together.
+      return DirectInvoke(restoring, fn_id, args, /*restoring=*/true);
+    }
+    return RestoreFeed(restoring, fn_id);
+  }
+
+  if (options_.mode == Mode::kUnikraft) {
+    ExecCtx* ctx = CurrentExec();
+    const ComponentId caller = ctx ? ctx->component : kComponentNone;
+    return DirectInvoke(caller, fn_id, args, /*restoring=*/false);
+  }
+
+  ExecCtx* ctx = CurrentExec();
+  const ComponentId caller = ctx ? ctx->component : kComponentNone;
+  if (caller != kComponentNone && SameGroup(caller, fn.owner)) {
+    // Component merging (§V-F): members of a merged component invoke each
+    // other with plain function calls, skipping the message path.
+    return DirectInvoke(caller, fn_id, args, /*restoring=*/false);
+  }
+  return MessageCall(caller, fn_id, std::move(args));
+}
+
+msg::MsgValue Runtime::DirectInvoke(ComponentId /*caller*/, FunctionId fn_id,
+                                    const Args& args, bool restoring) {
+  stats_.direct_calls++;
+  const FnEntry& fn = Fn(fn_id);
+  CallCtx ctx(*this, fn.owner, restoring);
+  const Nanos t0 = options_.clock->Now();
+  MsgValue ret = fn.handler(ctx, args);
+  fn.calls++;
+  fn.total_ns += options_.clock->Now() - t0;
+  if (ret.is_i64() && ret.i64() < 0) fn.errors++;
+  return ret;
+}
+
+msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
+                                   Args args) {
+  const FnEntry& fn = Fn(fn_id);
+  // Calls into a fail-stopped component return immediately: after a
+  // fail-stop there is no fiber to serve them, and graceful-termination
+  // hooks must not block on the dead component.
+  if (slots_[LeaderOf(fn.owner)].failed && terminal_fault_.has_value()) {
+    return MsgValue(ToWire(Status::Error(Errno::kIo, "component dead")));
+  }
+  sched::Fiber* self = fibers_.Current();
+  if (self == nullptr) {
+    Fatal("message-passing call to %s.%s outside a fiber context",
+          slots_[fn.owner].component->name().c_str(), fn.name.c_str());
+  }
+
+  // Message-thread work: store the arguments in the function-call log before
+  // the callee is dispatched (§V-C).
+  const LogSeq seq = MaybeLogCall(fn, args);
+
+  Message m;
+  m.kind = Message::Kind::kCall;
+  m.rpc_id = domain_->NextRpcId();
+  m.from = caller;
+  m.to = fn.owner;
+  m.fn = fn_id;
+  m.caller_fiber = self;
+  m.enqueued_at = options_.clock->Now();
+  m.log_seq = seq;
+  domain_->Push(m, args);
+  stats_.messages++;
+  pending_replies_[m.rpc_id] = PendingReply{false, MsgValue(), self};
+
+  if (options_.policy == SchedPolicy::kDependencyAware) {
+    // Correlation hint: the sender's dependency set *replaces* the candidate
+    // list — the scheduler infers the next dispatches from the component
+    // that just sent a message (§V-C), and stale hints from earlier sends
+    // would only cause useless empty-poll dispatches.
+    das_candidates_.clear();
+    const auto& deps =
+        caller == kComponentNone ? app_deps_ : slots_[caller].deps;
+    for (ComponentId d : deps) das_candidates_.push_back(LeaderOf(d));
+  }
+
+  fibers_.Block();  // the message thread takes over; Wake() on reply
+
+  auto it = pending_replies_.find(m.rpc_id);
+  if (it == pending_replies_.end() || !it->second.arrived) {
+    // Reply lost: the callee fail-stopped and could not be recovered.
+    if (it != pending_replies_.end()) pending_replies_.erase(it);
+    return MsgValue(ToWire(Status::Error(Errno::kIo, "component failed")));
+  }
+  MsgValue ret = std::move(it->second.value);
+  pending_replies_.erase(it);
+  return ret;
+}
+
+void Runtime::ResidentLoop(ComponentId leader) {
+  while (true) {
+    bool executed = false;
+    for (ComponentId member : slots_[leader].group) {
+      if (ExecuteOne(member)) {
+        executed = true;
+        break;
+      }
+    }
+    if (!executed) stats_.empty_polls++;
+    fibers_.Yield();
+  }
+}
+
+bool Runtime::ExecuteOne(ComponentId id) {
+  auto pulled = domain_->Pull(id);
+  if (!pulled.has_value()) return false;
+  auto& [m, args] = *pulled;
+  Slot& slot = slots_[LeaderOf(id)];
+  sched::Fiber* fiber = fibers_.Current();
+
+  // Fault injection (tests, case studies): trigger before the handler runs.
+  if (slot.injection.has_value() && slot.injection->armed) {
+    if (slot.injection->remaining-- <= 0) {
+      const FaultKind kind = slot.injection->kind;
+      if (!slot.injection->sticky) slot.injection->armed = false;
+      slot.injection->remaining = 0;
+      if (kind == FaultKind::kHang) {
+        // Model a hang: the handler never completes; the hang detector
+        // (processing-time threshold) will reboot the component. The
+        // in-flight message is retried from the execution context the
+        // reboot collects (not inflight_failed — that would retry twice).
+        slot.busy++;
+        exec_ctx_[fiber] =
+            ExecCtx{id, m.log_seq, m, args, options_.clock->Now()};
+        while (true) fibers_.Yield();
+      }
+      slot.inflight_failed = std::make_pair(m, args);
+      if (kind == FaultKind::kMpkViolation && isolation_) {
+        // Attempt a cross-domain write; the MPK simulator raises the fault.
+        for (auto& other : slots_) {
+          if (other.key != slot.key && other.key != mpk::kDefaultKey) {
+            std::byte poison{0xEF};
+            domains_.CheckedWrite(id, other.component->arena().base(),
+                                  &poison, 1);
+          }
+        }
+      }
+      throw ComponentFault(id, kind == FaultKind::kMpkViolation
+                                   ? FaultKind::kPanic  // isolation off
+                                   : kind,
+                           "injected fault");
+    }
+  }
+
+  slot.busy++;
+  exec_ctx_[fiber] = ExecCtx{id, m.log_seq, m, args, options_.clock->Now()};
+
+  const FnEntry& fn = Fn(m.fn);
+  CallCtx cctx(*this, id, /*restoring=*/false);
+  MsgValue ret;
+  const Nanos t0 = options_.clock->Now();
+  try {
+    ret = fn.handler(cctx, args);
+    fn.calls++;
+    fn.total_ns += options_.clock->Now() - t0;
+    if (ret.is_i64() && ret.i64() < 0) fn.errors++;
+  } catch (...) {
+    slot.busy--;
+    slot.inflight_failed = std::make_pair(m, args);
+    exec_ctx_.erase(fiber);
+    throw;
+  }
+  slot.busy--;
+  slot.retried_once = false;  // forward progress resets the retry budget
+  exec_ctx_.erase(fiber);
+
+  Message r;
+  r.kind = Message::Kind::kReply;
+  r.rpc_id = m.rpc_id;
+  r.from = id;
+  r.to = m.from;
+  r.fn = m.fn;
+  r.caller_fiber = m.caller_fiber;
+  r.log_seq = m.log_seq;
+  domain_->PushReply(r, Args{ret});
+  stats_.messages++;
+  return true;
+}
+
+void Runtime::DeliverReplies() {
+  while (auto pulled = domain_->PullReply()) {
+    auto& [m, payload] = *pulled;
+    MsgValue ret = payload.empty() ? MsgValue() : payload[0];
+    const FnEntry& fn = Fn(m.fn);
+    // Message-thread log work: preserve the return value (§V-C), apply
+    // session-aware shrinking, and record the value in the caller's
+    // outbound log for its own future restoration.
+    if (m.log_seq != 0) FinishLog(fn, m.log_seq, ret, Args{});
+    RecordOutboundForCaller(m, ret);
+    auto it = pending_replies_.find(m.rpc_id);
+    if (it == pending_replies_.end()) continue;  // orphaned (caller rebooted)
+    if (m.caller_fiber == nullptr ||
+        m.caller_fiber->state() != sched::FiberState::kBlocked) {
+      pending_replies_.erase(it);
+      continue;
+    }
+    it->second.arrived = true;
+    it->second.value = std::move(ret);
+    fibers_.Wake(m.caller_fiber);
+    // The caller made progress: refresh its hang timer so time spent
+    // blocked on a (possibly hung and rebooted) callee is not charged to
+    // the caller's own processing time.
+    if (auto ctx_it = exec_ctx_.find(m.caller_fiber);
+        ctx_it != exec_ctx_.end()) {
+      ctx_it->second.started_at = options_.clock->Now();
+    }
+    if (options_.policy == SchedPolicy::kDependencyAware &&
+        m.to != kComponentNone) {
+      das_candidates_.push_front(m.to);
+    }
+  }
+}
+
+Runtime::ExecCtx* Runtime::CurrentExec() {
+  if (sched::Fiber* f = fibers_.Current()) {
+    auto it = exec_ctx_.find(f);
+    return it == exec_ctx_.end() ? nullptr : &it->second;
+  }
+  if (!restore_stack_.empty()) return &restore_stack_.back();
+  return nullptr;
+}
+
+bool Runtime::SameGroup(ComponentId a, ComponentId b) const {
+  return a != kComponentNone && b != kComponentNone &&
+         LeaderOf(a) == LeaderOf(b);
+}
+
+// ----------------------------------------------------------------- lookup
+
+FunctionId Runtime::Lookup(const std::string& component,
+                           const std::string& function) const {
+  if (auto id = TryLookup(component, function)) return *id;
+  Fatal("unknown function %s.%s", component.c_str(), function.c_str());
+}
+
+std::optional<FunctionId> Runtime::TryLookup(
+    const std::string& component, const std::string& function) const {
+  auto it = fn_by_name_.find(component + "." + function);
+  if (it == fn_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+ComponentId Runtime::FindComponent(const std::string& name) const {
+  for (const auto& slot : slots_) {
+    if (slot.component->name() == name) return slot.component->id();
+  }
+  return kComponentNone;
+}
+
+std::vector<ComponentId> Runtime::Components() const {
+  std::vector<ComponentId> ids;
+  ids.reserve(slots_.size());
+  for (const auto& slot : slots_) ids.push_back(slot.component->id());
+  return ids;
+}
+
+// ------------------------------------------------------------------ PKRU
+
+void Runtime::InstallPkruFor(ComponentId id) {
+  if (!isolation_) return;
+  if (id == kComponentNone) {
+    mpk::Pkru pkru = mpk::Pkru::AllDenied();
+    pkru.Allow(domain_->key(), /*write=*/true);
+    domains_.WritePkru(pkru);
+    return;
+  }
+  domains_.WritePkru(slots_[LeaderOf(id)].pkru);
+}
+
+void Runtime::InstallMessageThreadPkru() {
+  if (!isolation_) return;
+  // The message thread is trusted: it owns the message domain and logs.
+  mpk::Pkru pkru = mpk::Pkru::AllDenied();
+  pkru.Allow(domain_->key(), /*write=*/true);
+  domains_.WritePkru(pkru);
+}
+
+// ------------------------------------------------------------------ stats
+
+std::vector<FunctionStats> Runtime::TopFunctions(std::size_t limit) const {
+  std::vector<FunctionStats> out;
+  out.reserve(fns_.size());
+  for (const FnEntry& fn : fns_) {
+    if (fn.calls == 0) continue;
+    FunctionStats s;
+    s.name = slots_[fn.owner].component->name() + "." + fn.name;
+    s.calls = fn.calls;
+    s.total_ns = fn.total_ns;
+    s.errors = fn.errors;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FunctionStats& a, const FunctionStats& b) {
+              return a.total_ns > b.total_ns;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+RuntimeStats Runtime::Stats() const {
+  RuntimeStats s = stats_;
+  s.context_switches = fibers_.context_switches();
+  s.pkru_writes = domains_.PkruWrites();
+  return s;
+}
+
+MemoryReport Runtime::Memory() const {
+  MemoryReport r;
+  for (const auto& slot : slots_) {
+    r.component_arena_bytes += slot.component->arena().size();
+    if (slot.component->alloc_.has_value()) {
+      r.component_used_bytes += slot.component->alloc_->Stats().bytes_in_use;
+    }
+    r.snapshot_bytes += slot.checkpoint.size_bytes();
+  }
+  r.log_bytes = domain_->TotalLogBytes();
+  r.log_entries = domain_->TotalLogEntries();
+  return r;
+}
+
+std::size_t Runtime::LogEntries(ComponentId id) const {
+  return domain_->HasLog(id)
+             ? const_cast<Runtime*>(this)->domain_->LogFor(id).size()
+             : 0;
+}
+
+std::size_t Runtime::LogBytes(ComponentId id) const {
+  return domain_->HasLog(id)
+             ? const_cast<Runtime*>(this)->domain_->LogFor(id).bytes()
+             : 0;
+}
+
+int Runtime::MpkTagsInUse() const { return domains_.KeysInUse(); }
+
+void Runtime::DumpState(std::FILE* out) const {
+  std::fprintf(out, "=== vampos runtime state ===\n");
+  for (const auto& slot : slots_) {
+    const ComponentId id = slot.component->id();
+    std::fprintf(
+        out,
+        "  comp %2d %-10s leader=%d failed=%d busy=%d queue=%zu log=%zu "
+        "reboots=%llu resident=%s aux=%zu\n",
+        id, slot.component->name().c_str(), slot.leader, slot.failed,
+        slot.busy, domain_->QueueDepth(id),
+        domain_->HasLog(id)
+            ? const_cast<msg::MessageDomain&>(*domain_).LogFor(id).size()
+            : 0,
+        static_cast<unsigned long long>(slot.reboots),
+        slot.resident == nullptr
+            ? "none"
+            : (slot.resident->state() == sched::FiberState::kReady
+                   ? "ready"
+                   : "blocked/other"),
+        slot.aux.size());
+  }
+  for (const auto* f : app_fibers_) {
+    std::fprintf(out, "  app fiber '%s' state=%d\n", f->name().c_str(),
+                 static_cast<int>(f->state()));
+  }
+  std::fprintf(out, "  pending rpcs=%zu exec ctxs=%zu replies queued=%d\n",
+               pending_replies_.size(), exec_ctx_.size(),
+               domain_->HasReply() ? 1 : 0);
+  for (const auto& [rpc, p] : pending_replies_) {
+    std::fprintf(out, "    rpc %llu arrived=%d waiter=%s state=%d\n",
+                 static_cast<unsigned long long>(rpc), p.arrived,
+                 p.waiter != nullptr ? p.waiter->name().c_str() : "null",
+                 p.waiter != nullptr ? static_cast<int>(p.waiter->state())
+                                     : -1);
+  }
+  for (const auto& [fiber, ctx] : exec_ctx_) {
+    std::fprintf(out, "    exec ctx fiber='%s' comp=%d seq=%llu\n",
+                 fiber->name().c_str(), ctx.component,
+                 static_cast<unsigned long long>(ctx.inbound_seq));
+  }
+  std::fprintf(out, "  terminal fault: %s\n",
+               terminal_fault_.has_value() ? terminal_fault_->what() : "none");
+}
+
+// ------------------------------------------------------------- the vault
+
+void Runtime::SaveRuntimeData(ComponentId id, const std::string& key,
+                              MsgValue value) {
+  vault_[std::to_string(id) + "/" + key] = std::move(value);
+}
+
+std::optional<MsgValue> Runtime::LoadRuntimeData(ComponentId id,
+                                                 const std::string& key) {
+  auto it = vault_.find(std::to_string(id) + "/" + key);
+  if (it == vault_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace vampos::core
+
+// ------------------------------------------------- comp:: context methods
+
+namespace vampos::comp {
+
+msg::MsgValue CallCtx::Call(FunctionId fn, msg::Args args) {
+  return rt_.Call(fn, std::move(args));
+}
+
+void CallCtx::SaveRuntimeData(const std::string& key, msg::MsgValue value) {
+  rt_.SaveRuntimeData(self_, key, std::move(value));
+}
+
+std::optional<msg::MsgValue> CallCtx::LoadRuntimeData(const std::string& key) {
+  return rt_.LoadRuntimeData(self_, key);
+}
+
+void CallCtx::Panic(const std::string& detail) {
+  vampos::Panic(self_, detail);
+}
+
+FunctionId InitCtx::Export(const std::string& name, FnOptions options,
+                           Handler handler) {
+  return rt_.ExportFn(self_, name, options, std::move(handler));
+}
+
+FunctionId InitCtx::Import(const std::string& component,
+                           const std::string& function) {
+  return rt_.Lookup(component, function);
+}
+
+}  // namespace vampos::comp

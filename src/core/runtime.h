@@ -1,0 +1,412 @@
+// The VampOS runtime: interface registry, message thread, component
+// scheduling, failure detection, and component-level reboot.
+//
+// One Runtime instance is one unikernel-linked application. The runtime's
+// main loop plays the paper's *message thread*: it maintains the message
+// domain (buffers + logs), dispatches component fibers under the configured
+// scheduling policy, monitors components for failures, and drives
+// reboot-based recovery of individual components.
+//
+// Modes:
+//   kUnikraft — baseline: cross-component calls are direct function calls on
+//               the caller's context; no logging, isolation, or scheduling.
+//   kVampOS   — message-passing calls, per-component fibers + MPK domains,
+//               function-call/return-value logging, component reboots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/types.h"
+#include "comp/component.h"
+#include "mem/snapshot.h"
+#include "mpk/mpk.h"
+#include "msg/domain.h"
+#include "sched/fiber.h"
+
+namespace vampos::core {
+
+enum class Mode { kUnikraft, kVampOS };
+enum class SchedPolicy { kRoundRobin, kDependencyAware };
+
+struct RuntimeOptions {
+  Mode mode = Mode::kVampOS;
+  SchedPolicy policy = SchedPolicy::kDependencyAware;
+  /// Enable the MPK protection-domain simulation.
+  bool isolation = true;
+  /// When components outnumber the 16 hardware protection keys, share keys
+  /// (EPK/libmpk-style) instead of leaving the overflow unisolated.
+  bool virtualize_mpk_keys = true;
+  /// Message-domain arena size (staging buffers).
+  std::size_t msg_arena_size = 8u << 20;
+  /// Session-aware log shrinking threshold, in entries per component log
+  /// (paper default: 100). Compaction hooks fire when a log exceeds it.
+  std::size_t log_shrink_threshold = 100;
+  /// Master switch for session-aware shrinking (canceling-function pruning
+  /// and stale-pair removal). Disabled only to measure the "normal" column
+  /// of the paper's Table III.
+  bool session_shrink = true;
+  /// Hang detector: a message older than this without a reply marks its
+  /// component hung (paper default: 1.0 s).
+  Nanos hang_threshold = kSecond;
+  /// Re-execute the in-flight request after a reboot (non-deterministic
+  /// faults won't re-trigger). A second failure of the same request
+  /// fail-stops, per the paper's fault model.
+  bool retry_inflight = true;
+  Clock* clock = &SteadyClock::Instance();
+};
+
+/// Timing breakdown of one component reboot (paper Fig 6).
+struct RebootReport {
+  ComponentId component = kComponentNone;
+  std::string name;
+  bool stateless = false;
+  Nanos total_ns = 0;
+  Nanos stop_ns = 0;       // fiber teardown + queue handling
+  Nanos snapshot_ns = 0;   // checkpoint restore (dominant for stateful)
+  Nanos replay_ns = 0;     // encapsulated restoration
+  std::size_t entries_replayed = 0;
+};
+
+/// Aggregate counters for the bench harness.
+struct RuntimeStats {
+  std::uint64_t calls = 0;             // cross-component calls issued
+  std::uint64_t direct_calls = 0;      // baseline or intra-merge calls
+  std::uint64_t messages = 0;          // messages pushed (calls + replies)
+  std::uint64_t context_switches = 0;
+  std::uint64_t empty_polls = 0;       // dispatches that found no message
+  std::uint64_t pkru_writes = 0;
+  std::uint64_t log_appends = 0;
+  std::uint64_t log_pruned_entries = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t aux_fibers_spawned = 0;
+  std::uint64_t hangs_detected = 0;
+};
+
+/// Per-exported-function metrics (observability for operators; also feeds
+/// the Fig 5 transition analysis).
+struct FunctionStats {
+  std::string name;         // "component.function"
+  std::uint64_t calls = 0;  // handler executions (message or direct)
+  Nanos total_ns = 0;       // time inside the handler
+  std::uint64_t errors = 0; // negative-errno returns
+};
+
+/// Memory accounting across the whole runtime (paper Fig 7b).
+struct MemoryReport {
+  std::size_t component_arena_bytes = 0;  // sum of arena sizes
+  std::size_t component_used_bytes = 0;   // buddy bytes_in_use
+  std::size_t log_bytes = 0;              // call/return logs
+  std::size_t log_entries = 0;
+  std::size_t snapshot_bytes = 0;         // checkpoint images
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ------------------------------------------------------------ assembly
+  /// Registers a component. Must precede Boot(). Returns its id.
+  ComponentId AddComponent(std::unique_ptr<comp::Component> component);
+
+  /// Declares that `from` sends messages to `to` — feeds dependency-aware
+  /// scheduling's correlation table (paper §V-C).
+  void AddDependency(ComponentId from, ComponentId to);
+  /// Dependency edge from the application layer to a component.
+  void AddAppDependency(ComponentId to);
+
+  /// Component merging (§V-F): members share one fiber and one MPK key, and
+  /// calls between them become direct function calls. Snapshots and logs
+  /// remain per-primitive so the group reboots as a unit but restores each
+  /// primitive's image. Call before Boot(). First id is the group leader.
+  void Merge(const std::vector<ComponentId>& members);
+
+  /// Initializes all components (Init + Bind), takes post-init checkpoints
+  /// of stateful components, assigns MPK keys, spawns resident fibers.
+  void Boot();
+
+  // ------------------------------------------------------------- app side
+  /// Runs application code on an app fiber; the body may issue Calls.
+  sched::Fiber* SpawnApp(const std::string& name,
+                         std::function<void()> body);
+
+  /// Drives the message thread until every app fiber is done (or faulted)
+  /// and no work is pending.
+  void RunUntilIdle();
+
+  /// From inside an app fiber: block until external input arrives. Server
+  /// loops park instead of spinning when their sockets are dry; the harness
+  /// calls UnparkApps() after injecting client frames.
+  void ParkApp();
+  void UnparkApps();
+
+  /// Drives until `pred()` is true; returns false if the system went idle
+  /// first.
+  bool RunUntil(const std::function<bool()>& pred);
+
+  /// One message-thread step: failure checks + one dispatch. Returns false
+  /// when idle.
+  bool Step();
+
+  // ---------------------------------------------------------- call plane
+  /// Issues a call from the current execution context (app fiber, component
+  /// fiber, or restore-mode replay). The public API used by the posix
+  /// facade and by component handlers via CallCtx.
+  msg::MsgValue Call(FunctionId fn, msg::Args args);
+
+  /// Looks up an exported function id; fatal if absent.
+  FunctionId Lookup(const std::string& component,
+                    const std::string& function) const;
+  /// Non-fatal lookup.
+  std::optional<FunctionId> TryLookup(const std::string& component,
+                                      const std::string& function) const;
+
+  // ------------------------------------------------------------- recovery
+  /// Reboots one component (or its merged group): stop fibers, restore the
+  /// post-init checkpoint, replay the shrunk log with encapsulated
+  /// restoration, respawn fibers. Returns the timing report, or an error
+  /// status for unrebootable components.
+  Result<RebootReport> Reboot(ComponentId id);
+
+  /// Injects a fail-stop fault: after `trigger_after` further messages, the
+  /// component fails with `kind`. `sticky` keeps the fault armed across
+  /// reboots — a *deterministic* bug that re-triggers on the retried input
+  /// and drives the runtime to fail-stop (paper §II-B).
+  void InjectFault(ComponentId id, FaultKind kind, int trigger_after = 0,
+                   bool sticky = false);
+
+  /// Proactive rejuvenation: reboot every rebootable component, one by one.
+  std::vector<RebootReport> RejuvenateAll();
+
+  /// Graceful termination (§VIII): registers application code to run when
+  /// the runtime fail-stops. Hooks run on app fibers after the fail-stop is
+  /// recorded, while undamaged components still serve — e.g. a KVS can
+  /// flush its in-memory table through a still-working VFS before exit.
+  void RegisterTerminationHook(std::function<void()> hook);
+
+  /// Multi-versioning (§VIII): registers an alternate implementation of a
+  /// component (same name, same exported interface). When the primary faces
+  /// its failure *again* after a reboot — a deterministic bug — the runtime
+  /// swaps in the variant, replays the log into it, and continues instead
+  /// of fail-stopping.
+  void RegisterVariant(ComponentId id,
+                       std::unique_ptr<comp::Component> variant);
+
+  /// Number of variant swaps performed (introspection for tests/benches).
+  [[nodiscard]] std::uint64_t variant_swaps() const { return variant_swaps_; }
+
+  // ------------------------------------------------------- introspection
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] RuntimeStats Stats() const;
+  /// Snapshot of per-function metrics, sorted by total handler time.
+  [[nodiscard]] std::vector<FunctionStats> TopFunctions(
+      std::size_t limit = 16) const;
+  [[nodiscard]] MemoryReport Memory() const;
+  [[nodiscard]] msg::MessageDomain& domain() { return *domain_; }
+  [[nodiscard]] mpk::DomainManager* domains() {
+    return isolation_ ? &domains_ : nullptr;
+  }
+  [[nodiscard]] comp::Component& component(ComponentId id) {
+    return *slots_[id].component;
+  }
+  [[nodiscard]] ComponentId FindComponent(const std::string& name) const;
+  /// Ids of all registered components (group members included).
+  [[nodiscard]] std::vector<ComponentId> Components() const;
+  /// Group leader of a component (itself unless merged).
+  [[nodiscard]] ComponentId GroupLeader(ComponentId id) const {
+    return LeaderOf(id);
+  }
+  [[nodiscard]] std::size_t LogEntries(ComponentId id) const;
+  [[nodiscard]] std::size_t LogBytes(ComponentId id) const;
+  [[nodiscard]] int MpkTagsInUse() const;
+  [[nodiscard]] const std::vector<RebootReport>& reboot_history() const {
+    return reboot_history_;
+  }
+  /// Fault observed for a component that could not be recovered (fail-stop).
+  [[nodiscard]] const std::optional<ComponentFault>& terminal_fault() const {
+    return terminal_fault_;
+  }
+
+  /// Dumps the full runtime state (component table, fibers, queues, logs,
+  /// pending rpcs) for debugging. Also triggered automatically when
+  /// RunUntilIdle exceeds the VAMPOS_SPIN_LIMIT step budget, if set.
+  void DumpState(std::FILE* out) const;
+
+  // ------------------------------------------------- runtime-data vault
+  void SaveRuntimeData(ComponentId id, const std::string& key,
+                       msg::MsgValue value);
+  std::optional<msg::MsgValue> LoadRuntimeData(ComponentId id,
+                                               const std::string& key);
+
+  /// Registers an exported function (used by InitCtx::Export; public so
+  /// harnesses can export helper functions too).
+  FunctionId ExportFn(ComponentId owner, const std::string& name,
+                      comp::FnOptions options, comp::Handler handler);
+
+  static constexpr std::size_t kMaxAuxFibers = 64;
+
+ private:
+  friend class comp::CallCtx;
+  friend class comp::InitCtx;
+
+  struct FnEntry {
+    FunctionId id;
+    ComponentId owner;
+    std::string name;
+    comp::FnOptions options;
+    comp::Handler handler;
+    // Metrics (mutable: updated on the call path, reads are snapshots).
+    mutable std::uint64_t calls = 0;
+    mutable Nanos total_ns = 0;
+    mutable std::uint64_t errors = 0;
+  };
+
+  struct FaultInjection {
+    FaultKind kind;
+    int remaining;  // messages to process before triggering
+    bool armed = true;
+    bool sticky = false;  // deterministic bug: re-arms after reboot
+  };
+
+  struct Slot {
+    std::unique_ptr<comp::Component> component;
+    std::vector<ComponentId> deps;
+    sched::Fiber* resident = nullptr;
+    std::vector<sched::Fiber*> aux;
+    int busy = 0;                 // fibers currently inside a handler
+    mem::Snapshot checkpoint;
+    mpk::Pkru pkru;
+    mpk::Key key = mpk::kDefaultKey;
+    bool failed = false;
+    std::uint64_t reboots = 0;
+    std::optional<FaultInjection> injection;
+    // Merging: leader == id for standalone/leaders; members listed on the
+    // leader only.
+    ComponentId leader;
+    std::vector<ComponentId> group;  // leader first
+    // In-flight message that died with a faulted fiber (for retry).
+    std::optional<std::pair<msg::Message, msg::Args>> inflight_failed;
+    bool retried_once = false;
+    // Alternate implementation for deterministic-bug failover (§VIII).
+    std::unique_ptr<comp::Component> variant;
+  };
+
+  struct ExecCtx {
+    ComponentId component = kComponentNone;
+    LogSeq inbound_seq = 0;       // current logged inbound call, 0 = none
+    msg::Message msg;             // message being executed
+    msg::Args args;
+    Nanos started_at = 0;         // processing start, for the hang detector
+  };
+
+  struct PendingReply {
+    bool arrived = false;
+    msg::MsgValue value;
+    sched::Fiber* waiter = nullptr;
+  };
+
+  // Call plane internals.
+  msg::MsgValue CallFromApp(FunctionId fn, msg::Args args);
+  msg::MsgValue DirectInvoke(ComponentId caller, FunctionId fn,
+                             const msg::Args& args, bool restoring);
+  msg::MsgValue MessageCall(ComponentId caller, FunctionId fn,
+                            msg::Args args);
+  msg::MsgValue RestoreFeed(ComponentId caller, FunctionId fn);
+
+  // Message thread internals.
+  void ResidentLoop(ComponentId id);
+  bool ExecuteOne(ComponentId id);   // pull + run one message, reply
+  void DeliverReplies();
+  sched::Fiber* PickNext();
+  sched::Fiber* PickRoundRobin();
+  sched::Fiber* PickDependencyAware();
+  void MaybeSpawnAux();
+  void HandleFaultedFiber(sched::Fiber* fiber);
+  void CheckHangs();
+  void NoteDispatched(ComponentId id);
+
+  // Logging internals (run conceptually on the message thread).
+  LogSeq MaybeLogCall(const FnEntry& fn, const msg::Args& args);
+  void FinishLog(const FnEntry& fn, LogSeq seq, const msg::MsgValue& ret,
+                 const msg::Args& args);
+  void RecordOutboundForCaller(const msg::Message& reply,
+                               const msg::MsgValue& ret);
+  void ApplySessionShrink(const FnEntry& fn, LogSeq seq,
+                          const msg::MsgValue& ret, const msg::Args& args);
+  void MaybeCompact(ComponentId owner);
+
+  // Recovery internals.
+  void StopComponentFibers(ComponentId id);
+  void RestoreStateful(Slot& slot, RebootReport& report);
+  void ReplayLog(ComponentId id, RebootReport& report);
+  void RespawnResident(ComponentId id);
+  void FailStop(const ComponentFault& fault);
+  bool TrySwapVariant(ComponentId leader);
+
+  // PKRU management for the dispatch path.
+  void InstallPkruFor(ComponentId id);
+  void InstallMessageThreadPkru();
+
+  [[nodiscard]] ComponentId LeaderOf(ComponentId id) const {
+    return slots_[id].leader;
+  }
+  [[nodiscard]] bool SameGroup(ComponentId a, ComponentId b) const;
+  [[nodiscard]] const FnEntry& Fn(FunctionId id) const {
+    return fns_[static_cast<std::size_t>(id)];
+  }
+
+  ExecCtx* CurrentExec();
+
+  RuntimeOptions options_;
+  bool isolation_ = false;
+  bool booted_ = false;
+
+  mpk::DomainManager domains_;
+  std::unique_ptr<msg::MessageDomain> domain_;
+  sched::FiberManager fibers_;
+
+  std::vector<Slot> slots_;
+  std::vector<FnEntry> fns_;
+  std::unordered_map<std::string, FunctionId> fn_by_name_;  // "comp.fn"
+  std::vector<ComponentId> app_deps_;
+
+  // Fiber-local execution contexts (single OS thread; keyed by fiber).
+  std::unordered_map<sched::Fiber*, ExecCtx> exec_ctx_;
+  // Restore-mode execution (runs on the message thread, no fiber).
+  std::vector<ExecCtx> restore_stack_;
+  // Replay feed cursor during encapsulated restoration.
+  const msg::CallLogEntry* replay_entry_ = nullptr;
+  std::size_t replay_outbound_cursor_ = 0;
+
+  std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
+  std::vector<std::pair<msg::Message, msg::Args>> inflight_retry_;
+  std::vector<sched::Fiber*> app_fibers_;
+  std::vector<sched::Fiber*> parked_apps_;
+
+  // Scheduling state.
+  std::size_t rr_cursor_ = 0;
+  std::deque<ComponentId> das_candidates_;
+
+  // Runtime-data vault: survives component reboots by construction.
+  std::unordered_map<std::string, msg::MsgValue> vault_;
+
+  RuntimeStats stats_;
+  std::vector<RebootReport> reboot_history_;
+  std::optional<ComponentFault> terminal_fault_;
+  std::vector<std::function<void()>> termination_hooks_;
+  bool termination_hooks_ran_ = false;
+  std::uint64_t variant_swaps_ = 0;
+};
+
+}  // namespace vampos::core

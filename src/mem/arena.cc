@@ -1,0 +1,21 @@
+#include "mem/arena.h"
+
+#include <cstring>
+#include <utility>
+
+namespace vampos::mem {
+
+namespace {
+std::size_t RoundUpToPage(std::size_t n) {
+  return (n + Arena::kPageSize - 1) / Arena::kPageSize * Arena::kPageSize;
+}
+}  // namespace
+
+Arena::Arena(std::size_t size, std::string name)
+    : size_(RoundUpToPage(size)),
+      name_(std::move(name)),
+      storage_(std::make_unique<std::byte[]>(size_)) {
+  std::memset(storage_.get(), 0, size_);
+}
+
+}  // namespace vampos::mem

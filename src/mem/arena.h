@@ -1,0 +1,53 @@
+// Fixed-address memory region backing one component's data/heap/stack.
+//
+// Everything a component owns lives inside its arena: allocator metadata,
+// static state, heap objects. Because the arena never moves for the lifetime
+// of the runtime, a checkpoint restore is a plain byte copy back into the
+// same addresses and every internal pointer stays valid — the in-process
+// analogue of the paper's QEMU component-unit memory snapshots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vampos::mem {
+
+class Arena {
+ public:
+  /// Creates an arena of `size` bytes (rounded up to 4 KiB), zero-filled.
+  explicit Arena(std::size_t size, std::string name = "arena");
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  [[nodiscard]] std::byte* base() { return storage_.get(); }
+  [[nodiscard]] const std::byte* base() const { return storage_.get(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// True if [ptr, ptr+len) lies fully inside this arena.
+  [[nodiscard]] bool Contains(const void* ptr, std::size_t len = 1) const {
+    auto p = reinterpret_cast<std::uintptr_t>(ptr);
+    auto b = reinterpret_cast<std::uintptr_t>(storage_.get());
+    return p >= b && p + len <= b + size_;
+  }
+
+  /// Byte offset of an in-arena pointer.
+  [[nodiscard]] std::size_t OffsetOf(const void* ptr) const {
+    return static_cast<std::size_t>(static_cast<const std::byte*>(ptr) -
+                                    storage_.get());
+  }
+
+  [[nodiscard]] void* AtOffset(std::size_t off) { return storage_.get() + off; }
+
+  static constexpr std::size_t kPageSize = 4096;
+
+ private:
+  std::size_t size_;
+  std::string name_;
+  std::unique_ptr<std::byte[]> storage_;
+};
+
+}  // namespace vampos::mem

@@ -1,0 +1,83 @@
+// STL allocator adaptor over BuddyAllocator plus container aliases.
+//
+// Component state must live entirely inside the component's arena so that a
+// checkpoint restore is complete and self-consistent. Components therefore
+// use these aliases (mem::vector, mem::string, mem::map, ...) for any
+// dynamically sized state instead of the global-heap std:: defaults.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <scoped_allocator>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/panic.h"
+#include "mem/buddy_allocator.h"
+
+namespace vampos::mem {
+
+template <typename T>
+class ArenaStl {
+ public:
+  using value_type = T;
+
+  explicit ArenaStl(BuddyAllocator* alloc) noexcept : alloc_(alloc) {}
+  template <typename U>
+  ArenaStl(const ArenaStl<U>& other) noexcept : alloc_(other.alloc_) {}
+
+  T* allocate(std::size_t n) {
+    void* p = alloc_->Alloc(n * sizeof(T));
+    if (p == nullptr) {
+      throw ComponentFault(kComponentNone, FaultKind::kAllocFailure,
+                           "arena '" + alloc_->arena().name() + "' exhausted");
+    }
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { alloc_->Free(p); }
+
+  template <typename U>
+  bool operator==(const ArenaStl<U>& other) const noexcept {
+    return alloc_ == other.alloc_;
+  }
+
+  BuddyAllocator* alloc_;
+};
+
+template <typename T>
+using vector = std::vector<T, ArenaStl<T>>;
+
+using string =
+    std::basic_string<char, std::char_traits<char>, ArenaStl<char>>;
+
+template <typename K, typename V, typename Cmp = std::less<K>>
+using map = std::map<K, V, Cmp, ArenaStl<std::pair<const K, V>>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+using unordered_map =
+    std::unordered_map<K, V, Hash, std::equal_to<K>,
+                       ArenaStl<std::pair<const K, V>>>;
+
+template <typename T>
+using deque = std::deque<T, ArenaStl<T>>;
+
+/// Placement-constructs a T inside the arena heap. Pair with DestroyIn.
+template <typename T, typename... Args>
+T* NewIn(BuddyAllocator& alloc, Args&&... args) {
+  void* p = alloc.Alloc(sizeof(T));
+  if (p == nullptr) {
+    throw ComponentFault(kComponentNone, FaultKind::kAllocFailure,
+                         "arena '" + alloc.arena().name() + "' exhausted");
+  }
+  return new (p) T(std::forward<Args>(args)...);
+}
+
+template <typename T>
+void DestroyIn(BuddyAllocator& alloc, T* obj) {
+  if (obj == nullptr) return;
+  obj->~T();
+  alloc.Free(obj);
+}
+
+}  // namespace vampos::mem

@@ -1,0 +1,233 @@
+#include "mem/buddy_allocator.h"
+
+#include <bit>
+#include <cstring>
+
+#include "base/panic.h"
+
+namespace vampos::mem {
+
+namespace {
+constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+constexpr std::uint64_t kMagic = 0xB0DDA110C8000001ULL;
+
+// Order-map encoding, one byte per 64-byte granule:
+//   kInterior           — granule is inside a block, not its start
+//   order | kFreeBit    — free block of `order` starts here
+//   order               — allocated block of `order` starts here
+constexpr std::uint8_t kInterior = 0xFF;
+constexpr std::uint8_t kFreeBit = 0x80;
+
+int OrderFor(std::size_t size) {
+  if (size < (1u << BuddyAllocator::kMinOrder)) {
+    return BuddyAllocator::kMinOrder;
+  }
+  return std::bit_width(size - 1);  // ceil(log2(size))
+}
+}  // namespace
+
+struct BuddyAllocator::Header {
+  std::uint64_t magic;
+  std::uint32_t heap_off;    // arena offset of heap base
+  std::uint32_t heap_size;   // power of two
+  std::int32_t top_order;    // log2(heap_size)
+  std::uint32_t map_off;     // arena offset of order map
+  std::uint32_t free_head[kMaxOrders];  // heap-relative offsets
+  AllocStats stats;
+};
+
+struct BuddyAllocator::FreeBlock {
+  std::uint32_t next;
+  std::uint32_t prev;
+};
+
+BuddyAllocator::BuddyAllocator(Arena& arena) : BuddyAllocator(arena, false) {}
+
+BuddyAllocator BuddyAllocator::Attach(Arena& arena) {
+  return BuddyAllocator(arena, true);
+}
+
+BuddyAllocator::BuddyAllocator(Arena& arena, bool attach) : arena_(&arena) {
+  if (attach) {
+    if (header()->magic != kMagic) {
+      Fatal("BuddyAllocator::Attach on unformatted arena '%s'",
+            arena.name().c_str());
+    }
+    return;
+  }
+  // Format: [Header][order map][heap (power-of-two, 64B-aligned)].
+  auto* h = header();
+  std::memset(h, 0, sizeof(Header));
+  h->magic = kMagic;
+
+  const std::size_t granule = 1u << kMinOrder;
+  // Iterate: the map size depends on the heap size which depends on the map
+  // size; a single fixed-point pass with a conservative bound is enough.
+  std::size_t meta = sizeof(Header);
+  std::size_t avail = arena.size() - meta;
+  // Worst-case map: one byte per granule of the whole arena.
+  std::size_t map_bytes = arena.size() / granule;
+  avail = (avail > map_bytes) ? avail - map_bytes : 0;
+  std::size_t heap_size = std::bit_floor(avail);
+  if (heap_size < granule * 4) {
+    Fatal("arena '%s' too small for buddy heap", arena.name().c_str());
+  }
+
+  h->map_off = static_cast<std::uint32_t>(sizeof(Header));
+  std::size_t heap_off = sizeof(Header) + map_bytes;
+  heap_off = (heap_off + granule - 1) / granule * granule;
+  h->heap_off = static_cast<std::uint32_t>(heap_off);
+  h->heap_size = static_cast<std::uint32_t>(heap_size);
+  h->top_order = std::bit_width(heap_size) - 1;
+  for (auto& head : h->free_head) head = kNull;
+
+  std::memset(order_map(), kInterior, map_bytes);
+  PushFree(0, h->top_order);
+}
+
+BuddyAllocator::Header* BuddyAllocator::header() {
+  return reinterpret_cast<Header*>(arena_->base());
+}
+const BuddyAllocator::Header* BuddyAllocator::header() const {
+  return reinterpret_cast<const Header*>(arena_->base());
+}
+std::uint8_t* BuddyAllocator::order_map() {
+  return reinterpret_cast<std::uint8_t*>(arena_->base() + header()->map_off);
+}
+std::byte* BuddyAllocator::heap_base() {
+  return arena_->base() + header()->heap_off;
+}
+const std::byte* BuddyAllocator::heap_base() const {
+  return arena_->base() + header()->heap_off;
+}
+
+std::size_t BuddyAllocator::BlockSizeFor(std::size_t size) {
+  return std::size_t{1} << OrderFor(size);
+}
+
+void BuddyAllocator::PushFree(std::uint32_t off, int order) {
+  auto* h = header();
+  auto* blk = reinterpret_cast<FreeBlock*>(heap_base() + off);
+  blk->next = h->free_head[order];
+  blk->prev = kNull;
+  if (h->free_head[order] != kNull) {
+    reinterpret_cast<FreeBlock*>(heap_base() + h->free_head[order])->prev = off;
+  }
+  h->free_head[order] = off;
+  order_map()[off >> kMinOrder] =
+      static_cast<std::uint8_t>(order) | kFreeBit;
+}
+
+void BuddyAllocator::RemoveFree(std::uint32_t off, int order) {
+  auto* h = header();
+  auto* blk = reinterpret_cast<FreeBlock*>(heap_base() + off);
+  if (blk->prev != kNull) {
+    reinterpret_cast<FreeBlock*>(heap_base() + blk->prev)->next = blk->next;
+  } else {
+    h->free_head[order] = blk->next;
+  }
+  if (blk->next != kNull) {
+    reinterpret_cast<FreeBlock*>(heap_base() + blk->next)->prev = blk->prev;
+  }
+}
+
+std::uint32_t BuddyAllocator::PopFree(int order) {
+  auto* h = header();
+  std::uint32_t off = h->free_head[order];
+  if (off != kNull) RemoveFree(off, order);
+  return off;
+}
+
+void* BuddyAllocator::Alloc(std::size_t size) {
+  auto* h = header();
+  h->stats.alloc_calls++;
+  if (size == 0) size = 1;
+  const int want = OrderFor(size);
+  if (want > h->top_order) {
+    h->stats.failed_allocs++;
+    return nullptr;
+  }
+  // Find the smallest free block that fits.
+  int order = want;
+  while (order <= h->top_order && h->free_head[order] == kNull) ++order;
+  if (order > h->top_order) {
+    h->stats.failed_allocs++;
+    return nullptr;
+  }
+  std::uint32_t off = PopFree(order);
+  // Split down to the requested order, pushing the upper halves free.
+  while (order > want) {
+    --order;
+    PushFree(off + (1u << order), order);
+  }
+  order_map()[off >> kMinOrder] = static_cast<std::uint8_t>(want);
+  h->stats.bytes_in_use += (std::uint64_t{1} << want);
+  if (h->stats.bytes_in_use > h->stats.bytes_peak) {
+    h->stats.bytes_peak = h->stats.bytes_in_use;
+  }
+  return heap_base() + off;
+}
+
+void* BuddyAllocator::AllocZeroed(std::size_t size) {
+  void* p = Alloc(size);
+  if (p != nullptr) std::memset(p, 0, BlockSizeFor(size));
+  return p;
+}
+
+void BuddyAllocator::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  auto* h = header();
+  h->stats.free_calls++;
+  if (!arena_->Contains(ptr)) {
+    Fatal("BuddyAllocator::Free of pointer outside arena '%s'",
+          arena_->name().c_str());
+  }
+  auto off = static_cast<std::uint32_t>(static_cast<std::byte*>(ptr) -
+                                        heap_base());
+  std::uint8_t tag = order_map()[off >> kMinOrder];
+  if (tag == kInterior || (tag & kFreeBit) != 0) {
+    Fatal("BuddyAllocator::Free of invalid/double-freed block at +%u in '%s'",
+          off, arena_->name().c_str());
+  }
+  int order = tag;
+  h->stats.bytes_in_use -= (std::uint64_t{1} << order);
+  order_map()[off >> kMinOrder] = kInterior;
+  // Coalesce with the buddy as long as it is free and the same order.
+  while (order < h->top_order) {
+    const std::uint32_t buddy = off ^ (1u << order);
+    const std::uint8_t btag = order_map()[buddy >> kMinOrder];
+    if (btag != (static_cast<std::uint8_t>(order) | kFreeBit)) break;
+    RemoveFree(buddy, order);
+    order_map()[buddy >> kMinOrder] = kInterior;
+    off = off < buddy ? off : buddy;
+    ++order;
+  }
+  PushFree(off, order);
+}
+
+AllocStats BuddyAllocator::Stats() const { return header()->stats; }
+
+std::size_t BuddyAllocator::HeapSize() const { return header()->heap_size; }
+
+std::size_t BuddyAllocator::LargestFreeBlock() const {
+  const auto* h = header();
+  for (int order = h->top_order; order >= kMinOrder; --order) {
+    if (h->free_head[order] != kNull) return std::size_t{1} << order;
+  }
+  return 0;
+}
+
+std::size_t BuddyAllocator::TotalFreeBytes() const {
+  const auto* h = header();
+  std::size_t total = 0;
+  for (int order = kMinOrder; order <= h->top_order; ++order) {
+    std::uint32_t off = h->free_head[order];
+    while (off != kNull) {
+      total += std::size_t{1} << order;
+      off = reinterpret_cast<const FreeBlock*>(heap_base() + off)->next;
+    }
+  }
+  return total;
+}
+
+}  // namespace vampos::mem

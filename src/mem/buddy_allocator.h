@@ -1,0 +1,81 @@
+// Binary buddy allocator modeled on Unikraft's ukallocbuddy.
+//
+// All allocator state — free-list heads, per-block order map, statistics —
+// lives *inside* the arena it manages, so a component checkpoint is a single
+// byte copy of the arena and a restore rolls the allocator back too. That is
+// what gives VampOS its rejuvenation effect: memory leaked or fragmented
+// after the post-init checkpoint is reclaimed wholesale by the restore.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/arena.h"
+
+namespace vampos::mem {
+
+struct AllocStats {
+  std::uint64_t bytes_in_use = 0;   // sum of rounded block sizes handed out
+  std::uint64_t bytes_peak = 0;
+  std::uint64_t alloc_calls = 0;
+  std::uint64_t free_calls = 0;
+  std::uint64_t failed_allocs = 0;
+};
+
+class BuddyAllocator {
+ public:
+  /// Formats the arena: writes the allocator header, order map, and seeds the
+  /// free lists. Destroys any previous content.
+  explicit BuddyAllocator(Arena& arena);
+
+  /// Attaches to an arena that is already formatted (e.g. after a snapshot
+  /// restore). Validates the header magic.
+  static BuddyAllocator Attach(Arena& arena);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+  BuddyAllocator(BuddyAllocator&&) = default;
+
+  /// Allocates at least `size` bytes (64-byte minimum granule). Returns
+  /// nullptr on exhaustion; callers on component paths convert that into an
+  /// AllocFailure fault.
+  [[nodiscard]] void* Alloc(std::size_t size);
+  [[nodiscard]] void* AllocZeroed(std::size_t size);
+  void Free(void* ptr);
+
+  /// Rounded block size that Alloc(size) would consume.
+  [[nodiscard]] static std::size_t BlockSizeFor(std::size_t size);
+
+  [[nodiscard]] AllocStats Stats() const;
+  [[nodiscard]] std::size_t HeapSize() const;
+  /// Size of the largest block Alloc could currently satisfy; the gap between
+  /// this and total free bytes is the fragmentation signal used by the aging
+  /// experiments.
+  [[nodiscard]] std::size_t LargestFreeBlock() const;
+  [[nodiscard]] std::size_t TotalFreeBytes() const;
+
+  [[nodiscard]] Arena& arena() { return *arena_; }
+
+  static constexpr int kMinOrder = 6;  // 64-byte granule
+  static constexpr int kMaxOrders = 28;
+
+ private:
+  struct Header;
+  struct FreeBlock;
+
+  BuddyAllocator(Arena& arena, bool attach);
+
+  Header* header();
+  const Header* header() const;
+  std::uint8_t* order_map();
+  std::byte* heap_base();
+  const std::byte* heap_base() const;
+
+  void PushFree(std::uint32_t off, int order);
+  void RemoveFree(std::uint32_t off, int order);
+  std::uint32_t PopFree(int order);
+
+  Arena* arena_;
+};
+
+}  // namespace vampos::mem

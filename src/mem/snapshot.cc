@@ -1,0 +1,24 @@
+#include "mem/snapshot.h"
+
+#include <cstring>
+
+#include "base/panic.h"
+
+namespace vampos::mem {
+
+Snapshot Snapshot::Capture(const Arena& arena) {
+  Snapshot snap;
+  snap.bytes_.resize(arena.size());
+  std::memcpy(snap.bytes_.data(), arena.base(), arena.size());
+  return snap;
+}
+
+void Snapshot::Restore(Arena& arena) const {
+  if (bytes_.size() != arena.size()) {
+    Fatal("Snapshot::Restore size mismatch: snapshot %zu vs arena '%s' %zu",
+          bytes_.size(), arena.name().c_str(), arena.size());
+  }
+  std::memcpy(arena.base(), bytes_.data(), bytes_.size());
+}
+
+}  // namespace vampos::mem

@@ -1,0 +1,36 @@
+// Checkpoint engine: byte-level snapshots of component arenas.
+//
+// Implements the paper's checkpoint-based initialization (§V-E): after a
+// component finishes its boot routine, the runtime captures its arena; a
+// reboot restores that post-init image instead of re-running shutdown/boot
+// routines, which would have side effects on other running components.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/arena.h"
+
+namespace vampos::mem {
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Captures the full arena image. O(arena size) copy — this is the
+  /// dominant cost of a stateful component reboot (paper Fig 6).
+  static Snapshot Capture(const Arena& arena);
+
+  /// Restores the image in place. The arena must be the one captured from
+  /// (same size, same address space role).
+  void Restore(Arena& arena) const;
+
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace vampos::mem

@@ -1,0 +1,78 @@
+#include "mpk/mpk.h"
+
+#include <cstring>
+
+namespace vampos::mpk {
+
+std::optional<Key> DomainManager::AssignKey(const mem::Arena& arena,
+                                            std::string label) {
+  if (next_key_ < kNumKeys) {
+    const Key key = static_cast<Key>(next_key_++);
+    key_population_[key]++;
+    TagArena(arena, key, std::move(label));
+    return key;
+  }
+  if (!virtualize_) return std::nullopt;
+  // Hardware keys exhausted: share the least-populated physical key.
+  Key best = 1;
+  for (Key k = 2; k < kNumKeys; ++k) {
+    if (key_population_[k] < key_population_[best]) best = k;
+  }
+  key_population_[best]++;
+  shared_assignments_++;
+  TagArena(arena, best, std::move(label));
+  return best;
+}
+
+void DomainManager::TagArena(const mem::Arena& arena, Key key,
+                             std::string label) {
+  regions_.push_back(Region{
+      .base = reinterpret_cast<std::uintptr_t>(arena.base()),
+      .end = reinterpret_cast<std::uintptr_t>(arena.base()) + arena.size(),
+      .key = key,
+      .label = std::move(label),
+  });
+}
+
+Key DomainManager::KeyFor(const void* ptr) const {
+  const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+  for (const auto& r : regions_) {
+    if (p >= r.base && p < r.end) return r.key;
+  }
+  return kDefaultKey;
+}
+
+void DomainManager::CheckAccess(ComponentId actor, const void* ptr,
+                                std::size_t len, bool write) const {
+  const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+  for (const auto& r : regions_) {
+    if (p >= r.base && p < r.end) {
+      // Reject ranges straddling out of the region as well.
+      const bool inside = p + len <= r.end;
+      const bool allowed = write ? current_.CanWrite(r.key)
+                                 : current_.CanRead(r.key);
+      if (!inside || !allowed) {
+        throw ComponentFault(
+            actor, FaultKind::kMpkViolation,
+            std::string(write ? "write" : "read") + " to '" + r.label +
+                "' denied by PKRU (key " + std::to_string(r.key) + ")");
+      }
+      return;
+    }
+  }
+  // Untagged memory (key 0) is always accessible.
+}
+
+void DomainManager::CheckedRead(ComponentId actor, const void* src, void* dst,
+                                std::size_t len) const {
+  CheckAccess(actor, src, len, /*write=*/false);
+  std::memcpy(dst, src, len);
+}
+
+void DomainManager::CheckedWrite(ComponentId actor, void* dst,
+                                 const void* src, std::size_t len) const {
+  CheckAccess(actor, dst, len, /*write=*/true);
+  std::memcpy(dst, src, len);
+}
+
+}  // namespace vampos::mpk

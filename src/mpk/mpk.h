@@ -1,0 +1,135 @@
+// Simulated Intel Memory Protection Keys (MPK).
+//
+// Models the hardware the paper uses for component-level protection domains:
+// a 4-bit protection key tags every page of every registered region, and a
+// per-thread PKRU register holds access-disable / write-disable bits for each
+// of the 16 keys. The fiber scheduler writes PKRU on every component switch,
+// exactly as VampOS's thread scheduler "changes the current MPK tag to the
+// corresponding tag" (§V-D).
+//
+// Because this is an in-process simulation, loads/stores are not trapped by
+// hardware; instead, all cross-component data movement goes through the
+// checked accessors below (the message domain uses them for every push/pull)
+// and a violation raises a ComponentFault(kMpkViolation) that enters the same
+// reboot path a hardware #PF would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/panic.h"
+#include "base/types.h"
+#include "mem/arena.h"
+
+namespace vampos::mpk {
+
+using Key = std::uint8_t;
+inline constexpr int kNumKeys = 16;     // Intel MPK exposes 16 keys
+inline constexpr Key kDefaultKey = 0;   // key 0: always accessible
+
+/// PKRU register image: 2 bits per key.
+class Pkru {
+ public:
+  static constexpr std::uint32_t kAccessDisableBit = 0x1;
+  static constexpr std::uint32_t kWriteDisableBit = 0x2;
+
+  /// All keys except kDefaultKey fully disabled.
+  static Pkru AllDenied() {
+    Pkru p;
+    p.bits_ = 0xFFFFFFFCu;  // key 0 stays enabled
+    return p;
+  }
+
+  void Allow(Key key, bool write) {
+    bits_ &= ~(kAccessDisableBit << (2 * key));
+    if (write) {
+      bits_ &= ~(kWriteDisableBit << (2 * key));
+    } else {
+      bits_ |= (kWriteDisableBit << (2 * key));
+    }
+  }
+  void Deny(Key key) {
+    bits_ |= (kAccessDisableBit | kWriteDisableBit) << (2 * key);
+  }
+
+  [[nodiscard]] bool CanRead(Key key) const {
+    return ((bits_ >> (2 * key)) & kAccessDisableBit) == 0;
+  }
+  [[nodiscard]] bool CanWrite(Key key) const {
+    return ((bits_ >> (2 * key)) &
+            (kAccessDisableBit | kWriteDisableBit)) == 0;
+  }
+  [[nodiscard]] std::uint32_t raw() const { return bits_; }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Allocates keys, tracks which key tags which arena, and holds the
+/// "current" PKRU written by the scheduler. One instance per runtime.
+class DomainManager {
+ public:
+  DomainManager() = default;
+
+  /// Allocates a fresh key and tags every page of `arena` with it. Returns
+  /// nullopt when the 16 hardware keys are exhausted (paper §V-D notes this
+  /// limit is reached at 12 tags for Redis/Nginx) — unless key
+  /// virtualization is enabled, in which case domains beyond the hardware
+  /// budget share the least-populated physical key (EPK/libmpk-style
+  /// static partitioning): isolation becomes coarser, never absent.
+  std::optional<Key> AssignKey(const mem::Arena& arena, std::string label);
+
+  /// Enables the key-sharing fallback for > 16 protection domains.
+  void EnableKeyVirtualization() { virtualize_ = true; }
+  [[nodiscard]] std::uint64_t shared_key_assignments() const {
+    return shared_assignments_;
+  }
+
+  /// Tags an arena with an already-allocated key (used by merged components,
+  /// which share one key across their constituent regions).
+  void TagArena(const mem::Arena& arena, Key key, std::string label);
+
+  /// Scheduler entry point: installs the PKRU for the component being
+  /// dispatched. Cheap by design — models a WRPKRU instruction.
+  void WritePkru(const Pkru& pkru) { current_ = pkru; pkru_writes_++; }
+  [[nodiscard]] const Pkru& CurrentPkru() const { return current_; }
+  [[nodiscard]] std::uint64_t PkruWrites() const { return pkru_writes_; }
+
+  /// Key lookup for a pointer; kDefaultKey if the pointer is not inside any
+  /// registered arena (global heap, stacks, runtime structures).
+  [[nodiscard]] Key KeyFor(const void* ptr) const;
+
+  /// Checked accessors: validate against the current PKRU, then copy.
+  /// Throw ComponentFault(kMpkViolation) on denial, attributed to `actor`.
+  void CheckedRead(ComponentId actor, const void* src, void* dst,
+                   std::size_t len) const;
+  void CheckedWrite(ComponentId actor, void* dst, const void* src,
+                    std::size_t len) const;
+
+  /// Validation without the copy (for tests and guard rails).
+  void CheckAccess(ComponentId actor, const void* ptr, std::size_t len,
+                   bool write) const;
+
+  [[nodiscard]] int KeysInUse() const { return next_key_; }
+
+ private:
+  struct Region {
+    std::uintptr_t base;
+    std::uintptr_t end;
+    Key key;
+    std::string label;
+  };
+
+  Pkru current_ = Pkru::AllDenied();
+  int next_key_ = 1;  // key 0 reserved as default
+  std::vector<Region> regions_;
+  std::uint64_t pkru_writes_ = 0;
+  bool virtualize_ = false;
+  std::uint64_t shared_assignments_ = 0;
+  int key_population_[kNumKeys] = {};  // domains per physical key
+};
+
+}  // namespace vampos::mpk

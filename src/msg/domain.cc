@@ -1,0 +1,241 @@
+#include "msg/domain.h"
+
+#include <algorithm>
+
+#include "base/panic.h"
+
+namespace vampos::msg {
+
+// ---------------------------------------------------------------- CallLog
+
+std::size_t CallLog::FootprintOf(const CallLogEntry& e) {
+  std::size_t n = sizeof(CallLogEntry) + WireSizeOf(e.args) + e.ret.WireSize();
+  for (const auto& [fn, ret] : e.outbound) {
+    (void)fn;
+    n += 8 + ret.WireSize();
+  }
+  return n;
+}
+
+LogSeq CallLog::Append(CallLogEntry entry) {
+  entry.seq = next_seq_++;
+  entry.bytes = FootprintOf(entry);
+  bytes_ += entry.bytes;
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+CallLogEntry* CallLog::Find(LogSeq seq) {
+  // Entries are seq-ordered; binary search.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), seq,
+      [](const CallLogEntry& e, LogSeq s) { return e.seq < s; });
+  if (it == entries_.end() || it->seq != seq) return nullptr;
+  return &*it;
+}
+
+void CallLog::SetReturn(LogSeq seq, MsgValue ret) {
+  if (CallLogEntry* e = Find(seq)) {
+    bytes_ -= e->bytes;
+    e->ret = std::move(ret);
+    e->have_ret = true;
+    e->bytes = FootprintOf(*e);
+    bytes_ += e->bytes;
+  }
+}
+
+void CallLog::SetSession(LogSeq seq, std::int64_t session) {
+  if (CallLogEntry* e = Find(seq)) e->session = session;
+}
+
+void CallLog::RecordOutbound(LogSeq seq, FunctionId fn, MsgValue ret) {
+  if (CallLogEntry* e = Find(seq)) {
+    bytes_ -= e->bytes;
+    e->outbound.emplace_back(fn, std::move(ret));
+    e->bytes = FootprintOf(*e);
+    bytes_ += e->bytes;
+  }
+}
+
+std::size_t CallLog::PruneSession(std::int64_t session) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->session == session) {
+      bytes_ -= it->bytes;
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void CallLog::Erase(LogSeq seq) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [seq](const CallLogEntry& e) { return e.seq == seq; });
+  if (it != entries_.end()) {
+    bytes_ -= it->bytes;
+    entries_.erase(it);
+  }
+}
+
+std::size_t CallLog::PruneIf(
+    const std::function<bool(const CallLogEntry&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (pred(*it)) {
+      bytes_ -= it->bytes;
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void CallLog::Clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+// ----------------------------------------------------------- MessageDomain
+
+MessageDomain::MessageDomain(std::size_t arena_size,
+                             mpk::DomainManager* domains)
+    : arena_(arena_size, "message-domain"),
+      alloc_(arena_),
+      domains_(domains) {
+  if (domains_ != nullptr) {
+    if (auto key = domains_->AssignKey(arena_, "message-domain")) {
+      key_ = *key;
+    } else {
+      Fatal("out of MPK keys for the message domain");
+    }
+  }
+}
+
+void MessageDomain::EnsureCapacity(ComponentId max_id) {
+  if (static_cast<std::size_t>(max_id + 1) > inbox_.size()) {
+    inbox_.resize(max_id + 1);
+  }
+}
+
+void MessageDomain::Push(Message msg, const Args& payload) {
+  EnsureCapacity(msg.to);
+  pushes_++;
+  const std::vector<std::byte> wire = SerializeArgs(payload);
+  void* buf = alloc_.Alloc(wire.size());
+  if (buf == nullptr) {
+    Fatal("message domain arena exhausted (%zu bytes requested)",
+          wire.size());
+  }
+  if (domains_ != nullptr) {
+    domains_->CheckedWrite(msg.from, buf, wire.data(), wire.size());
+  } else {
+    std::memcpy(buf, wire.data(), wire.size());
+  }
+  msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
+  msg.buf_len = static_cast<std::uint32_t>(wire.size());
+  inbox_[msg.to].push_back(msg);
+}
+
+std::optional<std::pair<Message, Args>> MessageDomain::Pull(ComponentId to) {
+  if (static_cast<std::size_t>(to) >= inbox_.size() || inbox_[to].empty()) {
+    return std::nullopt;
+  }
+  Message msg = inbox_[to].front();
+  inbox_[to].pop_front();
+  std::vector<std::byte> wire(msg.buf_len);
+  void* buf = arena_.AtOffset(msg.buf_off);
+  if (domains_ != nullptr) {
+    domains_->CheckedRead(to, buf, wire.data(), wire.size());
+  } else {
+    std::memcpy(wire.data(), buf, wire.size());
+  }
+  // Buffer no longer needed once consumed; logs hold their own copy.
+  alloc_.Free(buf);
+  return std::make_pair(msg, DeserializeArgs(wire));
+}
+
+void MessageDomain::PushReply(Message msg, const Args& payload) {
+  pushes_++;
+  const std::vector<std::byte> wire = SerializeArgs(payload);
+  void* buf = alloc_.Alloc(wire.size());
+  if (buf == nullptr) {
+    Fatal("message domain arena exhausted on reply (%zu bytes)", wire.size());
+  }
+  if (domains_ != nullptr) {
+    domains_->CheckedWrite(msg.from, buf, wire.data(), wire.size());
+  } else {
+    std::memcpy(buf, wire.data(), wire.size());
+  }
+  msg.kind = Message::Kind::kReply;
+  msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
+  msg.buf_len = static_cast<std::uint32_t>(wire.size());
+  replies_.push_back(msg);
+}
+
+std::optional<std::pair<Message, Args>> MessageDomain::PullReply() {
+  if (replies_.empty()) return std::nullopt;
+  Message msg = replies_.front();
+  replies_.pop_front();
+  std::vector<std::byte> wire(msg.buf_len);
+  void* buf = arena_.AtOffset(msg.buf_off);
+  // The message thread drains replies; it has full access to the domain.
+  std::memcpy(wire.data(), buf, wire.size());
+  alloc_.Free(buf);
+  return std::make_pair(msg, DeserializeArgs(wire));
+}
+
+bool MessageDomain::HasMessage(ComponentId to) const {
+  return static_cast<std::size_t>(to) < inbox_.size() && !inbox_[to].empty();
+}
+
+std::size_t MessageDomain::QueueDepth(ComponentId to) const {
+  if (static_cast<std::size_t>(to) >= inbox_.size()) return 0;
+  return inbox_[to].size();
+}
+
+ComponentId MessageDomain::OldestPendingDestination() const {
+  ComponentId best = kComponentNone;
+  Nanos best_time = 0;
+  for (std::size_t id = 0; id < inbox_.size(); ++id) {
+    if (inbox_[id].empty()) continue;
+    const Nanos t = inbox_[id].front().enqueued_at;
+    if (best == kComponentNone || t < best_time) {
+      best = static_cast<ComponentId>(id);
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+void MessageDomain::DropQueued(ComponentId to) {
+  if (static_cast<std::size_t>(to) >= inbox_.size()) return;
+  for (const Message& m : inbox_[to]) {
+    alloc_.Free(arena_.AtOffset(m.buf_off));
+  }
+  inbox_[to].clear();
+}
+
+std::size_t MessageDomain::TotalLogBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, log] : logs_) {
+    (void)id;
+    total += log.bytes();
+  }
+  return total;
+}
+
+std::size_t MessageDomain::TotalLogEntries() const {
+  std::size_t total = 0;
+  for (const auto& [id, log] : logs_) {
+    (void)id;
+    total += log.size();
+  }
+  return total;
+}
+
+}  // namespace vampos::msg

@@ -1,0 +1,166 @@
+// Message domain: the shared-memory mailbox and log store between components.
+//
+// Mirrors the paper's design (§V-A, §V-D, Fig 4): the message domain is an
+// isolated memory region, tagged with its own MPK key, holding (1) message
+// buffers for push/pull communication (vo_push_msgs / vo_pull_msgs) and
+// (2) the function-call and return-value logs used for encapsulated
+// restoration. It is managed by the message thread (the runtime main loop),
+// never by component code, so a faulty component cannot corrupt the logs its
+// own recovery will depend on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/types.h"
+#include "mem/arena.h"
+#include "mem/buddy_allocator.h"
+#include "mpk/mpk.h"
+#include "msg/value.h"
+
+namespace vampos::sched {
+class Fiber;
+}
+
+namespace vampos::msg {
+
+/// One in-flight message: either a function-call request or its reply. The
+/// payload bytes are staged inside the message-domain arena; the struct
+/// itself is runtime bookkeeping.
+struct Message {
+  enum class Kind { kCall, kReply };
+  Kind kind = Kind::kCall;
+  std::uint64_t rpc_id = 0;
+  ComponentId from = kComponentNone;
+  ComponentId to = kComponentNone;
+  FunctionId fn = -1;
+  std::uint32_t buf_off = 0;   // payload offset in the domain arena
+  std::uint32_t buf_len = 0;
+  sched::Fiber* caller_fiber = nullptr;  // fiber to wake when replied
+  Nanos enqueued_at = 0;                 // for the hang detector
+  LogSeq log_seq = 0;                    // call-log entry for this call, 0 = unlogged
+};
+
+/// One logged inbound call on a stateful component, with everything needed
+/// to replay it during encapsulated restoration: arguments, the session it
+/// belongs to (fd / socket id), and the return values this call observed
+/// from its own outbound calls into other components (fed back during
+/// replay instead of re-invoking those components — paper Fig 3).
+struct CallLogEntry {
+  LogSeq seq = 0;
+  FunctionId fn = -1;
+  Args args;
+  MsgValue ret;
+  bool have_ret = false;
+  std::int64_t session = -1;       // -1: not session-scoped
+  bool state_changing = true;      // false: skipped during replay
+  bool synthetic = false;          // produced by log compaction
+  std::vector<std::pair<FunctionId, MsgValue>> outbound;
+  std::size_t bytes = 0;           // serialized footprint, for accounting
+};
+
+/// Per-stateful-component function-call log.
+class CallLog {
+ public:
+  LogSeq Append(CallLogEntry entry);
+  void SetReturn(LogSeq seq, MsgValue ret);
+  void SetSession(LogSeq seq, std::int64_t session);
+  void RecordOutbound(LogSeq seq, FunctionId fn, MsgValue ret);
+
+  /// Session-aware shrinking: drops every entry bound to `session`
+  /// (including the canceling call itself). Returns entries removed.
+  std::size_t PruneSession(std::int64_t session);
+
+  /// Drops a specific entry (used by threshold-triggered compaction).
+  void Erase(LogSeq seq);
+
+  /// Drops every entry matching `pred`; returns the count removed. Drives
+  /// both canceling-function pruning and threshold compaction selection.
+  std::size_t PruneIf(const std::function<bool(const CallLogEntry&)>& pred);
+
+  void Clear();
+
+  [[nodiscard]] const std::deque<CallLogEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] LogSeq next_seq() const { return next_seq_; }
+
+ private:
+  CallLogEntry* Find(LogSeq seq);
+  static std::size_t FootprintOf(const CallLogEntry& e);
+
+  std::deque<CallLogEntry> entries_;
+  std::size_t bytes_ = 0;
+  LogSeq next_seq_ = 1;
+};
+
+/// The message domain itself: arena-backed staging buffers + per-component
+/// inboxes + per-component call logs.
+class MessageDomain {
+ public:
+  /// `arena_size` bounds buffers in flight; the domain gets its own MPK key
+  /// from `domains` (may be nullptr in unit tests without isolation).
+  MessageDomain(std::size_t arena_size, mpk::DomainManager* domains);
+
+  /// Makes room for inboxes up to component id `max_id`.
+  void EnsureCapacity(ComponentId max_id);
+
+  /// vo_push_msgs(): serializes the payload into the domain arena with an
+  /// MPK-checked write attributed to `msg.from`, then enqueues. The caller
+  /// (runtime) must have opened write access to the domain key in PKRU.
+  void Push(Message msg, const Args& payload);
+
+  /// vo_pull_msgs(): dequeues the oldest message for `to`, deserializes the
+  /// payload with an MPK-checked read, releases the staging buffer.
+  std::optional<std::pair<Message, Args>> Pull(ComponentId to);
+
+  /// Replies travel through the domain too ("in sending the return value,
+  /// the scheduler dispatches the message thread to preserve it", §V-C).
+  /// They live in a dedicated queue drained by the message thread, which
+  /// wakes the blocked caller fiber.
+  void PushReply(Message msg, const Args& payload);
+  std::optional<std::pair<Message, Args>> PullReply();
+  [[nodiscard]] bool HasReply() const { return !replies_.empty(); }
+
+  [[nodiscard]] bool HasMessage(ComponentId to) const;
+  [[nodiscard]] std::size_t QueueDepth(ComponentId to) const;
+  /// Peek destination of the oldest pending message anywhere (scheduling
+  /// hint); kComponentNone if all inboxes are empty.
+  [[nodiscard]] ComponentId OldestPendingDestination() const;
+
+  /// Drops every queued message addressed to `to` (component reboot path).
+  void DropQueued(ComponentId to);
+
+  CallLog& LogFor(ComponentId id) { return logs_[id]; }
+  [[nodiscard]] bool HasLog(ComponentId id) const {
+    return logs_.contains(id);
+  }
+
+  [[nodiscard]] mpk::Key key() const { return key_; }
+  [[nodiscard]] std::size_t TotalLogBytes() const;
+  [[nodiscard]] std::size_t TotalLogEntries() const;
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+
+ private:
+  mem::Arena arena_;
+  mem::BuddyAllocator alloc_;
+  mpk::DomainManager* domains_;
+  mpk::Key key_ = mpk::kDefaultKey;
+  std::vector<std::deque<Message>> inbox_;
+  std::deque<Message> replies_;
+  std::unordered_map<ComponentId, CallLog> logs_;
+  std::uint64_t next_rpc_id_ = 1;
+  std::uint64_t pushes_ = 0;
+
+ public:
+  std::uint64_t NextRpcId() { return next_rpc_id_++; }
+};
+
+}  // namespace vampos::msg

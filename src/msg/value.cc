@@ -1,0 +1,100 @@
+#include "msg/value.h"
+
+namespace vampos::msg {
+
+namespace {
+enum Tag : std::uint8_t { kI64 = 1, kU64 = 2, kF64 = 3, kBytesTag = 4 };
+
+void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+std::uint32_t GetU32(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+std::uint64_t GetU64(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+}  // namespace
+
+void MsgValue::Serialize(std::vector<std::byte>& out) const {
+  if (is_i64()) {
+    out.push_back(static_cast<std::byte>(kI64));
+    PutU64(out, static_cast<std::uint64_t>(i64()));
+  } else if (is_u64()) {
+    out.push_back(static_cast<std::byte>(kU64));
+    PutU64(out, u64());
+  } else if (is_f64()) {
+    out.push_back(static_cast<std::byte>(kF64));
+    std::uint64_t bits;
+    double d = f64();
+    std::memcpy(&bits, &d, 8);
+    PutU64(out, bits);
+  } else {
+    out.push_back(static_cast<std::byte>(kBytesTag));
+    PutU32(out, static_cast<std::uint32_t>(bytes().size()));
+    const auto* p = reinterpret_cast<const std::byte*>(bytes().data());
+    out.insert(out.end(), p, p + bytes().size());
+  }
+}
+
+MsgValue MsgValue::Deserialize(std::span<const std::byte> in,
+                               std::size_t& pos) {
+  const auto tag = static_cast<Tag>(in[pos++]);
+  switch (tag) {
+    case kI64:
+      return MsgValue(static_cast<std::int64_t>(GetU64(in, pos)));
+    case kU64:
+      return MsgValue(GetU64(in, pos));
+    case kF64: {
+      std::uint64_t bits = GetU64(in, pos);
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return MsgValue(d);
+    }
+    case kBytesTag: {
+      std::uint32_t len = GetU32(in, pos);
+      std::string s(reinterpret_cast<const char*>(in.data() + pos), len);
+      pos += len;
+      return MsgValue(std::move(s));
+    }
+  }
+  Fatal("MsgValue::Deserialize: corrupt tag %d", static_cast<int>(tag));
+}
+
+std::vector<std::byte> SerializeArgs(const Args& args) {
+  std::vector<std::byte> out;
+  out.reserve(WireSizeOf(args));
+  PutU32(out, static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) a.Serialize(out);
+  return out;
+}
+
+Args DeserializeArgs(std::span<const std::byte> in) {
+  std::size_t pos = 0;
+  const std::uint32_t count = GetU32(in, pos);
+  Args args;
+  args.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    args.push_back(MsgValue::Deserialize(in, pos));
+  }
+  return args;
+}
+
+}  // namespace vampos::msg

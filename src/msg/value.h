@@ -1,0 +1,82 @@
+// Argument / return-value representation for cross-component calls.
+//
+// VampOS hooks the interfaces exposed by components, extracts the arguments,
+// and puts them in the message domain (§V-A). MsgValue is that marshaled
+// form: a small tagged union covering the types the hooked C interfaces use
+// (integers, doubles, byte buffers). Serialize/Deserialize define the wire
+// format staged in the message-domain arena and accounted against log space.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/panic.h"
+
+namespace vampos::msg {
+
+class MsgValue {
+ public:
+  MsgValue() : v_(std::int64_t{0}) {}
+  MsgValue(std::int64_t v) : v_(v) {}            // NOLINT(google-explicit-*)
+  MsgValue(std::uint64_t v) : v_(v) {}           // NOLINT
+  MsgValue(double v) : v_(v) {}                  // NOLINT
+  MsgValue(std::string v) : v_(std::move(v)) {}  // NOLINT
+  MsgValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+  static MsgValue Bytes(std::span<const std::byte> data) {
+    return MsgValue(std::string(reinterpret_cast<const char*>(data.data()),
+                                data.size()));
+  }
+
+  [[nodiscard]] bool is_i64() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_u64() const {
+    return std::holds_alternative<std::uint64_t>(v_);
+  }
+  [[nodiscard]] bool is_f64() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_bytes() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  [[nodiscard]] std::int64_t i64() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] std::uint64_t u64() const { return std::get<std::uint64_t>(v_); }
+  [[nodiscard]] double f64() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& bytes() const {
+    return std::get<std::string>(v_);
+  }
+
+  /// Serialized size: 1 tag byte + fixed or length-prefixed payload.
+  [[nodiscard]] std::size_t WireSize() const {
+    if (is_bytes()) return 1 + 4 + bytes().size();
+    return 1 + 8;
+  }
+
+  /// Appends the wire form to `out`.
+  void Serialize(std::vector<std::byte>& out) const;
+
+  /// Parses one value from `in` starting at `pos`, advancing it.
+  static MsgValue Deserialize(std::span<const std::byte> in, std::size_t& pos);
+
+  bool operator==(const MsgValue& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::int64_t, std::uint64_t, double, std::string> v_;
+};
+
+using Args = std::vector<MsgValue>;
+
+/// Serializes a full argument vector (count-prefixed).
+std::vector<std::byte> SerializeArgs(const Args& args);
+Args DeserializeArgs(std::span<const std::byte> in);
+
+inline std::size_t WireSizeOf(const Args& args) {
+  std::size_t n = 4;
+  for (const auto& a : args) n += a.WireSize();
+  return n;
+}
+
+}  // namespace vampos::msg

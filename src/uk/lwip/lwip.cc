@@ -1,0 +1,520 @@
+#include "uk/lwip/lwip.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "uk/virtio/virtio.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::CompactionHook;
+using comp::CompactionRequest;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+namespace {
+MsgValue Err(Errno e) { return MsgValue(ToWire(Status::Error(e))); }
+constexpr int kDrainBudget = 32;
+}  // namespace
+
+LwipComponent::LwipComponent()
+    : Component("lwip", Statefulness::kStateful, 16u << 20) {}
+
+LwipComponent::Sock* LwipComponent::Get(std::int64_t s) {
+  if (s < 0 || s >= static_cast<std::int64_t>(kMaxSocks)) return nullptr;
+  Sock* sock = &state_->socks[s];
+  return sock->state == SockState::kFree ? nullptr : sock;
+}
+
+std::int64_t LwipComponent::AllocSock(CallCtx& ctx) {
+  if (auto forced = ctx.forced_session()) return *forced;
+  for (std::size_t i = 0; i < kMaxSocks; ++i) {
+    if (state_->socks[i].state == SockState::kFree) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return ToWire(Status::Error(Errno::kMFile));
+}
+
+std::int64_t LwipComponent::FindByPorts(std::uint16_t local,
+                                        std::uint16_t remote) const {
+  for (std::size_t i = 0; i < kMaxSocks; ++i) {
+    const Sock& s = state_->socks[i];
+    if (s.state == SockState::kEstablished && s.local_port == local &&
+        s.remote_port == remote) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+void LwipComponent::SaveSocketVault(CallCtx& ctx) {
+  // Runtime-data extraction (§V-B): serialize the connection-critical fields
+  // of every live socket. The vault survives this component's reboots.
+  Args blob;
+  for (std::size_t i = 0; i < kMaxSocks; ++i) {
+    const Sock& s = state_->socks[i];
+    if (s.state == SockState::kFree || s.state == SockState::kClosed) {
+      continue;
+    }
+    blob.push_back(MsgValue(static_cast<std::int64_t>(i)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.state)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.local_port)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.remote_port)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.snd_seq)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.rcv_ack)));
+    blob.push_back(MsgValue(static_cast<std::int64_t>(s.opt_flags)));
+  }
+  auto bytes = msg::SerializeArgs(blob);
+  ctx.SaveRuntimeData(
+      "socks", MsgValue(std::string(
+                   reinterpret_cast<const char*>(bytes.data()),
+                   bytes.size())));
+}
+
+void LwipComponent::RouteFrame(CallCtx& ctx, const Frame& f) {
+  state_->frames_processed++;
+  auto tx = [&](Frame out) {
+    (void)ctx.Call(netdev_tx_, {MsgValue(EncodeFrame(out))});
+  };
+
+  if ((f.flags & Frame::kSyn) != 0 && (f.flags & Frame::kAck) == 0) {
+    // Retransmitted SYN for a connection we already accepted or queued:
+    // drop it (the SYN-ACK is on its way or was lost; the peer re-syncs).
+    if (FindByPorts(f.dst_port, f.src_port) >= 0) return;
+    for (const PendingSyn& p : state_->backlog) {
+      if (p.used && p.listen_port == f.dst_port && p.src_port == f.src_port) {
+        return;
+      }
+    }
+    // Queue on the backlog if a listener for the port exists.
+    bool listening = false;
+    for (const Sock& l : state_->socks) {
+      listening = listening || (l.state == SockState::kListening &&
+                                l.local_port == f.dst_port);
+    }
+    if (!listening) return;
+    for (PendingSyn& p : state_->backlog) {
+      if (!p.used) {
+        p = PendingSyn{true, f.dst_port, f.src_port, f.seq};
+        return;
+      }
+    }
+    // Backlog full: drop; the peer will retransmit the SYN.
+    return;
+  }
+
+  if ((f.flags & (Frame::kSyn | Frame::kAck)) ==
+      (Frame::kSyn | Frame::kAck)) {
+    // SYN-ACK for an active open: match by local port.
+    for (std::size_t i = 0; i < kMaxSocks; ++i) {
+      Sock& s = state_->socks[i];
+      if (s.state == SockState::kEstablished && s.local_port == f.dst_port &&
+          s.remote_port == f.src_port && s.rcv_ack == 0) {
+        s.rcv_ack = f.seq + 1;
+        SaveSocketVault(ctx);
+        return;
+      }
+    }
+    return;
+  }
+
+  if ((f.flags & Frame::kDgram) != 0) {
+    // Connectionless delivery: route to a datagram socket bound to the
+    // destination port; drop when none exists or its queue is full (UDP
+    // loss semantics — no RST, no retransmission).
+    for (Sock& s : state_->socks) {
+      if (s.state == SockState::kFree || !s.dgram ||
+          s.local_port != f.dst_port) {
+        continue;
+      }
+      for (auto& d : s.dgrams) {
+        if (d.used) continue;
+        d.used = true;
+        d.from = f.src_port;
+        d.len = static_cast<std::uint16_t>(
+            std::min(f.payload.size(), kDgramMax));
+        std::memcpy(d.data, f.payload.data(), d.len);
+        return;
+      }
+      return;  // queue full: drop
+    }
+    return;  // no receiver: drop
+  }
+
+  const std::int64_t idx = FindByPorts(f.dst_port, f.src_port);
+  if (idx < 0) {
+    if ((f.flags & Frame::kData) != 0) {
+      tx(Frame{.flags = Frame::kRst,
+               .src_port = f.dst_port,
+               .dst_port = f.src_port,
+               .seq = 0,
+               .ack = 0,
+               .payload = {}});
+    }
+    return;
+  }
+  Sock& s = state_->socks[idx];
+  if ((f.flags & Frame::kRst) != 0) {
+    s.state = SockState::kClosed;
+    SaveSocketVault(ctx);
+    return;
+  }
+  if ((f.flags & Frame::kFin) != 0) {
+    s.state = SockState::kClosed;
+    SaveSocketVault(ctx);
+    return;
+  }
+  if ((f.flags & Frame::kData) != 0) {
+    if (f.seq != s.rcv_ack) {
+      // Sequence discontinuity: the connection state was lost (e.g. LWIP
+      // rebooted without restoration). Reset, as a real peer would observe.
+      tx(Frame{.flags = Frame::kRst,
+               .src_port = s.local_port,
+               .dst_port = s.remote_port,
+               .seq = 0,
+               .ack = 0,
+               .payload = {}});
+      s.state = SockState::kClosed;
+      SaveSocketVault(ctx);
+      return;
+    }
+    const auto n = std::min<std::size_t>(f.payload.size(),
+                                         kRcvBuf - s.buf_len);
+    std::memcpy(s.buf + s.buf_len, f.payload.data(), n);
+    s.buf_len += static_cast<std::uint32_t>(n);
+    s.rcv_ack += static_cast<std::uint32_t>(f.payload.size());
+    SaveSocketVault(ctx);
+  }
+}
+
+int LwipComponent::DrainFrames(CallCtx& ctx, int budget) {
+  int processed = 0;
+  for (int i = 0; i < budget; ++i) {
+    MsgValue wire = ctx.Call(netdev_rx_, {});
+    if (!wire.is_bytes() || wire.bytes().empty()) break;
+    RouteFrame(ctx, DecodeFrame(wire.bytes()));
+    processed++;
+  }
+  return processed;
+}
+
+void LwipComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>();
+
+  ctx.Export("socket", FnOptions{.logged = true, .session_from_ret = true},
+             [this](CallCtx& c, const Args&) {
+               const std::int64_t s = AllocSock(c);
+               if (s < 0) return MsgValue(s);
+               state_->socks[s] = Sock{};
+               state_->socks[s].state = SockState::kOpen;
+               return MsgValue(s);
+             });
+
+  ctx.Export("bind", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr) return Err(Errno::kBadF);
+               s->local_port = static_cast<std::uint16_t>(args[1].i64());
+               s->state = SockState::kBound;
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("listen", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr || s->state != SockState::kBound ||
+                   s->dgram) {
+                 return Err(Errno::kInval);
+               }
+               s->state = SockState::kListening;
+               return MsgValue(std::int64_t{0});
+             });
+
+  // connect(s, remote_port): active open. Optimistic (fast-open style): the
+  // socket is usable immediately; the SYN-ACK patches rcv_ack when routed.
+  ctx.Export(
+      "connect", FnOptions{.logged = true, .session_arg = 0},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr) return Err(Errno::kBadF);
+        if (s->local_port == 0) {
+          s->local_port =
+              static_cast<std::uint16_t>(40000 + args[0].i64());
+        }
+        s->remote_port = static_cast<std::uint16_t>(args[1].i64());
+        s->snd_seq = kInitialSeq;
+        s->rcv_ack = 0;
+        s->state = SockState::kEstablished;
+        if (!c.restoring()) {
+          (void)c.Call(netdev_tx_,
+                       {MsgValue(EncodeFrame(Frame{
+                           .flags = Frame::kSyn,
+                           .src_port = s->local_port,
+                           .dst_port = s->remote_port,
+                           .seq = s->snd_seq - 1,
+                           .ack = 0,
+                           .payload = {}}))});
+          SaveSocketVault(c);
+        }
+        return MsgValue(std::int64_t{0});
+      });
+
+  // accept(listener) -> new socket id, or -EAGAIN. Not logged: accepted
+  // connections are restored from the runtime-data vault, not by replay.
+  ctx.Export(
+      "accept", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        Sock* l = Get(args[0].i64());
+        if (l == nullptr || l->state != SockState::kListening) {
+          return Err(Errno::kInval);
+        }
+        auto find_pending = [&]() -> PendingSyn* {
+          for (PendingSyn& p : state_->backlog) {
+            if (p.used && p.listen_port == l->local_port) return &p;
+          }
+          return nullptr;
+        };
+        PendingSyn* pending = find_pending();
+        if (pending == nullptr) {
+          DrainFrames(c, kDrainBudget);
+          pending = find_pending();
+        }
+        if (pending == nullptr) return Err(Errno::kAgain);
+        const std::int64_t s_idx = AllocSock(c);
+        if (s_idx < 0) return MsgValue(s_idx);
+        Sock& s = state_->socks[s_idx];
+        s = Sock{};
+        s.state = SockState::kEstablished;
+        s.local_port = l->local_port;
+        s.remote_port = pending->src_port;
+        s.rcv_ack = pending->seq + 1;
+        s.snd_seq = kInitialSeq;
+        pending->used = false;
+        (void)c.Call(netdev_tx_,
+                     {MsgValue(EncodeFrame(Frame{
+                         .flags = static_cast<std::uint8_t>(Frame::kSyn |
+                                                            Frame::kAck),
+                         .src_port = s.local_port,
+                         .dst_port = s.remote_port,
+                         .seq = s.snd_seq - 1,
+                         .ack = s.rcv_ack,
+                         .payload = {}}))});
+        SaveSocketVault(c);
+        return MsgValue(s_idx);
+      });
+
+  // send(s, data) -> n. Not logged; seq numbers are vault-restored.
+  ctx.Export(
+      "send", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr || s->state != SockState::kEstablished) {
+          return Err(Errno::kNotConn);
+        }
+        const std::string& data = args[1].bytes();
+        (void)c.Call(netdev_tx_,
+                     {MsgValue(EncodeFrame(Frame{
+                         .flags = Frame::kData,
+                         .src_port = s->local_port,
+                         .dst_port = s->remote_port,
+                         .seq = s->snd_seq,
+                         .ack = s->rcv_ack,
+                         .payload = data}))});
+        s->snd_seq += static_cast<std::uint32_t>(data.size());
+        SaveSocketVault(c);
+        return MsgValue(static_cast<std::int64_t>(data.size()));
+      });
+
+  // recv(s, maxlen) -> bytes, or -EAGAIN / -ENOTCONN.
+  ctx.Export(
+      "recv", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr) return Err(Errno::kBadF);
+        // Drain one frame at a time: stop as soon as this socket has data,
+        // leaving the rest of the wire for later receivers.
+        for (int i = 0; s->buf_len == 0 && i < kDrainBudget; ++i) {
+          if (DrainFrames(c, 1) == 0) break;
+        }
+        if (s->state == SockState::kClosed && s->buf_len == 0) {
+          return Err(Errno::kNotConn);
+        }
+        if (s->buf_len == 0) return Err(Errno::kAgain);
+        const auto n = std::min<std::uint32_t>(
+            s->buf_len, static_cast<std::uint32_t>(args[1].i64()));
+        std::string out(s->buf, n);
+        std::memmove(s->buf, s->buf + n, s->buf_len - n);
+        s->buf_len -= n;
+        return MsgValue(std::move(out));
+      });
+
+  ctx.Export(
+      "sock_net_close",
+      FnOptions{.logged = true, .session_arg = 0, .canceling = true},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr) return Err(Errno::kBadF);
+        if (s->state == SockState::kEstablished && !c.restoring()) {
+          (void)c.Call(netdev_tx_,
+                       {MsgValue(EncodeFrame(Frame{
+                           .flags = Frame::kFin,
+                           .src_port = s->local_port,
+                           .dst_port = s->remote_port,
+                           .seq = s->snd_seq,
+                           .ack = 0,
+                           .payload = {}}))});
+        }
+        *s = Sock{};
+        if (!c.restoring()) SaveSocketVault(c);
+        return MsgValue(std::int64_t{0});
+      });
+
+  ctx.Export("shutdown", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr) return Err(Errno::kBadF);
+               s->state = SockState::kClosed;
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("setsockopt", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr) return Err(Errno::kBadF);
+               s->opt_flags |= static_cast<std::uint32_t>(args[1].i64());
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("getsockopt",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr) return Err(Errno::kBadF);
+               return MsgValue(static_cast<std::int64_t>(s->opt_flags));
+             });
+
+  ctx.Export("sock_net_ioctl",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               return Get(args[0].i64()) != nullptr
+                          ? MsgValue(std::int64_t{0})
+                          : Err(Errno::kBadF);
+             });
+
+  // ------------------------------------------------------ UDP (datagram)
+
+  ctx.Export("socket_dgram",
+             FnOptions{.logged = true, .session_from_ret = true},
+             [this](CallCtx& c, const Args&) {
+               const std::int64_t s = AllocSock(c);
+               if (s < 0) return MsgValue(s);
+               state_->socks[s] = Sock{};
+               state_->socks[s].state = SockState::kOpen;
+               state_->socks[s].dgram = true;
+               return MsgValue(s);
+             });
+
+  // sendto(s, port, data) -> n. Connectionless; not logged (no state).
+  ctx.Export(
+      "sendto", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr || !s->dgram) return Err(Errno::kBadF);
+        if (s->local_port == 0) {
+          s->local_port = static_cast<std::uint16_t>(50000 + args[0].i64());
+        }
+        const std::string& data = args[2].bytes();
+        if (data.size() > kDgramMax) return Err(Errno::kInval);
+        (void)c.Call(netdev_tx_,
+                     {MsgValue(EncodeFrame(Frame{
+                         .flags = Frame::kDgram,
+                         .src_port = s->local_port,
+                         .dst_port = static_cast<std::uint16_t>(args[1].i64()),
+                         .seq = 0,
+                         .ack = 0,
+                         .payload = data}))});
+        return MsgValue(static_cast<std::int64_t>(data.size()));
+      });
+
+  // recvfrom(s) -> one datagram's bytes, or -EAGAIN. Sender port via
+  // last_peer(). Datagram boundaries are preserved.
+  ctx.Export(
+      "recvfrom", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        Sock* s = Get(args[0].i64());
+        if (s == nullptr || !s->dgram) return Err(Errno::kBadF);
+        auto take = [&]() -> MsgValue {
+          for (auto& d : s->dgrams) {
+            if (!d.used) continue;
+            d.used = false;
+            s->last_peer = d.from;
+            return MsgValue(std::string(d.data, d.len));
+          }
+          return Err(Errno::kAgain);
+        };
+        MsgValue first = take();
+        if (first.is_bytes()) return first;
+        DrainFrames(c, kDrainBudget);
+        return take();
+      });
+
+  ctx.Export("last_peer", FnOptions{},
+             [this](CallCtx&, const Args& args) {
+               Sock* s = Get(args[0].i64());
+               if (s == nullptr) return Err(Errno::kBadF);
+               return MsgValue(static_cast<std::int64_t>(s->last_peer));
+             });
+
+  // Poll entry used by server loops: drain pending frames outside recv.
+  ctx.Export("poll", FnOptions{},
+             [this](CallCtx& c, const Args&) {
+               return MsgValue(
+                   static_cast<std::int64_t>(DrainFrames(c, kDrainBudget)));
+             });
+}
+
+void LwipComponent::Bind(InitCtx& ctx) {
+  netdev_tx_ = ctx.Import("netdev", "tx");
+  netdev_rx_ = ctx.Import("netdev", "rx");
+}
+
+void LwipComponent::OnReplayed(CallCtx& ctx) {
+  // Re-install runtime data: sequence/ACK numbers and accepted connections
+  // that replay cannot reconstruct (paper §V-B).
+  auto blob = ctx.LoadRuntimeData("socks");
+  if (!blob.has_value() || !blob->is_bytes()) return;
+  const std::string& wire = blob->bytes();
+  Args fields = msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+  for (std::size_t i = 0; i + 6 < fields.size(); i += 7) {
+    const auto idx = static_cast<std::size_t>(fields[i].i64());
+    if (idx >= kMaxSocks) continue;
+    Sock& s = state_->socks[idx];
+    s.state = static_cast<SockState>(fields[i + 1].i64());
+    s.local_port = static_cast<std::uint16_t>(fields[i + 2].i64());
+    s.remote_port = static_cast<std::uint16_t>(fields[i + 3].i64());
+    s.snd_seq = static_cast<std::uint32_t>(fields[i + 4].i64());
+    s.rcv_ack = static_cast<std::uint32_t>(fields[i + 5].i64());
+    s.opt_flags = static_cast<std::uint32_t>(fields[i + 6].i64());
+    // Buffered-but-unread bytes are lost; the peer's next frame still
+    // matches rcv_ack because routing advances it only at ingest.
+    s.buf_len = 0;
+  }
+}
+
+comp::CompactionHook LwipComponent::compaction_hook() {
+  // Socket sessions carry no replay-relevant history beyond the boundary
+  // calls plus the vault: everything else can be dropped wholesale.
+  return [](const CompactionRequest&)
+             -> std::vector<std::pair<FunctionId, Args>> { return {}; };
+}
+
+}  // namespace vampos::uk

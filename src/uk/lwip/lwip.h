@@ -1,0 +1,96 @@
+// LWIP: the network protocol stack (mini-TCP over NETDEV frames).
+//
+// Stateful component. Socket *objects* are rebuilt by replaying the logged
+// Table II calls (socket/bind/listen/connect/...); the parts of a connection
+// that are "given at runtime and updated via interactions with external
+// communication partners" — sequence and ACK numbers, established peers from
+// accept() — cannot come from replay, so LWIP continuously saves them to the
+// runtime-data vault and re-installs them in OnReplayed (paper §V-B's
+// LWIP-specific runtime-data extraction).
+//
+// The mini-TCP peer (client harness) checks sequence continuity and answers
+// out-of-order data with RST: a rebooted-but-unrestored LWIP therefore
+// *loses* its connections, which is exactly the failure mode the vault
+// restore prevents (Table V).
+#pragma once
+
+#include <cstdint>
+
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class LwipComponent final : public comp::Component {
+ public:
+  LwipComponent();
+  void Init(comp::InitCtx& ctx) override;
+  void Bind(comp::InitCtx& ctx) override;
+  void OnReplayed(comp::CallCtx& ctx) override;
+  comp::CompactionHook compaction_hook() override;
+
+  static constexpr std::size_t kMaxSocks = 128;
+  static constexpr std::size_t kRcvBuf = 8192;
+  static constexpr std::size_t kBacklog = 128;
+  static constexpr std::uint32_t kInitialSeq = 1000;
+
+  enum class SockState : std::uint8_t {
+    kFree,
+    kOpen,      // socket() done
+    kBound,     // bind() done
+    kListening,
+    kEstablished,
+    kClosed,
+  };
+
+  static constexpr std::size_t kDgramQueue = 8;
+  static constexpr std::size_t kDgramMax = 512;
+
+ private:
+  struct Sock {
+    SockState state = SockState::kFree;
+    std::uint16_t local_port = 0;
+    std::uint16_t remote_port = 0;
+    std::uint32_t snd_seq = 0;   // next sequence number we send
+    std::uint32_t rcv_ack = 0;   // next sequence number we expect
+    std::uint32_t opt_flags = 0;
+    // Receive buffer (drained eagerly into recv callers; normally empty).
+    std::uint32_t buf_len = 0;
+    char buf[kRcvBuf] = {};
+    // Datagram sockets: bounded receive queue with UDP drop semantics.
+    bool dgram = false;
+    std::uint16_t last_peer = 0;
+    struct Dgram {
+      bool used = false;
+      std::uint16_t from = 0;
+      std::uint16_t len = 0;
+      char data[kDgramMax] = {};
+    } dgrams[kDgramQueue] = {};
+  };
+  // Listener backlog entry: a SYN waiting for accept().
+  struct PendingSyn {
+    bool used = false;
+    std::uint16_t listen_port = 0;
+    std::uint16_t src_port = 0;
+    std::uint32_t seq = 0;
+  };
+  struct State {
+    Sock socks[kMaxSocks] = {};
+    PendingSyn backlog[kBacklog] = {};
+    std::uint64_t frames_processed = 0;
+  };
+
+  std::int64_t AllocSock(comp::CallCtx& ctx);
+  Sock* Get(std::int64_t s);
+  /// Pulls frames from NETDEV and routes them to sockets. Returns frames
+  /// processed. `budget` bounds the drain per call.
+  int DrainFrames(comp::CallCtx& ctx, int budget);
+  void RouteFrame(comp::CallCtx& ctx, const struct Frame& f);
+  void SaveSocketVault(comp::CallCtx& ctx);
+  std::int64_t FindByPorts(std::uint16_t local, std::uint16_t remote) const;
+
+  State* state_ = nullptr;
+  FunctionId netdev_tx_ = -1;
+  FunctionId netdev_rx_ = -1;
+};
+
+}  // namespace vampos::uk

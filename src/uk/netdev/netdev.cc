@@ -1,0 +1,37 @@
+#include "uk/netdev/netdev.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+NetdevComponent::NetdevComponent()
+    : Component("netdev", Statefulness::kStateless, 256 * 1024) {}
+
+void NetdevComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>();
+  ctx.Export("tx", FnOptions{}, [this](CallCtx& c, const Args& args) {
+    state_->frames_tx++;
+    return c.Call(virtio_tx_, {args[0]});
+  });
+  ctx.Export("rx", FnOptions{}, [this](CallCtx& c, const Args&) {
+    MsgValue frame = c.Call(virtio_rx_, {});
+    if (!frame.bytes().empty()) state_->frames_rx++;
+    return frame;
+  });
+  ctx.Export("stats_frames", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(
+        static_cast<std::int64_t>(state_->frames_tx + state_->frames_rx));
+  });
+}
+
+void NetdevComponent::Bind(InitCtx& ctx) {
+  virtio_tx_ = ctx.Import("virtio", "net_tx");
+  virtio_rx_ = ctx.Import("virtio", "net_rx");
+}
+
+}  // namespace vampos::uk

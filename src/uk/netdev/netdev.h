@@ -1,0 +1,31 @@
+// NETDEV: low-level packet operations (paper Table I).
+//
+// Stateless: it owns no connection state — frames in flight live in the
+// VIRTIO rings / host queues — so VampOS reboots it with a plain re-Init.
+// LWIP talks to NETDEV, NETDEV talks to VIRTIO; that indirection is the
+// LWIP+NETDEV merge target (VampOS-NETm in Fig 5).
+#pragma once
+
+#include <cstdint>
+
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class NetdevComponent final : public comp::Component {
+ public:
+  NetdevComponent();
+  void Init(comp::InitCtx& ctx) override;
+  void Bind(comp::InitCtx& ctx) override;
+
+ private:
+  struct State {
+    std::uint64_t frames_tx = 0;
+    std::uint64_t frames_rx = 0;
+  };
+  State* state_ = nullptr;
+  FunctionId virtio_tx_ = -1;
+  FunctionId virtio_rx_ = -1;
+};
+
+}  // namespace vampos::uk

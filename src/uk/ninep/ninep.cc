@@ -1,0 +1,323 @@
+#include "uk/ninep/ninep.h"
+
+#include <cstring>
+#include <span>
+
+#include "msg/value.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+namespace {
+// Mirrors NinePOp in platform.cc (the wire protocol's two endpoints).
+enum NinePOp : std::int64_t {
+  kTwalk = 1,
+  kTopen = 2,
+  kTcreate = 3,
+  kTread = 4,
+  kTwrite = 5,
+  kTmkdir = 6,
+  kTremove = 7,
+  kTstat = 8,
+  kTfsync = 9,
+  kTclunk = 10,
+  kTrename = 11,
+  kTreaddir = 12,
+  kTtruncate = 13,
+};
+
+Args DecodeReply(const MsgValue& wire) {
+  const std::string& s = wire.bytes();
+  return msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size()));
+}
+}  // namespace
+
+NinePfsComponent::NinePfsComponent()
+    : Component("9pfs", Statefulness::kStateful, 2u << 20) {}
+
+NinePfsComponent::FidEntry* NinePfsComponent::Fid(std::int64_t fid) {
+  if (fid < 0 || fid >= static_cast<std::int64_t>(kMaxFids)) return nullptr;
+  FidEntry* e = &state_->fids[fid];
+  return e->used ? e : nullptr;
+}
+
+std::int64_t NinePfsComponent::AllocFid(CallCtx& ctx) {
+  if (auto forced = ctx.forced_session()) {
+    return *forced;  // replay: reuse the originally allocated fid
+  }
+  for (std::size_t i = 0; i < kMaxFids; ++i) {
+    if (!state_->fids[i].used) return static_cast<std::int64_t>(i);
+  }
+  return -static_cast<std::int64_t>(Errno::kMFile);
+}
+
+msg::MsgValue NinePfsComponent::Rpc(CallCtx& ctx, Args args) {
+  state_->rpcs++;
+  auto bytes = msg::SerializeArgs(args);
+  return ctx.Call(virtio_rpc_,
+                  {MsgValue(std::string(
+                      reinterpret_cast<const char*>(bytes.data()),
+                      bytes.size()))});
+}
+
+void NinePfsComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>();
+
+  // mount(path): attach to the host export. Logged + replayed.
+  ctx.Export(
+      "mount", FnOptions{.logged = true},
+      [this](CallCtx& c, const Args& args) {
+        Args reply = DecodeReply(
+            Rpc(c, {MsgValue(std::int64_t{kTwalk}), args[0]}));
+        if (reply[0].i64() != 0) {
+          // The export root may not exist yet on first mount: create it.
+          Rpc(c, {MsgValue(std::int64_t{kTmkdir}), args[0]});
+        }
+        state_->mounted = true;
+        std::strncpy(state_->mount_point, args[0].bytes().c_str(),
+                     kMaxPath - 1);
+        return MsgValue(std::int64_t{0});
+      });
+
+  ctx.Export("unmount", FnOptions{.logged = true},
+             [this](CallCtx&, const Args&) {
+               state_->mounted = false;
+               return MsgValue(std::int64_t{0});
+             });
+
+  // lookup(path) -> fid: 9P walk. Session-creating (fid from return).
+  ctx.Export(
+      "lookup", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        if (!state_->mounted) {
+          return MsgValue(ToWire(Status::Error(Errno::kIo, "not mounted")));
+        }
+        Args reply = DecodeReply(
+            Rpc(c, {MsgValue(std::int64_t{kTwalk}), args[0]}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kNoEnt)));
+        }
+        const std::int64_t fid = AllocFid(c);
+        if (fid < 0) return MsgValue(fid);
+        FidEntry& e = state_->fids[fid];
+        e.used = true;
+        e.open = false;
+        e.is_dir = reply[1].i64() == 1;
+        std::strncpy(e.path, args[0].bytes().c_str(), kMaxPath - 1);
+        return MsgValue(fid);
+      });
+
+  // create(path) -> fid.
+  ctx.Export(
+      "create", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        Args reply = DecodeReply(
+            Rpc(c, {MsgValue(std::int64_t{kTcreate}), args[0]}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kIo)));
+        }
+        const std::int64_t fid = AllocFid(c);
+        if (fid < 0) return MsgValue(fid);
+        FidEntry& e = state_->fids[fid];
+        e.used = true;
+        e.open = false;
+        e.is_dir = false;
+        std::strncpy(e.path, args[0].bytes().c_str(), kMaxPath - 1);
+        return MsgValue(fid);
+      });
+
+  // open(fid) -> size: marks the fid open. Logged, session-scoped.
+  ctx.Export(
+      "open", FnOptions{.logged = true, .session_arg = 0},
+      [this](CallCtx& c, const Args& args) {
+        FidEntry* e = Fid(args[0].i64());
+        if (e == nullptr) {
+          return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+        }
+        Args reply = DecodeReply(
+            Rpc(c, {MsgValue(std::int64_t{kTopen}), MsgValue(e->path)}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kNoEnt)));
+        }
+        e->open = true;
+        return reply[1];  // current size
+      });
+
+  // read(fid, off, len) -> bytes. Does not change 9PFS state: not logged.
+  ctx.Export(
+      "read", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        FidEntry* e = Fid(args[0].i64());
+        if (e == nullptr || !e->open) {
+          return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+        }
+        Args reply = DecodeReply(Rpc(c, {MsgValue(std::int64_t{kTread}),
+                                         MsgValue(e->path), args[1],
+                                         args[2]}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kIo)));
+        }
+        return reply[1];
+      });
+
+  // write(fid, off, data) -> n. Contents live on the host: not logged.
+  ctx.Export(
+      "write", FnOptions{},
+      [this](CallCtx& c, const Args& args) {
+        FidEntry* e = Fid(args[0].i64());
+        if (e == nullptr || !e->open) {
+          return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+        }
+        Args reply = DecodeReply(Rpc(c, {MsgValue(std::int64_t{kTwrite}),
+                                         MsgValue(e->path), args[1],
+                                         args[2]}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kIo)));
+        }
+        return reply[1];
+      });
+
+  // clunk(fid): release. Canceling: prunes the fid's session entries.
+  ctx.Export("clunk",
+             FnOptions{.logged = true, .session_arg = 0, .canceling = true},
+             [this](CallCtx& c, const Args& args) {
+               FidEntry* e = Fid(args[0].i64());
+               if (e == nullptr) {
+                 return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+               }
+               // Real 9P sends Tclunk so the server can release the fid;
+               // skipped during replay (the fid was never re-opened on the
+               // host side).
+               if (!c.restoring()) {
+                 Rpc(c, {MsgValue(std::int64_t{kTclunk}), MsgValue(e->path)});
+               }
+               *e = FidEntry{};
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("mkdir", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               Rpc(c, {MsgValue(std::int64_t{kTmkdir}), args[0]});
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("remove", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               FidEntry* e = Fid(args[0].i64());
+               if (e == nullptr) {
+                 return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+               }
+               Rpc(c, {MsgValue(std::int64_t{kTremove}), MsgValue(e->path)});
+               *e = FidEntry{};
+               return MsgValue(std::int64_t{0});
+             });
+
+  // stat(fid) -> size. fstat-style: logged but skipped during replay
+  // ("skips functions that do not change the component states", §V-B).
+  ctx.Export(
+      "stat", FnOptions{.logged = true, .state_changing = false,
+                        .session_arg = 0},
+      [this](CallCtx& c, const Args& args) {
+        FidEntry* e = Fid(args[0].i64());
+        if (e == nullptr) {
+          return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+        }
+        Args reply = DecodeReply(
+            Rpc(c, {MsgValue(std::int64_t{kTstat}), MsgValue(e->path)}));
+        if (reply[0].i64() != 0) {
+          return MsgValue(ToWire(Status::Error(Errno::kNoEnt)));
+        }
+        return reply[2];  // size
+      });
+
+  // remove_path(path): unlink by path (no fid involved). Changes only host
+  // state, so it is not logged for replay.
+  ctx.Export("remove_path", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               Args reply = DecodeReply(
+                   Rpc(c, {MsgValue(std::int64_t{kTremove}), args[0]}));
+               return MsgValue(reply[0].i64() == 0
+                                   ? std::int64_t{0}
+                                   : ToWire(Status::Error(Errno::kNoEnt)));
+             });
+
+  // rename(old, new). Fids opened under the old path keep pointing at it
+  // (as with a removed-but-open file); logged so replayed fids resolve.
+  ctx.Export("rename", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               Args reply = DecodeReply(Rpc(
+                   c, {MsgValue(std::int64_t{kTrename}), args[0], args[1]}));
+               if (reply[0].i64() != 0) {
+                 return MsgValue(ToWire(Status::Error(Errno::kNoEnt)));
+               }
+               // Re-point any fid that referenced the old path.
+               for (auto& fid : state_->fids) {
+                 if (fid.used &&
+                     std::strcmp(fid.path, args[0].bytes().c_str()) == 0) {
+                   std::strncpy(fid.path, args[1].bytes().c_str(),
+                                kMaxPath - 1);
+                 }
+               }
+               return MsgValue(std::int64_t{0});
+             });
+
+  // readdir(path) -> newline-separated child names.
+  ctx.Export("readdir", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               Args reply = DecodeReply(
+                   Rpc(c, {MsgValue(std::int64_t{kTreaddir}), args[0]}));
+               if (reply[0].i64() != 0) {
+                 return MsgValue(ToWire(Status::Error(Errno::kNotDir)));
+               }
+               return reply[1];
+             });
+
+  // truncate(fid, len).
+  ctx.Export("truncate", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               FidEntry* e = Fid(args[0].i64());
+               if (e == nullptr || !e->open) {
+                 return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+               }
+               Args reply = DecodeReply(
+                   Rpc(c, {MsgValue(std::int64_t{kTtruncate}),
+                           MsgValue(e->path), args[1]}));
+               return MsgValue(reply[0].i64() == 0
+                                   ? std::int64_t{0}
+                                   : ToWire(Status::Error(Errno::kIo)));
+             });
+
+  // stat_path(path) -> size, or -ENOENT. Pure read: not logged.
+  ctx.Export("stat_path", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               Args reply = DecodeReply(
+                   Rpc(c, {MsgValue(std::int64_t{kTstat}), args[0]}));
+               if (reply[0].i64() != 0) {
+                 return MsgValue(ToWire(Status::Error(Errno::kNoEnt)));
+               }
+               return reply[2];
+             });
+
+  ctx.Export("fsync", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               FidEntry* e = Fid(args[0].i64());
+               if (e == nullptr) {
+                 return MsgValue(ToWire(Status::Error(Errno::kBadF)));
+               }
+               Rpc(c, {MsgValue(std::int64_t{kTfsync}), MsgValue(e->path)});
+               return MsgValue(std::int64_t{0});
+             });
+}
+
+void NinePfsComponent::Bind(InitCtx& ctx) {
+  virtio_rpc_ = ctx.Import("virtio", "ninep_rpc");
+}
+
+}  // namespace vampos::uk

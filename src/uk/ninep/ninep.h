@@ -1,0 +1,48 @@
+// 9PFS: file-system backend speaking the 9P protocol to the host server
+// through the VIRTIO transport (QEMU virtfs equivalent).
+//
+// Stateful component (paper Table I): its fid table maps fids to host paths
+// and open state. File *contents* live on the host and survive a 9PFS
+// reboot; the fid table is rebuilt by encapsulated restoration replaying the
+// logged mount/lookup/open/clunk calls (Table II) with the VIRTIO return
+// values fed from the log.
+#pragma once
+
+#include <cstdint>
+
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class NinePfsComponent final : public comp::Component {
+ public:
+  NinePfsComponent();
+  void Init(comp::InitCtx& ctx) override;
+  void Bind(comp::InitCtx& ctx) override;
+
+  static constexpr std::size_t kMaxFids = 256;
+  static constexpr std::size_t kMaxPath = 160;
+
+ private:
+  struct FidEntry {
+    bool used = false;
+    bool open = false;
+    bool is_dir = false;
+    char path[kMaxPath] = {};
+  };
+  struct State {
+    bool mounted = false;
+    char mount_point[kMaxPath] = {};
+    FidEntry fids[kMaxFids] = {};
+    std::uint64_t rpcs = 0;
+  };
+
+  std::int64_t AllocFid(comp::CallCtx& ctx);
+  msg::MsgValue Rpc(comp::CallCtx& ctx, msg::Args args);
+  FidEntry* Fid(std::int64_t fid);
+
+  State* state_ = nullptr;
+  FunctionId virtio_rpc_ = -1;
+};
+
+}  // namespace vampos::uk

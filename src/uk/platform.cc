@@ -1,0 +1,210 @@
+#include "uk/platform.h"
+
+#include <span>
+
+#include "msg/value.h"
+
+namespace vampos::uk {
+
+namespace {
+// 9P op codes for our compact wire encoding (subset of 9P2000.L, path-keyed
+// because the client tracks fid->path).
+enum NinePOp : std::int64_t {
+  kTwalk = 1,
+  kTopen = 2,
+  kTcreate = 3,
+  kTread = 4,
+  kTwrite = 5,
+  kTmkdir = 6,
+  kTremove = 7,
+  kTstat = 8,
+  kTfsync = 9,
+  kTclunk = 10,
+  kTrename = 11,
+  kTreaddir = 12,
+  kTtruncate = 13,
+};
+
+// Upper bound on file size / I/O offsets the server will honor: a malformed
+// or hostile client must not be able to make the host allocate absurd
+// amounts of memory with one Twrite at a huge offset.
+constexpr std::int64_t kMaxFileBytes = 64u << 20;
+
+bool BadRange(std::int64_t off, std::int64_t len = 0) {
+  return off < 0 || len < 0 || off > kMaxFileBytes || len > kMaxFileBytes;
+}
+
+std::string ParentOf(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string Encode(const msg::Args& args) {
+  auto bytes = msg::SerializeArgs(args);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+msg::Args Decode(const std::string& wire) {
+  return msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+}
+}  // namespace
+
+void NinePServer::PutFile(const std::string& path, std::string data) {
+  MakeDir(ParentOf(path));
+  tree_[path] = Node{.is_dir = false, .data = std::move(data)};
+}
+
+void NinePServer::MakeDir(const std::string& path) {
+  if (path.empty() || path == "/") return;
+  MakeDir(ParentOf(path));
+  auto it = tree_.find(path);
+  if (it == tree_.end()) tree_[path] = Node{.is_dir = true, .data = {}};
+}
+
+std::optional<std::string> NinePServer::ReadFile(
+    const std::string& path) const {
+  auto it = tree_.find(path);
+  if (it == tree_.end() || it->second.is_dir) return std::nullopt;
+  return it->second.data;
+}
+
+std::string NinePServer::Handle(const std::string& request) {
+  requests_++;
+  msg::Args args = Decode(request);
+  auto bad = [] {
+    return Encode(
+        {msg::MsgValue(std::int64_t{-1}), msg::MsgValue("malformed")});
+  };
+  if (args.empty() || !args[0].is_i64()) return bad();
+  if (args.size() > 1 && !args[1].is_bytes()) return bad();
+  const auto op = static_cast<NinePOp>(args[0].i64());
+  const std::string path = args.size() > 1 ? args[1].bytes() : "";
+  auto reply_err = [](const char* what) {
+    return Encode({msg::MsgValue(std::int64_t{-1}), msg::MsgValue(what)});
+  };
+  auto reply_ok = [](msg::Args extra) {
+    msg::Args out{msg::MsgValue(std::int64_t{0})};
+    for (auto& v : extra) out.push_back(std::move(v));
+    return Encode(out);
+  };
+
+  switch (op) {
+    case kTwalk: {
+      auto it = tree_.find(path);
+      if (it == tree_.end()) return reply_err("no such file");
+      return reply_ok({msg::MsgValue(std::int64_t{it->second.is_dir ? 1 : 0}),
+                       msg::MsgValue(static_cast<std::int64_t>(
+                           it->second.data.size()))});
+    }
+    case kTopen: {
+      auto it = tree_.find(path);
+      if (it == tree_.end()) return reply_err("no such file");
+      return reply_ok({msg::MsgValue(static_cast<std::int64_t>(
+          it->second.data.size()))});
+    }
+    case kTcreate: {
+      if (!tree_.contains(ParentOf(path))) return reply_err("no parent");
+      auto [it, inserted] = tree_.try_emplace(path, Node{});
+      (void)inserted;
+      if (it->second.is_dir) return reply_err("is a directory");
+      return reply_ok({msg::MsgValue(static_cast<std::int64_t>(
+          it->second.data.size()))});
+    }
+    case kTread: {
+      auto it = tree_.find(path);
+      if (it == tree_.end() || it->second.is_dir) return reply_err("bad read");
+      if (args.size() < 4 || !args[2].is_i64() || !args[3].is_i64() ||
+          BadRange(args[2].i64(), args[3].i64())) {
+        return reply_err("bad range");
+      }
+      const auto off = static_cast<std::size_t>(args[2].i64());
+      const auto len = static_cast<std::size_t>(args[3].i64());
+      if (off >= it->second.data.size()) return reply_ok({msg::MsgValue("")});
+      return reply_ok({msg::MsgValue(it->second.data.substr(off, len))});
+    }
+    case kTwrite: {
+      auto it = tree_.find(path);
+      if (it == tree_.end() || it->second.is_dir) {
+        return reply_err("bad write");
+      }
+      if (args.size() < 4 || !args[2].is_i64() || !args[3].is_bytes() ||
+          BadRange(args[2].i64(),
+                   static_cast<std::int64_t>(args[3].bytes().size()))) {
+        return reply_err("bad range");
+      }
+      const auto off = static_cast<std::size_t>(args[2].i64());
+      const std::string& data = args[3].bytes();
+      std::string& file = it->second.data;
+      if (file.size() < off + data.size()) file.resize(off + data.size());
+      file.replace(off, data.size(), data);
+      return reply_ok(
+          {msg::MsgValue(static_cast<std::int64_t>(data.size()))});
+    }
+    case kTmkdir: {
+      MakeDir(path);
+      return reply_ok({});
+    }
+    case kTremove: {
+      tree_.erase(path);
+      return reply_ok({});
+    }
+    case kTstat: {
+      auto it = tree_.find(path);
+      if (it == tree_.end()) return reply_err("no such file");
+      return reply_ok({msg::MsgValue(std::int64_t{it->second.is_dir ? 1 : 0}),
+                       msg::MsgValue(static_cast<std::int64_t>(
+                           it->second.data.size()))});
+    }
+    case kTfsync:
+    case kTclunk:
+      return reply_ok({});
+    case kTrename: {
+      auto it = tree_.find(path);
+      if (it == tree_.end()) return reply_err("no such file");
+      if (args.size() < 3 || !args[2].is_bytes()) {
+        return reply_err("bad rename");
+      }
+      const std::string& to = args[2].bytes();
+      if (!tree_.contains(ParentOf(to))) return reply_err("no parent");
+      Node node = std::move(it->second);
+      tree_.erase(it);
+      tree_[to] = std::move(node);
+      return reply_ok({});
+    }
+    case kTreaddir: {
+      auto it = tree_.find(path);
+      if (it == tree_.end() || !it->second.is_dir) {
+        return reply_err("not a directory");
+      }
+      // Direct children only, newline-separated basenames.
+      std::string listing;
+      const std::string prefix = path == "/" ? "/" : path + "/";
+      for (const auto& [p, node] : tree_) {
+        (void)node;
+        if (p.size() <= prefix.size() || p.compare(0, prefix.size(), prefix)) {
+          continue;
+        }
+        if (p.find('/', prefix.size()) != std::string::npos) continue;
+        listing += p.substr(prefix.size());
+        listing += '\n';
+      }
+      return reply_ok({msg::MsgValue(std::move(listing))});
+    }
+    case kTtruncate: {
+      auto it = tree_.find(path);
+      if (it == tree_.end() || it->second.is_dir) {
+        return reply_err("bad truncate");
+      }
+      if (args.size() < 3 || !args[2].is_i64() || BadRange(args[2].i64())) {
+        return reply_err("bad range");
+      }
+      it->second.data.resize(static_cast<std::size_t>(args[2].i64()));
+      return reply_ok({});
+    }
+  }
+  return reply_err("bad op");
+}
+
+}  // namespace vampos::uk

@@ -1,0 +1,105 @@
+// Host-side platform objects: what lives *outside* the unikernel.
+//
+// In the paper's setup these are QEMU/host-Linux artifacts: the 9P server
+// backing virtfs, the tap/virtio network backend, and the virtio rings the
+// guest shares with the host. They survive any component reboot inside the
+// unikernel — which is exactly why 9PFS/LWIP can be rebooted and restored
+// (file contents and peers live here), and why VIRTIO cannot (its ring
+// state is shared with this side, §VIII).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vampos::uk {
+
+/// Ethernet-ish frame carrying our mini-TCP segments between the unikernel
+/// NETDEV and host-side peers (the client harness).
+struct Frame {
+  enum Flags : std::uint8_t {
+    kSyn = 1,
+    kAck = 2,
+    kFin = 4,
+    kRst = 8,
+    kData = 16,
+    kDgram = 32,  // connectionless datagram (UDP)
+  };
+  std::uint8_t flags = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::string payload;
+};
+
+/// Host network backend: two queues per direction, the moral equivalent of
+/// the tap device QEMU plugs virtio-net into.
+class HostNet {
+ public:
+  void GuestTx(Frame f) { to_host_.push_back(std::move(f)); }
+  std::optional<Frame> GuestRx() {
+    if (to_guest_.empty()) return std::nullopt;
+    Frame f = std::move(to_guest_.front());
+    to_guest_.pop_front();
+    return f;
+  }
+  // Host/client side.
+  void HostSend(Frame f) { to_guest_.push_back(std::move(f)); }
+  std::optional<Frame> HostRecv() {
+    if (to_host_.empty()) return std::nullopt;
+    Frame f = std::move(to_host_.front());
+    to_host_.pop_front();
+    return f;
+  }
+  /// Puts a received frame back for another host-side consumer (several
+  /// clients share one tap; each takes only frames addressed to it).
+  void HostRequeue(Frame f) { to_host_.push_back(std::move(f)); }
+  [[nodiscard]] std::size_t pending_to_guest() const {
+    return to_guest_.size();
+  }
+  [[nodiscard]] std::size_t pending_to_host() const { return to_host_.size(); }
+
+ private:
+  std::deque<Frame> to_host_;
+  std::deque<Frame> to_guest_;
+};
+
+/// Host-side 9P file server (QEMU virtfs equivalent): owns the real file
+/// tree. The guest's 9PFS component is only a protocol client over fids.
+class NinePServer {
+ public:
+  struct Node {
+    bool is_dir = false;
+    std::string data;
+  };
+
+  NinePServer() { tree_["/"] = Node{.is_dir = true, .data = {}}; }
+
+  /// Handles one serialized 9P request (our compact wire encoding, see
+  /// uk/ninep). Returns the serialized response.
+  std::string Handle(const std::string& request);
+
+  // Direct host-side access for tests and workload setup.
+  bool Exists(const std::string& path) const { return tree_.contains(path); }
+  void PutFile(const std::string& path, std::string data);
+  void MakeDir(const std::string& path);
+  std::optional<std::string> ReadFile(const std::string& path) const;
+  [[nodiscard]] std::size_t file_count() const { return tree_.size(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  std::map<std::string, Node> tree_;
+  std::uint64_t requests_ = 0;
+};
+
+/// Everything host-side, bundled for stack assembly.
+struct Platform {
+  NinePServer ninep;
+  HostNet net;
+};
+
+}  // namespace vampos::uk

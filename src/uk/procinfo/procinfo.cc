@@ -1,0 +1,87 @@
+#include "uk/procinfo/procinfo.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+namespace {
+constexpr std::size_t kSmallArena = 256 * 1024;
+}
+
+// ----------------------------------------------------------------- PROCESS
+
+ProcessComponent::ProcessComponent()
+    : Component("process", Statefulness::kStateless, kSmallArena) {}
+
+void ProcessComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>(State{.pid = 1, .ppid = 0, .fork_count = 0});
+  ctx.Export("getpid", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(state_->pid);
+  });
+  ctx.Export("getppid", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(state_->ppid);
+  });
+  // Unikernels are single-process; fork is a stub that only counts calls —
+  // and the counter resets on reboot, which the stateless-reboot test uses
+  // to confirm re-initialization.
+  ctx.Export("fork_count", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(state_->fork_count);
+  });
+  ctx.Export("fork", FnOptions{}, [this](CallCtx&, const Args&) {
+    state_->fork_count++;
+    return MsgValue(ToWire(Status::Error(Errno::kInval, "no multiprocess")));
+  });
+}
+
+// ----------------------------------------------------------------- SYSINFO
+
+SysinfoComponent::SysinfoComponent()
+    : Component("sysinfo", Statefulness::kStateless, kSmallArena) {}
+
+void SysinfoComponent::Init(InitCtx& ctx) {
+  ctx.Export("uname", FnOptions{}, [](CallCtx&, const Args&) {
+    return MsgValue("VampOS 0.8.0 x86_64");
+  });
+  ctx.Export("sysinfo_totalram", FnOptions{}, [](CallCtx&, const Args&) {
+    return MsgValue(std::int64_t{88} << 20);  // paper's 88 MB upper limit
+  });
+}
+
+// -------------------------------------------------------------------- USER
+
+UserComponent::UserComponent()
+    : Component("user", Statefulness::kStateless, kSmallArena) {}
+
+void UserComponent::Init(InitCtx& ctx) {
+  ctx.Export("getuid", FnOptions{}, [](CallCtx&, const Args&) {
+    return MsgValue(std::int64_t{0});
+  });
+  ctx.Export("getgid", FnOptions{}, [](CallCtx&, const Args&) {
+    return MsgValue(std::int64_t{0});
+  });
+  ctx.Export("geteuid", FnOptions{}, [](CallCtx&, const Args&) {
+    return MsgValue(std::int64_t{0});
+  });
+}
+
+// ------------------------------------------------------------------- TIMER
+
+TimerComponent::TimerComponent(const Clock* clock)
+    : Component("timer", Statefulness::kStateless, kSmallArena),
+      clock_(clock) {}
+
+void TimerComponent::Init(InitCtx& ctx) {
+  ctx.Export("monotonic_ns", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(static_cast<std::int64_t>(clock_->Now()));
+  });
+  ctx.Export("time_ms", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(static_cast<std::int64_t>(clock_->Now() / kMillisecond));
+  });
+}
+
+}  // namespace vampos::uk

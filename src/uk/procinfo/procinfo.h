@@ -1,0 +1,52 @@
+// Core-utility components: PROCESS, SYSINFO, USER, TIMER.
+//
+// All four are stateless in the paper's prototype (Table I): VampOS reboots
+// them by plain re-initialization, with no call logging and no encapsulated
+// restoration. They exist mostly to exercise the message-passing plane with
+// cheap calls (getpid() is Fig 5's smallest syscall) and to give file ops a
+// realistic multi-component call chain (timestamp lookups on writes).
+#pragma once
+
+#include <cstdint>
+
+#include "base/clock.h"
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class ProcessComponent final : public comp::Component {
+ public:
+  ProcessComponent();
+  void Init(comp::InitCtx& ctx) override;
+
+ private:
+  struct State {
+    std::int64_t pid;
+    std::int64_t ppid;
+    std::int64_t fork_count;  // resets on reboot: demonstrably stateless
+  };
+  State* state_ = nullptr;
+};
+
+class SysinfoComponent final : public comp::Component {
+ public:
+  SysinfoComponent();
+  void Init(comp::InitCtx& ctx) override;
+};
+
+class UserComponent final : public comp::Component {
+ public:
+  UserComponent();
+  void Init(comp::InitCtx& ctx) override;
+};
+
+class TimerComponent final : public comp::Component {
+ public:
+  explicit TimerComponent(const Clock* clock);
+  void Init(comp::InitCtx& ctx) override;
+
+ private:
+  const Clock* clock_;
+};
+
+}  // namespace vampos::uk

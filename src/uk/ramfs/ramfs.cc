@@ -1,0 +1,320 @@
+#include "uk/ramfs/ramfs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "msg/value.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+namespace {
+MsgValue Err(Errno e) { return MsgValue(ToWire(Status::Error(e))); }
+}  // namespace
+
+RamFsComponent::RamFsComponent()
+    : Component("ramfs", Statefulness::kStateful, 24u << 20) {}
+
+char* RamFsComponent::DataOf(File* f) {
+  return static_cast<char*>(arena().AtOffset(f->data_off));
+}
+
+RamFsComponent::File* RamFsComponent::FindFile(const std::string& path) {
+  for (File& f : state_->files) {
+    if (f.used && path == f.path) return &f;
+  }
+  return nullptr;
+}
+
+RamFsComponent::File* RamFsComponent::CreateFile(const std::string& path,
+                                                 bool is_dir) {
+  if (path.size() >= kMaxPath) return nullptr;
+  for (File& f : state_->files) {
+    if (f.used) continue;
+    f = File{};
+    f.used = true;
+    f.is_dir = is_dir;
+    std::strncpy(f.path, path.c_str(), kMaxPath - 1);
+    return &f;
+  }
+  return nullptr;
+}
+
+void RamFsComponent::RemoveFile(File* f) {
+  if (f->cap > 0) alloc().Free(arena().AtOffset(f->data_off));
+  *f = File{};
+}
+
+bool RamFsComponent::EnsureCapacity(File* f, std::uint32_t need) {
+  if (need > kMaxFileBytes) return false;
+  if (need <= f->cap) return true;
+  const std::uint32_t new_cap = std::max<std::uint32_t>(need, 256);
+  void* buf = alloc().Alloc(new_cap);
+  if (buf == nullptr) return false;
+  if (f->cap > 0) {
+    std::memcpy(buf, DataOf(f), f->size);
+    alloc().Free(arena().AtOffset(f->data_off));
+  }
+  f->data_off = static_cast<std::uint32_t>(arena().OffsetOf(buf));
+  f->cap = static_cast<std::uint32_t>(
+      mem::BuddyAllocator::BlockSizeFor(new_cap));
+  return true;
+}
+
+std::int64_t RamFsComponent::AllocFid(CallCtx& ctx) {
+  if (auto forced = ctx.forced_session()) return *forced;
+  for (std::size_t i = 0; i < kMaxFids; ++i) {
+    if (!state_->fids[i].used) return static_cast<std::int64_t>(i);
+  }
+  return ToWire(Status::Error(Errno::kMFile));
+}
+
+void RamFsComponent::SaveFileVault(CallCtx& ctx, const File& f) {
+  // Runtime-data extraction: the file body is checkpointed out-of-band; it
+  // is not rebuilt by replay (writes are not even logged).
+  ctx.SaveRuntimeData(std::string("file:") + f.path,
+                      MsgValue(std::string(
+                          static_cast<const char*>(
+                              arena().AtOffset(f.data_off)),
+                          f.size)));
+  SaveIndexVault(ctx);
+}
+
+void RamFsComponent::SaveIndexVault(CallCtx& ctx) {
+  Args index;
+  for (const File& f : state_->files) {
+    if (!f.used) continue;
+    index.push_back(MsgValue(std::string(f.path)));
+    index.push_back(MsgValue(std::int64_t{f.is_dir ? 1 : 0}));
+  }
+  auto bytes = msg::SerializeArgs(index);
+  ctx.SaveRuntimeData("index", MsgValue(std::string(
+                                   reinterpret_cast<const char*>(bytes.data()),
+                                   bytes.size())));
+}
+
+void RamFsComponent::OnRestored(CallCtx& ctx) {
+  // Rebuild the file table and contents from the vault BEFORE the log
+  // replay runs: replayed lookup()/create() entries resolve paths against
+  // this table, and fids store slot indices, so the index blob re-fills
+  // slots in their original order.
+  auto blob = ctx.LoadRuntimeData("index");
+  if (!blob.has_value() || !blob->is_bytes()) return;
+  for (File& f : state_->files) {
+    if (f.used) RemoveFile(&f);
+  }
+  const std::string& wire = blob->bytes();
+  Args index = msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+  for (std::size_t i = 0; i + 1 < index.size(); i += 2) {
+    File* f = CreateFile(index[i].bytes(), index[i + 1].i64() == 1);
+    if (f == nullptr) continue;
+    auto content = ctx.LoadRuntimeData("file:" + index[i].bytes());
+    if (!content.has_value() || !content->is_bytes()) continue;
+    const std::string& data = content->bytes();
+    if (!EnsureCapacity(f, static_cast<std::uint32_t>(data.size()))) continue;
+    std::memcpy(DataOf(f), data.data(), data.size());
+    f->size = static_cast<std::uint32_t>(data.size());
+  }
+}
+
+void RamFsComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>();
+  CreateFile("/", /*is_dir=*/true);
+
+  ctx.Export("mount", FnOptions{.logged = true},
+             [this](CallCtx&, const Args&) {
+               state_->mounted = true;
+               return MsgValue(std::int64_t{0});
+             });
+  ctx.Export("unmount", FnOptions{.logged = true},
+             [this](CallCtx&, const Args&) {
+               state_->mounted = false;
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("lookup", FnOptions{.logged = true, .session_from_ret = true},
+             [this](CallCtx& c, const Args& args) {
+               File* f = FindFile(args[0].bytes());
+               if (f == nullptr) return Err(Errno::kNoEnt);
+               const std::int64_t fid = AllocFid(c);
+               if (fid < 0) return MsgValue(fid);
+               state_->fids[fid] = FidEntry{
+                   true, false,
+                   static_cast<std::int32_t>(f - state_->files)};
+               return MsgValue(fid);
+             });
+
+  ctx.Export("create", FnOptions{.logged = true, .session_from_ret = true},
+             [this](CallCtx& c, const Args& args) {
+               File* f = FindFile(args[0].bytes());
+               if (f == nullptr) f = CreateFile(args[0].bytes(), false);
+               if (f == nullptr) return Err(Errno::kNoSpc);
+               if (!c.restoring()) SaveFileVault(c, *f);
+               const std::int64_t fid = AllocFid(c);
+               if (fid < 0) return MsgValue(fid);
+               state_->fids[fid] = FidEntry{
+                   true, false,
+                   static_cast<std::int32_t>(f - state_->files)};
+               return MsgValue(fid);
+             });
+
+  auto fid_of = [this](std::int64_t id) -> FidEntry* {
+    if (id < 0 || id >= static_cast<std::int64_t>(kMaxFids)) return nullptr;
+    FidEntry* e = &state_->fids[id];
+    return e->used ? e : nullptr;
+  };
+
+  ctx.Export("open", FnOptions{.logged = true, .session_arg = 0},
+             [this, fid_of](CallCtx&, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr) return Err(Errno::kBadF);
+               e->open = true;
+               return MsgValue(
+                   static_cast<std::int64_t>(state_->files[e->file].size));
+             });
+
+  // Contents are vault-restored, not replayed: read/write are unlogged.
+  ctx.Export("read", FnOptions{},
+             [this, fid_of](CallCtx&, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr || !e->open) return Err(Errno::kBadF);
+               File& f = state_->files[e->file];
+               const auto off = static_cast<std::uint32_t>(
+                   std::max<std::int64_t>(0, args[1].i64()));
+               if (off >= f.size) return MsgValue("");
+               const auto len = std::min<std::uint32_t>(
+                   static_cast<std::uint32_t>(args[2].i64()), f.size - off);
+               return MsgValue(std::string(DataOf(&f) + off, len));
+             });
+
+  ctx.Export("write", FnOptions{},
+             [this, fid_of](CallCtx& c, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr || !e->open) return Err(Errno::kBadF);
+               File& f = state_->files[e->file];
+               const auto off = static_cast<std::uint32_t>(
+                   std::max<std::int64_t>(0, args[1].i64()));
+               const std::string& data = args[2].bytes();
+               const auto end =
+                   off + static_cast<std::uint32_t>(data.size());
+               if (!EnsureCapacity(&f, end)) return Err(Errno::kNoSpc);
+               if (off > f.size) {
+                 std::memset(DataOf(&f) + f.size, 0, off - f.size);
+               }
+               std::memcpy(DataOf(&f) + off, data.data(), data.size());
+               f.size = std::max(f.size, end);
+               if (!c.restoring()) SaveFileVault(c, f);
+               return MsgValue(static_cast<std::int64_t>(data.size()));
+             });
+
+  ctx.Export("clunk",
+             FnOptions{.logged = true, .session_arg = 0, .canceling = true},
+             [this, fid_of](CallCtx&, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr) return Err(Errno::kBadF);
+               *e = FidEntry{};
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("mkdir", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               if (FindFile(args[0].bytes()) == nullptr) {
+                 File* f = CreateFile(args[0].bytes(), true);
+                 if (f == nullptr) return Err(Errno::kNoSpc);
+                 if (!c.restoring()) SaveIndexVault(c);
+               }
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("remove_path", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               File* f = FindFile(args[0].bytes());
+               if (f == nullptr) return Err(Errno::kNoEnt);
+               RemoveFile(f);
+               if (!c.restoring()) SaveIndexVault(c);
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("rename", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               File* f = FindFile(args[0].bytes());
+               if (f == nullptr) return Err(Errno::kNoEnt);
+               if (args[1].bytes().size() >= kMaxPath) {
+                 return Err(Errno::kInval);
+               }
+               std::strncpy(f->path, args[1].bytes().c_str(), kMaxPath - 1);
+               if (!c.restoring()) SaveFileVault(c, *f);
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("readdir", FnOptions{},
+             [this](CallCtx&, const Args& args) {
+               const std::string& dir = args[0].bytes();
+               const File* d = FindFile(dir);
+               if (d == nullptr || !d->is_dir) return Err(Errno::kNotDir);
+               const std::string prefix = dir == "/" ? "/" : dir + "/";
+               std::string out;
+               for (const File& f : state_->files) {
+                 if (!f.used) continue;
+                 const std::string p(f.path);
+                 if (p.size() <= prefix.size() ||
+                     p.compare(0, prefix.size(), prefix) != 0 ||
+                     p.find('/', prefix.size()) != std::string::npos) {
+                   continue;
+                 }
+                 out += p.substr(prefix.size());
+                 out += '\n';
+               }
+               return MsgValue(std::move(out));
+             });
+
+  ctx.Export("stat",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this, fid_of](CallCtx&, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr) return Err(Errno::kBadF);
+               return MsgValue(
+                   static_cast<std::int64_t>(state_->files[e->file].size));
+             });
+
+  ctx.Export("stat_path", FnOptions{},
+             [this](CallCtx&, const Args& args) {
+               File* f = FindFile(args[0].bytes());
+               if (f == nullptr) return Err(Errno::kNoEnt);
+               return MsgValue(static_cast<std::int64_t>(f->size));
+             });
+
+  ctx.Export("truncate", FnOptions{},
+             [this, fid_of](CallCtx& c, const Args& args) {
+               FidEntry* e = fid_of(args[0].i64());
+               if (e == nullptr || !e->open) return Err(Errno::kBadF);
+               File& f = state_->files[e->file];
+               const auto len = static_cast<std::uint32_t>(
+                   std::max<std::int64_t>(0, args[1].i64()));
+               if (len > f.size) {
+                 if (!EnsureCapacity(&f, len)) return Err(Errno::kNoSpc);
+                 std::memset(DataOf(&f) + f.size, 0, len - f.size);
+               }
+               f.size = len;
+               if (!c.restoring()) SaveFileVault(c, f);
+               return MsgValue(std::int64_t{0});
+             });
+
+  ctx.Export("fsync", FnOptions{},
+             [fid_of](CallCtx&, const Args& args) {
+               return fid_of(args[0].i64()) != nullptr
+                          ? MsgValue(std::int64_t{0})
+                          : Err(Errno::kBadF);
+             });
+}
+
+}  // namespace vampos::uk

@@ -1,0 +1,62 @@
+// RAMFS: an in-unikernel filesystem backend for host-less deployments
+// (embedded images with no 9P export). Exports the same interface as 9PFS,
+// so VFS runs unchanged on either backend.
+//
+// Recovery design differs instructively from 9PFS: there, file *contents*
+// live on the host and survive any guest reboot, so only the fid table is
+// replayed. Here the contents are component state. Replaying every write
+// would defeat log shrinking, so RAMFS treats contents as *runtime data*
+// (paper §V-B): each mutation checkpoints the file into the runtime-data
+// vault, and OnReplayed() re-ingests the vault after the fid-table replay.
+#pragma once
+
+#include <cstdint>
+
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class RamFsComponent final : public comp::Component {
+ public:
+  RamFsComponent();
+  void Init(comp::InitCtx& ctx) override;
+  void OnRestored(comp::CallCtx& ctx) override;
+
+  static constexpr std::size_t kMaxFiles = 64;
+  static constexpr std::size_t kMaxFids = 128;
+  static constexpr std::size_t kMaxPath = 96;
+  static constexpr std::size_t kMaxFileBytes = 256 * 1024;
+
+ private:
+  struct File {
+    bool used = false;
+    bool is_dir = false;
+    char path[kMaxPath] = {};
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t data_off = 0;  // arena offset of the content buffer
+  };
+  struct FidEntry {
+    bool used = false;
+    bool open = false;
+    std::int32_t file = -1;  // index into files
+  };
+  struct State {
+    File files[kMaxFiles] = {};
+    FidEntry fids[kMaxFids] = {};
+    bool mounted = false;
+  };
+
+  File* FindFile(const std::string& path);
+  File* CreateFile(const std::string& path, bool is_dir);
+  void RemoveFile(File* f);
+  bool EnsureCapacity(File* f, std::uint32_t need);
+  std::int64_t AllocFid(comp::CallCtx& ctx);
+  void SaveFileVault(comp::CallCtx& ctx, const File& f);
+  void SaveIndexVault(comp::CallCtx& ctx);
+  char* DataOf(File* f);
+
+  State* state_ = nullptr;
+};
+
+}  // namespace vampos::uk

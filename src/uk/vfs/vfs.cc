@@ -1,0 +1,513 @@
+#include "uk/vfs/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/runtime.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::CompactionHook;
+using comp::CompactionRequest;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+namespace {
+constexpr std::int64_t kSeekSet = 0;
+constexpr std::int64_t kSeekCur = 1;
+constexpr std::int64_t kSeekEnd = 2;
+constexpr std::int64_t kOCreat = 0x40;
+constexpr std::int64_t kOAppend = 0x400;
+
+MsgValue Err(Errno e) { return MsgValue(ToWire(Status::Error(e))); }
+
+bool IsErr(const MsgValue& v) { return v.is_i64() && v.i64() < 0; }
+}  // namespace
+
+VfsComponent::VfsComponent(std::string fs_backend)
+    : Component("vfs", Statefulness::kStateful, 8u << 20),
+      fs_backend_(std::move(fs_backend)) {}
+
+VfsComponent::FdEntry* VfsComponent::Get(std::int64_t fd) {
+  if (fd < 0 || fd >= static_cast<std::int64_t>(kMaxFds)) return nullptr;
+  FdEntry* e = &state_->fds[fd];
+  return e->type == FdType::kFree ? nullptr : e;
+}
+
+std::int64_t VfsComponent::AllocFd(CallCtx& ctx) {
+  if (auto forced = ctx.forced_session()) return *forced;
+  // fd 0..2 reserved, POSIX-style.
+  for (std::size_t i = 3; i < kMaxFds; ++i) {
+    if (state_->fds[i].type == FdType::kFree) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return ToWire(Status::Error(Errno::kMFile));
+}
+
+msg::MsgValue VfsComponent::DoRead(CallCtx& c, std::int64_t fd,
+                                   std::int64_t len, std::int64_t offset,
+                                   bool use_fd_offset) {
+  FdEntry* e = Get(fd);
+  if (e == nullptr) return Err(Errno::kBadF);
+  switch (e->type) {
+    case FdType::kFile: {
+      const std::int64_t off = use_fd_offset ? e->offset : offset;
+      MsgValue data = c.Call(ninep_read_,
+                             {MsgValue(e->backend), MsgValue(off),
+                              MsgValue(len)});
+      if (IsErr(data)) return data;
+      if (use_fd_offset) {
+        e->offset += static_cast<std::int64_t>(data.bytes().size());
+        e->atime_ms = c.Call(timer_now_, {}).i64();
+      }
+      return data;
+    }
+    case FdType::kSocket:
+      if (lwip_recv_ < 0) return Err(Errno::kInval);
+      return c.Call(lwip_recv_, {MsgValue(e->backend), MsgValue(len)});
+    case FdType::kPipeR: {
+      Pipe& p = state_->pipes[e->backend];
+      const auto avail = p.tail - p.head;
+      if (avail == 0) return Err(Errno::kAgain);
+      const auto n = std::min<std::uint32_t>(
+          avail, static_cast<std::uint32_t>(len));
+      std::string out;
+      out.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out.push_back(p.buf[(p.head + i) % kPipeCap]);
+      }
+      p.head += n;
+      return MsgValue(std::move(out));
+    }
+    default:
+      return Err(Errno::kBadF);
+  }
+}
+
+msg::MsgValue VfsComponent::DoWrite(CallCtx& c, std::int64_t fd,
+                                    const std::string& data,
+                                    std::int64_t offset, bool use_fd_offset) {
+  FdEntry* e = Get(fd);
+  if (e == nullptr) return Err(Errno::kBadF);
+  switch (e->type) {
+    case FdType::kFile: {
+      const std::int64_t off = use_fd_offset ? e->offset : offset;
+      MsgValue n = c.Call(ninep_write_, {MsgValue(e->backend), MsgValue(off),
+                                         MsgValue(data)});
+      if (IsErr(n)) return n;
+      if (use_fd_offset) {
+        e->offset += n.i64();
+        e->mtime_ms = c.Call(timer_now_, {}).i64();
+      }
+      return n;
+    }
+    case FdType::kSocket:
+      if (lwip_send_ < 0) return Err(Errno::kInval);
+      return c.Call(lwip_send_, {MsgValue(e->backend), MsgValue(data)});
+    case FdType::kPipeW: {
+      Pipe& p = state_->pipes[e->backend];
+      const auto space = kPipeCap - (p.tail - p.head);
+      const auto n = std::min<std::uint32_t>(
+          space, static_cast<std::uint32_t>(data.size()));
+      if (n == 0) return Err(Errno::kAgain);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        p.buf[(p.tail + i) % kPipeCap] = data[i];
+      }
+      p.tail += n;
+      return MsgValue(static_cast<std::int64_t>(n));
+    }
+    default:
+      return Err(Errno::kBadF);
+  }
+}
+
+void VfsComponent::Init(InitCtx& ctx) {
+  state_ = MakeState<State>();
+
+  ctx.Export("mount", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_mount_ < 0) return Err(Errno::kInval);
+               MsgValue r = c.Call(ninep_mount_, {args[0]});
+               state_->mounted = !IsErr(r);
+               return r;
+             });
+
+  // open(path, flags) -> fd
+  ctx.Export(
+      "open", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        if (ninep_lookup_ < 0) return Err(Errno::kInval);  // no filesystem
+        const std::string& path = args[0].bytes();
+        const std::int64_t flags = args.size() > 1 ? args[1].i64() : 0;
+        // Permission walk: USER for credentials, TIMER for atime — the
+        // realistic multi-component chain behind one open() (Fig 5).
+        (void)c.Call(user_getuid_, {});
+        MsgValue fid = c.Call(ninep_lookup_, {MsgValue(path)});
+        if (IsErr(fid) && (flags & kOCreat) != 0) {
+          fid = c.Call(ninep_create_, {MsgValue(path)});
+        }
+        if (IsErr(fid)) return fid;
+        MsgValue size = c.Call(ninep_open_, {fid});
+        if (IsErr(size)) return size;
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        FdEntry& e = state_->fds[fd];
+        e.type = FdType::kFile;
+        e.backend = fid.i64();
+        state_->fid_refs[fid.i64()] = 1;
+        e.offset = (flags & kOAppend) != 0 ? size.i64() : 0;
+        e.flags = flags;
+        e.atime_ms = c.Call(timer_now_, {}).i64();
+        e.mtime_ms = e.atime_ms;
+        return MsgValue(fd);
+      });
+
+  // create(path) -> fd (open with O_CREAT|O_TRUNC semantics, minus trunc).
+  ctx.Export(
+      "create", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        if (ninep_create_ < 0) return Err(Errno::kInval);
+        MsgValue fid = c.Call(ninep_create_, {args[0]});
+        if (IsErr(fid)) return fid;
+        MsgValue size = c.Call(ninep_open_, {fid});
+        if (IsErr(size)) return size;
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        FdEntry& e = state_->fds[fd];
+        e.type = FdType::kFile;
+        e.backend = fid.i64();
+        state_->fid_refs[fid.i64()] = 1;
+        e.offset = 0;
+        e.flags = kOCreat;
+        e.atime_ms = c.Call(timer_now_, {}).i64();
+        e.mtime_ms = e.atime_ms;
+        return MsgValue(fd);
+      });
+
+  ctx.Export("read", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               return DoRead(c, args[0].i64(), args[1].i64(), 0, true);
+             });
+  ctx.Export("pread",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               return DoRead(c, args[0].i64(), args[1].i64(), args[2].i64(),
+                             false);
+             });
+  ctx.Export("write", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               return DoWrite(c, args[0].i64(), args[1].bytes(), 0, true);
+             });
+  ctx.Export("pwrite",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               return DoWrite(c, args[0].i64(), args[1].bytes(),
+                              args[2].i64(), false);
+             });
+  // writev: vector of buffers flattened by the libc shim; one log entry.
+  ctx.Export("writev", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               std::string flat;
+               for (std::size_t i = 1; i < args.size(); ++i) {
+                 flat += args[i].bytes();
+               }
+               return DoWrite(c, args[0].i64(), flat, 0, true);
+             });
+
+  ctx.Export(
+      "lseek", FnOptions{.logged = true, .session_arg = 0},
+      [this](CallCtx& c, const Args& args) {
+        FdEntry* e = Get(args[0].i64());
+        if (e == nullptr || e->type != FdType::kFile) {
+          return Err(Errno::kBadF);
+        }
+        const std::int64_t off = args[1].i64();
+        const std::int64_t whence = args[2].i64();
+        switch (whence) {
+          case kSeekSet:
+            e->offset = off;
+            break;
+          case kSeekCur:
+            e->offset += off;
+            break;
+          case kSeekEnd: {
+            MsgValue size = c.Call(ninep_stat_, {MsgValue(e->backend)});
+            if (IsErr(size)) return size;
+            e->offset = size.i64() + off;
+            break;
+          }
+          default:
+            return Err(Errno::kInval);
+        }
+        return MsgValue(e->offset);
+      });
+
+  ctx.Export(
+      "close", FnOptions{.logged = true, .session_arg = 0, .canceling = true},
+      [this](CallCtx& c, const Args& args) {
+        FdEntry* e = Get(args[0].i64());
+        if (e == nullptr) return Err(Errno::kBadF);
+        if (e->type == FdType::kFile) {
+          if (--state_->fid_refs[e->backend] <= 0) {
+            (void)c.Call(ninep_clunk_, {MsgValue(e->backend)});
+          }
+        } else if (e->type == FdType::kSocket) {
+          (void)c.Call(lwip_close_, {MsgValue(e->backend)});
+        }
+        *e = FdEntry{};
+        return MsgValue(std::int64_t{0});
+      });
+
+  ctx.Export("fsync",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               FdEntry* e = Get(args[0].i64());
+               if (e == nullptr || e->type != FdType::kFile) {
+                 return Err(Errno::kBadF);
+               }
+               return c.Call(ninep_fsync_, {MsgValue(e->backend)});
+             });
+
+  ctx.Export("fcntl", FnOptions{.logged = true, .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               FdEntry* e = Get(args[0].i64());
+               if (e == nullptr) return Err(Errno::kBadF);
+               if (args[1].i64() == 4 /*F_SETFL*/) e->flags = args[2].i64();
+               return MsgValue(e->flags);
+             });
+
+  ctx.Export("ioctl",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx&, const Args& args) {
+               return Get(args[0].i64()) != nullptr ? MsgValue(std::int64_t{0})
+                                                    : Err(Errno::kBadF);
+             });
+
+  // fstat-equivalent (vfscore_vget in Table II): reads, never replayed.
+  ctx.Export("vget",
+             FnOptions{.logged = true, .state_changing = false,
+                       .session_arg = 0},
+             [this](CallCtx& c, const Args& args) {
+               FdEntry* e = Get(args[0].i64());
+               if (e == nullptr) return Err(Errno::kBadF);
+               if (e->type != FdType::kFile) return MsgValue(std::int64_t{0});
+               return c.Call(ninep_stat_, {MsgValue(e->backend)});
+             });
+
+  ctx.Export("mkdir", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_mkdir_ < 0) return Err(Errno::kInval);
+               return c.Call(ninep_mkdir_, {args[0]});
+             });
+
+  // dup(fd) -> new fd sharing the backend fid (refcounted so the fid is
+  // clunked only when the last fd closes). Offsets are per-fd — a
+  // unikernel-level simplification vs POSIX's shared file description.
+  ctx.Export(
+      "dup", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        FdEntry* e = Get(args[0].i64());
+        if (e == nullptr || e->type != FdType::kFile) return Err(Errno::kBadF);
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        state_->fds[fd] = *e;
+        state_->fid_refs[e->backend]++;
+        return MsgValue(fd);
+      });
+
+  ctx.Export("unlink", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_remove_path_ < 0) return Err(Errno::kInval);
+               return c.Call(ninep_remove_path_, {args[0]});
+             });
+
+  ctx.Export("rename", FnOptions{.logged = true},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_rename_ < 0) return Err(Errno::kInval);
+               return c.Call(ninep_rename_, {args[0], args[1]});
+             });
+
+  // readdir(path) -> newline-separated names. Read-only: not replayed.
+  ctx.Export("readdir",
+             FnOptions{.logged = true, .state_changing = false},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_readdir_ < 0) return Err(Errno::kInval);
+               return c.Call(ninep_readdir_, {args[0]});
+             });
+
+  ctx.Export(
+      "ftruncate", FnOptions{.logged = true, .session_arg = 0},
+      [this](CallCtx& c, const Args& args) {
+        FdEntry* e = Get(args[0].i64());
+        if (e == nullptr || e->type != FdType::kFile) return Err(Errno::kBadF);
+        if (ninep_truncate_ < 0) return Err(Errno::kInval);
+        MsgValue r = c.Call(ninep_truncate_, {MsgValue(e->backend), args[1]});
+        if (!IsErr(r) && e->offset > args[1].i64()) e->offset = args[1].i64();
+        return r;
+      });
+
+  // stat(path) -> size, or -ENOENT. Pure read: not logged at all.
+  ctx.Export("stat_path", FnOptions{},
+             [this](CallCtx& c, const Args& args) {
+               if (ninep_stat_path_ < 0) return Err(Errno::kInval);
+               return c.Call(ninep_stat_path_, {args[0]});
+             });
+
+  // pipe() -> read fd (write fd is read fd + 1).
+  ctx.Export(
+      "pipe", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args&) {
+        std::int64_t fd_r = -1;
+        if (auto forced = c.forced_session()) {
+          fd_r = *forced;
+        } else {
+          for (std::size_t i = 3; i + 1 < kMaxFds; ++i) {
+            if (state_->fds[i].type == FdType::kFree &&
+                state_->fds[i + 1].type == FdType::kFree) {
+              fd_r = static_cast<std::int64_t>(i);
+              break;
+            }
+          }
+          if (fd_r < 0) return Err(Errno::kMFile);
+        }
+        std::int64_t pidx = -1;
+        for (std::size_t i = 0; i < 8; ++i) {
+          if (!state_->pipes[i].used) {
+            pidx = static_cast<std::int64_t>(i);
+            break;
+          }
+        }
+        if (pidx < 0) return Err(Errno::kMFile);
+        state_->pipes[pidx] = Pipe{};
+        state_->pipes[pidx].used = true;
+        state_->fds[fd_r] = FdEntry{FdType::kPipeR, pidx, 0, 0, 0, 0};
+        state_->fds[fd_r + 1] = FdEntry{FdType::kPipeW, pidx, 0, 0, 0, 0};
+        return MsgValue(fd_r);
+      });
+
+  // ------------------------------------------------------- socket surface
+  ctx.Export(
+      "socket", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args&) {
+        if (lwip_socket_ < 0) return Err(Errno::kInval);  // no network stack
+        MsgValue sock = c.Call(lwip_socket_, {});
+        if (IsErr(sock)) return sock;
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        state_->fds[fd] = FdEntry{FdType::kSocket, sock.i64(), 0, 0, 0, 0};
+        return MsgValue(fd);
+      });
+
+  auto sock_forward = [this](FunctionId& target) {
+    return [this, &target](CallCtx& c, const Args& args) {
+      FdEntry* e = Get(args[0].i64());
+      if (e == nullptr || e->type != FdType::kSocket) return Err(Errno::kBadF);
+      if (target < 0) return Err(Errno::kInval);
+      Args fwd{MsgValue(e->backend)};
+      for (std::size_t i = 1; i < args.size(); ++i) fwd.push_back(args[i]);
+      return c.Call(target, fwd);
+    };
+  };
+  // Datagram sockets (UDP).
+  ctx.Export(
+      "socket_dgram", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args&) {
+        if (lwip_socket_dgram_ < 0) return Err(Errno::kInval);
+        MsgValue sock = c.Call(lwip_socket_dgram_, {});
+        if (IsErr(sock)) return sock;
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        state_->fds[fd] = FdEntry{FdType::kSocket, sock.i64(), 0, 0, 0, 0};
+        return MsgValue(fd);
+      });
+  ctx.Export("sendto", FnOptions{}, sock_forward(lwip_sendto_));
+  ctx.Export("recvfrom", FnOptions{}, sock_forward(lwip_recvfrom_));
+  ctx.Export("last_peer", FnOptions{}, sock_forward(lwip_last_peer_));
+
+  ctx.Export("bind", FnOptions{.logged = true, .session_arg = 0},
+             sock_forward(lwip_bind_));
+  ctx.Export("listen", FnOptions{.logged = true, .session_arg = 0},
+             sock_forward(lwip_listen_));
+  ctx.Export("connect", FnOptions{.logged = true, .session_arg = 0},
+             sock_forward(lwip_connect_));
+
+  // accept(fd) -> new fd for the established connection (or -EAGAIN).
+  ctx.Export(
+      "accept", FnOptions{.logged = true, .session_from_ret = true},
+      [this](CallCtx& c, const Args& args) {
+        FdEntry* e = Get(args[0].i64());
+        if (e == nullptr || e->type != FdType::kSocket) {
+          return Err(Errno::kBadF);
+        }
+        MsgValue sock = c.Call(lwip_accept_, {MsgValue(e->backend)});
+        if (IsErr(sock)) return sock;
+        const std::int64_t fd = AllocFd(c);
+        if (fd < 0) return MsgValue(fd);
+        state_->fds[fd] = FdEntry{FdType::kSocket, sock.i64(), 0, 0, 0, 0};
+        return MsgValue(fd);
+      });
+}
+
+void VfsComponent::Bind(InitCtx& ctx) {
+  auto& rt = ctx.runtime();
+  // File-system backend is optional (Echo's stack has none) and pluggable
+  // (9PFS or RAMFS; both export the same interface).
+  const std::string& fs = fs_backend_;
+  ninep_mount_ = rt.TryLookup(fs, "mount").value_or(-1);
+  ninep_lookup_ = rt.TryLookup(fs, "lookup").value_or(-1);
+  ninep_create_ = rt.TryLookup(fs, "create").value_or(-1);
+  ninep_open_ = rt.TryLookup(fs, "open").value_or(-1);
+  ninep_read_ = rt.TryLookup(fs, "read").value_or(-1);
+  ninep_write_ = rt.TryLookup(fs, "write").value_or(-1);
+  ninep_clunk_ = rt.TryLookup(fs, "clunk").value_or(-1);
+  ninep_stat_ = rt.TryLookup(fs, "stat").value_or(-1);
+  ninep_fsync_ = rt.TryLookup(fs, "fsync").value_or(-1);
+  ninep_mkdir_ = rt.TryLookup(fs, "mkdir").value_or(-1);
+  ninep_remove_path_ = rt.TryLookup(fs, "remove_path").value_or(-1);
+  ninep_rename_ = rt.TryLookup(fs, "rename").value_or(-1);
+  ninep_readdir_ = rt.TryLookup(fs, "readdir").value_or(-1);
+  ninep_truncate_ = rt.TryLookup(fs, "truncate").value_or(-1);
+  ninep_stat_path_ = rt.TryLookup(fs, "stat_path").value_or(-1);
+  timer_now_ = ctx.Import("timer", "time_ms");
+  user_getuid_ = ctx.Import("user", "getuid");
+  self_lseek_ = ctx.Import("vfs", "lseek");
+  // Network backends are optional (SQLite's stack has no LWIP).
+  lwip_socket_ = rt.TryLookup("lwip", "socket").value_or(-1);
+  lwip_bind_ = rt.TryLookup("lwip", "bind").value_or(-1);
+  lwip_listen_ = rt.TryLookup("lwip", "listen").value_or(-1);
+  lwip_accept_ = rt.TryLookup("lwip", "accept").value_or(-1);
+  lwip_connect_ = rt.TryLookup("lwip", "connect").value_or(-1);
+  lwip_send_ = rt.TryLookup("lwip", "send").value_or(-1);
+  lwip_recv_ = rt.TryLookup("lwip", "recv").value_or(-1);
+  lwip_close_ = rt.TryLookup("lwip", "sock_net_close").value_or(-1);
+  lwip_socket_dgram_ = rt.TryLookup("lwip", "socket_dgram").value_or(-1);
+  lwip_sendto_ = rt.TryLookup("lwip", "sendto").value_or(-1);
+  lwip_recvfrom_ = rt.TryLookup("lwip", "recvfrom").value_or(-1);
+  lwip_last_peer_ = rt.TryLookup("lwip", "last_peer").value_or(-1);
+}
+
+comp::CompactionHook VfsComponent::compaction_hook() {
+  // Threshold-triggered shrinking (§V-F): a file session's accumulated
+  // read/write/lseek history only matters for the final offset; replace it
+  // with one synthetic lseek(fd, current_offset, SEEK_SET). Socket and
+  // stale sessions summarize to nothing.
+  return [this](const CompactionRequest& req)
+             -> std::vector<std::pair<FunctionId, Args>> {
+    FdEntry* e = Get(req.session);
+    if (e == nullptr || e->type != FdType::kFile) return {};
+    return {{self_lseek_,
+             Args{MsgValue(req.session), MsgValue(e->offset),
+                  MsgValue(kSeekSet)}}};
+  };
+}
+
+}  // namespace vampos::uk

@@ -1,0 +1,105 @@
+// VFS: the POSIX surface for files, pipes, and sockets (paper Table I:
+// "exposes POSIX APIs for file systems and networks").
+//
+// Stateful: owns the file-descriptor table (type, backend handle, offset,
+// flags). File ops route to 9PFS (by fid), socket ops to LWIP (by socket
+// id), with TIMER/USER consulted on the open/write paths to give syscalls
+// their realistic multi-component call chains (Fig 5's transition counts).
+//
+// Restoration: the fd table is rebuilt by replaying the Table II call set
+// (create/open/write/pwrite/read/pread/close/mount/fcntl/lseek/pipe/ioctl/
+// writev/fsync/vfs_alloc_socket) with 9PFS/LWIP return values fed from the
+// log. The compaction hook collapses a session's offset-moving history into
+// one synthetic lseek (paper §V-F: "extracts and resets the offset value").
+#pragma once
+
+#include <cstdint>
+
+#include "comp/component.h"
+
+namespace vampos::uk {
+
+class VfsComponent final : public comp::Component {
+ public:
+  /// `fs_backend`: name of the filesystem-backend component to bind to —
+  /// "9pfs" (host-backed) or "ramfs" (in-unikernel); both export the same
+  /// interface.
+  explicit VfsComponent(std::string fs_backend = "9pfs");
+  void Init(comp::InitCtx& ctx) override;
+  void Bind(comp::InitCtx& ctx) override;
+  comp::CompactionHook compaction_hook() override;
+
+  static constexpr std::size_t kMaxFds = 256;
+  static constexpr std::size_t kPipeCap = 4096;
+
+  enum class FdType : std::uint8_t { kFree, kFile, kSocket, kPipeR, kPipeW };
+
+ private:
+  struct FdEntry {
+    FdType type = FdType::kFree;
+    std::int64_t backend = -1;  // 9pfs fid or lwip socket id or pipe index
+    std::int64_t offset = 0;
+    std::int64_t flags = 0;
+    std::int64_t atime_ms = 0;
+    std::int64_t mtime_ms = 0;
+  };
+  struct Pipe {
+    bool used = false;
+    std::uint32_t head = 0;  // read cursor
+    std::uint32_t tail = 0;  // write cursor
+    char buf[kPipeCap] = {};
+  };
+  struct State {
+    FdEntry fds[kMaxFds] = {};
+    Pipe pipes[8] = {};
+    // Reference counts on 9PFS fids (dup() shares a fid across fds; the
+    // clunk happens when the last fd closes).
+    std::int16_t fid_refs[kMaxFds] = {};
+    bool mounted = false;
+  };
+
+  std::int64_t AllocFd(comp::CallCtx& ctx);
+  FdEntry* Get(std::int64_t fd);
+  msg::MsgValue DoRead(comp::CallCtx& c, std::int64_t fd, std::int64_t len,
+                       std::int64_t offset, bool use_fd_offset);
+  msg::MsgValue DoWrite(comp::CallCtx& c, std::int64_t fd,
+                        const std::string& data, std::int64_t offset,
+                        bool use_fd_offset);
+
+  State* state_ = nullptr;
+  std::string fs_backend_;
+  // Imported functions (resolved in Bind; absent backends stay -1).
+  FunctionId ninep_lookup_ = -1;
+  FunctionId ninep_create_ = -1;
+  FunctionId ninep_open_ = -1;
+  FunctionId ninep_read_ = -1;
+  FunctionId ninep_write_ = -1;
+  FunctionId ninep_clunk_ = -1;
+  FunctionId ninep_stat_ = -1;
+  FunctionId ninep_fsync_ = -1;
+  FunctionId ninep_mount_ = -1;
+  FunctionId ninep_mkdir_ = -1;
+  FunctionId ninep_remove_path_ = -1;
+  FunctionId ninep_rename_ = -1;
+  FunctionId ninep_readdir_ = -1;
+  FunctionId ninep_truncate_ = -1;
+  FunctionId ninep_stat_path_ = -1;
+  FunctionId lwip_socket_ = -1;
+  FunctionId lwip_bind_ = -1;
+  FunctionId lwip_listen_ = -1;
+  FunctionId lwip_accept_ = -1;
+  FunctionId lwip_connect_ = -1;
+  FunctionId lwip_send_ = -1;
+  FunctionId lwip_recv_ = -1;
+  FunctionId lwip_close_ = -1;
+  FunctionId lwip_socket_dgram_ = -1;
+  FunctionId lwip_sendto_ = -1;
+  FunctionId lwip_recvfrom_ = -1;
+  FunctionId lwip_last_peer_ = -1;
+  FunctionId timer_now_ = -1;
+  FunctionId user_getuid_ = -1;
+  // Own exports needed by the compaction hook.
+  FunctionId self_lseek_ = -1;
+};
+
+}  // namespace vampos::uk

@@ -1,0 +1,95 @@
+#include "uk/virtio/virtio.h"
+
+#include <span>
+
+#include "msg/value.h"
+
+namespace vampos::uk {
+
+using comp::CallCtx;
+using comp::FnOptions;
+using comp::InitCtx;
+using comp::Statefulness;
+using msg::Args;
+using msg::MsgValue;
+
+std::string EncodeFrame(const Frame& f) {
+  Args args{MsgValue(static_cast<std::int64_t>(f.flags)),
+            MsgValue(static_cast<std::int64_t>(f.src_port)),
+            MsgValue(static_cast<std::int64_t>(f.dst_port)),
+            MsgValue(static_cast<std::int64_t>(f.seq)),
+            MsgValue(static_cast<std::int64_t>(f.ack)),
+            MsgValue(f.payload)};
+  auto bytes = msg::SerializeArgs(args);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+Frame DecodeFrame(const std::string& wire) {
+  Args args = msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+  Frame f;
+  f.flags = static_cast<std::uint8_t>(args[0].i64());
+  f.src_port = static_cast<std::uint16_t>(args[1].i64());
+  f.dst_port = static_cast<std::uint16_t>(args[2].i64());
+  f.seq = static_cast<std::uint32_t>(args[3].i64());
+  f.ack = static_cast<std::uint32_t>(args[4].i64());
+  f.payload = args[5].bytes();
+  return f;
+}
+
+Nanos VirtioComponent::hypercall_cost_ns = 1500;
+
+VirtioComponent::VirtioComponent(Platform* platform, HostRingView* host_view)
+    : Component("virtio", Statefulness::kUnrebootable, 512 * 1024),
+      platform_(platform),
+      host_view_(host_view) {}
+
+bool VirtioComponent::RingsConsistent() const {
+  return rings_ != nullptr && rings_->ninep_avail == host_view_->ninep_used &&
+         rings_->net_tx_avail == host_view_->net_tx_used &&
+         rings_->net_rx_avail == host_view_->net_rx_used;
+}
+
+void VirtioComponent::Init(InitCtx& ctx) {
+  rings_ = MakeState<Rings>();
+
+  // Synchronous 9P transaction: descriptor posted, host consumes it and the
+  // used index advances in lock-step (QEMU processes virtio-9p inline).
+  ctx.Export("ninep_rpc", FnOptions{}, [this](CallCtx&, const Args& args) {
+    SpinFor(hypercall_cost_ns);
+    rings_->ninep_avail++;
+    rings_->bytes_tx += args[0].bytes().size();
+    std::string reply = platform_->ninep.Handle(args[0].bytes());
+    host_view_->ninep_used++;
+    rings_->bytes_rx += reply.size();
+    return MsgValue(std::move(reply));
+  });
+
+  ctx.Export("net_tx", FnOptions{}, [this](CallCtx&, const Args& args) {
+    SpinFor(hypercall_cost_ns);
+    rings_->net_tx_avail++;
+    rings_->bytes_tx += args[0].bytes().size();
+    platform_->net.GuestTx(DecodeFrame(args[0].bytes()));
+    host_view_->net_tx_used++;
+    return MsgValue(std::int64_t{0});
+  });
+
+  ctx.Export("net_rx", FnOptions{}, [this](CallCtx&, const Args&) {
+    SpinFor(hypercall_cost_ns);
+    auto frame = platform_->net.GuestRx();
+    if (!frame.has_value()) return MsgValue("");
+    rings_->net_rx_avail++;
+    host_view_->net_rx_used++;
+    std::string wire = EncodeFrame(*frame);
+    rings_->bytes_rx += wire.size();
+    return MsgValue(std::move(wire));
+  });
+
+  ctx.Export("ring_stats", FnOptions{}, [this](CallCtx&, const Args&) {
+    return MsgValue(static_cast<std::int64_t>(rings_->bytes_tx +
+                                              rings_->bytes_rx));
+  });
+}
+
+}  // namespace vampos::uk

@@ -1,0 +1,65 @@
+// VIRTIO device-driver component.
+//
+// Models the one component the paper cannot reboot (§VIII): its virtqueue
+// indices are shared with the host. The guest-side ring state lives in this
+// component's arena; the host's view lives in host memory (HostRingView).
+// Rebooting this component would reset the guest indices while the host's
+// advance, losing I/O and misaligning the ring — so it is declared
+// kUnrebootable and Runtime::Reboot refuses it.
+//
+// Two services ride the rings, matching QEMU's virtio-9p and virtio-net:
+//   ninep_rpc(bytes)  -> bytes   synchronous 9P transaction to the host
+//   net_tx(frame)                enqueue a frame toward the host switch
+//   net_rx() -> frame|empty      dequeue a frame from the host switch
+#pragma once
+
+#include <cstdint>
+
+#include "base/clock.h"
+#include "comp/component.h"
+#include "uk/platform.h"
+
+namespace vampos::uk {
+
+/// Host's view of the shared rings — lives outside every arena, survives
+/// all component reboots.
+struct HostRingView {
+  std::uint32_t ninep_used = 0;
+  std::uint32_t net_tx_used = 0;
+  std::uint32_t net_rx_used = 0;
+};
+
+class VirtioComponent final : public comp::Component {
+ public:
+  VirtioComponent(Platform* platform, HostRingView* host_view);
+
+  /// Guest-visible cost of one virtio transaction (VM exit + host handling),
+  /// calibrated to a typical KVM exit. Applied to every ring operation in
+  /// all configurations, so baseline I/O carries realistic cost. Set to 0
+  /// for fast unit tests.
+  static Nanos hypercall_cost_ns;
+  void Init(comp::InitCtx& ctx) override;
+
+  /// True when guest avail indices match the host's used counters — the
+  /// invariant a VIRTIO reboot would break.
+  [[nodiscard]] bool RingsConsistent() const;
+
+ private:
+  struct Rings {
+    std::uint32_t ninep_avail = 0;
+    std::uint32_t net_tx_avail = 0;
+    std::uint32_t net_rx_avail = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+  };
+
+  Platform* platform_;
+  HostRingView* host_view_;
+  Rings* rings_ = nullptr;
+};
+
+/// Serialization helpers shared with NETDEV/LWIP.
+std::string EncodeFrame(const Frame& f);
+Frame DecodeFrame(const std::string& wire);
+
+}  // namespace vampos::uk

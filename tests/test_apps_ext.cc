@@ -1,0 +1,159 @@
+// Tests for the extended application command surfaces: Redis-like
+// DEL/INCR/EXISTS (with AOF round-trips), MiniDb UPDATE/KEYS, and the
+// web server's HEAD handling.
+#include <gtest/gtest.h>
+
+#include "apps/kvstore.h"
+#include "apps/minidb.h"
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "apps/webserver.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::KvStore;
+using apps::MiniDb;
+using apps::Posix;
+using apps::SimClient;
+using apps::StackInfo;
+using apps::StackSpec;
+using apps::WebServer;
+using core::Runtime;
+using core::RuntimeOptions;
+using testing::RunApp;
+
+struct Rig {
+  explicit Rig(StackSpec spec) : rt(Opts()) {
+    info = BuildStack(rt, platform, rings, spec);
+    apps::BootAndMount(rt);
+    px = std::make_unique<Posix>(rt);
+  }
+  static RuntimeOptions Opts() {
+    RuntimeOptions o;
+    o.hang_threshold = 0;
+    return o;
+  }
+  void Pump(SimClient& client, int rounds = 8) {
+    for (int i = 0; i < rounds; ++i) {
+      client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      client.Poll();
+    }
+  }
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt;
+  StackInfo info;
+  std::unique_ptr<Posix> px;
+};
+
+TEST(KvStoreExt, DelIncrExists) {
+  Rig rig(StackSpec::Redis());
+  RunApp(rig.rt, [&] {
+    KvStore kv(*rig.px, "/aof", true);
+    ASSERT_TRUE(kv.OpenAof());
+    kv.Set("a", "1");
+    EXPECT_TRUE(kv.Exists("a"));
+    EXPECT_EQ(kv.Del("a"), 1);
+    EXPECT_EQ(kv.Del("a"), 0);
+    EXPECT_FALSE(kv.Exists("a"));
+    EXPECT_EQ(kv.Incr("n"), 1);
+    EXPECT_EQ(kv.Incr("n"), 2);
+    kv.Set("s", "text");
+    EXPECT_LT(kv.Incr("s"), 0);  // non-numeric
+    kv.CloseAof();
+  });
+}
+
+TEST(KvStoreExt, DelSurvivesAofReload) {
+  Rig rig(StackSpec::Redis());
+  RunApp(rig.rt, [&] {
+    KvStore kv(*rig.px, "/aof2", true);
+    ASSERT_TRUE(kv.OpenAof());
+    kv.Set("keep", "1");
+    kv.Set("drop", "2");
+    kv.Del("drop");
+    kv.CloseAof();
+
+    KvStore reloaded(*rig.px, "/aof2", true);
+    EXPECT_EQ(reloaded.LoadAof(), 3u);  // 2 sets + 1 del
+    EXPECT_TRUE(reloaded.Exists("keep"));
+    EXPECT_FALSE(reloaded.Exists("drop"));
+  });
+}
+
+TEST(KvStoreExt, NetworkCommands) {
+  Rig rig(StackSpec::Redis());
+  bool stop = false;
+  KvStore kv(*rig.px, "/aof3", false);
+  rig.rt.SpawnApp("redis", [&] {
+    kv.Setup(6379);
+    kv.RunLoop(&stop);
+  });
+  rig.rt.RunUntilIdle();
+  SimClient client(&rig.platform.net, 6379);
+  const int h = client.Connect();
+  rig.Pump(client);
+  auto cmd = [&](const std::string& c) {
+    client.Send(h, c + "\n");
+    rig.Pump(client);
+    return client.TakeReceived(h);
+  };
+  EXPECT_EQ(cmd("INCR hits"), ":1\n");
+  EXPECT_EQ(cmd("INCR hits"), ":2\n");
+  EXPECT_EQ(cmd("EXISTS hits"), ":1\n");
+  EXPECT_EQ(cmd("DEL hits"), ":1\n");
+  EXPECT_EQ(cmd("EXISTS hits"), ":0\n");
+  stop = true;
+  rig.rt.UnparkApps();
+  rig.rt.RunUntilIdle();
+}
+
+TEST(MiniDbExt, UpdateAndKeys) {
+  Rig rig(StackSpec::Sqlite());
+  RunApp(rig.rt, [&] {
+    MiniDb db(*rig.px, "/db");
+    ASSERT_TRUE(db.Open());
+    EXPECT_EQ(db.Exec("UPDATE ghost 1"), "ERR no such row");
+    db.Exec("INSERT a 1");
+    db.Exec("INSERT b 2");
+    EXPECT_EQ(db.Exec("UPDATE a 9"), "OK");
+    EXPECT_EQ(db.Exec("SELECT a"), "9");
+    const std::string keys = db.Exec("KEYS");
+    EXPECT_NE(keys.find("a\n"), std::string::npos);
+    EXPECT_NE(keys.find("b\n"), std::string::npos);
+    db.Close();
+  });
+}
+
+TEST(WebServerExt, HeadReturnsLengthWithoutBody) {
+  Rig rig(StackSpec::Nginx());
+  rig.platform.ninep.PutFile("/www/page", std::string(64, 'p'));
+  bool stop = false;
+  WebServer server(*rig.px, 80, "/www");
+  rig.rt.SpawnApp("nginx", [&] {
+    server.Setup();
+    server.RunLoop(&stop);
+  });
+  rig.rt.RunUntilIdle();
+  SimClient client(&rig.platform.net, 80);
+  const int h = client.Connect();
+  rig.Pump(client);
+  client.Send(h, "HEAD /page\n");
+  rig.Pump(client);
+  const std::string resp = client.TakeReceived(h);
+  EXPECT_NE(resp.find("200"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 64"), std::string::npos);
+  EXPECT_EQ(resp.find(std::string(64, 'p')), std::string::npos);  // no body
+  stop = true;
+  rig.rt.UnparkApps();
+  rig.rt.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace vampos

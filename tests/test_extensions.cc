@@ -1,0 +1,243 @@
+// Tests for the §VIII extensions: graceful termination hooks and
+// multi-version component failover for deterministic bugs.
+#include <gtest/gtest.h>
+
+#include "core/rejuvenation.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Runtime;
+using core::RuntimeOptions;
+using msg::MsgValue;
+using testing::CounterComponent;
+using testing::RunApp;
+using testing::StoreComponent;
+
+RuntimeOptions Opts() {
+  RuntimeOptions o;
+  o.hang_threshold = 0;
+  return o;
+}
+
+struct Rig {
+  explicit Rig(RuntimeOptions opts = Opts()) : rt(opts) {
+    store = rt.AddComponent(std::make_unique<StoreComponent>());
+    auto cc = std::make_unique<CounterComponent>();
+    counter_comp = cc.get();
+    counter = rt.AddComponent(std::move(cc));
+    rt.AddAppDependency(counter);
+    rt.AddDependency(counter, store);
+    counter_comp->SetRuntimeForHook(&rt);
+  }
+  Runtime rt;
+  ComponentId store, counter;
+  CounterComponent* counter_comp;
+};
+
+TEST(GracefulTermination, HookRunsAndUsesUndamagedComponents) {
+  Rig rig;
+  rig.rt.Boot();
+  const FunctionId add = rig.rt.Lookup("store", "add");
+  bool hook_ran = false;
+  std::int64_t saved_via_store = -1;
+  rig.rt.RegisterTerminationHook([&] {
+    hook_ran = true;
+    // The store is undamaged; the hook can still use it to save state.
+    saved_via_store = rig.rt.Call(add, {MsgValue(std::int64_t{100})}).i64();
+  });
+
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+
+  EXPECT_TRUE(rig.rt.terminal_fault().has_value());
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(saved_via_store, 100);
+}
+
+TEST(GracefulTermination, HookCallToDeadComponentFailsFast) {
+  Rig rig;
+  rig.rt.Boot();
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  std::int64_t dead_result = 0;
+  rig.rt.RegisterTerminationHook([&] {
+    dead_result = rig.rt.Call(get, {}).i64();  // counter is dead
+  });
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  EXPECT_LT(dead_result, 0);  // error, not a hang
+}
+
+TEST(GracefulTermination, HooksDoNotRunWithoutFailStop) {
+  Rig rig;
+  rig.rt.Boot();
+  bool hook_ran = false;
+  rig.rt.RegisterTerminationHook([&] { hook_ran = true; });
+  // Non-deterministic fault: recovered, no fail-stop, no hook.
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  EXPECT_FALSE(rig.rt.terminal_fault().has_value());
+  EXPECT_FALSE(hook_ran);
+}
+
+TEST(MultiVersion, VariantTakesOverDeterministicFault) {
+  Rig rig;
+  rig.rt.Boot();
+  auto variant = std::make_unique<CounterComponent>();
+  variant->SetRuntimeForHook(&rig.rt);
+  rig.rt.RegisterVariant(rig.counter, std::move(variant));
+
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 3; ++i) rig.rt.Call(inc, {});
+  });
+
+  // Sticky fault: primary fails, reboot+retry fails again -> variant.
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+
+  EXPECT_FALSE(rig.rt.terminal_fault().has_value());
+  EXPECT_EQ(rig.rt.variant_swaps(), 1u);
+  // State rebuilt by replay into the variant, then the retried inc applied.
+  EXPECT_EQ(got, 4);
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 4);
+}
+
+TEST(MultiVersion, NoVariantStillFailStops) {
+  Rig rig;
+  rig.rt.Boot();
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  EXPECT_TRUE(rig.rt.terminal_fault().has_value());
+  EXPECT_EQ(rig.rt.variant_swaps(), 0u);
+}
+
+TEST(MultiVersion, VariantNameMustMatch) {
+  Rig rig;
+  // A variant of "counter" must be named "counter"; registering a store as
+  // the counter's variant is a configuration error (checked fatally), so we
+  // only verify the happy path compiles & registers here.
+  auto ok_variant = std::make_unique<CounterComponent>();
+  ok_variant->SetRuntimeForHook(&rig.rt);
+  rig.rt.RegisterVariant(rig.counter, std::move(ok_variant));
+  rig.rt.Boot();
+  SUCCEED();
+}
+
+TEST(MultiVersion, VariantKeepsEncapsulatedRestorationContract) {
+  Rig rig;
+  rig.rt.Boot();
+  auto variant = std::make_unique<CounterComponent>();
+  variant->SetRuntimeForHook(&rig.rt);
+  rig.rt.RegisterVariant(rig.counter, std::move(variant));
+
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId calls = rig.rt.Lookup("store", "calls");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 5; ++i) rig.rt.Call(inc, {});
+  });
+  std::int64_t calls_before = 0;
+  RunApp(rig.rt, [&] { calls_before = rig.rt.Call(calls, {}).i64(); });
+
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  ASSERT_EQ(rig.rt.variant_swaps(), 1u);
+
+  std::int64_t calls_after = 0;
+  RunApp(rig.rt, [&] { calls_after = rig.rt.Call(calls, {}).i64(); });
+  // Replay into the variant fed logged return values; the retried inc made
+  // exactly one real store call. No restoration side effects leaked.
+  EXPECT_EQ(calls_after, calls_before + 1);
+}
+
+TEST(Metrics, TopFunctionsTracksCallsTimeAndErrors) {
+  Rig rig;
+  rig.rt.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId add = rig.rt.Lookup("counter", "add_session");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 10; ++i) rig.rt.Call(inc, {});
+    // Bad session id -> error counted.
+    rig.rt.Call(add, {MsgValue(std::int64_t{99}), MsgValue(std::int64_t{1})});
+  });
+  auto top = rig.rt.TopFunctions();
+  ASSERT_FALSE(top.empty());
+  bool saw_inc = false, saw_add = false;
+  for (const auto& f : top) {
+    if (f.name == "counter.inc") {
+      saw_inc = true;
+      EXPECT_EQ(f.calls, 10u);
+      EXPECT_GT(f.total_ns, 0);
+      EXPECT_EQ(f.errors, 0u);
+    }
+    if (f.name == "counter.add_session") {
+      saw_add = true;
+      EXPECT_EQ(f.errors, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_inc);
+  EXPECT_TRUE(saw_add);
+}
+
+TEST(Metrics, LimitRespected) {
+  Rig rig;
+  rig.rt.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  EXPECT_LE(rig.rt.TopFunctions(1).size(), 1u);
+}
+
+TEST(RejuvenationScheduler, CyclesThroughComponentsOnInterval) {
+  RuntimeOptions opts = Opts();
+  FakeClock clock;
+  opts.clock = &clock;
+  Rig rig(opts);
+  rig.rt.Boot();
+  auto sched = core::RejuvenationScheduler::ForAllComponents(
+      rig.rt, 30 * kSecond);
+  EXPECT_EQ(sched.plan_size(), 2u);  // store + counter
+
+  // Interval not elapsed: no reboot.
+  EXPECT_FALSE(sched.Tick().has_value());
+  clock.Advance(31 * kSecond);
+  auto first = sched.Tick();
+  ASSERT_TRUE(first.has_value());
+  // Immediately after, the interval gates the next one.
+  EXPECT_FALSE(sched.Tick().has_value());
+  clock.Advance(31 * kSecond);
+  auto second = sched.Tick();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(first->component, second->component);
+  EXPECT_EQ(sched.cycles_completed(), 1u);
+  EXPECT_EQ(rig.rt.Stats().reboots, 2u);
+}
+
+TEST(RejuvenationScheduler, StatePreservedAcrossForcedCycle) {
+  Rig rig;
+  rig.rt.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 4; ++i) rig.rt.Call(inc, {});
+  });
+  auto sched =
+      core::RejuvenationScheduler::ForAllComponents(rig.rt, kSecond);
+  for (std::size_t i = 0; i < sched.plan_size(); ++i) {
+    EXPECT_TRUE(sched.ForceNext().has_value());
+  }
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 4);
+}
+
+}  // namespace
+}  // namespace vampos

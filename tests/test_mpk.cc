@@ -1,0 +1,173 @@
+// MPK simulation tests: PKRU semantics, key assignment/exhaustion, checked
+// accessors, violation attribution, and merged-key tagging.
+#include <gtest/gtest.h>
+
+#include "mem/arena.h"
+#include "mpk/mpk.h"
+
+namespace vampos::mpk {
+namespace {
+
+TEST(Pkru, AllDeniedAllowsOnlyKeyZero) {
+  const Pkru p = Pkru::AllDenied();
+  EXPECT_TRUE(p.CanRead(kDefaultKey));
+  EXPECT_TRUE(p.CanWrite(kDefaultKey));
+  for (Key k = 1; k < kNumKeys; ++k) {
+    EXPECT_FALSE(p.CanRead(k));
+    EXPECT_FALSE(p.CanWrite(k));
+  }
+}
+
+TEST(Pkru, AllowReadOnly) {
+  Pkru p = Pkru::AllDenied();
+  p.Allow(5, /*write=*/false);
+  EXPECT_TRUE(p.CanRead(5));
+  EXPECT_FALSE(p.CanWrite(5));
+  p.Allow(5, /*write=*/true);
+  EXPECT_TRUE(p.CanWrite(5));
+  p.Deny(5);
+  EXPECT_FALSE(p.CanRead(5));
+}
+
+TEST(DomainManager, AssignsDistinctKeys) {
+  DomainManager dm;
+  mem::Arena a(4096), b(4096);
+  auto ka = dm.AssignKey(a, "a");
+  auto kb = dm.AssignKey(b, "b");
+  ASSERT_TRUE(ka.has_value());
+  ASSERT_TRUE(kb.has_value());
+  EXPECT_NE(*ka, *kb);
+  EXPECT_EQ(dm.KeyFor(a.base()), *ka);
+  EXPECT_EQ(dm.KeyFor(b.base()), *kb);
+}
+
+TEST(DomainManager, SixteenKeyLimit) {
+  DomainManager dm;
+  std::vector<std::unique_ptr<mem::Arena>> arenas;
+  int assigned = 0;
+  for (int i = 0; i < 20; ++i) {
+    arenas.push_back(std::make_unique<mem::Arena>(4096));
+    if (dm.AssignKey(*arenas.back(), "x").has_value()) assigned++;
+  }
+  // Key 0 is reserved, so 15 assignable keys — the paper's 16-key budget.
+  EXPECT_EQ(assigned, 15);
+}
+
+TEST(DomainManager, KeyVirtualizationSharesWhenExhausted) {
+  DomainManager dm;
+  dm.EnableKeyVirtualization();
+  std::vector<std::unique_ptr<mem::Arena>> arenas;
+  std::vector<Key> keys;
+  for (int i = 0; i < 30; ++i) {
+    arenas.push_back(std::make_unique<mem::Arena>(4096));
+    auto k = dm.AssignKey(*arenas.back(), "x" + std::to_string(i));
+    ASSERT_TRUE(k.has_value());
+    keys.push_back(*k);
+  }
+  // The first 15 are unique; the overflow shares evenly.
+  EXPECT_EQ(dm.shared_key_assignments(), 15u);
+  // Sharing is balanced: every physical key hosts exactly two domains.
+  int counts[kNumKeys] = {};
+  for (Key k : keys) counts[k]++;
+  for (Key k = 1; k < kNumKeys; ++k) EXPECT_EQ(counts[k], 2) << int(k);
+  // Isolation between different physical keys still holds.
+  Pkru only_first = Pkru::AllDenied();
+  only_first.Allow(keys[0], /*write=*/true);
+  dm.WritePkru(only_first);
+  char c = 0;
+  dm.CheckedWrite(1, arenas[0]->base(), &c, 1);
+  EXPECT_THROW(dm.CheckedWrite(1, arenas[1]->base(), &c, 1), ComponentFault);
+}
+
+TEST(DomainManager, UntaggedMemoryIsKeyZero) {
+  DomainManager dm;
+  int local = 0;
+  EXPECT_EQ(dm.KeyFor(&local), kDefaultKey);
+  // Always accessible.
+  dm.WritePkru(Pkru::AllDenied());
+  dm.CheckAccess(0, &local, sizeof(local), /*write=*/true);
+}
+
+TEST(DomainManager, CheckedAccessEnforcesPkru) {
+  DomainManager dm;
+  mem::Arena a(4096, "victim");
+  const Key key = *dm.AssignKey(a, "victim");
+
+  Pkru allowed = Pkru::AllDenied();
+  allowed.Allow(key, /*write=*/true);
+  dm.WritePkru(allowed);
+  char buf[8] = "hello!!";
+  dm.CheckedWrite(1, a.base(), buf, 8);
+  char out[8] = {};
+  dm.CheckedRead(1, a.base(), out, 8);
+  EXPECT_STREQ(out, "hello!!");
+
+  dm.WritePkru(Pkru::AllDenied());
+  EXPECT_THROW(dm.CheckedWrite(1, a.base(), buf, 8), ComponentFault);
+  EXPECT_THROW(dm.CheckedRead(1, a.base(), out, 8), ComponentFault);
+}
+
+TEST(DomainManager, ReadOnlyDeniesWrite) {
+  DomainManager dm;
+  mem::Arena a(4096, "ro");
+  const Key key = *dm.AssignKey(a, "ro");
+  Pkru ro = Pkru::AllDenied();
+  ro.Allow(key, /*write=*/false);
+  dm.WritePkru(ro);
+  char c = 0;
+  dm.CheckedRead(2, a.base(), &c, 1);  // ok
+  EXPECT_THROW(dm.CheckedWrite(2, a.base(), &c, 1), ComponentFault);
+}
+
+TEST(DomainManager, ViolationCarriesActorAndKind) {
+  DomainManager dm;
+  mem::Arena a(4096, "target-arena");
+  (void)dm.AssignKey(a, "target-arena");
+  dm.WritePkru(Pkru::AllDenied());
+  char c = 1;
+  try {
+    dm.CheckedWrite(7, a.base(), &c, 1);
+    FAIL() << "expected ComponentFault";
+  } catch (const ComponentFault& fault) {
+    EXPECT_EQ(fault.component(), 7);
+    EXPECT_EQ(fault.kind(), FaultKind::kMpkViolation);
+    EXPECT_NE(fault.detail().find("target-arena"), std::string::npos);
+  }
+}
+
+TEST(DomainManager, StraddlingRangeDenied) {
+  DomainManager dm;
+  mem::Arena a(4096, "edge");
+  const Key key = *dm.AssignKey(a, "edge");
+  Pkru allowed = Pkru::AllDenied();
+  allowed.Allow(key, /*write=*/true);
+  dm.WritePkru(allowed);
+  char buf[16] = {};
+  // Write that runs past the end of the tagged region.
+  EXPECT_THROW(
+      dm.CheckedWrite(1, a.base() + a.size() - 8, buf, 16), ComponentFault);
+}
+
+TEST(DomainManager, SharedKeyForMergedComponents) {
+  DomainManager dm;
+  mem::Arena a(4096, "vfs"), b(4096, "9pfs");
+  const Key key = *dm.AssignKey(a, "vfs");
+  dm.TagArena(b, key, "9pfs");  // merged group shares one tag
+  Pkru allowed = Pkru::AllDenied();
+  allowed.Allow(key, /*write=*/true);
+  dm.WritePkru(allowed);
+  char c = 2;
+  dm.CheckedWrite(1, a.base(), &c, 1);
+  dm.CheckedWrite(1, b.base(), &c, 1);  // same key covers both
+}
+
+TEST(DomainManager, CountsPkruWrites) {
+  DomainManager dm;
+  const auto before = dm.PkruWrites();
+  dm.WritePkru(Pkru::AllDenied());
+  dm.WritePkru(Pkru::AllDenied());
+  EXPECT_EQ(dm.PkruWrites(), before + 2);
+}
+
+}  // namespace
+}  // namespace vampos::mpk

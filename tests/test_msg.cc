@@ -1,0 +1,272 @@
+// Message-layer tests: MsgValue wire format, argument vectors, the call log
+// (append / returns / outbound records / session pruning / compaction
+// erase), and the message domain (push/pull, replies, buffer release,
+// MPK-checked staging).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "msg/domain.h"
+#include "msg/value.h"
+
+namespace vampos::msg {
+namespace {
+
+TEST(MsgValue, TypedAccessors) {
+  EXPECT_EQ(MsgValue(std::int64_t{-7}).i64(), -7);
+  EXPECT_EQ(MsgValue(std::uint64_t{7}).u64(), 7u);
+  EXPECT_DOUBLE_EQ(MsgValue(2.5).f64(), 2.5);
+  EXPECT_EQ(MsgValue("abc").bytes(), "abc");
+  EXPECT_TRUE(MsgValue().is_i64());  // default: i64 0
+}
+
+TEST(MsgValue, RoundTripAllTypes) {
+  Args in{MsgValue(std::int64_t{-123456789}), MsgValue(std::uint64_t{1} << 60),
+          MsgValue(3.14159), MsgValue(std::string("hello\0world", 11)),
+          MsgValue("")};
+  auto wire = SerializeArgs(in);
+  Args out = DeserializeArgs(wire);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(MsgValue, WireSizeMatchesSerialized) {
+  Args args{MsgValue(std::int64_t{1}), MsgValue(std::string(100, 'x'))};
+  EXPECT_EQ(SerializeArgs(args).size(), WireSizeOf(args));
+}
+
+class MsgValueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsgValueFuzz, RandomArgsRoundTrip) {
+  vampos::Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    Args args;
+    const auto n = rng.Below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.Below(4)) {
+        case 0:
+          args.push_back(MsgValue(static_cast<std::int64_t>(rng.Next())));
+          break;
+        case 1:
+          args.push_back(MsgValue(rng.Next()));
+          break;
+        case 2:
+          args.push_back(MsgValue(rng.NextDouble()));
+          break;
+        default: {
+          std::string s(rng.Below(300), '\0');
+          for (auto& c : s) c = static_cast<char>(rng.Below(256));
+          args.push_back(MsgValue(std::move(s)));
+        }
+      }
+    }
+    Args out = DeserializeArgs(SerializeArgs(args));
+    ASSERT_EQ(out.size(), args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) ASSERT_EQ(out[i], args[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsgValueFuzz, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------------ log
+
+CallLogEntry MakeEntry(FunctionId fn, std::int64_t session = -1) {
+  CallLogEntry e;
+  e.fn = fn;
+  e.session = session;
+  e.args = {MsgValue(session)};
+  return e;
+}
+
+TEST(CallLog, AppendAssignsMonotonicSeq) {
+  CallLog log;
+  const LogSeq a = log.Append(MakeEntry(1));
+  const LogSeq b = log.Append(MakeEntry(2));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(CallLog, SetReturnAndOutbound) {
+  CallLog log;
+  const LogSeq seq = log.Append(MakeEntry(1));
+  log.SetReturn(seq, MsgValue(std::int64_t{5}));
+  log.RecordOutbound(seq, 9, MsgValue("reply"));
+  const auto& e = log.entries().front();
+  EXPECT_TRUE(e.have_ret);
+  EXPECT_EQ(e.ret.i64(), 5);
+  ASSERT_EQ(e.outbound.size(), 1u);
+  EXPECT_EQ(e.outbound[0].first, 9);
+  EXPECT_EQ(e.outbound[0].second.bytes(), "reply");
+}
+
+TEST(CallLog, BytesAccountingTracksMutations) {
+  CallLog log;
+  const LogSeq seq = log.Append(MakeEntry(1));
+  const std::size_t base = log.bytes();
+  EXPECT_GT(base, 0u);
+  log.RecordOutbound(seq, 2, MsgValue(std::string(1000, 'x')));
+  EXPECT_GT(log.bytes(), base + 900);
+  log.Erase(seq);
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
+TEST(CallLog, PruneSessionRemovesOnlyThatSession) {
+  CallLog log;
+  log.Append(MakeEntry(1, 4));
+  log.Append(MakeEntry(2, 5));
+  log.Append(MakeEntry(3, 4));
+  EXPECT_EQ(log.PruneSession(4), 2u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries().front().session, 5);
+}
+
+TEST(CallLog, PruneIfPredicate) {
+  CallLog log;
+  for (int i = 0; i < 10; ++i) log.Append(MakeEntry(i, i % 2));
+  const auto removed =
+      log.PruneIf([](const CallLogEntry& e) { return e.fn >= 6; });
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(log.size(), 6u);
+}
+
+TEST(CallLog, SetSession) {
+  CallLog log;
+  const LogSeq seq = log.Append(MakeEntry(1));
+  log.SetSession(seq, 42);
+  EXPECT_EQ(log.entries().front().session, 42);
+}
+
+TEST(CallLog, ClearResetsBytes) {
+  CallLog log;
+  log.Append(MakeEntry(1));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.bytes(), 0u);
+  // Sequence numbers keep increasing after Clear (no reuse).
+  const LogSeq next = log.Append(MakeEntry(2));
+  EXPECT_GT(next, 1u);
+}
+
+// --------------------------------------------------------------- domain
+
+TEST(Domain, PushPullRoundTrip) {
+  MessageDomain dom(1 << 20, nullptr);
+  dom.EnsureCapacity(3);
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  m.fn = 7;
+  m.rpc_id = dom.NextRpcId();
+  dom.Push(m, {MsgValue("payload"), MsgValue(std::int64_t{9})});
+  ASSERT_TRUE(dom.HasMessage(2));
+  auto pulled = dom.Pull(2);
+  ASSERT_TRUE(pulled.has_value());
+  EXPECT_EQ(pulled->first.fn, 7);
+  EXPECT_EQ(pulled->second[0].bytes(), "payload");
+  EXPECT_EQ(pulled->second[1].i64(), 9);
+  EXPECT_FALSE(dom.HasMessage(2));
+}
+
+TEST(Domain, FifoPerInbox) {
+  MessageDomain dom(1 << 20, nullptr);
+  dom.EnsureCapacity(1);
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.to = 1;
+    m.fn = i;
+    dom.Push(m, {});
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dom.Pull(1)->first.fn, i);
+  }
+}
+
+TEST(Domain, BuffersReleasedAfterPull) {
+  MessageDomain dom(256 * 1024, nullptr);
+  dom.EnsureCapacity(1);
+  // Push/pull far more data than the staging arena could hold at once:
+  // works only if buffers are freed on consumption.
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.to = 1;
+    dom.Push(m, {MsgValue(std::string(32 * 1024, 'b'))});
+    ASSERT_TRUE(dom.Pull(1).has_value());
+  }
+}
+
+TEST(Domain, ReplyQueueSeparate) {
+  MessageDomain dom(1 << 20, nullptr);
+  dom.EnsureCapacity(1);
+  Message call;
+  call.to = 1;
+  dom.Push(call, {});
+  Message reply;
+  reply.rpc_id = 5;
+  dom.PushReply(reply, {MsgValue(std::int64_t{123})});
+  EXPECT_TRUE(dom.HasReply());
+  auto r = dom.PullReply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first.kind, Message::Kind::kReply);
+  EXPECT_EQ(r->second[0].i64(), 123);
+  EXPECT_FALSE(dom.HasReply());
+  EXPECT_TRUE(dom.HasMessage(1));  // the call is still queued
+}
+
+TEST(Domain, OldestPendingDestination) {
+  MessageDomain dom(1 << 20, nullptr);
+  dom.EnsureCapacity(3);
+  EXPECT_EQ(dom.OldestPendingDestination(), kComponentNone);
+  Message m1;
+  m1.to = 2;
+  m1.enqueued_at = 100;
+  dom.Push(m1, {});
+  Message m2;
+  m2.to = 1;
+  m2.enqueued_at = 50;
+  dom.Push(m2, {});
+  EXPECT_EQ(dom.OldestPendingDestination(), 1);
+}
+
+TEST(Domain, DropQueuedFreesBuffers) {
+  MessageDomain dom(256 * 1024, nullptr);
+  dom.EnsureCapacity(1);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      Message m;
+      m.to = 1;
+      dom.Push(m, {MsgValue(std::string(16 * 1024, 'd'))});
+    }
+    dom.DropQueued(1);  // must release the staged buffers
+  }
+  EXPECT_FALSE(dom.HasMessage(1));
+}
+
+TEST(Domain, MpkCheckedStagingRequiresAccess) {
+  mpk::DomainManager dm;
+  MessageDomain dom(1 << 20, &dm);
+  dom.EnsureCapacity(1);
+  // Sender without access to the message-domain key faults on push.
+  dm.WritePkru(mpk::Pkru::AllDenied());
+  Message m;
+  m.from = 3;
+  m.to = 1;
+  EXPECT_THROW(dom.Push(m, {MsgValue("x")}), ComponentFault);
+  // With the key open, the same push succeeds.
+  mpk::Pkru ok = mpk::Pkru::AllDenied();
+  ok.Allow(dom.key(), /*write=*/true);
+  dm.WritePkru(ok);
+  dom.Push(m, {MsgValue("x")});
+  EXPECT_TRUE(dom.HasMessage(1));
+}
+
+TEST(Domain, LogAccounting) {
+  MessageDomain dom(1 << 20, nullptr);
+  dom.LogFor(1).Append(MakeEntry(1));
+  dom.LogFor(2).Append(MakeEntry(2));
+  EXPECT_EQ(dom.TotalLogEntries(), 2u);
+  EXPECT_GT(dom.TotalLogBytes(), 0u);
+  EXPECT_TRUE(dom.HasLog(1));
+  EXPECT_FALSE(dom.HasLog(99));
+}
+
+}  // namespace
+}  // namespace vampos::msg

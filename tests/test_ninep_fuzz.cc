@@ -1,0 +1,99 @@
+// 9P server robustness: random (well-formed but adversarial) request
+// streams — unknown ops, out-of-range offsets, weird paths, interleaved
+// tree mutation — must never crash the server or corrupt unrelated files.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "msg/value.h"
+#include "uk/platform.h"
+
+namespace vampos {
+namespace {
+
+std::string Encode(const msg::Args& args) {
+  auto bytes = msg::SerializeArgs(args);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+msg::Args Decode(const std::string& wire) {
+  return msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+}
+
+class NinePFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NinePFuzz, RandomRequestStreamNeverCrashes) {
+  Rng rng(GetParam());
+  uk::NinePServer server;
+  server.PutFile("/sentinel", "must-survive");
+
+  const std::vector<std::string> paths = {
+      "/", "/a", "/a/b", "/sentinel", "", "/..", "////", "/very/deep/x",
+      std::string(200, 'p'), "/nul\0byte"};
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    msg::Args req;
+    // Op: valid range is 1..13; also probe invalid codes.
+    const std::int64_t op = rng.Chance(1, 10)
+                                ? static_cast<std::int64_t>(rng.Below(256))
+                                : static_cast<std::int64_t>(rng.Range(1, 13));
+    req.push_back(msg::MsgValue(op));
+    req.push_back(msg::MsgValue(paths[rng.Below(paths.size())]));
+    // Ops 4/5/11/13 read extra args; always supply plausible ones so the
+    // server's accessors have something to chew on.
+    req.push_back(msg::MsgValue(rng.Range(-4, 1 << 20)));  // offset / len
+    if (rng.Chance(1, 2)) {
+      std::string data(rng.Below(128), 'd');
+      req.push_back(msg::MsgValue(std::move(data)));
+    } else {
+      req.push_back(msg::MsgValue(rng.Range(0, 1 << 16)));
+    }
+
+    const std::string reply = server.Handle(Encode(req));
+    // Every reply must decode and lead with a status integer.
+    msg::Args decoded = Decode(reply);
+    ASSERT_GE(decoded.size(), 1u);
+    ASSERT_TRUE(decoded[0].is_i64());
+  }
+  // The sentinel survived whatever the fuzz did elsewhere... unless a
+  // write/remove legitimately targeted it; verify only structural sanity.
+  EXPECT_GE(server.file_count(), 1u);
+  EXPECT_GT(server.requests_served(), 2900u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NinePFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+TEST(NinePFuzzDirected, NegativeOffsetsClampOrFail) {
+  uk::NinePServer server;
+  server.PutFile("/f", "abc");
+  // Read at a negative offset (encoded as a huge size_t) must not crash.
+  const std::string reply = server.Handle(
+      Encode({msg::MsgValue(std::int64_t{4}), msg::MsgValue("/f"),
+              msg::MsgValue(std::int64_t{-1}), msg::MsgValue(std::int64_t{4})}));
+  msg::Args decoded = Decode(reply);
+  ASSERT_GE(decoded.size(), 1u);
+  // Either an error or empty data; never a crash or out-of-bounds read.
+}
+
+TEST(NinePFuzzDirected, HugeWriteOffsetRejectedOrSparse) {
+  uk::NinePServer server;
+  server.PutFile("/g", "");
+  // A multi-GB offset would allocate absurd memory if honored naively; the
+  // server caps what it will resize to sane test sizes via the request
+  // path (our clients never send offsets beyond file bounds + payload).
+  const std::string reply = server.Handle(Encode(
+      {msg::MsgValue(std::int64_t{5}), msg::MsgValue("/g"),
+       msg::MsgValue(std::int64_t{1 << 20}), msg::MsgValue("tail")}));
+  msg::Args decoded = Decode(reply);
+  ASSERT_TRUE(decoded[0].is_i64());
+  if (decoded[0].i64() == 0) {
+    EXPECT_EQ(server.ReadFile("/g")->size(), (1u << 20) + 4u);
+  }
+}
+
+}  // namespace
+}  // namespace vampos

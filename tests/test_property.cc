@@ -1,0 +1,320 @@
+// Property-based integration tests: random POSIX operation sequences run
+// against a shadow model, with component reboots injected at random points.
+// The invariant under test is the paper's core claim — a component-level
+// reboot with encapsulated restoration is invisible to the application:
+// every read returns exactly what the shadow model predicts, and the final
+// host-side file contents match, regardless of where reboots landed.
+//
+// Parameterized over (seed x scheduling/merge configuration) and run with a
+// small compaction threshold so threshold-triggered log shrinking is
+// exercised constantly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "base/rng.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::Posix;
+using apps::StackInfo;
+using apps::StackSpec;
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using core::SchedPolicy;
+
+enum class Cfg { kDaS, kNoop, kFSm };
+
+struct Shadow {
+  struct Fd {
+    std::string path;
+    std::int64_t offset = 0;
+  };
+  std::map<std::string, std::string> files;
+  std::map<std::int64_t, Fd> fds;
+};
+
+class FilePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Cfg>> {};
+
+TEST_P(FilePropertyTest, RandomOpsWithRebootsMatchShadow) {
+  const auto [seed, cfg] = GetParam();
+  RuntimeOptions opts;
+  opts.mode = Mode::kVampOS;
+  opts.policy =
+      cfg == Cfg::kNoop ? SchedPolicy::kRoundRobin : SchedPolicy::kDependencyAware;
+  opts.log_shrink_threshold = 12;  // force frequent compaction
+  opts.hang_threshold = 0;
+
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt(opts);
+  StackSpec spec = StackSpec::Sqlite();
+  spec.merge_fs = (cfg == Cfg::kFSm);
+  StackInfo info = BuildStack(rt, platform, rings, spec);
+  apps::BootAndMount(rt);
+  Posix px(rt);
+
+  Rng rng(seed);
+  Shadow shadow;
+  const std::vector<std::string> paths = {"/p0", "/p1", "/p2", "/p3"};
+  int reboots_done = 0;
+
+  constexpr int kOps = 300;
+  for (int op = 0; op < kOps; ++op) {
+    // Random reboot between operations, ~1 in 12.
+    if (rng.Chance(1, 12)) {
+      const ComponentId target = rng.Chance(1, 2) ? info.vfs : info.ninep;
+      auto result = rt.Reboot(target);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      reboots_done++;
+    }
+
+    bool ok = true;
+    std::string why;
+    testing::RunApp(rt, [&] {
+      switch (rng.Below(7)) {
+        case 0: {  // open or create
+          if (shadow.fds.size() >= 8) break;
+          const std::string& path = paths[rng.Below(paths.size())];
+          const bool creat = rng.Chance(1, 2);
+          const std::int64_t fd =
+              creat ? px.Open(path, Posix::kOCreat) : px.Open(path);
+          const bool exists = shadow.files.contains(path);
+          if (!exists && !creat) {
+            if (fd >= 0) {
+              ok = false;
+              why = "open of missing file succeeded";
+            }
+            break;
+          }
+          if (fd < 0) {
+            ok = false;
+            why = "open failed: " + path;
+            break;
+          }
+          if (!exists) shadow.files[path] = "";
+          shadow.fds[fd] = Shadow::Fd{path, 0};
+          break;
+        }
+        case 1: {  // write
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          std::string data(rng.Range(1, 64), 'a' + (op % 26));
+          const std::int64_t n = px.Write(it->first, data);
+          if (n != static_cast<std::int64_t>(data.size())) {
+            ok = false;
+            why = "short write";
+            break;
+          }
+          std::string& file = shadow.files[it->second.path];
+          const auto off = static_cast<std::size_t>(it->second.offset);
+          if (file.size() < off + data.size()) {
+            file.resize(off + data.size());
+          }
+          file.replace(off, data.size(), data);
+          it->second.offset += n;
+          break;
+        }
+        case 2: {  // read + compare with shadow
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          const auto len = rng.Range(1, 64);
+          auto r = px.Read(it->first, len);
+          const std::string& file = shadow.files[it->second.path];
+          const auto off = static_cast<std::size_t>(it->second.offset);
+          const std::string expect =
+              off >= file.size()
+                  ? ""
+                  : file.substr(off, static_cast<std::size_t>(len));
+          if (!r.ok() || r.data != expect) {
+            ok = false;
+            why = "read mismatch on " + it->second.path + ": got '" +
+                  r.data + "' want '" + expect + "'";
+            break;
+          }
+          it->second.offset += static_cast<std::int64_t>(r.data.size());
+          break;
+        }
+        case 3: {  // lseek
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          const std::string& file = shadow.files[it->second.path];
+          const auto target = rng.Range(
+              0, static_cast<std::int64_t>(file.size()) + 4);
+          const std::int64_t got =
+              px.Lseek(it->first, target, Posix::kSeekSet);
+          if (got != target) {
+            ok = false;
+            why = "lseek mismatch";
+            break;
+          }
+          it->second.offset = target;
+          break;
+        }
+        case 4: {  // close
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          if (px.Close(it->first) != 0) {
+            ok = false;
+            why = "close failed";
+            break;
+          }
+          shadow.fds.erase(it);
+          break;
+        }
+        case 5: {  // fsync
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          px.Fsync(it->first);
+          break;
+        }
+        default: {  // pread: must not move the offset
+          if (shadow.fds.empty()) break;
+          auto it = std::next(shadow.fds.begin(),
+                              rng.Below(shadow.fds.size()));
+          const std::string& file = shadow.files[it->second.path];
+          if (file.empty()) break;
+          const auto off = rng.Below(file.size());
+          auto r = px.Pread(it->first, 8, static_cast<std::int64_t>(off));
+          const std::string expect = file.substr(off, 8);
+          if (!r.ok() || r.data != expect) {
+            ok = false;
+            why = "pread mismatch";
+          }
+          break;
+        }
+      }
+    });
+    ASSERT_TRUE(ok) << "op " << op << " (seed " << seed
+                    << ", reboots so far " << reboots_done << "): " << why;
+    ASSERT_FALSE(rt.terminal_fault().has_value());
+  }
+
+  // Final ground truth: host-side file contents equal the shadow's.
+  for (const auto& [path, content] : shadow.files) {
+    auto host = platform.ninep.ReadFile(path);
+    ASSERT_TRUE(host.has_value()) << path;
+    EXPECT_EQ(*host, content) << path << " (seed " << seed << ")";
+  }
+  EXPECT_GT(reboots_done, 0) << "seed never triggered a reboot";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, FilePropertyTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 99u, 1234u, 777u),
+                       ::testing::Values(Cfg::kDaS, Cfg::kNoop, Cfg::kFSm)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, Cfg>>& i) {
+      const Cfg cfg = std::get<1>(i.param);
+      const char* name = cfg == Cfg::kDaS    ? "DaS"
+                         : cfg == Cfg::kNoop ? "Noop"
+                                             : "FSm";
+      return std::string(name) + "_seed" + std::to_string(std::get<0>(i.param));
+    });
+
+// Network property: random request/response exchanges over persistent
+// connections with LWIP/NETDEV reboots injected; no connection may break
+// and every response must match.
+class NetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetPropertyTest, EchoStreamsSurviveTransportReboots) {
+  RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt(opts);
+  StackInfo info = BuildStack(rt, platform, rings, StackSpec::Echo());
+  apps::BootAndMount(rt);
+  Posix px(rt);
+
+  bool stop = false;
+  rt.SpawnApp("echo", [&] {
+    const auto lfd = px.Socket();
+    px.Bind(lfd, 7);
+    px.Listen(lfd);
+    std::vector<std::int64_t> conns;
+    while (!stop) {
+      bool progress = false;
+      while (true) {
+        const auto fd = px.Accept(lfd);
+        if (fd < 0) break;
+        conns.push_back(fd);
+        progress = true;
+      }
+      for (auto it = conns.begin(); it != conns.end();) {
+        auto r = px.Recv(*it, 4096);
+        if (r.ok() && !r.data.empty()) {
+          px.Send(*it, r.data);
+          progress = true;
+          ++it;
+        } else if (r.closed()) {
+          px.Close(*it);
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!progress) rt.ParkApp();
+    }
+  });
+  rt.RunUntilIdle();
+
+  apps::SimClient client(&platform.net, 7);
+  auto pump = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      client.Poll();
+    }
+  };
+
+  Rng rng(GetParam());
+  std::vector<int> handles;
+  for (int i = 0; i < 4; ++i) handles.push_back(client.Connect());
+  pump(10);
+  for (int h : handles) ASSERT_TRUE(client.Established(h));
+
+  int reboots = 0;
+  for (int round = 0; round < 60; ++round) {
+    if (rng.Chance(1, 8)) {
+      const ComponentId target =
+          rng.Chance(1, 2) ? info.lwip : info.netdev;
+      ASSERT_TRUE(rt.Reboot(target).ok());
+      reboots++;
+    }
+    const int h = handles[rng.Below(handles.size())];
+    std::string msg(rng.Range(1, 200), 'A' + (round % 26));
+    client.Send(h, msg);
+    pump(6);
+    ASSERT_FALSE(client.Broken(h)) << "connection broke (round " << round
+                                   << ", reboots " << reboots << ")";
+    ASSERT_EQ(client.TakeReceived(h), msg) << "round " << round;
+  }
+  EXPECT_GT(reboots, 0);
+  EXPECT_EQ(client.resets_seen(), 0u);
+  stop = true;
+  rt.UnparkApps();
+  rt.RunUntilIdle();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetPropertyTest,
+                         ::testing::Values(5u, 17u, 23u, 4242u));
+
+}  // namespace
+}  // namespace vampos

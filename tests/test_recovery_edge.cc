@@ -1,0 +1,214 @@
+// Recovery edge cases: empty-log reboots, back-to-back reboots, reboots
+// under heavy session load, faults *during replay* (restoration failure
+// must surface as a failed reboot, not an escaping exception), reboots of
+// merged groups under fault injection, and log-state invariants after
+// repeated recovery cycles.
+#include <gtest/gtest.h>
+
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::Posix;
+using apps::StackInfo;
+using apps::StackSpec;
+using core::Runtime;
+using core::RuntimeOptions;
+using msg::MsgValue;
+using testing::CounterComponent;
+using testing::RunApp;
+using testing::StoreComponent;
+
+RuntimeOptions Opts() {
+  RuntimeOptions o;
+  o.hang_threshold = 0;
+  return o;
+}
+
+TEST(RecoveryEdge, RebootWithEmptyLogIsCheap) {
+  Runtime rt(Opts());
+  auto id = rt.AddComponent(std::make_unique<CounterComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  auto report = rt.Reboot(id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().entries_replayed, 0u);
+}
+
+TEST(RecoveryEdge, BackToBackRebootsAreIdempotent) {
+  Runtime rt(Opts());
+  auto id = rt.AddComponent(std::make_unique<CounterComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  const FunctionId inc = rt.Lookup("counter", "inc");
+  const FunctionId get = rt.Lookup("counter", "get");
+  RunApp(rt, [&] {
+    for (int i = 0; i < 3; ++i) rt.Call(inc, {});
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rt.Reboot(id).ok()) << "reboot " << i;
+  }
+  // Replays do not multiply log entries.
+  EXPECT_EQ(rt.LogEntries(id), 3u);
+  std::int64_t v = 0;
+  RunApp(rt, [&] { v = rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 3);
+}
+
+TEST(RecoveryEdge, RebootUnderManyLiveSessions) {
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt(Opts());
+  StackInfo info = BuildStack(rt, platform, rings, StackSpec::Sqlite());
+  apps::BootAndMount(rt);
+  Posix px(rt);
+  std::vector<std::int64_t> fds;
+  RunApp(rt, [&] {
+    for (int i = 0; i < 50; ++i) {
+      const auto fd = px.Create("/many" + std::to_string(i));
+      px.Write(fd, std::to_string(i));
+      fds.push_back(fd);
+    }
+  });
+  auto report = rt.Reboot(info.vfs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.value().entries_replayed, 100u);  // opens + writes
+  // Every live fd still resolves with the right offset.
+  RunApp(rt, [&] {
+    for (int i = 0; i < 50; ++i) {
+      px.Write(fds[i], "!");
+      px.Close(fds[i]);
+    }
+  });
+  EXPECT_EQ(platform.ninep.ReadFile("/many7"), "7!");
+  EXPECT_EQ(platform.ninep.ReadFile("/many42"), "42!");
+}
+
+// A component whose handler crashes when replayed (a "deterministic bug in
+// the history"): Reboot must return an error, not throw.
+class ReplayBombComponent final : public comp::Component {
+ public:
+  ReplayBombComponent()
+      : Component("bomb", comp::Statefulness::kStateful, 64 * 1024) {}
+  void Init(comp::InitCtx& ctx) override {
+    count_ = MakeState<std::int64_t>(0);
+    ctx.Export("poke", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx& c, const msg::Args&) -> msg::MsgValue {
+                 if (c.restoring()) c.Panic("bug triggered by replay");
+                 return msg::MsgValue(++*count_);
+               });
+  }
+
+ private:
+  std::int64_t* count_ = nullptr;
+};
+
+TEST(RecoveryEdge, FaultDuringReplayFailsRebootGracefully) {
+  Runtime rt(Opts());
+  auto id = rt.AddComponent(std::make_unique<ReplayBombComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  const FunctionId poke = rt.Lookup("bomb", "poke");
+  RunApp(rt, [&] { rt.Call(poke, {}); });
+  auto result = rt.Reboot(id);  // must not throw
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("restoration failed"),
+            std::string::npos);
+}
+
+TEST(RecoveryEdge, MergedGroupFaultInjectionRecovers) {
+  Runtime rt(Opts());
+  auto store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto cc = std::make_unique<CounterComponent>();
+  auto* counter_ptr = cc.get();
+  auto counter = rt.AddComponent(std::move(cc));
+  rt.AddAppDependency(counter);
+  rt.Merge({counter, store});
+  counter_ptr->SetRuntimeForHook(&rt);
+  rt.Boot();
+  const FunctionId inc = rt.Lookup("counter", "inc");
+  RunApp(rt, [&] {
+    rt.Call(inc, {});
+    rt.Call(inc, {});
+  });
+  rt.InjectFault(counter, FaultKind::kPanic);
+  std::int64_t got = 0;
+  RunApp(rt, [&] { got = rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 3);  // whole group rebooted + restored + retried
+  EXPECT_FALSE(rt.terminal_fault().has_value());
+}
+
+TEST(RecoveryEdge, SequentialFaultsInDifferentComponents) {
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt(Opts());
+  StackInfo info = BuildStack(rt, platform, rings, StackSpec::Sqlite());
+  apps::BootAndMount(rt);
+  Posix px(rt);
+  std::int64_t fd = -1;
+  RunApp(rt, [&] {
+    fd = px.Create("/seq");
+    px.Write(fd, "a");
+  });
+  // Fault VFS, recover, then fault 9PFS, recover — independent recoveries.
+  rt.InjectFault(info.vfs, FaultKind::kPanic);
+  RunApp(rt, [&] { px.Write(fd, "b"); });
+  rt.InjectFault(info.ninep, FaultKind::kPanic);
+  RunApp(rt, [&] { px.Write(fd, "c"); });
+  EXPECT_EQ(rt.Stats().reboots, 2u);
+  EXPECT_FALSE(rt.terminal_fault().has_value());
+  RunApp(rt, [&] { px.Close(fd); });
+  EXPECT_EQ(platform.ninep.ReadFile("/seq"), "abc");
+}
+
+TEST(RecoveryEdge, RebootHistoryAccumulates) {
+  Runtime rt(Opts());
+  auto id = rt.AddComponent(std::make_unique<CounterComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rt.Reboot(id).ok());
+  EXPECT_EQ(rt.reboot_history().size(), 3u);
+  for (const auto& r : rt.reboot_history()) {
+    EXPECT_EQ(r.name, "counter");
+    EXPECT_GT(r.total_ns, 0);
+  }
+}
+
+TEST(RecoveryEdge, CompactionThenRebootThenMoreTraffic) {
+  RuntimeOptions o = Opts();
+  o.log_shrink_threshold = 8;
+  Runtime rt(o);
+  auto cc = std::make_unique<CounterComponent>();
+  auto* counter_ptr = cc.get();
+  auto id = rt.AddComponent(std::move(cc));
+  rt.AddAppDependency(id);
+  counter_ptr->SetRuntimeForHook(&rt);
+  rt.Boot();
+  const FunctionId open = rt.Lookup("counter", "open_session");
+  const FunctionId add = rt.Lookup("counter", "add_session");
+  const FunctionId sum = rt.Lookup("counter", "session_sum");
+  std::int64_t sid = -1;
+  // Three cycles of: traffic -> compaction -> reboot -> verify -> traffic.
+  RunApp(rt, [&] { sid = rt.Call(open, {}).i64(); });
+  std::int64_t expect = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    RunApp(rt, [&] {
+      for (int i = 0; i < 20; ++i) {
+        rt.Call(add, {MsgValue(sid), MsgValue(std::int64_t{1})});
+      }
+    });
+    expect += 20;
+    ASSERT_TRUE(rt.Reboot(id).ok());
+    std::int64_t got = 0;
+    RunApp(rt, [&] { got = rt.Call(sum, {MsgValue(sid)}).i64(); });
+    ASSERT_EQ(got, expect) << "cycle " << cycle;
+  }
+  EXPECT_LE(rt.LogEntries(id), 10u);
+}
+
+}  // namespace
+}  // namespace vampos

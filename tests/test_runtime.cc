@@ -1,0 +1,418 @@
+// Runtime core tests: call plane (both modes), logging, component reboot
+// with encapsulated restoration, session-aware shrinking, compaction,
+// merging, fault injection, hang detection, and fail-stop semantics.
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using core::SchedPolicy;
+using msg::MsgValue;
+using testing::CounterComponent;
+using testing::RunApp;
+using testing::StoreComponent;
+using testing::TickerComponent;
+
+struct Rig {
+  explicit Rig(RuntimeOptions opts = {}) : rt(opts) {
+    store = rt.AddComponent(std::make_unique<StoreComponent>());
+    auto counter_ptr = std::make_unique<CounterComponent>();
+    counter_comp = counter_ptr.get();
+    counter = rt.AddComponent(std::move(counter_ptr));
+    ticker = rt.AddComponent(std::make_unique<TickerComponent>());
+    rt.AddAppDependency(counter);
+    rt.AddAppDependency(ticker);
+    rt.AddDependency(counter, store);
+    counter_comp->SetRuntimeForHook(&rt);
+  }
+  void Boot() { rt.Boot(); }
+
+  Runtime rt;
+  ComponentId store, counter, ticker;
+  CounterComponent* counter_comp;
+};
+
+RuntimeOptions VampOpts() {
+  RuntimeOptions o;
+  o.mode = Mode::kVampOS;
+  o.hang_threshold = 0;  // off unless a test enables it
+  return o;
+}
+
+TEST(RuntimeDirect, UnikraftModeCallsDirectly) {
+  RuntimeOptions o;
+  o.mode = Mode::kUnikraft;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 1);
+  EXPECT_GT(rig.rt.Stats().direct_calls, 0u);
+  EXPECT_EQ(rig.rt.Stats().messages, 0u);
+}
+
+TEST(RuntimeCall, MessagePassingRoundTrip) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] {
+    rig.rt.Call(inc, {});
+    got = rig.rt.Call(inc, {}).i64();
+  });
+  EXPECT_EQ(got, 2);
+  EXPECT_GT(rig.rt.Stats().messages, 0u);
+}
+
+TEST(RuntimeCall, NestedCallReachesDownstream) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId total = rig.rt.Lookup("store", "total");
+  std::int64_t t = 0;
+  RunApp(rig.rt, [&] {
+    rig.rt.Call(inc, {});
+    rig.rt.Call(inc, {});
+    t = rig.rt.Call(total, {}).i64();
+  });
+  EXPECT_EQ(t, 2);
+}
+
+TEST(RuntimeCall, RoundRobinPolicyAlsoWorks) {
+  RuntimeOptions o = VampOpts();
+  o.policy = SchedPolicy::kRoundRobin;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 1);
+  EXPECT_GT(rig.rt.Stats().empty_polls, 0u);  // RR pays the polling cost
+}
+
+TEST(RuntimeLog, LoggedCallsAppendAndCaptureReturns) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    rig.rt.Call(inc, {});
+    rig.rt.Call(inc, {});
+  });
+  EXPECT_EQ(rig.rt.LogEntries(rig.counter), 2u);
+  const auto& entries = rig.rt.domain().LogFor(rig.counter).entries();
+  EXPECT_TRUE(entries.front().have_ret);
+  EXPECT_EQ(entries.front().ret.i64(), 1);
+  // Each inc made one outbound store.add whose return was recorded.
+  EXPECT_EQ(entries.front().outbound.size(), 1u);
+}
+
+TEST(RuntimeReboot, StatefulStateRestoredByReplay) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 5; ++i) rig.rt.Call(inc, {});
+  });
+  auto report = rig.rt.Reboot(rig.counter);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().entries_replayed, 5u);
+  std::int64_t v = -1;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 5);
+}
+
+TEST(RuntimeReboot, EncapsulatedRestorationDoesNotReenterOthers) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId calls = rig.rt.Lookup("store", "calls");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 4; ++i) rig.rt.Call(inc, {});
+  });
+  std::int64_t before = 0, after = 0, total = 0;
+  RunApp(rig.rt, [&] { before = rig.rt.Call(calls, {}).i64(); });
+  ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  RunApp(rig.rt, [&] { after = rig.rt.Call(calls, {}).i64(); });
+  // The store must not have been re-entered during counter's replay: the
+  // logged return values were fed instead (paper Fig 3).
+  EXPECT_EQ(before, after);
+  const FunctionId st = rig.rt.Lookup("counter", "store_total");
+  RunApp(rig.rt, [&] { total = rig.rt.Call(st, {}).i64(); });
+  EXPECT_EQ(total, 4);  // restored from the outbound log
+}
+
+TEST(RuntimeReboot, StatelessComponentResets) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId tick = rig.rt.Lookup("ticker", "tick");
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] {
+    rig.rt.Call(tick, {});
+    rig.rt.Call(tick, {});
+    v = rig.rt.Call(tick, {}).i64();
+  });
+  EXPECT_EQ(v, 3);
+  ASSERT_TRUE(rig.rt.Reboot(rig.ticker).ok());
+  RunApp(rig.rt, [&] { v = rig.rt.Call(tick, {}).i64(); });
+  EXPECT_EQ(v, 1);  // fresh Init: no logging/replay for stateless components
+}
+
+TEST(RuntimeReboot, RebootReclaimsLeakedMemory) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId leak = rig.rt.Lookup("counter", "leak");
+  std::int64_t leaked = 0;
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 50; ++i) {
+      leaked = rig.rt.Call(leak, {MsgValue(std::int64_t{1024})}).i64();
+    }
+  });
+  EXPECT_GT(leaked, 50 * 1024);
+  ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  std::int64_t after = 0;
+  RunApp(rig.rt, [&] {
+    after = rig.rt.Call(leak, {MsgValue(std::int64_t{0})}).i64();
+  });
+  // Rejuvenation: the arena rolled back to the post-init image; the leak is
+  // gone ("memory fragmentation and resource leaks ... are eliminated").
+  EXPECT_LT(after, leaked / 2);
+}
+
+TEST(RuntimeShrink, CancelingFunctionPrunesSessionEntries) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId open = rig.rt.Lookup("counter", "open_session");
+  const FunctionId add = rig.rt.Lookup("counter", "add_session");
+  const FunctionId close = rig.rt.Lookup("counter", "close_session");
+  std::int64_t sid = -1;
+  RunApp(rig.rt, [&] {
+    sid = rig.rt.Call(open, {}).i64();
+    for (int i = 0; i < 5; ++i) {
+      rig.rt.Call(add, {MsgValue(sid), MsgValue(std::int64_t{2})});
+    }
+  });
+  const std::size_t before = rig.rt.LogEntries(rig.counter);
+  EXPECT_GE(before, 6u);
+  RunApp(rig.rt, [&] { rig.rt.Call(close, {MsgValue(sid)}); });
+  // adds pruned; open + close boundary entries retained until id reuse.
+  EXPECT_EQ(rig.rt.LogEntries(rig.counter), 2u);
+}
+
+TEST(RuntimeShrink, SessionIdReusePrunesStalePair) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId open = rig.rt.Lookup("counter", "open_session");
+  const FunctionId close = rig.rt.Lookup("counter", "close_session");
+  RunApp(rig.rt, [&] {
+    const std::int64_t a = rig.rt.Call(open, {}).i64();
+    rig.rt.Call(close, {MsgValue(a)});
+    rig.rt.Call(open, {});  // reuses id a: stale open/close pair pruned
+  });
+  EXPECT_EQ(rig.rt.LogEntries(rig.counter), 1u);
+}
+
+TEST(RuntimeShrink, ReplayAfterShrinkIsConsistent) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId open = rig.rt.Lookup("counter", "open_session");
+  const FunctionId add = rig.rt.Lookup("counter", "add_session");
+  const FunctionId close = rig.rt.Lookup("counter", "close_session");
+  const FunctionId sum = rig.rt.Lookup("counter", "session_sum");
+  std::int64_t keep = -1;
+  RunApp(rig.rt, [&] {
+    const std::int64_t a = rig.rt.Call(open, {}).i64();
+    keep = rig.rt.Call(open, {}).i64();
+    rig.rt.Call(add, {MsgValue(a), MsgValue(std::int64_t{7})});
+    rig.rt.Call(add, {MsgValue(keep), MsgValue(std::int64_t{9})});
+    rig.rt.Call(close, {MsgValue(a)});  // prunes a's adds
+  });
+  ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  std::int64_t restored = 0;
+  RunApp(rig.rt, [&] { restored = rig.rt.Call(sum, {MsgValue(keep)}).i64(); });
+  // The forced-session replay must land the surviving session on the same
+  // id with the same accumulated state.
+  EXPECT_EQ(restored, 9);
+}
+
+TEST(RuntimeShrink, ThresholdCompactionCollapsesHistory) {
+  RuntimeOptions o = VampOpts();
+  o.log_shrink_threshold = 10;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId open = rig.rt.Lookup("counter", "open_session");
+  const FunctionId add = rig.rt.Lookup("counter", "add_session");
+  const FunctionId sum = rig.rt.Lookup("counter", "session_sum");
+  std::int64_t sid = -1;
+  RunApp(rig.rt, [&] {
+    sid = rig.rt.Call(open, {}).i64();
+    for (int i = 0; i < 50; ++i) {
+      rig.rt.Call(add, {MsgValue(sid), MsgValue(std::int64_t{1})});
+    }
+  });
+  EXPECT_LE(rig.rt.LogEntries(rig.counter), 12u);
+  EXPECT_GT(rig.rt.Stats().compactions, 0u);
+  // The collapsed history must still replay to the right sum.
+  ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  std::int64_t restored = 0;
+  RunApp(rig.rt, [&] { restored = rig.rt.Call(sum, {MsgValue(sid)}).i64(); });
+  EXPECT_EQ(restored, 50);
+}
+
+TEST(RuntimeFault, PanicTriggersRebootAndRetry) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic);
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  // Non-deterministic fault: reboot + replay + retried input -> success.
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(rig.rt.Stats().reboots, 1u);
+  EXPECT_FALSE(rig.rt.terminal_fault().has_value());
+}
+
+TEST(RuntimeFault, DeterministicFaultFailStops) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  EXPECT_LT(got, 0);  // caller observes the failure
+  EXPECT_TRUE(rig.rt.terminal_fault().has_value());
+}
+
+TEST(RuntimeFault, ExplicitCrashCallRecovers) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId crash = rig.rt.Lookup("counter", "crash");
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    rig.rt.Call(inc, {});
+    rig.rt.Call(inc, {});
+  });
+  RunApp(rig.rt, [&] { rig.rt.Call(crash, {}); });
+  EXPECT_EQ(rig.rt.Stats().reboots, 1u);
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 2);  // state restored despite the crash
+}
+
+TEST(RuntimeFault, HangDetectorRebootsComponent) {
+  RuntimeOptions o = VampOpts();
+  o.hang_threshold = 20 * kMillisecond;
+  Rig rig(o);
+  rig.Boot();
+  rig.rt.InjectFault(rig.counter, FaultKind::kHang);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 1);  // retried after the hang reboot
+  EXPECT_GE(rig.rt.Stats().hangs_detected, 1u);
+  EXPECT_GE(rig.rt.Stats().reboots, 1u);
+}
+
+TEST(RuntimeFault, MpkViolationIsolatedAndRecovered) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  rig.rt.InjectFault(rig.counter, FaultKind::kMpkViolation);
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  std::int64_t got = 0;
+  RunApp(rig.rt, [&] { got = rig.rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(rig.rt.Stats().reboots, 1u);
+  ASSERT_FALSE(rig.rt.reboot_history().empty());
+}
+
+TEST(RuntimeMerge, MergedComponentsUseDirectCalls) {
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  auto store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto counter_ptr = std::make_unique<CounterComponent>();
+  auto* cc = counter_ptr.get();
+  auto counter = rt.AddComponent(std::move(counter_ptr));
+  rt.AddAppDependency(counter);
+  rt.AddDependency(counter, store);
+  rt.Merge({counter, store});
+  cc->SetRuntimeForHook(&rt);
+  rt.Boot();
+  const FunctionId inc = rt.Lookup("counter", "inc");
+  const auto msgs_before = rt.Stats().messages;
+  std::int64_t got = 0;
+  testing::RunApp(rt, [&] { got = rt.Call(inc, {}).i64(); });
+  EXPECT_EQ(got, 1);
+  // app->counter is a message, counter->store is a direct intra-merge call:
+  // exactly one call + one reply.
+  EXPECT_EQ(rt.Stats().messages - msgs_before, 2u);
+  EXPECT_GT(rt.Stats().direct_calls, 0u);
+}
+
+TEST(RuntimeMerge, MergedGroupRebootsAsUnit) {
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  auto store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto counter_ptr = std::make_unique<CounterComponent>();
+  auto* cc = counter_ptr.get();
+  auto counter = rt.AddComponent(std::move(counter_ptr));
+  rt.AddAppDependency(counter);
+  rt.Merge({counter, store});
+  cc->SetRuntimeForHook(&rt);
+  rt.Boot();
+  const FunctionId inc = rt.Lookup("counter", "inc");
+  const FunctionId get = rt.Lookup("counter", "get");
+  const FunctionId total = rt.Lookup("store", "total");
+  testing::RunApp(rt, [&] {
+    for (int i = 0; i < 3; ++i) rt.Call(inc, {});
+  });
+  ASSERT_TRUE(rt.Reboot(counter).ok());
+  std::int64_t v = 0, t = 0;
+  testing::RunApp(rt, [&] {
+    v = rt.Call(get, {}).i64();
+    t = rt.Call(total, {}).i64();
+  });
+  EXPECT_EQ(v, 3);
+  // Intra-group calls execute for real during replay, so the merged store's
+  // state is rebuilt too.
+  EXPECT_EQ(t, 3);
+}
+
+TEST(RuntimeStats, MemoryReportAccountsLogs) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 10; ++i) rig.rt.Call(inc, {});
+  });
+  const auto mem = rig.rt.Memory();
+  EXPECT_GT(mem.log_bytes, 0u);
+  EXPECT_GE(mem.log_entries, 10u);
+  EXPECT_GT(mem.component_arena_bytes, 0u);
+  EXPECT_GT(mem.snapshot_bytes, 0u);
+}
+
+TEST(RuntimeRejuvenate, AllComponentsOneByOne) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 3; ++i) rig.rt.Call(inc, {});
+  });
+  auto reports = rig.rt.RejuvenateAll();
+  EXPECT_EQ(reports.size(), 3u);  // store, counter, ticker
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 3);
+}
+
+}  // namespace
+}  // namespace vampos

@@ -1,0 +1,165 @@
+// Fiber scheduler tests: spawn/dispatch/yield/block/wake, fault capture on
+// the fiber's own stack, abandonment semantics, and switch accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/panic.h"
+#include "sched/fiber.h"
+
+namespace vampos::sched {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  FiberManager fm;
+  int ran = 0;
+  Fiber* f = fm.Spawn("t", 0, [&] { ran = 42; });
+  EXPECT_EQ(f->state(), FiberState::kReady);
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kDone);
+  EXPECT_EQ(ran, 42);
+}
+
+TEST(Fiber, YieldReturnsControlAndResumes) {
+  FiberManager fm;
+  std::vector<int> trace;
+  Fiber* f = fm.Spawn("t", 0, [&] {
+    trace.push_back(1);
+    fm.Yield();
+    trace.push_back(2);
+  });
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kReady);
+  trace.push_back(10);
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kDone);
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2}));
+}
+
+TEST(Fiber, BlockAndWake) {
+  FiberManager fm;
+  int phase = 0;
+  Fiber* f = fm.Spawn("t", 0, [&] {
+    phase = 1;
+    fm.Block();
+    phase = 2;
+  });
+  fm.Dispatch(f);
+  EXPECT_EQ(f->state(), FiberState::kBlocked);
+  EXPECT_EQ(phase, 1);
+  fm.Wake(f);
+  EXPECT_EQ(f->state(), FiberState::kReady);
+  fm.Dispatch(f);
+  EXPECT_EQ(phase, 2);
+}
+
+TEST(Fiber, InterleavesTwoFibers) {
+  FiberManager fm;
+  std::string log;
+  Fiber* a = fm.Spawn("a", 0, [&] {
+    log += "a1 ";
+    fm.Yield();
+    log += "a2 ";
+  });
+  Fiber* b = fm.Spawn("b", 1, [&] {
+    log += "b1 ";
+    fm.Yield();
+    log += "b2 ";
+  });
+  fm.Dispatch(a);
+  fm.Dispatch(b);
+  fm.Dispatch(a);
+  fm.Dispatch(b);
+  EXPECT_EQ(log, "a1 b1 a2 b2 ");
+}
+
+TEST(Fiber, FaultCapturedNotPropagated) {
+  FiberManager fm;
+  Fiber* f = fm.Spawn("t", 3, [&]() {
+    throw ComponentFault(3, FaultKind::kPanic, "boom");
+  });
+  // The throw must not escape Dispatch.
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kFaulted);
+  ASSERT_TRUE(f->fault().has_value());
+  EXPECT_EQ(f->fault()->kind(), FaultKind::kPanic);
+  EXPECT_EQ(f->fault()->component(), 3);
+}
+
+TEST(Fiber, FaultAfterYield) {
+  FiberManager fm;
+  Fiber* f = fm.Spawn("t", 1, [&] {
+    fm.Yield();
+    throw ComponentFault(1, FaultKind::kInjected, "later");
+  });
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kReady);
+  EXPECT_EQ(fm.Dispatch(f), FiberState::kFaulted);
+}
+
+TEST(Fiber, DestroyAbandonedBlockedFiber) {
+  FiberManager fm;
+  Fiber* f = fm.Spawn("t", 0, [&] { fm.Block(); });
+  fm.Dispatch(f);
+  const auto live = fm.live_fibers();
+  fm.Destroy(f);  // mid-execution abandonment (component reboot path)
+  EXPECT_EQ(fm.live_fibers(), live - 1);
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  FiberManager fm;
+  EXPECT_EQ(fm.Current(), nullptr);
+  Fiber* f = fm.Spawn("t", 0, [&] { EXPECT_EQ(fm.Current()->name(), "t"); });
+  fm.Dispatch(f);
+  EXPECT_EQ(fm.Current(), nullptr);
+}
+
+TEST(Fiber, SwitchesAreCounted) {
+  FiberManager fm;
+  const auto before = fm.context_switches();
+  Fiber* f = fm.Spawn("t", 0, [&] { fm.Yield(); });
+  fm.Dispatch(f);  // in + out = 2
+  fm.Dispatch(f);  // in + out = 2
+  EXPECT_EQ(fm.context_switches(), before + 4);
+}
+
+TEST(Fiber, DispatchCountPerFiber) {
+  FiberManager fm;
+  Fiber* f = fm.Spawn("t", 0, [&] {
+    fm.Yield();
+    fm.Yield();
+  });
+  fm.Dispatch(f);
+  fm.Dispatch(f);
+  fm.Dispatch(f);
+  EXPECT_EQ(f->dispatches(), 3u);
+}
+
+TEST(Fiber, ManyFibersDeepStacks) {
+  FiberManager fm;
+  // Each fiber burns a few KB of stack; all must complete cleanly.
+  std::vector<Fiber*> fibers;
+  int sum = 0;
+  for (int i = 0; i < 50; ++i) {
+    fibers.push_back(fm.Spawn("f" + std::to_string(i), i, [&sum] {
+      volatile char pad[8192];
+      pad[0] = 1;
+      pad[8191] = 2;
+      sum += pad[0] + pad[8191];
+    }));
+  }
+  for (Fiber* f : fibers) EXPECT_EQ(fm.Dispatch(f), FiberState::kDone);
+  EXPECT_EQ(sum, 150);
+}
+
+TEST(Fiber, NestedSpawnFromFiber) {
+  FiberManager fm;
+  Fiber* inner = nullptr;
+  Fiber* outer = fm.Spawn("outer", 0, [&] {
+    inner = fm.Spawn("inner", 1, [] {});
+    fm.Yield();
+  });
+  fm.Dispatch(outer);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(fm.Dispatch(inner), FiberState::kDone);
+  EXPECT_EQ(fm.Dispatch(outer), FiberState::kDone);
+}
+
+}  // namespace
+}  // namespace vampos::sched

@@ -1,0 +1,204 @@
+// Soak test: everything at once. A web server and a KVS share one
+// unikernel; TCP clients, UDP datagrams, and file traffic run concurrently
+// while a RejuvenationScheduler cycles component reboots and random faults
+// are injected — under an aggressive compaction threshold. The system must
+// end consistent: all served data correct, no terminal fault, logs bounded.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "apps/kvstore.h"
+#include "apps/netclient.h"
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "apps/webserver.h"
+#include "base/rng.h"
+#include "core/rejuvenation.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::KvStore;
+using apps::Posix;
+using apps::SimClient;
+using apps::StackInfo;
+using apps::StackSpec;
+using apps::WebServer;
+using core::Runtime;
+using core::RuntimeOptions;
+
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoakTest, MixedWorkloadUnderContinuousRejuvenation) {
+  Rng rng(GetParam());
+  RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  opts.log_shrink_threshold = 16;
+
+  uk::Platform platform;
+  platform.ninep.PutFile("/www/index.html", "soak-content");
+  uk::HostRingView rings;
+  Runtime rt(opts);
+  StackInfo info = BuildStack(rt, platform, rings, StackSpec::Nginx());
+  apps::BootAndMount(rt);
+  Posix px(rt);
+
+  bool stop = false;
+  WebServer web(px, 80, "/www");
+  rt.SpawnApp("web", [&] {
+    ASSERT_TRUE(web.Setup());
+    web.RunLoop(&stop);
+  });
+  KvStore kv(px, "/soak.aof", /*aof_enabled=*/true);
+  rt.SpawnApp("kv", [&] {
+    ASSERT_TRUE(kv.OpenAof());
+    ASSERT_TRUE(kv.Setup(6379));
+    kv.RunLoop(&stop);
+  });
+  // A UDP responder sharing the stack.
+  rt.SpawnApp("udp", [&] {
+    const auto ufd = px.SocketDgram();
+    ASSERT_GE(ufd, 0);
+    ASSERT_EQ(px.Bind(ufd, 53), 0);
+    while (!stop) {
+      auto r = px.RecvFrom(ufd);
+      if (r.ok()) {
+        px.SendTo(ufd, px.LastPeer(ufd), "ack:" + r.data);
+      } else {
+        rt.ParkApp();
+      }
+    }
+    px.Close(ufd);
+  });
+  rt.RunUntilIdle();
+
+  SimClient web_client(&platform.net, 80);
+  SimClient kv_client(&platform.net, 6379);
+  const int wh = web_client.Connect();
+  const int kh = kv_client.Connect();
+  auto pump = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      web_client.Poll();
+      kv_client.Poll();
+      rt.UnparkApps();
+      rt.RunUntilIdle();
+      web_client.Poll();
+      kv_client.Poll();
+    }
+  };
+  pump(10);
+  ASSERT_TRUE(web_client.Established(wh));
+  ASSERT_TRUE(kv_client.Established(kh));
+
+  auto rejuvenator =
+      core::RejuvenationScheduler::ForAllComponents(rt, /*interval=*/0);
+  std::map<std::string, std::string> kv_shadow;
+  int web_ok = 0, kv_ok = 0, udp_ok = 0;
+  int faults_injected = 0;
+
+  for (int round = 0; round < 120; ++round) {
+    const auto choice = rng.Below(5);
+    if (std::getenv("SOAK_TRACE")) {
+      std::fprintf(stderr, "round %d choice %d reboots %llu\n", round,
+                   static_cast<int>(choice),
+                   static_cast<unsigned long long>(rt.Stats().reboots));
+    }
+    switch (choice) {
+      case 0: {  // web request
+        web_client.Send(wh, "GET /index.html\n");
+        pump(4);
+        if (web_client.TakeReceived(wh).find("soak-content") !=
+            std::string::npos) {
+          web_ok++;
+        }
+        break;
+      }
+      case 1: {  // kv set + shadow
+        const std::string k = "k" + std::to_string(rng.Below(20));
+        const std::string v = "v" + std::to_string(round);
+        kv_client.Send(kh, "SET " + k + " " + v + "\n");
+        pump(4);
+        if (kv_client.TakeReceived(kh) == "+OK\n") {
+          kv_shadow[k] = v;
+          kv_ok++;
+        }
+        break;
+      }
+      case 2: {  // kv get vs shadow
+        if (kv_shadow.empty()) break;
+        auto it = std::next(kv_shadow.begin(), rng.Below(kv_shadow.size()));
+        kv_client.Send(kh, "GET " + it->first + "\n");
+        pump(4);
+        ASSERT_EQ(kv_client.TakeReceived(kh), "$" + it->second + "\n")
+            << "round " << round;
+        kv_ok++;
+        break;
+      }
+      case 3: {  // udp round trip
+        platform.net.HostSend(uk::Frame{.flags = uk::Frame::kDgram,
+                                        .src_port = 9001,
+                                        .dst_port = 53,
+                                        .seq = 0,
+                                        .ack = 0,
+                                        .payload = "probe"});
+        pump(4);
+        // Take only our datagram; requeue anything belonging to the TCP
+        // clients sharing the tap.
+        std::vector<uk::Frame> others;
+        bool got = false;
+        while (auto f = platform.net.HostRecv()) {
+          if (!got && (f->flags & uk::Frame::kDgram) != 0 &&
+              f->payload == "ack:probe") {
+            got = true;
+          } else {
+            others.push_back(std::move(*f));
+          }
+        }
+        for (auto& f : others) platform.net.HostRequeue(std::move(f));
+        if (got) udp_ok++;
+        break;
+      }
+      default: {  // rejuvenate the next component
+        rejuvenator.ForceNext();
+        break;
+      }
+    }
+    if (rng.Chance(1, 20)) {
+      // Random transient fault in a random stateful component.
+      const ComponentId victims[] = {info.vfs, info.ninep, info.lwip};
+      rt.InjectFault(victims[rng.Below(3)], FaultKind::kPanic);
+      faults_injected++;
+    }
+    ASSERT_FALSE(rt.terminal_fault().has_value()) << "round " << round;
+    ASSERT_FALSE(web_client.Broken(wh)) << "round " << round;
+    ASSERT_FALSE(kv_client.Broken(kh)) << "round " << round;
+  }
+
+  // Everything stayed alive and bounded.
+  EXPECT_GT(web_ok, 5);
+  EXPECT_GT(kv_ok, 10);
+  EXPECT_GT(udp_ok, 3);
+  EXPECT_GT(rt.Stats().reboots, 10u);
+  EXPECT_LE(rt.LogEntries(info.vfs), 64u);
+  EXPECT_LE(rt.LogEntries(info.lwip), 64u);
+  // Host-side AOF reflects every acknowledged SET.
+  auto aof = platform.ninep.ReadFile("/soak.aof");
+  ASSERT_TRUE(aof.has_value());
+  for (const auto& [k, v] : kv_shadow) {
+    EXPECT_NE(aof->find("S " + k + " "), std::string::npos) << k;
+  }
+  (void)faults_injected;
+  stop = true;
+  rt.UnparkApps();
+  rt.RunUntilIdle();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(3u, 21u, 314u, 2718u));
+
+}  // namespace
+}  // namespace vampos

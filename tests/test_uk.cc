@@ -1,0 +1,291 @@
+// Unit-level tests of the unikernel substrate components, driven in direct
+// (Unikraft) mode so each assertion hits exactly one component: procinfo
+// values, VIRTIO ring consistency, the 9P server + 9PFS fid machinery,
+// NETDEV forwarding, and LWIP's socket state machine and error paths.
+#include <gtest/gtest.h>
+
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "testing.h"
+#include "uk/virtio/virtio.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::Posix;
+using apps::StackInfo;
+using apps::StackSpec;
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using msg::MsgValue;
+using testing::RunApp;
+
+struct DirectRig {
+  explicit DirectRig(StackSpec spec = StackSpec::Nginx()) : rt(Opts()) {
+    info = BuildStack(rt, platform, rings, spec);
+    apps::BootAndMount(rt);
+    px = std::make_unique<Posix>(rt);
+  }
+  static RuntimeOptions Opts() {
+    RuntimeOptions o;
+    o.mode = Mode::kUnikraft;  // direct calls: unit-test one component
+    o.hang_threshold = 0;
+    return o;
+  }
+  msg::MsgValue Call(const char* comp, const char* fn, msg::Args args) {
+    msg::MsgValue out;
+    rt.SpawnApp("call", [&] { out = rt.Call(rt.Lookup(comp, fn), args); });
+    rt.RunUntilIdle();
+    return out;
+  }
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt;
+  StackInfo info;
+  std::unique_ptr<Posix> px;
+};
+
+// ------------------------------------------------------------- procinfo
+
+TEST(UkProcinfo, ProcessValues) {
+  DirectRig rig;
+  EXPECT_EQ(rig.Call("process", "getpid", {}).i64(), 1);
+  EXPECT_EQ(rig.Call("process", "getppid", {}).i64(), 0);
+  EXPECT_LT(rig.Call("process", "fork", {}).i64(), 0);  // unikernel: no fork
+  EXPECT_EQ(rig.Call("process", "fork_count", {}).i64(), 1);
+}
+
+TEST(UkProcinfo, SysinfoAndUser) {
+  DirectRig rig;
+  EXPECT_NE(rig.Call("sysinfo", "uname", {}).bytes().find("x86_64"),
+            std::string::npos);
+  EXPECT_EQ(rig.Call("sysinfo", "sysinfo_totalram", {}).i64(), 88LL << 20);
+  EXPECT_EQ(rig.Call("user", "getuid", {}).i64(), 0);
+  EXPECT_EQ(rig.Call("user", "getgid", {}).i64(), 0);
+}
+
+TEST(UkProcinfo, TimerMonotonic) {
+  DirectRig rig;
+  const auto a = rig.Call("timer", "monotonic_ns", {}).i64();
+  const auto b = rig.Call("timer", "monotonic_ns", {}).i64();
+  EXPECT_GE(b, a);
+}
+
+// --------------------------------------------------------------- virtio
+
+TEST(UkVirtio, RingsStayConsistentUnderTraffic) {
+  DirectRig rig;
+  auto* virtio = dynamic_cast<uk::VirtioComponent*>(
+      &rig.rt.component(rig.info.virtio));
+  ASSERT_NE(virtio, nullptr);
+  EXPECT_TRUE(virtio->RingsConsistent());
+  RunApp(rig.rt, [&] {
+    const auto fd = rig.px->Create("/v");
+    rig.px->Write(fd, "traffic");
+    rig.px->Close(fd);
+  });
+  // Guest avail and host used indices advanced in lock-step.
+  EXPECT_TRUE(virtio->RingsConsistent());
+}
+
+TEST(UkVirtio, NetRxEmptyReturnsEmptyFrame) {
+  DirectRig rig;
+  EXPECT_TRUE(rig.Call("virtio", "net_rx", {}).bytes().empty());
+}
+
+TEST(UkVirtio, FrameCodecRoundTrip) {
+  uk::Frame f;
+  f.flags = uk::Frame::kData | uk::Frame::kAck;
+  f.src_port = 12345;
+  f.dst_port = 80;
+  f.seq = 0xDEADBEEF;
+  f.ack = 42;
+  f.payload = std::string("\x00\x01payload", 9);
+  uk::Frame g = uk::DecodeFrame(uk::EncodeFrame(f));
+  EXPECT_EQ(g.flags, f.flags);
+  EXPECT_EQ(g.src_port, f.src_port);
+  EXPECT_EQ(g.dst_port, f.dst_port);
+  EXPECT_EQ(g.seq, f.seq);
+  EXPECT_EQ(g.ack, f.ack);
+  EXPECT_EQ(g.payload, f.payload);
+}
+
+// ------------------------------------------------------------------ 9P
+
+TEST(UkNinePServer, TreeOperations) {
+  uk::NinePServer server;
+  server.PutFile("/a/b/c.txt", "content");
+  EXPECT_TRUE(server.Exists("/a"));
+  EXPECT_TRUE(server.Exists("/a/b"));
+  EXPECT_EQ(server.ReadFile("/a/b/c.txt"), "content");
+  EXPECT_FALSE(server.ReadFile("/a/b").has_value());  // directory
+  EXPECT_FALSE(server.ReadFile("/nope").has_value());
+}
+
+TEST(UkNinePfs, FidLifecycle) {
+  DirectRig rig;
+  rig.platform.ninep.PutFile("/f", "0123456789");
+  const auto fid = rig.Call("9pfs", "lookup", {MsgValue("/f")}).i64();
+  ASSERT_GE(fid, 0);
+  // Read before open fails.
+  EXPECT_LT(rig.Call("9pfs", "read",
+                     {MsgValue(fid), MsgValue(std::int64_t{0}),
+                      MsgValue(std::int64_t{4})})
+                .i64(),
+            0);
+  EXPECT_EQ(rig.Call("9pfs", "open", {MsgValue(fid)}).i64(), 10);  // size
+  EXPECT_EQ(rig.Call("9pfs", "read",
+                     {MsgValue(fid), MsgValue(std::int64_t{2}),
+                      MsgValue(std::int64_t{3})})
+                .bytes(),
+            "234");
+  EXPECT_EQ(rig.Call("9pfs", "clunk", {MsgValue(fid)}).i64(), 0);
+  // Fid gone after clunk.
+  EXPECT_LT(rig.Call("9pfs", "open", {MsgValue(fid)}).i64(), 0);
+}
+
+TEST(UkNinePfs, LookupMissingAndBadFid) {
+  DirectRig rig;
+  EXPECT_EQ(rig.Call("9pfs", "lookup", {MsgValue("/missing")}).i64(),
+            -static_cast<std::int64_t>(Errno::kNoEnt));
+  EXPECT_LT(rig.Call("9pfs", "clunk", {MsgValue(std::int64_t{250})}).i64(),
+            0);
+  EXPECT_LT(rig.Call("9pfs", "clunk", {MsgValue(std::int64_t{-1})}).i64(), 0);
+}
+
+TEST(UkNinePfs, WriteExtendsFile) {
+  DirectRig rig;
+  rig.platform.ninep.PutFile("/w", "ab");
+  const auto fid = rig.Call("9pfs", "lookup", {MsgValue("/w")}).i64();
+  rig.Call("9pfs", "open", {MsgValue(fid)});
+  EXPECT_EQ(rig.Call("9pfs", "write",
+                     {MsgValue(fid), MsgValue(std::int64_t{4}),
+                      MsgValue("cd")})
+                .i64(),
+            2);
+  // Hole filled with NULs, then data.
+  EXPECT_EQ(rig.platform.ninep.ReadFile("/w"),
+            std::string("ab\0\0cd", 6));
+}
+
+// --------------------------------------------------------------- netdev
+
+TEST(UkNetdev, ForwardsFramesAndCounts) {
+  DirectRig rig;
+  uk::Frame f;
+  f.flags = uk::Frame::kData;
+  f.payload = "frame";
+  rig.Call("netdev", "tx", {MsgValue(uk::EncodeFrame(f))});
+  ASSERT_EQ(rig.platform.net.pending_to_host(), 1u);
+  EXPECT_EQ(uk::DecodeFrame(rig.platform.net.HostRecv()->payload.empty()
+                                ? uk::EncodeFrame(f)
+                                : uk::EncodeFrame(f))
+                .payload,
+            "frame");
+  rig.platform.net.HostSend(f);
+  const auto wire = rig.Call("netdev", "rx", {}).bytes();
+  EXPECT_EQ(uk::DecodeFrame(wire).payload, "frame");
+  EXPECT_EQ(rig.Call("netdev", "stats_frames", {}).i64(), 2);
+}
+
+// ----------------------------------------------------------------- lwip
+
+TEST(UkLwip, SocketStateMachineErrors) {
+  DirectRig rig;
+  // listen before bind fails.
+  const auto s = rig.Call("lwip", "socket", {}).i64();
+  ASSERT_GE(s, 0);
+  EXPECT_LT(rig.Call("lwip", "listen", {MsgValue(s)}).i64(), 0);
+  EXPECT_EQ(rig.Call("lwip", "bind", {MsgValue(s), MsgValue(std::int64_t{80})})
+                .i64(),
+            0);
+  EXPECT_EQ(rig.Call("lwip", "listen", {MsgValue(s)}).i64(), 0);
+  // accept on empty backlog -> EAGAIN.
+  EXPECT_EQ(rig.Call("lwip", "accept", {MsgValue(s)}).i64(),
+            -static_cast<std::int64_t>(Errno::kAgain));
+  // send on a listening socket -> ENOTCONN.
+  EXPECT_EQ(rig.Call("lwip", "send", {MsgValue(s), MsgValue("x")}).i64(),
+            -static_cast<std::int64_t>(Errno::kNotConn));
+  // Bad socket ids.
+  EXPECT_LT(rig.Call("lwip", "recv",
+                     {MsgValue(std::int64_t{99}), MsgValue(std::int64_t{8})})
+                .i64(),
+            0);
+}
+
+TEST(UkLwip, UnknownDataFrameGetsRst) {
+  DirectRig rig;
+  uk::Frame f;
+  f.flags = uk::Frame::kData;
+  f.src_port = 5555;
+  f.dst_port = 80;
+  f.seq = 1;
+  f.payload = "stray";
+  rig.platform.net.HostSend(f);
+  rig.Call("lwip", "poll", {});
+  auto out = rig.platform.net.HostRecv();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->flags & uk::Frame::kRst, uk::Frame::kRst);
+}
+
+TEST(UkLwip, SockoptsStored) {
+  DirectRig rig;
+  const auto s = rig.Call("lwip", "socket", {}).i64();
+  rig.Call("lwip", "setsockopt", {MsgValue(s), MsgValue(std::int64_t{0x4})});
+  rig.Call("lwip", "setsockopt", {MsgValue(s), MsgValue(std::int64_t{0x10})});
+  EXPECT_EQ(rig.Call("lwip", "getsockopt", {MsgValue(s)}).i64(), 0x14);
+}
+
+TEST(UkLwip, ShutdownClosesSocket) {
+  DirectRig rig;
+  const auto s = rig.Call("lwip", "socket", {}).i64();
+  EXPECT_EQ(rig.Call("lwip", "shutdown",
+                     {MsgValue(s), MsgValue(std::int64_t{2})})
+                .i64(),
+            0);
+  EXPECT_EQ(rig.Call("lwip", "recv", {MsgValue(s), MsgValue(std::int64_t{8})})
+                .i64(),
+            -static_cast<std::int64_t>(Errno::kNotConn));
+}
+
+TEST(UkLwip, SocketExhaustion) {
+  DirectRig rig;
+  std::int64_t last = 0;
+  for (int i = 0; i < 200 && last >= 0; ++i) {
+    last = rig.Call("lwip", "socket", {}).i64();
+  }
+  EXPECT_EQ(last, -static_cast<std::int64_t>(Errno::kMFile));
+}
+
+// ------------------------------------------------------------ fd limits
+
+TEST(UkVfs, FdExhaustionAndReuse) {
+  DirectRig rig;
+  rig.platform.ninep.PutFile("/x", "1");
+  RunApp(rig.rt, [&] {
+    std::vector<std::int64_t> fds;
+    std::int64_t fd;
+    while ((fd = rig.px->Open("/x")) >= 0) fds.push_back(fd);
+    EXPECT_EQ(fd, -static_cast<std::int64_t>(Errno::kMFile));
+    // Free one; the next open reuses the lowest free number.
+    rig.px->Close(fds[0]);
+    EXPECT_EQ(rig.px->Open("/x"), fds[0]);
+    for (std::size_t i = 1; i < fds.size(); ++i) rig.px->Close(fds[i]);
+  });
+}
+
+TEST(UkVfs, BadFdErrors) {
+  DirectRig rig;
+  RunApp(rig.rt, [&] {
+    EXPECT_LT(rig.px->Read(77, 1).err, 0);
+    EXPECT_LT(rig.px->Write(77, "x"), 0);
+    EXPECT_LT(rig.px->Close(77), 0);
+    EXPECT_LT(rig.px->Lseek(77, 0, Posix::kSeekSet), 0);
+    EXPECT_LT(rig.px->Lseek(-1, 0, Posix::kSeekSet), 0);
+  });
+}
+
+}  // namespace
+}  // namespace vampos

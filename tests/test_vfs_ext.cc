@@ -1,0 +1,165 @@
+// Tests for the extended VFS surface: dup (fid refcounting), unlink, rename
+// (open fids follow), ftruncate, readdir, stat_path — including behaviour
+// across component reboots.
+#include <gtest/gtest.h>
+
+#include "apps/posix.h"
+#include "apps/stack.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using apps::BuildStack;
+using apps::Posix;
+using apps::StackInfo;
+using apps::StackSpec;
+using core::Runtime;
+using core::RuntimeOptions;
+using testing::RunApp;
+
+struct Rig {
+  Rig() : rt(Opts()) {
+    info = BuildStack(rt, platform, rings, StackSpec::Sqlite());
+    apps::BootAndMount(rt);
+    px = std::make_unique<Posix>(rt);
+  }
+  static RuntimeOptions Opts() {
+    RuntimeOptions o;
+    o.hang_threshold = 0;
+    return o;
+  }
+  uk::Platform platform;
+  uk::HostRingView rings;
+  Runtime rt;
+  StackInfo info;
+  std::unique_ptr<Posix> px;
+};
+
+TEST(VfsExt, DupSharesBackendIndependentOffset) {
+  Rig rig;
+  RunApp(rig.rt, [&] {
+    const auto fd = rig.px->Create("/d");
+    rig.px->Write(fd, "abcdef");
+    const auto d = rig.px->Dup(fd);
+    ASSERT_GE(d, 0);
+    // Dup'd fd has its own offset (copied at dup time = 6).
+    rig.px->Lseek(d, 0, Posix::kSeekSet);
+    EXPECT_EQ(rig.px->Read(d, 6).data, "abcdef");
+    // Closing the original must not kill the dup's backend fid.
+    rig.px->Close(fd);
+    rig.px->Lseek(d, 2, Posix::kSeekSet);
+    EXPECT_EQ(rig.px->Read(d, 2).data, "cd");
+    rig.px->Close(d);
+  });
+}
+
+TEST(VfsExt, DupChainSurvivesIntermediateCloses) {
+  Rig rig;
+  RunApp(rig.rt, [&] {
+    const auto a = rig.px->Create("/chain");
+    rig.px->Write(a, "xy");
+    const auto b = rig.px->Dup(a);
+    const auto c = rig.px->Dup(b);
+    rig.px->Close(a);
+    rig.px->Close(b);
+    rig.px->Lseek(c, 0, Posix::kSeekSet);
+    EXPECT_EQ(rig.px->Read(c, 2).data, "xy");
+    rig.px->Close(c);
+    // All refs gone: a fresh open still works (fid was clunked exactly once).
+    const auto d = rig.px->Open("/chain");
+    ASSERT_GE(d, 0);
+    rig.px->Close(d);
+  });
+}
+
+TEST(VfsExt, UnlinkRemovesFromHost) {
+  Rig rig;
+  rig.platform.ninep.PutFile("/gone", "data");
+  RunApp(rig.rt, [&] {
+    EXPECT_EQ(rig.px->Unlink("/gone"), 0);
+    EXPECT_LT(rig.px->Open("/gone"), 0);
+  });
+  EXPECT_FALSE(rig.platform.ninep.Exists("/gone"));
+}
+
+TEST(VfsExt, RenameMovesFileAndOpenFdsFollow) {
+  Rig rig;
+  std::int64_t fd = -1;
+  RunApp(rig.rt, [&] {
+    fd = rig.px->Create("/old");
+    rig.px->Write(fd, "keep");
+    EXPECT_EQ(rig.px->Rename("/old", "/new"), 0);
+    // The open fd keeps working against the renamed file.
+    EXPECT_EQ(rig.px->Write(fd, "!"), 1);
+    rig.px->Close(fd);
+    EXPECT_LT(rig.px->Open("/old"), 0);
+    EXPECT_GE(rig.px->Open("/new"), 0);
+  });
+  EXPECT_EQ(rig.platform.ninep.ReadFile("/new"), "keep!");
+}
+
+TEST(VfsExt, FtruncateShrinksAndClampsOffset) {
+  Rig rig;
+  RunApp(rig.rt, [&] {
+    const auto fd = rig.px->Create("/t");
+    rig.px->Write(fd, "0123456789");
+    EXPECT_EQ(rig.px->Ftruncate(fd, 4), 0);
+    // Offset (10) clamps to the new size.
+    EXPECT_EQ(rig.px->Lseek(fd, 0, Posix::kSeekCur), 4);
+    rig.px->Lseek(fd, 0, Posix::kSeekSet);
+    EXPECT_EQ(rig.px->Read(fd, 32).data, "0123");
+    rig.px->Close(fd);
+  });
+  EXPECT_EQ(rig.platform.ninep.ReadFile("/t"), "0123");
+}
+
+TEST(VfsExt, ReaddirListsDirectChildren) {
+  Rig rig;
+  rig.platform.ninep.PutFile("/dir/a", "1");
+  rig.platform.ninep.PutFile("/dir/b", "2");
+  rig.platform.ninep.PutFile("/dir/sub/c", "3");
+  RunApp(rig.rt, [&] {
+    auto r = rig.px->Readdir("/dir");
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.data.find("a\n"), std::string::npos);
+    EXPECT_NE(r.data.find("b\n"), std::string::npos);
+    EXPECT_NE(r.data.find("sub\n"), std::string::npos);
+    EXPECT_EQ(r.data.find("c\n"), std::string::npos);  // not recursive
+    EXPECT_FALSE(rig.px->Readdir("/dir/a").ok());      // not a directory
+  });
+}
+
+TEST(VfsExt, StatPath) {
+  Rig rig;
+  rig.platform.ninep.PutFile("/s", "12345");
+  RunApp(rig.rt, [&] {
+    EXPECT_EQ(rig.px->StatPath("/s"), 5);
+    EXPECT_LT(rig.px->StatPath("/missing"), 0);
+  });
+}
+
+TEST(VfsExt, DupAndRenameSurviveVfsReboot) {
+  Rig rig;
+  std::int64_t fd = -1, d = -1;
+  RunApp(rig.rt, [&] {
+    fd = rig.px->Create("/r1");
+    rig.px->Write(fd, "ab");
+    d = rig.px->Dup(fd);
+    rig.px->Rename("/r1", "/r2");
+  });
+  ASSERT_TRUE(rig.rt.Reboot(rig.info.vfs).ok());
+  ASSERT_TRUE(rig.rt.Reboot(rig.info.ninep).ok());
+  RunApp(rig.rt, [&] {
+    // Both fds still valid after replaying open/dup/rename.
+    EXPECT_EQ(rig.px->Write(fd, "c"), 1);
+    rig.px->Lseek(d, 0, Posix::kSeekSet);
+    EXPECT_EQ(rig.px->Read(d, 3).data, "abc");
+    rig.px->Close(fd);
+    rig.px->Close(d);
+  });
+  EXPECT_EQ(rig.platform.ninep.ReadFile("/r2"), "abc");
+}
+
+}  // namespace
+}  // namespace vampos

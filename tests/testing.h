@@ -1,0 +1,211 @@
+// Shared test fixtures: synthetic components exercising every runtime
+// mechanism without the full unikernel stack, plus helpers to run app code
+// to completion.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "comp/component.h"
+#include "core/runtime.h"
+
+namespace vampos::testing {
+
+/// Runs `body` on an app fiber and pumps the runtime until idle.
+inline void RunApp(core::Runtime& rt, std::function<void()> body) {
+  rt.SpawnApp("test", std::move(body));
+  rt.RunUntilIdle();
+}
+
+/// Stateful component with sessions, nested calls, and a compaction hook —
+/// a miniature VFS. Talks to a downstream StoreComponent when bound.
+class CounterComponent final : public comp::Component {
+ public:
+  CounterComponent()
+      : Component("counter", comp::Statefulness::kStateful, 256 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    ctx.Export("inc", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 state_->value++;
+                 if (store_add_ >= 0) {
+                   // Nested call whose return value must be fed back during
+                   // encapsulated restoration.
+                   msg::MsgValue total =
+                       c.Call(store_add_, {msg::MsgValue(std::int64_t{1})});
+                   state_->store_total = total.i64();
+                 }
+                 return msg::MsgValue(state_->value);
+               });
+    ctx.Export("get",
+               comp::FnOptions{.logged = true, .state_changing = false},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(state_->value);
+               });
+    ctx.Export("store_total", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(state_->store_total);
+               });
+    ctx.Export("open_session",
+               comp::FnOptions{.logged = true, .session_from_ret = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 std::int64_t id;
+                 if (auto forced = c.forced_session()) {
+                   id = *forced;
+                 } else {
+                   id = -1;
+                   for (int i = 0; i < 16; ++i) {
+                     if (!state_->sessions[i]) {
+                       id = i;
+                       break;
+                     }
+                   }
+                   if (id < 0) return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->sessions[id] = true;
+                 state_->session_sum[id] = 0;
+                 return msg::MsgValue(id);
+               });
+    ctx.Export("add_session",
+               comp::FnOptions{.logged = true, .session_arg = 0},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= 16 || !state_->sessions[id]) {
+                   return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->session_sum[id] += args[1].i64();
+                 return msg::MsgValue(state_->session_sum[id]);
+               });
+    ctx.Export("close_session",
+               comp::FnOptions{.logged = true, .session_arg = 0,
+                               .canceling = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= 16) return msg::MsgValue(std::int64_t{-1});
+                 state_->sessions[id] = false;
+                 return msg::MsgValue(std::int64_t{0});
+               });
+    ctx.Export("set_session",
+               comp::FnOptions{.logged = true, .session_arg = 0},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= 16 || !state_->sessions[id]) {
+                   return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->session_sum[id] = args[1].i64();
+                 return msg::MsgValue(state_->session_sum[id]);
+               });
+    ctx.Export("session_sum", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 return msg::MsgValue(state_->session_sum[args[0].i64()]);
+               });
+    ctx.Export("leak", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 // Aging injection: allocate and forget.
+                 (void)alloc().Alloc(static_cast<std::size_t>(args[0].i64()));
+                 return msg::MsgValue(
+                     static_cast<std::int64_t>(alloc().Stats().bytes_in_use));
+               });
+    // One-shot crash: the armed flag lives in the C++ object, not the
+    // arena, so the post-reboot retry of the same message succeeds — a
+    // non-deterministic fault per the paper's model.
+    ctx.Export("crash", comp::FnOptions{},
+               [this](comp::CallCtx& c, const msg::Args&) -> msg::MsgValue {
+                 if (crash_armed_) {
+                   crash_armed_ = false;
+                   c.Panic("crash requested");
+                 }
+                 return msg::MsgValue(std::int64_t{0});
+               });
+  }
+
+  void Bind(comp::InitCtx& ctx) override {
+    store_add_ = ctx.runtime().TryLookup("store", "add").value_or(-1);
+  }
+
+  comp::CompactionHook compaction_hook() override {
+    // Collapse a session's add_session history into one synthetic add of
+    // the current sum (the VFS-offset trick in miniature).
+    return [this](const comp::CompactionRequest& req)
+               -> std::vector<std::pair<FunctionId, msg::Args>> {
+      if (req.session < 0 || req.session >= 16 ||
+          !state_->sessions[req.session]) {
+        return {};
+      }
+      const FunctionId set =
+          *compact_rt_->TryLookup("counter", "set_session");
+      return {{set,
+               msg::Args{msg::MsgValue(req.session),
+                         msg::MsgValue(state_->session_sum[req.session])}}};
+    };
+  }
+
+  void SetRuntimeForHook(core::Runtime* rt) { compact_rt_ = rt; }
+
+ private:
+  struct State {
+    std::int64_t value = 0;
+    std::int64_t store_total = 0;
+    bool sessions[16] = {};
+    std::int64_t session_sum[16] = {};
+  };
+  State* state_ = nullptr;
+  FunctionId store_add_ = -1;
+  core::Runtime* compact_rt_ = nullptr;
+  bool crash_armed_ = true;
+};
+
+/// Downstream stateful component; counts invocations so tests can prove the
+/// encapsulated restoration never re-entered it.
+class StoreComponent final : public comp::Component {
+ public:
+  StoreComponent()
+      : Component("store", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    ctx.Export("add", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 state_->calls++;
+                 state_->total += args[0].i64();
+                 return msg::MsgValue(state_->total);
+               });
+    ctx.Export("calls", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(state_->calls);
+               });
+    ctx.Export("total", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(state_->total);
+               });
+  }
+
+ private:
+  struct State {
+    std::int64_t total = 0;
+    std::int64_t calls = 0;
+  };
+  State* state_ = nullptr;
+};
+
+/// Stateless component whose counter demonstrably resets on reboot.
+class TickerComponent final : public comp::Component {
+ public:
+  TickerComponent()
+      : Component("ticker", comp::Statefulness::kStateless, 64 * 1024) {}
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<std::int64_t>(0);
+    ctx.Export("tick", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue(++*state_);
+               });
+  }
+
+ private:
+  std::int64_t* state_ = nullptr;
+};
+
+}  // namespace vampos::testing
