@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logshrink.dir/bench_logshrink.cpp.o"
+  "CMakeFiles/bench_logshrink.dir/bench_logshrink.cpp.o.d"
+  "bench_logshrink"
+  "bench_logshrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logshrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reboot.dir/bench_reboot.cpp.o"
+  "CMakeFiles/bench_reboot.dir/bench_reboot.cpp.o.d"
+  "bench_reboot"
+  "bench_reboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_recovery.cpp" "bench/CMakeFiles/bench_recovery.dir/bench_recovery.cpp.o" "gcc" "bench/CMakeFiles/bench_recovery.dir/bench_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vampos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_uk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

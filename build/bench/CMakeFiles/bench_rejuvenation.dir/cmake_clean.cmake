@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rejuvenation.dir/bench_rejuvenation.cpp.o"
+  "CMakeFiles/bench_rejuvenation.dir/bench_rejuvenation.cpp.o.d"
+  "bench_rejuvenation"
+  "bench_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

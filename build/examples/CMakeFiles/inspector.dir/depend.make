@@ -1,0 +1,2 @@
+# Empty dependencies file for inspector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_failover.dir/variant_failover.cpp.o"
+  "CMakeFiles/variant_failover.dir/variant_failover.cpp.o.d"
+  "variant_failover"
+  "variant_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_rejuvenation.dir/webserver_rejuvenation.cpp.o"
+  "CMakeFiles/webserver_rejuvenation.dir/webserver_rejuvenation.cpp.o.d"
+  "webserver_rejuvenation"
+  "webserver_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/echo.cc" "src/CMakeFiles/vampos_apps.dir/apps/echo.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/echo.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/CMakeFiles/vampos_apps.dir/apps/kvstore.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/kvstore.cc.o.d"
+  "/root/repo/src/apps/minidb.cc" "src/CMakeFiles/vampos_apps.dir/apps/minidb.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/minidb.cc.o.d"
+  "/root/repo/src/apps/netclient.cc" "src/CMakeFiles/vampos_apps.dir/apps/netclient.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/netclient.cc.o.d"
+  "/root/repo/src/apps/posix.cc" "src/CMakeFiles/vampos_apps.dir/apps/posix.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/posix.cc.o.d"
+  "/root/repo/src/apps/stack.cc" "src/CMakeFiles/vampos_apps.dir/apps/stack.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/stack.cc.o.d"
+  "/root/repo/src/apps/webserver.cc" "src/CMakeFiles/vampos_apps.dir/apps/webserver.cc.o" "gcc" "src/CMakeFiles/vampos_apps.dir/apps/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vampos_uk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

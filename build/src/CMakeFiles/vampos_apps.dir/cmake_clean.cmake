@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_apps.dir/apps/echo.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/echo.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/kvstore.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/kvstore.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/minidb.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/minidb.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/netclient.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/netclient.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/posix.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/posix.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/stack.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/stack.cc.o.d"
+  "CMakeFiles/vampos_apps.dir/apps/webserver.cc.o"
+  "CMakeFiles/vampos_apps.dir/apps/webserver.cc.o.d"
+  "libvampos_apps.a"
+  "libvampos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

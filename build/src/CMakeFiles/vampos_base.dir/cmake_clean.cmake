@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_base.dir/base/diag.cc.o"
+  "CMakeFiles/vampos_base.dir/base/diag.cc.o.d"
+  "CMakeFiles/vampos_base.dir/base/panic.cc.o"
+  "CMakeFiles/vampos_base.dir/base/panic.cc.o.d"
+  "libvampos_base.a"
+  "libvampos_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_core.dir/comp/component.cc.o"
+  "CMakeFiles/vampos_core.dir/comp/component.cc.o.d"
+  "CMakeFiles/vampos_core.dir/core/recovery.cc.o"
+  "CMakeFiles/vampos_core.dir/core/recovery.cc.o.d"
+  "CMakeFiles/vampos_core.dir/core/rejuvenation.cc.o"
+  "CMakeFiles/vampos_core.dir/core/rejuvenation.cc.o.d"
+  "CMakeFiles/vampos_core.dir/core/runtime.cc.o"
+  "CMakeFiles/vampos_core.dir/core/runtime.cc.o.d"
+  "libvampos_core.a"
+  "libvampos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

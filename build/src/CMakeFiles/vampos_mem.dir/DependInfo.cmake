@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena.cc" "src/CMakeFiles/vampos_mem.dir/mem/arena.cc.o" "gcc" "src/CMakeFiles/vampos_mem.dir/mem/arena.cc.o.d"
+  "/root/repo/src/mem/buddy_allocator.cc" "src/CMakeFiles/vampos_mem.dir/mem/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/vampos_mem.dir/mem/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/snapshot.cc" "src/CMakeFiles/vampos_mem.dir/mem/snapshot.cc.o" "gcc" "src/CMakeFiles/vampos_mem.dir/mem/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vampos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_mem.dir/mem/arena.cc.o"
+  "CMakeFiles/vampos_mem.dir/mem/arena.cc.o.d"
+  "CMakeFiles/vampos_mem.dir/mem/buddy_allocator.cc.o"
+  "CMakeFiles/vampos_mem.dir/mem/buddy_allocator.cc.o.d"
+  "CMakeFiles/vampos_mem.dir/mem/snapshot.cc.o"
+  "CMakeFiles/vampos_mem.dir/mem/snapshot.cc.o.d"
+  "libvampos_mem.a"
+  "libvampos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

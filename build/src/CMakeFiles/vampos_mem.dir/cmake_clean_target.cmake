@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvampos_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_mpk.dir/mpk/mpk.cc.o"
+  "CMakeFiles/vampos_mpk.dir/mpk/mpk.cc.o.d"
+  "libvampos_mpk.a"
+  "libvampos_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_msg.dir/msg/domain.cc.o"
+  "CMakeFiles/vampos_msg.dir/msg/domain.cc.o.d"
+  "CMakeFiles/vampos_msg.dir/msg/value.cc.o"
+  "CMakeFiles/vampos_msg.dir/msg/value.cc.o.d"
+  "libvampos_msg.a"
+  "libvampos_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_sched.dir/sched/fiber.cc.o"
+  "CMakeFiles/vampos_sched.dir/sched/fiber.cc.o.d"
+  "libvampos_sched.a"
+  "libvampos_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

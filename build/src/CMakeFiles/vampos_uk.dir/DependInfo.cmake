@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uk/lwip/lwip.cc" "src/CMakeFiles/vampos_uk.dir/uk/lwip/lwip.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/lwip/lwip.cc.o.d"
+  "/root/repo/src/uk/netdev/netdev.cc" "src/CMakeFiles/vampos_uk.dir/uk/netdev/netdev.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/netdev/netdev.cc.o.d"
+  "/root/repo/src/uk/ninep/ninep.cc" "src/CMakeFiles/vampos_uk.dir/uk/ninep/ninep.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/ninep/ninep.cc.o.d"
+  "/root/repo/src/uk/platform.cc" "src/CMakeFiles/vampos_uk.dir/uk/platform.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/platform.cc.o.d"
+  "/root/repo/src/uk/procinfo/procinfo.cc" "src/CMakeFiles/vampos_uk.dir/uk/procinfo/procinfo.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/procinfo/procinfo.cc.o.d"
+  "/root/repo/src/uk/ramfs/ramfs.cc" "src/CMakeFiles/vampos_uk.dir/uk/ramfs/ramfs.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/ramfs/ramfs.cc.o.d"
+  "/root/repo/src/uk/vfs/vfs.cc" "src/CMakeFiles/vampos_uk.dir/uk/vfs/vfs.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/vfs/vfs.cc.o.d"
+  "/root/repo/src/uk/virtio/virtio.cc" "src/CMakeFiles/vampos_uk.dir/uk/virtio/virtio.cc.o" "gcc" "src/CMakeFiles/vampos_uk.dir/uk/virtio/virtio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vampos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vampos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

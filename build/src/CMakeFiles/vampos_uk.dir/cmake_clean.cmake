@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vampos_uk.dir/uk/lwip/lwip.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/lwip/lwip.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/netdev/netdev.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/netdev/netdev.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/ninep/ninep.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/ninep/ninep.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/platform.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/platform.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/procinfo/procinfo.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/procinfo/procinfo.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/ramfs/ramfs.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/ramfs/ramfs.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/vfs/vfs.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/vfs/vfs.cc.o.d"
+  "CMakeFiles/vampos_uk.dir/uk/virtio/virtio.cc.o"
+  "CMakeFiles/vampos_uk.dir/uk/virtio/virtio.cc.o.d"
+  "libvampos_uk.a"
+  "libvampos_uk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vampos_uk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

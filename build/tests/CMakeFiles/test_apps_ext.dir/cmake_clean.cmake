@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_ext.dir/test_apps_ext.cc.o"
+  "CMakeFiles/test_apps_ext.dir/test_apps_ext.cc.o.d"
+  "test_apps_ext"
+  "test_apps_ext.pdb"
+  "test_apps_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

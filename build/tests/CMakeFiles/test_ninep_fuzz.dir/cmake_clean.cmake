@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ninep_fuzz.dir/test_ninep_fuzz.cc.o"
+  "CMakeFiles/test_ninep_fuzz.dir/test_ninep_fuzz.cc.o.d"
+  "test_ninep_fuzz"
+  "test_ninep_fuzz.pdb"
+  "test_ninep_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ninep_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

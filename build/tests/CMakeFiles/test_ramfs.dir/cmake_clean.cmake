@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramfs.dir/test_ramfs.cc.o"
+  "CMakeFiles/test_ramfs.dir/test_ramfs.cc.o.d"
+  "test_ramfs"
+  "test_ramfs.pdb"
+  "test_ramfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_edge.dir/test_recovery_edge.cc.o"
+  "CMakeFiles/test_recovery_edge.dir/test_recovery_edge.cc.o.d"
+  "test_recovery_edge"
+  "test_recovery_edge.pdb"
+  "test_recovery_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_mpk[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_msg[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_vfs_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_uk[1]_include.cmake")
+include("/root/repo/build/tests/test_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_ninep_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_ramfs[1]_include.cmake")
