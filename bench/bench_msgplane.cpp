@@ -1,0 +1,345 @@
+// Message-plane microbenchmark: cross-component call throughput, call-log
+// point-operation latency, session shrink/compaction behavior, and reboot
+// latency with traffic in flight. Emits a JSON baseline (bench_msgplane.json
+// by default, or the path in VAMPOS_BENCH_JSON) so regressions in the
+// indexed-log hot path are diffable run-to-run.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "harness.h"
+#include "msg/domain.h"
+#include "testing_components.h"
+
+namespace vampos::bench {
+namespace {
+
+/// Session-oriented stateful component with a summing compaction hook — the
+/// paper's VFS-offset trick in miniature, without a downstream dependency.
+class SessComponent final : public comp::Component {
+ public:
+  SessComponent()
+      : Component("sess", comp::Statefulness::kStateful, 256 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    ctx.Export("open", comp::FnOptions{.logged = true, .session_from_ret = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 std::int64_t id;
+                 if (auto forced = c.forced_session()) {
+                   id = *forced;
+                 } else {
+                   id = -1;
+                   for (int i = 0; i < kSlots; ++i) {
+                     if (!state_->open[i]) {
+                       id = i;
+                       break;
+                     }
+                   }
+                   if (id < 0) return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->open[id] = true;
+                 state_->sum[id] = 0;
+                 return msg::MsgValue(id);
+               });
+    ctx.Export("add", comp::FnOptions{.logged = true, .session_arg = 0},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= kSlots || !state_->open[id]) {
+                   return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->sum[id] += args[1].i64();
+                 return msg::MsgValue(state_->sum[id]);
+               });
+    ctx.Export("set", comp::FnOptions{.logged = true, .session_arg = 0},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= kSlots || !state_->open[id]) {
+                   return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->sum[id] = args[1].i64();
+                 return msg::MsgValue(state_->sum[id]);
+               });
+    ctx.Export("close",
+               comp::FnOptions{.logged = true, .session_arg = 0,
+                               .canceling = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const auto id = args[0].i64();
+                 if (id < 0 || id >= kSlots) {
+                   return msg::MsgValue(std::int64_t{-1});
+                 }
+                 state_->open[id] = false;
+                 return msg::MsgValue(std::int64_t{0});
+               });
+    ctx.Export("sum", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 return msg::MsgValue(state_->sum[args[0].i64()]);
+               });
+  }
+
+  comp::CompactionHook compaction_hook() override {
+    return [this](const comp::CompactionRequest& req)
+               -> std::vector<std::pair<FunctionId, msg::Args>> {
+      if (req.session < 0 || req.session >= kSlots ||
+          !state_->open[req.session]) {
+        return {};
+      }
+      return {{set_fn_,
+               msg::Args{msg::MsgValue(req.session),
+                         msg::MsgValue(state_->sum[req.session])}}};
+    };
+  }
+
+  void ResolveSetFn(core::Runtime& rt) { set_fn_ = rt.Lookup("sess", "set"); }
+
+ private:
+  static constexpr int kSlots = 32;
+  struct State {
+    bool open[kSlots] = {};
+    std::int64_t sum[kSlots] = {};
+  };
+  State* state_ = nullptr;
+  FunctionId set_fn_ = -1;
+};
+
+struct JsonDoc {
+  std::string body;
+  void Add(const std::string& key, double value) {
+    if (!body.empty()) body += ",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.3f", key.c_str(), value);
+    body += buf;
+  }
+  bool Write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n%s\n}\n", body.c_str());
+    std::fclose(f);
+    return true;
+  }
+};
+
+// ----------------------------------------------------- call throughput
+
+void BenchCallThroughput(JsonDoc& json) {
+  Header("message-plane call throughput");
+  const int n = FullScale() ? 200000 : 30000;
+  for (const bool logged : {false, true}) {
+    core::RuntimeOptions opts;
+    opts.hang_threshold = 0;
+    core::Runtime rt(opts);
+    const ComponentId nop =
+        rt.AddComponent(std::make_unique<bench_testing::NopComponent>());
+    rt.AddAppDependency(nop);
+    rt.Boot();
+    const FunctionId fn = rt.Lookup("nop", logged ? "nop_logged" : "nop");
+    const Nanos t0 = NowNs();
+    rt.SpawnApp("pump", [&] {
+      for (int i = 0; i < n; ++i) rt.Call(fn, {});
+    });
+    rt.RunUntilIdle();
+    const double secs = static_cast<double>(NowNs() - t0) / 1e9;
+    const double rate = n / secs;
+    const auto stats = rt.Stats();
+    std::printf("  %-12s %10.0f calls/s  (batched replies: %llu)\n",
+                logged ? "logged" : "unlogged", rate,
+                static_cast<unsigned long long>(stats.replies_batched));
+    json.Add(logged ? "calls_per_sec_logged" : "calls_per_sec_unlogged",
+             rate);
+  }
+}
+
+// -------------------------------------------------- log point-op latency
+
+void BenchLogOps(JsonDoc& json) {
+  Header("call-log point-operation latency [ns/op]");
+  const std::size_t n = FullScale() ? 200000 : 50000;
+  msg::CallLog log;
+  Rng rng(42);
+
+  std::vector<LogSeq> seqs;
+  seqs.reserve(n);
+  Nanos t0 = NowNs();
+  for (std::size_t i = 0; i < n; ++i) {
+    msg::CallLogEntry e;
+    e.fn = 1;
+    e.session = static_cast<std::int64_t>(i % 64);
+    e.args = {msg::MsgValue(static_cast<std::int64_t>(i))};
+    seqs.push_back(log.Append(std::move(e)));
+  }
+  const double append_ns = static_cast<double>(NowNs() - t0) / n;
+
+  t0 = NowNs();
+  for (const LogSeq s : seqs) {
+    log.SetReturn(s, msg::MsgValue(std::int64_t{0}));
+  }
+  const double set_ret_ns = static_cast<double>(NowNs() - t0) / n;
+
+  // Random point erase at full size — the operation the seq index made
+  // O(log n); measured over a prefix to keep the log near peak size.
+  const std::size_t erases = n / 10;
+  t0 = NowNs();
+  for (std::size_t i = 0; i < erases; ++i) {
+    log.Erase(seqs[rng.Below(seqs.size())]);
+  }
+  const double erase_ns = static_cast<double>(NowNs() - t0) / erases;
+
+  // Session prune via the per-session index.
+  t0 = NowNs();
+  std::size_t pruned = 0;
+  for (std::int64_t s = 0; s < 64; ++s) pruned += log.PruneSession(s);
+  const double prune_ns =
+      pruned > 0 ? static_cast<double>(NowNs() - t0) / pruned : 0;
+
+  std::printf("  append      %8.1f\n", append_ns);
+  std::printf("  set_return  %8.1f\n", set_ret_ns);
+  std::printf("  erase       %8.1f\n", erase_ns);
+  std::printf("  prune/entry %8.1f  (%zu entries, %llu full scans)\n",
+              prune_ns, pruned, static_cast<unsigned long long>(log.scans()));
+  json.Add("log_append_ns", append_ns);
+  json.Add("log_set_return_ns", set_ret_ns);
+  json.Add("log_erase_ns", erase_ns);
+  json.Add("log_prune_per_entry_ns", prune_ns);
+}
+
+// ------------------------------------------- session shrink + compaction
+
+void BenchSessionWorkload(JsonDoc& json) {
+  Header("session workload: shrink + scheduled compaction");
+  const int rounds = FullScale() ? 2000 : 400;
+  core::RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  opts.log_shrink_threshold = 32;
+  core::Runtime rt(opts);
+  auto sess_ptr = std::make_unique<SessComponent>();
+  SessComponent* sess = sess_ptr.get();
+  const ComponentId id = rt.AddComponent(std::move(sess_ptr));
+  rt.AddAppDependency(id);
+  rt.Boot();
+  sess->ResolveSetFn(rt);
+
+  const FunctionId open = rt.Lookup("sess", "open");
+  const FunctionId add = rt.Lookup("sess", "add");
+  const FunctionId close = rt.Lookup("sess", "close");
+  Rng rng(7);
+  const Nanos t0 = NowNs();
+  rt.SpawnApp("pump", [&] {
+    // A long-lived session accumulating entries (compaction collapses it)
+    // over short open/add/close sessions (shrinking prunes them).
+    const std::int64_t hot = rt.Call(open, {}).i64();
+    for (int r = 0; r < rounds; ++r) {
+      rt.Call(add, {msg::MsgValue(hot), msg::MsgValue(std::int64_t{1})});
+      const std::int64_t s = rt.Call(open, {}).i64();
+      for (int i = 0; i < 4; ++i) {
+        rt.Call(add, {msg::MsgValue(s),
+                      msg::MsgValue(static_cast<std::int64_t>(rng.Below(10)))});
+      }
+      rt.Call(close, {msg::MsgValue(s)});
+    }
+  });
+  rt.RunUntilIdle();
+  const double secs = static_cast<double>(NowNs() - t0) / 1e9;
+  const auto stats = rt.Stats();
+  const double ops = rounds * 7.0;
+  std::printf("  %10.0f ops/s  log=%zu entries\n", ops / secs,
+              rt.LogEntries(id));
+  std::printf(
+      "  compactions=%llu skips=%llu pruned=%llu full_scans=%llu\n",
+      static_cast<unsigned long long>(stats.compactions),
+      static_cast<unsigned long long>(stats.compaction_skips),
+      static_cast<unsigned long long>(stats.log_pruned_entries),
+      static_cast<unsigned long long>(stats.log_scans));
+  json.Add("session_ops_per_sec", ops / secs);
+  json.Add("session_compactions", static_cast<double>(stats.compactions));
+  json.Add("session_compaction_skips",
+           static_cast<double>(stats.compaction_skips));
+  json.Add("session_log_scans", static_cast<double>(stats.log_scans));
+  json.Add("session_final_log_entries",
+           static_cast<double>(rt.LogEntries(id)));
+}
+
+// ------------------------------------------------------ reboot under load
+
+void BenchRebootUnderLoad(JsonDoc& json) {
+  Header("reboot with traffic in flight [us]");
+  const int reps = FullScale() ? 50 : 10;
+  const int log_entries = FullScale() ? 512 : 128;
+  Series total, stop, replay;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::RuntimeOptions opts;
+    opts.hang_threshold = 0;
+    opts.log_shrink_threshold = 0;  // keep the full log: worst-case replay
+    core::Runtime rt(opts);
+    auto sess_ptr = std::make_unique<SessComponent>();
+    SessComponent* sess = sess_ptr.get();
+    const ComponentId id = rt.AddComponent(std::move(sess_ptr));
+    rt.AddAppDependency(id);
+    rt.Boot();
+    sess->ResolveSetFn(rt);
+    const FunctionId open = rt.Lookup("sess", "open");
+    const FunctionId add = rt.Lookup("sess", "add");
+    const FunctionId sum = rt.Lookup("sess", "sum");
+    std::int64_t hot = -1;
+    rt.SpawnApp("fill", [&] {
+      hot = rt.Call(open, {}).i64();
+      for (int i = 0; i < log_entries; ++i) {
+        rt.Call(add, {msg::MsgValue(hot), msg::MsgValue(std::int64_t{1})});
+      }
+    });
+    rt.RunUntilIdle();
+    // Leave requests queued and in flight, then reboot through them.
+    for (int i = 0; i < 4; ++i) {
+      rt.SpawnApp("load" + std::to_string(i), [&] {
+        rt.Call(add, {msg::MsgValue(hot), msg::MsgValue(std::int64_t{1})});
+      });
+    }
+    if (!rt.RunUntil([&] { return rt.domain().QueueDepth(id) >= 1; })) continue;
+    auto report = rt.Reboot(id);
+    if (!report.ok()) continue;
+    rt.RunUntilIdle();
+    std::int64_t got = 0;
+    rt.SpawnApp("check", [&] { got = rt.Call(sum, {msg::MsgValue(hot)}).i64(); });
+    rt.RunUntilIdle();
+    if (got != log_entries + 4) {
+      std::fprintf(stderr, "  consistency FAILED: sum=%lld want %d\n",
+                   static_cast<long long>(got), log_entries + 4);
+      std::exit(1);
+    }
+    total.Add(static_cast<double>(report.value().total_ns) / 1e3);
+    stop.Add(static_cast<double>(report.value().stop_ns) / 1e3);
+    replay.Add(static_cast<double>(report.value().replay_ns) / 1e3);
+  }
+  std::printf("  total  %8.1f +- %.1f\n", total.Mean(), total.Stddev());
+  std::printf("  stop   %8.1f\n", stop.Mean());
+  std::printf("  replay %8.1f  (%d log entries, consistency checked)\n",
+              replay.Mean(), log_entries);
+  json.Add("reboot_under_load_total_us", total.Mean());
+  json.Add("reboot_under_load_stop_us", stop.Mean());
+  json.Add("reboot_under_load_replay_us", replay.Mean());
+}
+
+void Run() {
+  JsonDoc json;
+  BenchCallThroughput(json);
+  BenchLogOps(json);
+  BenchSessionWorkload(json);
+  BenchRebootUnderLoad(json);
+  const char* path = std::getenv("VAMPOS_BENCH_JSON");
+  if (path == nullptr) path = "bench_msgplane.json";
+  if (!json.Write(path)) std::exit(1);
+  std::printf("\nJSON baseline written to %s\n", path);
+}
+
+}  // namespace
+}  // namespace vampos::bench
+
+int main() {
+  vampos::bench::Run();
+  return 0;
+}

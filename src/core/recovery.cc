@@ -61,13 +61,13 @@ void Runtime::FinishLog(const FnEntry& fn, LogSeq seq, const MsgValue& ret,
   // open()-style functions: the session id is the returned descriptor. If
   // the descriptor number was used by an earlier, already-closed session,
   // the stale open/close pair is pruned now — this is why Table III reports
-  // a net *negative* log delta for open() under shrinking.
+  // a net *negative* log delta for open() under shrinking. The session
+  // index makes this touch only the reused id's entries, not the whole log.
   if (fn.options.session_from_ret && ret.is_i64() && ret.i64() >= 0) {
     const std::int64_t session = ret.i64();
     if (options_.session_shrink) {
-      const std::size_t pruned = log.PruneIf([&](const CallLogEntry& e) {
-        return e.session == session && e.seq < seq;
-      });
+      const std::size_t pruned = log.PruneSessionIf(
+          session, [&](const CallLogEntry& e) { return e.seq < seq; });
       stats_.log_pruned_entries += pruned;
     }
     log.SetSession(seq, session);
@@ -95,20 +95,15 @@ void Runtime::ApplySessionShrink(const FnEntry& fn, LogSeq seq,
   // are kept so a replay reproduces the descriptor-table allocation; they
   // are pruned later if the descriptor number is reused (see FinishLog).
   msg::CallLog& log = domain_->LogFor(fn.owner);
-  const CallLogEntry* self = nullptr;
-  for (const auto& e : log.entries()) {
-    if (e.seq == seq) {
-      self = &e;
-      break;
-    }
-  }
+  const CallLogEntry* self = log.Lookup(seq);
   if (self == nullptr || self->session < 0) return;
   const std::int64_t session = self->session;
-  const std::size_t pruned = log.PruneIf([&](const CallLogEntry& e) {
-    if (e.session != session || e.seq == seq) return false;
-    const FnEntry& efn = Fn(e.fn);
-    return !efn.options.session_from_ret && !efn.options.canceling;
-  });
+  const std::size_t pruned =
+      log.PruneSessionIf(session, [&](const CallLogEntry& e) {
+        if (e.seq == seq) return false;
+        const FnEntry& efn = Fn(e.fn);
+        return !efn.options.session_from_ret && !efn.options.canceling;
+      });
   stats_.log_pruned_entries += pruned;
 }
 
@@ -119,41 +114,59 @@ void Runtime::MaybeCompact(ComponentId owner) {
   comp::CompactionHook hook = slots_[owner].component->compaction_hook();
   if (!hook) return;
 
-  // Collapse each session's completed, non-boundary entries into the
-  // synthetic state-setting entries the component supplies ("extract and
-  // reset the offset value in VFS", §V-F). One pass over the log groups the
-  // candidates; sessions with fewer than two prunable entries are skipped.
-  std::unordered_map<std::int64_t, comp::CompactionRequest> per_session;
-  for (const auto& e : log.entries()) {
-    if (e.session < 0 || e.synthetic || !e.have_ret) continue;
-    const FnEntry& efn = Fn(e.fn);
-    if (efn.options.session_from_ret || efn.options.canceling) continue;
-    auto& req = per_session[e.session];
-    req.session = e.session;
-    req.entries.emplace_back(e.fn, e.args);
+  // Scheduled compaction: only sessions that gained completed entries since
+  // their last visit (dirty) and are not parked behind a failed-hook growth
+  // gate are considered — an uncompactable workload stops paying a grouping
+  // pass per call once its sessions park.
+  const std::vector<std::int64_t> candidates = log.CompactionCandidates();
+  if (candidates.empty()) {
+    stats_.compaction_skips++;
+    return;
   }
   bool compacted = false;
-  for (auto& [session, req] : per_session) {
-    if (req.entries.size() < 2) continue;
+  for (const std::int64_t session : candidates) {
+    // Collapse the session's completed, non-boundary entries into the
+    // synthetic state-setting entries the component supplies ("extract and
+    // reset the offset value in VFS", §V-F). The session index bounds the
+    // grouping to this session's entries.
+    const msg::CallLog::SeqSet* seqs = log.SessionSeqs(session);
+    if (seqs == nullptr) continue;
+    comp::CompactionRequest req;
+    req.session = session;
+    for (const LogSeq s : *seqs) {
+      const CallLogEntry* e = log.Lookup(s);
+      if (e == nullptr || e->synthetic || !e->have_ret) continue;
+      const FnEntry& efn = Fn(e->fn);
+      if (efn.options.session_from_ret || efn.options.canceling) continue;
+      req.entries.emplace_back(e->fn, e->args);
+    }
+    if (req.entries.size() < 2) {
+      log.MarkSessionClean(session);
+      continue;
+    }
     auto replacement = hook(req);
-    if (replacement.size() >= req.entries.size()) continue;
-    const std::int64_t s = session;
+    if (replacement.size() >= req.entries.size()) {
+      log.ParkSessionCompaction(session);
+      continue;
+    }
     // Drop the session's history *and* any synthetic summary from a prior
     // compaction round — the new summary supersedes it.
-    stats_.log_pruned_entries += log.PruneIf([&](const CallLogEntry& e) {
-      if (e.session != s || (!e.have_ret && !e.synthetic)) return false;
-      const FnEntry& efn = Fn(e.fn);
-      return !efn.options.session_from_ret && !efn.options.canceling;
-    });
+    stats_.log_pruned_entries +=
+        log.PruneSessionIf(session, [&](const CallLogEntry& e) {
+          if (!e.have_ret && !e.synthetic) return false;
+          const FnEntry& efn = Fn(e.fn);
+          return !efn.options.session_from_ret && !efn.options.canceling;
+        });
     for (auto& [fn_id, fn_args] : replacement) {
       CallLogEntry synth;
       synth.fn = fn_id;
       synth.args = std::move(fn_args);
-      synth.session = s;
+      synth.session = session;
       synth.synthetic = true;
       synth.have_ret = true;
       log.Append(std::move(synth));
     }
+    log.MarkSessionClean(session);
     compacted = true;
   }
   if (compacted) stats_.compactions++;
@@ -196,7 +209,8 @@ void Runtime::StopComponentFibers(ComponentId leader) {
   for (sched::Fiber* f : victims) {
     auto it = exec_ctx_.find(f);
     if (it != exec_ctx_.end()) {
-      inflight_retry_.emplace_back(it->second.msg, it->second.args);
+      inflight_retry_.push_back(
+          {std::move(it->second.msg), std::move(it->second.args), {}});
       exec_ctx_.erase(it);
     }
     // Drop pending-reply slots owned by this fiber: the rpcs it issued will
@@ -211,16 +225,41 @@ void Runtime::StopComponentFibers(ComponentId leader) {
     fibers_.Destroy(f);
   }
   if (slot.inflight_failed.has_value()) {
-    inflight_retry_.push_back(*slot.inflight_failed);
+    inflight_retry_.push_back({std::move(slot.inflight_failed->first),
+                               std::move(slot.inflight_failed->second),
+                               {}});
     slot.inflight_failed.reset();
   }
   slot.resident = nullptr;
   slot.aux.clear();
   slot.busy = 0;
-  // Erase incomplete log entries for the interrupted calls.
-  for (auto& [m, args] : inflight_retry_) {
-    (void)args;
-    if (m.log_seq != 0) domain_->LogFor(Fn(m.fn).owner).Erase(m.log_seq);
+  // Erase incomplete log entries for the interrupted calls — but carry their
+  // recorded outbound returns into the retry record first, so the retried
+  // execution can feed them back instead of re-invoking the peers (whose
+  // side effects already happened).
+  for (RetryRecord& r : inflight_retry_) {
+    if (r.msg.log_seq == 0) continue;
+    msg::CallLog& log = domain_->LogFor(Fn(r.msg.fn).owner);
+    if (const CallLogEntry* e = log.Lookup(r.msg.log_seq)) {
+      r.outbound_feed = e->outbound;
+    }
+    log.Erase(r.msg.log_seq);
+  }
+  // Queued-but-unexecuted traffic. Inbound messages are drained for
+  // re-logging and re-queueing after restore: their pre-reboot log entries
+  // would otherwise survive as incomplete stale state. Outbound messages the
+  // group staged are dropped — the fibers that issued them died above, so
+  // any reply would be orphaned — along with their callee-side log entries
+  // and pending-reply slots.
+  for (ComponentId m : slot.group) {
+    for (auto& [qm, qargs] : domain_->DrainQueued(m)) {
+      if (qm.log_seq != 0) domain_->LogFor(Fn(qm.fn).owner).Erase(qm.log_seq);
+      queued_requeue_.push_back({qm, std::move(qargs), {}});
+    }
+    for (const Message& qm : domain_->DropQueuedFrom(m)) {
+      if (qm.log_seq != 0) domain_->LogFor(Fn(qm.fn).owner).Erase(qm.log_seq);
+      pending_replies_.erase(qm.rpc_id);
+    }
   }
 }
 
@@ -249,6 +288,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   const Nanos t0 = options_.clock->Now();
 
   inflight_retry_.clear();
+  queued_requeue_.clear();
   StopComponentFibers(leader);
   const Nanos t1 = options_.clock->Now();
   report.stop_ns = t1 - t0;
@@ -286,7 +326,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
     for (ComponentId m : slot.group) {
       if (slots_[m].component->statefulness() == Statefulness::kStateful) {
         CallCtx rctx(*this, m, /*restoring=*/true);
-        restore_stack_.push_back(ExecCtx{m, 0, Message{}, Args{}});
+        restore_stack_.push_back(ExecCtx{m, 0, Message{}, Args{}, 0, {}, 0});
         slots_[m].component->OnReplayed(rctx);
         restore_stack_.pop_back();
       }
@@ -309,29 +349,45 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   // trigger again on the same input (paper §II-B). The retry budget is one;
   // a repeat failure fail-stops.
   if (options_.retry_inflight) {
-    for (auto& [m, args] : inflight_retry_) {
-      Message retry = m;
+    for (RetryRecord& rec : inflight_retry_) {
+      Message retry = rec.msg;
       retry.enqueued_at = options_.clock->Now();
-      retry.log_seq = MaybeLogCall(Fn(m.fn), args);
-      domain_->Push(retry, args);
+      retry.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
+      // Outbound returns the interrupted execution already observed are fed
+      // back during the retry so the peers' side effects are not repeated.
+      if (!rec.outbound_feed.empty()) {
+        retry_feeds_[retry.rpc_id] = std::move(rec.outbound_feed);
+      }
+      domain_->Push(retry, rec.args);
       stats_.messages++;
       slot.retried_once = true;
     }
   } else {
-    for (auto& [m, args] : inflight_retry_) {
-      (void)args;
+    for (RetryRecord& rec : inflight_retry_) {
       Message r;
       r.kind = Message::Kind::kReply;
-      r.rpc_id = m.rpc_id;
+      r.rpc_id = rec.msg.rpc_id;
       r.from = leader;
-      r.to = m.from;
-      r.fn = m.fn;
-      r.caller_fiber = m.caller_fiber;
+      r.to = rec.msg.from;
+      r.fn = rec.msg.fn;
+      r.caller_fiber = rec.msg.caller_fiber;
       domain_->PushReply(
           r, Args{MsgValue(ToWire(Status::Error(Errno::kIo, "rebooted")))});
     }
   }
   inflight_retry_.clear();
+
+  // Re-queue the stale inbound messages drained from the group's inboxes:
+  // they never executed, so they are requeues, not retries — no retried_once
+  // charge, and a later fault while serving them gets a fresh reboot budget.
+  for (RetryRecord& rec : queued_requeue_) {
+    Message requeue = rec.msg;
+    requeue.enqueued_at = options_.clock->Now();
+    requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
+    domain_->Push(requeue, rec.args);
+    stats_.messages++;
+  }
+  queued_requeue_.clear();
 
   report.total_ns = options_.clock->Now() - t0;
   VAMPOS_TRACE("reboot '%s' done (%lld us, %zu replayed)",
@@ -346,12 +402,14 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
 void Runtime::ReplayLog(ComponentId id, RebootReport& report) {
   if (!domain_->HasLog(id)) return;
   msg::CallLog& log = domain_->LogFor(id);
-  for (const CallLogEntry& entry : log.entries()) {
+  for (const auto& kv : log.entries()) {
+    const CallLogEntry& entry = kv.second;
     if (!entry.state_changing) continue;  // fstat-style calls are skipped
     if (!entry.have_ret && !entry.synthetic) continue;  // never completed
     replay_entry_ = &entry;
     replay_outbound_cursor_ = 0;
-    restore_stack_.push_back(ExecCtx{id, entry.seq, Message{}, Args{}, 0});
+    restore_stack_.push_back(
+        ExecCtx{id, entry.seq, Message{}, Args{}, 0, {}, 0});
     // Session-creating calls must re-allocate the *original* id: shrinking
     // may have pruned earlier allocations, so natural lowest-free allocation
     // would diverge from what running components still hold.
@@ -443,6 +501,7 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   if (slot.variant == nullptr || slot.group.size() != 1) return false;
 
   inflight_retry_.clear();
+  queued_requeue_.clear();
   StopComponentFibers(leader);
   // The deterministic bug lives in the old implementation; the injected
   // fault does not carry over to the variant.
@@ -470,7 +529,8 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
     try {
       ReplayLog(leader, report);
       comp::CallCtx rctx(*this, leader, /*restoring=*/true);
-      restore_stack_.push_back(ExecCtx{leader, 0, Message{}, Args{}, 0});
+      restore_stack_.push_back(
+          ExecCtx{leader, 0, Message{}, Args{}, 0, {}, 0});
       c.OnReplayed(rctx);
       restore_stack_.pop_back();
     } catch (const ComponentFault&) {
@@ -488,14 +548,25 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   variant_swaps_++;
   reboot_history_.push_back(report);
 
-  for (auto& [m, args] : inflight_retry_) {
-    Message retry = m;
+  for (RetryRecord& rec : inflight_retry_) {
+    Message retry = rec.msg;
     retry.enqueued_at = options_.clock->Now();
-    retry.log_seq = MaybeLogCall(Fn(m.fn), args);
-    domain_->Push(retry, args);
+    retry.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
+    if (!rec.outbound_feed.empty()) {
+      retry_feeds_[retry.rpc_id] = std::move(rec.outbound_feed);
+    }
+    domain_->Push(retry, rec.args);
     stats_.messages++;
   }
   inflight_retry_.clear();
+  for (RetryRecord& rec : queued_requeue_) {
+    Message requeue = rec.msg;
+    requeue.enqueued_at = options_.clock->Now();
+    requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
+    domain_->Push(requeue, rec.args);
+    stats_.messages++;
+  }
+  queued_requeue_.clear();
   VAMPOS_INFO("deterministic fault in '%s': swapped in variant",
               c.name().c_str());
   return true;
@@ -561,6 +632,14 @@ void Runtime::CheckHangs() {
 void Runtime::FailStop(const ComponentFault& fault) {
   terminal_fault_ = fault;
   VAMPOS_ERROR("fail-stop: %s", fault.what());
+  // Free the messages still staged for the dead component's group: nobody
+  // will ever pull them, and their buffers would pin message-arena memory
+  // for the rest of the (now terminating) run.
+  if (fault.component() != kComponentNone) {
+    for (ComponentId m : slots_[LeaderOf(fault.component())].group) {
+      domain_->DropQueued(m);
+    }
+  }
   // Unblock every waiter with an error so app fibers can observe the
   // failure and terminate gracefully (graceful termination, §VIII).
   for (auto& [rpc, pending] : pending_replies_) {

@@ -290,10 +290,28 @@ sched::Fiber* Runtime::PickDependencyAware() {
     if (FiberReady(slot.resident)) return slot.resident;
     return nullptr;
   };
+  auto group_depth = [this](ComponentId leader) {
+    std::size_t depth = 0;
+    for (ComponentId m : slots_[leader].group) depth += domain_->QueueDepth(m);
+    return depth;
+  };
 
   while (!das_candidates_.empty()) {
-    const ComponentId c = LeaderOf(das_candidates_.front());
-    das_candidates_.pop_front();
+    // Queue-depth hint: among the correlated candidates, dispatch the one
+    // with the most queued work first — it amortizes its dispatch over a
+    // whole execution batch. Ties keep correlation order.
+    std::size_t best = 0;
+    std::size_t best_depth = group_depth(LeaderOf(das_candidates_[0]));
+    for (std::size_t i = 1; i < das_candidates_.size(); ++i) {
+      const std::size_t d = group_depth(LeaderOf(das_candidates_[i]));
+      if (d > best_depth) {
+        best = i;
+        best_depth = d;
+      }
+    }
+    const ComponentId c = LeaderOf(das_candidates_[best]);
+    das_candidates_.erase(das_candidates_.begin() +
+                          static_cast<std::ptrdiff_t>(best));
     if (sched::Fiber* f = fiber_of(c)) return f;
   }
   // Fallbacks: the oldest pending message's destination, then any ready
@@ -388,6 +406,26 @@ msg::MsgValue Runtime::DirectInvoke(ComponentId /*caller*/, FunctionId fn_id,
 msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
                                    Args args) {
   const FnEntry& fn = Fn(fn_id);
+  // Outbound dedupe for retried requests: the pre-reboot execution already
+  // made this call and observed its return; feed it back instead of
+  // re-invoking the peer, whose side effect already happened. A divergent
+  // call sequence abandons the feed and executes the rest for real.
+  if (ExecCtx* ctx = CurrentExec();
+      ctx != nullptr && ctx->feed_cursor < ctx->outbound_feed.size()) {
+    if (ctx->outbound_feed[ctx->feed_cursor].first == fn_id) {
+      MsgValue fed = ctx->outbound_feed[ctx->feed_cursor++].second;
+      // Re-record into the fresh log entry so a later reboot still replays
+      // the full outbound history.
+      if (ctx->inbound_seq != 0) {
+        domain_->LogFor(ctx->component)
+            .RecordOutbound(ctx->inbound_seq, fn_id, fed);
+      }
+      stats_.retries_deduped++;
+      return fed;
+    }
+    ctx->outbound_feed.clear();
+    ctx->feed_cursor = 0;
+  }
   // Calls into a fail-stopped component return immediately: after a
   // fail-stop there is no fiber to serve them, and graceful-termination
   // hooks must not block on the dead component.
@@ -443,14 +481,22 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
 
 void Runtime::ResidentLoop(ComponentId leader) {
   while (true) {
-    bool executed = false;
-    for (ComponentId member : slots_[leader].group) {
-      if (ExecuteOne(member)) {
-        executed = true;
-        break;
+    // Execute up to kExecBatch queued messages per dispatch: the replies
+    // accumulate in the domain and the message thread delivers them as one
+    // batch instead of paying a full scheduler round trip per message.
+    std::size_t executed = 0;
+    while (executed < kExecBatch) {
+      bool any = false;
+      for (ComponentId member : slots_[leader].group) {
+        if (ExecuteOne(member)) {
+          any = true;
+          break;
+        }
       }
+      if (!any) break;
+      executed++;
     }
-    if (!executed) stats_.empty_polls++;
+    if (executed == 0) stats_.empty_polls++;
     fibers_.Yield();
   }
 }
@@ -475,7 +521,7 @@ bool Runtime::ExecuteOne(ComponentId id) {
         // reboot collects (not inflight_failed — that would retry twice).
         slot.busy++;
         exec_ctx_[fiber] =
-            ExecCtx{id, m.log_seq, m, args, options_.clock->Now()};
+            ExecCtx{id, m.log_seq, m, args, options_.clock->Now(), {}, 0};
         while (true) fibers_.Yield();
       }
       slot.inflight_failed = std::make_pair(m, args);
@@ -497,7 +543,12 @@ bool Runtime::ExecuteOne(ComponentId id) {
   }
 
   slot.busy++;
-  exec_ctx_[fiber] = ExecCtx{id, m.log_seq, m, args, options_.clock->Now()};
+  ExecCtx ctx{id, m.log_seq, m, args, options_.clock->Now(), {}, 0};
+  if (auto fit = retry_feeds_.find(m.rpc_id); fit != retry_feeds_.end()) {
+    ctx.outbound_feed = std::move(fit->second);
+    retry_feeds_.erase(fit);
+  }
+  exec_ctx_[fiber] = std::move(ctx);
 
   const FnEntry& fn = Fn(m.fn);
   CallCtx cctx(*this, id, /*restoring=*/false);
@@ -531,37 +582,45 @@ bool Runtime::ExecuteOne(ComponentId id) {
   return true;
 }
 
+void Runtime::DeliverOneReply(const Message& m, Args& payload) {
+  MsgValue ret = payload.empty() ? MsgValue() : payload[0];
+  const FnEntry& fn = Fn(m.fn);
+  // Message-thread log work: preserve the return value (§V-C), apply
+  // session-aware shrinking, and record the value in the caller's
+  // outbound log for its own future restoration.
+  if (m.log_seq != 0) FinishLog(fn, m.log_seq, ret, Args{});
+  auto it = pending_replies_.find(m.rpc_id);
+  // Orphaned (caller rebooted or fail-stopped): its fiber pointer may be
+  // dangling or even reused by a new fiber — do not touch it, and do not
+  // record outbound returns against whatever now owns that address.
+  if (it == pending_replies_.end()) return;
+  RecordOutboundForCaller(m, ret);
+  if (m.caller_fiber == nullptr ||
+      m.caller_fiber->state() != sched::FiberState::kBlocked) {
+    pending_replies_.erase(it);
+    return;
+  }
+  it->second.arrived = true;
+  it->second.value = std::move(ret);
+  fibers_.Wake(m.caller_fiber);
+  // The caller made progress: refresh its hang timer so time spent
+  // blocked on a (possibly hung and rebooted) callee is not charged to
+  // the caller's own processing time.
+  if (auto ctx_it = exec_ctx_.find(m.caller_fiber);
+      ctx_it != exec_ctx_.end()) {
+    ctx_it->second.started_at = options_.clock->Now();
+  }
+  if (options_.policy == SchedPolicy::kDependencyAware &&
+      m.to != kComponentNone) {
+    das_candidates_.push_front(m.to);
+  }
+}
+
 void Runtime::DeliverReplies() {
-  while (auto pulled = domain_->PullReply()) {
-    auto& [m, payload] = *pulled;
-    MsgValue ret = payload.empty() ? MsgValue() : payload[0];
-    const FnEntry& fn = Fn(m.fn);
-    // Message-thread log work: preserve the return value (§V-C), apply
-    // session-aware shrinking, and record the value in the caller's
-    // outbound log for its own future restoration.
-    if (m.log_seq != 0) FinishLog(fn, m.log_seq, ret, Args{});
-    RecordOutboundForCaller(m, ret);
-    auto it = pending_replies_.find(m.rpc_id);
-    if (it == pending_replies_.end()) continue;  // orphaned (caller rebooted)
-    if (m.caller_fiber == nullptr ||
-        m.caller_fiber->state() != sched::FiberState::kBlocked) {
-      pending_replies_.erase(it);
-      continue;
-    }
-    it->second.arrived = true;
-    it->second.value = std::move(ret);
-    fibers_.Wake(m.caller_fiber);
-    // The caller made progress: refresh its hang timer so time spent
-    // blocked on a (possibly hung and rebooted) callee is not charged to
-    // the caller's own processing time.
-    if (auto ctx_it = exec_ctx_.find(m.caller_fiber);
-        ctx_it != exec_ctx_.end()) {
-      ctx_it->second.started_at = options_.clock->Now();
-    }
-    if (options_.policy == SchedPolicy::kDependencyAware &&
-        m.to != kComponentNone) {
-      das_candidates_.push_front(m.to);
-    }
+  std::vector<std::pair<Message, Args>> batch;
+  while (domain_->PullReplies(kReplyBatch, &batch) > 0) {
+    if (batch.size() > 1) stats_.replies_batched += batch.size();
+    for (auto& [m, payload] : batch) DeliverOneReply(m, payload);
   }
 }
 
@@ -655,6 +714,7 @@ RuntimeStats Runtime::Stats() const {
   RuntimeStats s = stats_;
   s.context_switches = fibers_.context_switches();
   s.pkru_writes = domains_.PkruWrites();
+  s.log_scans = domain_->TotalLogScans();
   return s;
 }
 

@@ -86,6 +86,10 @@ struct RuntimeStats {
   std::uint64_t log_appends = 0;
   std::uint64_t log_pruned_entries = 0;
   std::uint64_t compactions = 0;
+  std::uint64_t compaction_skips = 0;  // over threshold, no eligible session
+  std::uint64_t log_scans = 0;         // full-log passes (should stay flat)
+  std::uint64_t replies_batched = 0;   // replies delivered in multi-reply batches
+  std::uint64_t retries_deduped = 0;   // outbound calls fed from the log on retry
   std::uint64_t reboots = 0;
   std::uint64_t aux_fibers_spawned = 0;
   std::uint64_t hangs_detected = 0;
@@ -255,6 +259,11 @@ class Runtime {
                       comp::FnOptions options, comp::Handler handler);
 
   static constexpr std::size_t kMaxAuxFibers = 64;
+  /// Messages a resident fiber executes per dispatch before yielding, and
+  /// replies the message thread drains per batch. Bounded so one busy
+  /// component cannot monopolize the message thread.
+  static constexpr std::size_t kExecBatch = 8;
+  static constexpr std::size_t kReplyBatch = 32;
 
  private:
   friend class comp::CallCtx;
@@ -308,6 +317,20 @@ class Runtime {
     msg::Message msg;             // message being executed
     msg::Args args;
     Nanos started_at = 0;         // processing start, for the hang detector
+    // Outbound dedupe for retried requests: return values the pre-reboot
+    // execution already observed, fed back in order instead of re-invoking
+    // the peers (their side effects already happened).
+    std::vector<std::pair<FunctionId, msg::MsgValue>> outbound_feed;
+    std::size_t feed_cursor = 0;
+  };
+
+  /// An interrupted or still-queued request carried across a reboot.
+  struct RetryRecord {
+    msg::Message msg;
+    msg::Args args;
+    // Outbound returns recorded for the erased in-flight log entry (empty
+    // for never-executed queued messages).
+    std::vector<std::pair<FunctionId, msg::MsgValue>> outbound_feed;
   };
 
   struct PendingReply {
@@ -328,6 +351,7 @@ class Runtime {
   void ResidentLoop(ComponentId id);
   bool ExecuteOne(ComponentId id);   // pull + run one message, reply
   void DeliverReplies();
+  void DeliverOneReply(const msg::Message& m, msg::Args& payload);
   sched::Fiber* PickNext();
   sched::Fiber* PickRoundRobin();
   sched::Fiber* PickDependencyAware();
@@ -390,7 +414,15 @@ class Runtime {
   std::size_t replay_outbound_cursor_ = 0;
 
   std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
-  std::vector<std::pair<msg::Message, msg::Args>> inflight_retry_;
+  std::vector<RetryRecord> inflight_retry_;
+  // Queued-but-never-executed inbound messages drained during a reboot;
+  // re-logged and re-queued after restore (they are not retries: no
+  // retried_once charge, no double-execution risk).
+  std::vector<RetryRecord> queued_requeue_;
+  // rpc_id -> outbound feed for a retried request awaiting execution.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<FunctionId, msg::MsgValue>>>
+      retry_feeds_;
   std::vector<sched::Fiber*> app_fibers_;
   std::vector<sched::Fiber*> parked_apps_;
 

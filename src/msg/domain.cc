@@ -17,21 +17,48 @@ std::size_t CallLog::FootprintOf(const CallLogEntry& e) {
   return n;
 }
 
+void CallLog::IndexSession(const CallLogEntry& e) {
+  if (e.session < 0) return;
+  sessions_[e.session].seqs.insert(e.seq);
+}
+
+void CallLog::UnindexSession(const CallLogEntry& e) {
+  if (e.session < 0) return;
+  auto it = sessions_.find(e.session);
+  if (it == sessions_.end()) return;
+  it->second.seqs.erase(e.seq);
+  if (it->second.seqs.empty()) sessions_.erase(it);
+}
+
+CallLog::EntryMap::iterator CallLog::RemoveEntry(EntryMap::iterator it) {
+  bytes_ -= it->second.bytes;
+  UnindexSession(it->second);
+  return entries_.erase(it);
+}
+
 LogSeq CallLog::Append(CallLogEntry entry) {
   entry.seq = next_seq_++;
   entry.bytes = FootprintOf(entry);
   bytes_ += entry.bytes;
-  entries_.push_back(std::move(entry));
-  return entries_.back().seq;
+  const LogSeq seq = entry.seq;
+  auto it = entries_.emplace_hint(entries_.end(), seq, std::move(entry));
+  IndexSession(it->second);
+  // A completed session entry arriving (synthetic or replayed-in) makes the
+  // session compaction-relevant again.
+  if (it->second.session >= 0 && it->second.have_ret) {
+    sessions_[it->second.session].dirty = true;
+  }
+  return seq;
 }
 
 CallLogEntry* CallLog::Find(LogSeq seq) {
-  // Entries are seq-ordered; binary search.
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), seq,
-      [](const CallLogEntry& e, LogSeq s) { return e.seq < s; });
-  if (it == entries_.end() || it->seq != seq) return nullptr;
-  return &*it;
+  auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CallLogEntry* CallLog::Lookup(LogSeq seq) const {
+  auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 void CallLog::SetReturn(LogSeq seq, MsgValue ret) {
@@ -41,11 +68,17 @@ void CallLog::SetReturn(LogSeq seq, MsgValue ret) {
     e->have_ret = true;
     e->bytes = FootprintOf(*e);
     bytes_ += e->bytes;
+    if (e->session >= 0) sessions_[e->session].dirty = true;
   }
 }
 
 void CallLog::SetSession(LogSeq seq, std::int64_t session) {
-  if (CallLogEntry* e = Find(seq)) e->session = session;
+  if (CallLogEntry* e = Find(seq)) {
+    UnindexSession(*e);
+    e->session = session;
+    IndexSession(*e);
+    if (session >= 0 && e->have_ret) sessions_[session].dirty = true;
+  }
 }
 
 void CallLog::RecordOutbound(LogSeq seq, FunctionId fn, MsgValue ret) {
@@ -58,35 +91,34 @@ void CallLog::RecordOutbound(LogSeq seq, FunctionId fn, MsgValue ret) {
 }
 
 std::size_t CallLog::PruneSession(std::int64_t session) {
+  auto sit = sessions_.find(session);
+  if (sit == sessions_.end()) return 0;
+  // Detach the seq list first: RemoveEntry edits the index in place.
+  const SeqSet seqs = std::move(sit->second.seqs);
+  sessions_.erase(sit);
   std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->session == session) {
-      bytes_ -= it->bytes;
-      it = entries_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
+  for (LogSeq seq : seqs) {
+    auto it = entries_.find(seq);
+    if (it == entries_.end()) continue;
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++removed;
   }
   return removed;
 }
 
 void CallLog::Erase(LogSeq seq) {
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [seq](const CallLogEntry& e) { return e.seq == seq; });
-  if (it != entries_.end()) {
-    bytes_ -= it->bytes;
-    entries_.erase(it);
-  }
+  auto it = entries_.find(seq);
+  if (it != entries_.end()) RemoveEntry(it);
 }
 
 std::size_t CallLog::PruneIf(
     const std::function<bool(const CallLogEntry&)>& pred) {
+  scans_++;
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (pred(*it)) {
-      bytes_ -= it->bytes;
-      it = entries_.erase(it);
+    if (pred(it->second)) {
+      it = RemoveEntry(it);
       ++removed;
     } else {
       ++it;
@@ -95,9 +127,57 @@ std::size_t CallLog::PruneIf(
   return removed;
 }
 
+std::size_t CallLog::PruneSessionIf(
+    std::int64_t session, const std::function<bool(const CallLogEntry&)>& pred) {
+  auto sit = sessions_.find(session);
+  if (sit == sessions_.end()) return 0;
+  // Collect first: pred sees entries while RemoveEntry mutates the index.
+  std::vector<LogSeq> doomed;
+  for (LogSeq seq : sit->second.seqs) {
+    auto it = entries_.find(seq);
+    if (it != entries_.end() && pred(it->second)) doomed.push_back(seq);
+  }
+  for (LogSeq seq : doomed) {
+    auto it = entries_.find(seq);
+    if (it != entries_.end()) RemoveEntry(it);
+  }
+  return doomed.size();
+}
+
 void CallLog::Clear() {
   entries_.clear();
+  sessions_.clear();
   bytes_ = 0;
+}
+
+std::vector<std::int64_t> CallLog::CompactionCandidates() const {
+  std::vector<std::int64_t> out;
+  for (const auto& [session, state] : sessions_) {
+    if (!state.dirty) continue;
+    if (state.parked_at != 0 && state.seqs.size() < 2 * state.parked_at) {
+      continue;  // parked: the hook already failed at a similar size
+    }
+    out.push_back(session);
+  }
+  return out;
+}
+
+const CallLog::SeqSet* CallLog::SessionSeqs(std::int64_t session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second.seqs;
+}
+
+void CallLog::MarkSessionClean(std::int64_t session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  it->second.dirty = false;
+  it->second.parked_at = 0;
+}
+
+void CallLog::ParkSessionCompaction(std::int64_t session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  it->second.parked_at = it->second.seqs.size();
 }
 
 // ----------------------------------------------------------- MessageDomain
@@ -189,6 +269,21 @@ std::optional<std::pair<Message, Args>> MessageDomain::PullReply() {
   return std::make_pair(msg, DeserializeArgs(wire));
 }
 
+std::size_t MessageDomain::PullReplies(
+    std::size_t max, std::vector<std::pair<Message, Args>>* out) {
+  out->clear();
+  while (out->size() < max && !replies_.empty()) {
+    Message msg = replies_.front();
+    replies_.pop_front();
+    std::vector<std::byte> wire(msg.buf_len);
+    void* buf = arena_.AtOffset(msg.buf_off);
+    std::memcpy(wire.data(), buf, wire.size());
+    alloc_.Free(buf);
+    out->emplace_back(msg, DeserializeArgs(wire));
+  }
+  return out->size();
+}
+
 bool MessageDomain::HasMessage(ComponentId to) const {
   return static_cast<std::size_t>(to) < inbox_.size() && !inbox_[to].empty();
 }
@@ -220,6 +315,31 @@ void MessageDomain::DropQueued(ComponentId to) {
   inbox_[to].clear();
 }
 
+std::vector<std::pair<Message, Args>> MessageDomain::DrainQueued(
+    ComponentId to) {
+  std::vector<std::pair<Message, Args>> out;
+  if (static_cast<std::size_t>(to) >= inbox_.size()) return out;
+  out.reserve(inbox_[to].size());
+  while (auto pulled = Pull(to)) out.push_back(std::move(*pulled));
+  return out;
+}
+
+std::vector<Message> MessageDomain::DropQueuedFrom(ComponentId from) {
+  std::vector<Message> dropped;
+  for (auto& inbox : inbox_) {
+    for (auto it = inbox.begin(); it != inbox.end();) {
+      if (it->from == from) {
+        alloc_.Free(arena_.AtOffset(it->buf_off));
+        dropped.push_back(*it);
+        it = inbox.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
 std::size_t MessageDomain::TotalLogBytes() const {
   std::size_t total = 0;
   for (const auto& [id, log] : logs_) {
@@ -234,6 +354,15 @@ std::size_t MessageDomain::TotalLogEntries() const {
   for (const auto& [id, log] : logs_) {
     (void)id;
     total += log.size();
+  }
+  return total;
+}
+
+std::uint64_t MessageDomain::TotalLogScans() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, log] : logs_) {
+    (void)id;
+    total += log.scans();
   }
   return total;
 }

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -65,8 +67,19 @@ struct CallLogEntry {
 };
 
 /// Per-stateful-component function-call log.
+///
+/// Entries live in a seq-keyed ordered map so every point operation on the
+/// per-call hot path (SetReturn, RecordOutbound, SetSession, Erase) is
+/// O(log n) with stable entry addresses (replay holds pointers into the
+/// map while handlers run). A per-session index makes session-aware
+/// shrinking and threshold compaction touch only the affected session
+/// instead of walking the whole log; full-log scans (generic PruneIf) are
+/// counted in scans() so the runtime can prove they left the hot path.
 class CallLog {
  public:
+  using EntryMap = std::map<LogSeq, CallLogEntry>;
+  using SeqSet = std::set<LogSeq>;
+
   LogSeq Append(CallLogEntry entry);
   void SetReturn(LogSeq seq, MsgValue ret);
   void SetSession(LogSeq seq, std::int64_t session);
@@ -79,26 +92,67 @@ class CallLog {
   /// Drops a specific entry (used by threshold-triggered compaction).
   void Erase(LogSeq seq);
 
-  /// Drops every entry matching `pred`; returns the count removed. Drives
-  /// both canceling-function pruning and threshold compaction selection.
+  /// Drops every entry matching `pred`; returns the count removed. Walks
+  /// the whole log — kept for tests and cold paths; hot-path pruning goes
+  /// through PruneSessionIf.
   std::size_t PruneIf(const std::function<bool(const CallLogEntry&)>& pred);
+
+  /// Drops `session`'s entries matching `pred` via the session index; only
+  /// that session's entries are visited. Returns the count removed.
+  std::size_t PruneSessionIf(
+      std::int64_t session,
+      const std::function<bool(const CallLogEntry&)>& pred);
 
   void Clear();
 
-  [[nodiscard]] const std::deque<CallLogEntry>& entries() const {
-    return entries_;
-  }
+  /// Read-only point lookup (nullptr when seq is absent or pruned).
+  [[nodiscard]] const CallLogEntry* Lookup(LogSeq seq) const;
+
+  [[nodiscard]] const EntryMap& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t bytes() const { return bytes_; }
   [[nodiscard]] LogSeq next_seq() const { return next_seq_; }
+  /// Full-log passes performed (generic PruneIf); the hot path should keep
+  /// this flat.
+  [[nodiscard]] std::uint64_t scans() const { return scans_; }
 
- private:
-  CallLogEntry* Find(LogSeq seq);
+  /// Serialized footprint of one entry — the unit bytes() accounts in.
   static std::size_t FootprintOf(const CallLogEntry& e);
 
-  std::deque<CallLogEntry> entries_;
+  // ---- compaction scheduling (driven by the runtime's MaybeCompact) ----
+  // A session is *dirty* when it gained a completed entry since its last
+  // compaction visit. A failed hook (replacement >= entries) *parks* the
+  // session: it is skipped until its entry count doubles, so an
+  // uncompactable workload pays O(log n) hook passes instead of one full
+  // grouping pass per call.
+
+  /// Dirty, unparked sessions — the only ones worth handing to the hook.
+  [[nodiscard]] std::vector<std::int64_t> CompactionCandidates() const;
+  /// Seq-ordered entries of one session (nullptr if the session is empty).
+  [[nodiscard]] const SeqSet* SessionSeqs(std::int64_t session) const;
+  /// Compaction visited the session (hook ran or nothing to do).
+  void MarkSessionClean(std::int64_t session);
+  /// The hook could not shrink the session; park it behind the growth gate.
+  void ParkSessionCompaction(std::int64_t session);
+
+ private:
+  struct SessionState {
+    SeqSet seqs;
+    bool dirty = false;
+    std::size_t parked_at = 0;  // entry count at last failed hook; 0 = unparked
+  };
+
+  CallLogEntry* Find(LogSeq seq);
+  void IndexSession(const CallLogEntry& e);
+  void UnindexSession(const CallLogEntry& e);
+  /// Removes the entry, maintaining bytes and the session index.
+  EntryMap::iterator RemoveEntry(EntryMap::iterator it);
+
+  EntryMap entries_;
+  std::unordered_map<std::int64_t, SessionState> sessions_;
   std::size_t bytes_ = 0;
   LogSeq next_seq_ = 1;
+  std::uint64_t scans_ = 0;
 };
 
 /// The message domain itself: arena-backed staging buffers + per-component
@@ -127,6 +181,12 @@ class MessageDomain {
   /// wakes the blocked caller fiber.
   void PushReply(Message msg, const Args& payload);
   std::optional<std::pair<Message, Args>> PullReply();
+  /// Batched reply drain: moves up to `max` queued replies into `out`
+  /// (cleared first) and returns the count. One call releases all the
+  /// staging buffers of the batch before the message thread touches any
+  /// waiter, amortizing the per-reply bookkeeping.
+  std::size_t PullReplies(std::size_t max,
+                          std::vector<std::pair<Message, Args>>* out);
   [[nodiscard]] bool HasReply() const { return !replies_.empty(); }
 
   [[nodiscard]] bool HasMessage(ComponentId to) const;
@@ -135,8 +195,20 @@ class MessageDomain {
   /// hint); kComponentNone if all inboxes are empty.
   [[nodiscard]] ComponentId OldestPendingDestination() const;
 
-  /// Drops every queued message addressed to `to` (component reboot path).
+  /// Drops every queued message addressed to `to`, releasing the staged
+  /// buffers (fail-stop path: nothing will ever pull them).
   void DropQueued(ComponentId to);
+
+  /// Removes and returns every queued message addressed to `to`, payloads
+  /// deserialized and staging buffers released (reboot path: the runtime
+  /// re-logs and re-queues them with fresh log entries).
+  std::vector<std::pair<Message, Args>> DrainQueued(ComponentId to);
+
+  /// Removes every queued message *sent by* `from` across all inboxes and
+  /// returns the dropped headers (reboot path: the retried request re-issues
+  /// these calls; executing the stale copies would double side effects in
+  /// surviving components).
+  std::vector<Message> DropQueuedFrom(ComponentId from);
 
   CallLog& LogFor(ComponentId id) { return logs_[id]; }
   [[nodiscard]] bool HasLog(ComponentId id) const {
@@ -146,6 +218,7 @@ class MessageDomain {
   [[nodiscard]] mpk::Key key() const { return key_; }
   [[nodiscard]] std::size_t TotalLogBytes() const;
   [[nodiscard]] std::size_t TotalLogEntries() const;
+  [[nodiscard]] std::uint64_t TotalLogScans() const;
   [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
 
  private:

@@ -90,7 +90,7 @@ TEST(CallLog, SetReturnAndOutbound) {
   const LogSeq seq = log.Append(MakeEntry(1));
   log.SetReturn(seq, MsgValue(std::int64_t{5}));
   log.RecordOutbound(seq, 9, MsgValue("reply"));
-  const auto& e = log.entries().front();
+  const auto& e = log.entries().begin()->second;
   EXPECT_TRUE(e.have_ret);
   EXPECT_EQ(e.ret.i64(), 5);
   ASSERT_EQ(e.outbound.size(), 1u);
@@ -116,7 +116,7 @@ TEST(CallLog, PruneSessionRemovesOnlyThatSession) {
   log.Append(MakeEntry(3, 4));
   EXPECT_EQ(log.PruneSession(4), 2u);
   ASSERT_EQ(log.size(), 1u);
-  EXPECT_EQ(log.entries().front().session, 5);
+  EXPECT_EQ(log.entries().begin()->second.session, 5);
 }
 
 TEST(CallLog, PruneIfPredicate) {
@@ -132,7 +132,7 @@ TEST(CallLog, SetSession) {
   CallLog log;
   const LogSeq seq = log.Append(MakeEntry(1));
   log.SetSession(seq, 42);
-  EXPECT_EQ(log.entries().front().session, 42);
+  EXPECT_EQ(log.entries().begin()->second.session, 42);
 }
 
 TEST(CallLog, ClearResetsBytes) {

@@ -1,0 +1,420 @@
+// Message-plane hot-path and reboot-queue tests: stale queued messages
+// across Reboot (drop outbound, dedupe executed outbound, requeue inbound
+// with fresh log entries), call-log bytes accounting, shrink/compaction
+// replay equivalence, compaction scheduling on uncompactable workloads, and
+// batched reply delivery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using msg::Args;
+using msg::CallLog;
+using msg::CallLogEntry;
+using msg::MsgValue;
+using testing::CounterComponent;
+using testing::RunApp;
+using testing::StoreComponent;
+using testing::TickerComponent;
+
+RuntimeOptions VampOpts() {
+  RuntimeOptions o;
+  o.mode = Mode::kVampOS;
+  o.hang_threshold = 0;
+  return o;
+}
+
+// Component that issues two nested store.add calls per request — gives the
+// reboot tests a window where one outbound call has executed (its return is
+// recorded) while the second is still queued.
+class RelayComponent final : public comp::Component {
+ public:
+  RelayComponent()
+      : Component("relay", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<std::int64_t>(0);
+    ctx.Export("do2", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 std::int64_t sum = 0;
+                 sum += c.Call(store_add_, {MsgValue(std::int64_t{1})}).i64();
+                 sum += c.Call(store_add_, {MsgValue(std::int64_t{1})}).i64();
+                 *state_ = sum;
+                 return MsgValue(sum);
+               });
+  }
+
+  void Bind(comp::InitCtx& ctx) override {
+    store_add_ = ctx.runtime().Lookup("store", "add");
+  }
+
+ private:
+  std::int64_t* state_ = nullptr;
+  FunctionId store_add_ = -1;
+};
+
+struct RelayRig {
+  RelayRig() : rt(VampOpts()) {
+    store = rt.AddComponent(std::make_unique<StoreComponent>());
+    relay = rt.AddComponent(std::make_unique<RelayComponent>());
+    rt.AddAppDependency(relay);
+    rt.AddDependency(relay, store);
+    rt.Boot();
+  }
+  Runtime rt;
+  ComponentId store, relay;
+};
+
+// Regression: a message the rebooted component pushed but the callee never
+// pulled must be dropped — the retried request re-issues the call, and
+// executing the stale copy too would double the side effect downstream.
+TEST(RebootQueue, DropsUnexecutedOutbound) {
+  RelayRig rig;
+  const FunctionId do2 = rig.rt.Lookup("relay", "do2");
+  const FunctionId calls = rig.rt.Lookup("store", "calls");
+  std::int64_t got = 0;
+  rig.rt.SpawnApp("caller", [&] { got = rig.rt.Call(do2, {}).i64(); });
+  // Run until relay's first store.add sits unexecuted in store's inbox.
+  ASSERT_TRUE(rig.rt.RunUntil(
+      [&] { return rig.rt.domain().QueueDepth(rig.store) >= 1; }));
+  ASSERT_TRUE(rig.rt.Reboot(rig.relay).ok());
+  rig.rt.RunUntilIdle();
+  EXPECT_EQ(got, 3);  // store.add returns its running total: 1 + 2
+  std::int64_t store_calls = 0;
+  RunApp(rig.rt, [&] { store_calls = rig.rt.Call(calls, {}).i64(); });
+  // Exactly the retry's two adds — the stale queued copy did not execute.
+  EXPECT_EQ(store_calls, 2);
+}
+
+// An outbound call that *did* execute before the reboot is not re-issued:
+// its recorded return is fed back to the retried execution.
+TEST(RebootQueue, DedupesExecutedOutbound) {
+  RelayRig rig;
+  const FunctionId do2 = rig.rt.Lookup("relay", "do2");
+  const FunctionId calls = rig.rt.Lookup("store", "calls");
+  std::int64_t got = 0;
+  rig.rt.SpawnApp("caller", [&] { got = rig.rt.Call(do2, {}).i64(); });
+  // Run until the first add's return is recorded on relay's in-flight log
+  // entry and the second add is queued: reboot lands mid-request.
+  ASSERT_TRUE(rig.rt.RunUntil([&] {
+    const auto& log = rig.rt.domain().LogFor(rig.relay);
+    if (log.size() == 0) return false;
+    return log.entries().begin()->second.outbound.size() == 1;
+  }));
+  ASSERT_EQ(rig.rt.domain().QueueDepth(rig.store), 1u);
+  ASSERT_TRUE(rig.rt.Reboot(rig.relay).ok());
+  rig.rt.RunUntilIdle();
+  EXPECT_EQ(got, 3);  // fed add#1 returned 1; re-issued add#2 returned 2
+  EXPECT_GE(rig.rt.Stats().retries_deduped, 1u);
+  std::int64_t store_calls = 0;
+  RunApp(rig.rt, [&] { store_calls = rig.rt.Call(calls, {}).i64(); });
+  // add#1 executed pre-reboot and was fed back, not re-run; the dropped
+  // queued add#2 was re-issued by the retry. Two executions total.
+  EXPECT_EQ(store_calls, 2);
+}
+
+// Inbound messages still queued at reboot time are drained and re-queued
+// with *fresh* log entries: the pre-reboot entries are stale (they would
+// sort before the retried in-flight call despite executing after it).
+TEST(RebootQueue, RequeuesStaleInboundWithFreshLogEntries) {
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  const ComponentId store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto counter_ptr = std::make_unique<CounterComponent>();
+  counter_ptr->SetRuntimeForHook(&rt);
+  const ComponentId counter = rt.AddComponent(std::move(counter_ptr));
+  rt.AddAppDependency(counter);
+  rt.AddDependency(counter, store);
+  rt.Boot();
+
+  const FunctionId inc = rt.Lookup("counter", "inc");
+  const FunctionId get = rt.Lookup("counter", "get");
+  std::int64_t a = 0, b = 0;
+  rt.SpawnApp("a", [&] { a = rt.Call(inc, {}).i64(); });
+  rt.SpawnApp("b", [&] { b = rt.Call(inc, {}).i64(); });
+  // Both app fibers push before the counter's resident runs once.
+  ASSERT_TRUE(
+      rt.RunUntil([&] { return rt.domain().QueueDepth(counter) >= 2; }));
+  const auto& log = rt.domain().LogFor(counter);
+  ASSERT_EQ(log.size(), 2u);
+  const LogSeq stale_max = log.entries().rbegin()->first;
+
+  ASSERT_TRUE(rt.Reboot(counter).ok());
+  // The stale entries are gone; the requeued messages were re-logged with
+  // fresh sequence numbers.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_GT(log.entries().begin()->first, stale_max);
+
+  rt.RunUntilIdle();
+  // Both callers got a live reply (the handlers may interleave on an aux
+  // fiber, so each may observe the final value).
+  EXPECT_GE(a, 1);
+  EXPECT_GE(b, 1);
+  std::int64_t v = 0;
+  RunApp(rt, [&] { v = rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 2);  // neither lost nor double-executed
+}
+
+// ------------------------------------------------------------- accounting
+
+std::size_t SumFootprints(const CallLog& log) {
+  std::size_t total = 0;
+  for (const auto& kv : log.entries()) {
+    total += CallLog::FootprintOf(kv.second);
+  }
+  return total;
+}
+
+// bytes() must equal the sum of per-entry footprints after any mix of
+// appends, returns, outbound records, session moves, erases, and prunes.
+TEST(CallLogBytes, InvariantHoldsAcrossOpMix) {
+  Rng rng(1234);
+  CallLog log;
+  std::vector<LogSeq> live;
+  for (int iter = 0; iter < 500; ++iter) {
+    switch (rng.Below(6)) {
+      case 0:
+      case 1: {  // append (biased: the log must grow)
+        CallLogEntry e;
+        e.fn = static_cast<FunctionId>(rng.Below(8));
+        e.session = static_cast<std::int64_t>(rng.Below(4)) - 1;
+        std::string blob(rng.Below(64), 'x');
+        e.args = {MsgValue(std::move(blob))};
+        live.push_back(log.Append(std::move(e)));
+        break;
+      }
+      case 2: {
+        if (live.empty()) break;
+        log.SetReturn(live[rng.Below(live.size())],
+                      MsgValue(static_cast<std::int64_t>(rng.Next())));
+        break;
+      }
+      case 3: {
+        if (live.empty()) break;
+        log.RecordOutbound(live[rng.Below(live.size())],
+                           static_cast<FunctionId>(rng.Below(8)),
+                           MsgValue(std::string(rng.Below(32), 'y')));
+        break;
+      }
+      case 4: {
+        if (live.empty()) break;
+        const std::size_t i = rng.Below(live.size());
+        log.Erase(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      default: {
+        if (rng.Below(10) == 0) {
+          log.PruneSession(static_cast<std::int64_t>(rng.Below(3)));
+          live.clear();
+          for (const auto& kv : log.entries()) live.push_back(kv.first);
+        } else if (!live.empty()) {
+          log.SetSession(live[rng.Below(live.size())],
+                         static_cast<std::int64_t>(rng.Below(3)));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(log.bytes(), SumFootprints(log)) << "iter " << iter;
+  }
+  EXPECT_GT(log.size(), 0u);
+  log.Clear();
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
+// ------------------------------------------------- shrink/compaction replay
+
+// Property: session-aware shrinking and threshold compaction never change
+// what a reboot restores for a surviving session.
+TEST(ShrinkProperty, ReplayMatchesLiveStateForSurvivingSessions) {
+  for (const std::uint64_t seed : {7u, 21u, 99u}) {
+    RuntimeOptions o = VampOpts();
+    o.log_shrink_threshold = 8;  // force compaction passes mid-workload
+    Runtime rt(o);
+    const ComponentId store =
+        rt.AddComponent(std::make_unique<StoreComponent>());
+    auto counter_ptr = std::make_unique<CounterComponent>();
+    CounterComponent* counter_comp = counter_ptr.get();
+    const ComponentId counter = rt.AddComponent(std::move(counter_ptr));
+    rt.AddAppDependency(counter);
+    rt.AddDependency(counter, store);
+    counter_comp->SetRuntimeForHook(&rt);
+    rt.Boot();
+
+    const FunctionId open = rt.Lookup("counter", "open_session");
+    const FunctionId add = rt.Lookup("counter", "add_session");
+    const FunctionId close = rt.Lookup("counter", "close_session");
+    const FunctionId sum = rt.Lookup("counter", "session_sum");
+
+    Rng rng(seed);
+    std::vector<std::int64_t> sessions;
+    std::vector<std::int64_t> expected;
+    RunApp(rt, [&] {
+      for (int i = 0; i < 3; ++i) {
+        sessions.push_back(rt.Call(open, {}).i64());
+        expected.push_back(0);
+      }
+      for (int op = 0; op < 60; ++op) {
+        const std::size_t s = rng.Below(sessions.size());
+        const auto delta = static_cast<std::int64_t>(rng.Below(100));
+        rt.Call(add, {MsgValue(sessions[s]), MsgValue(delta)});
+        expected[s] += delta;
+      }
+      // Close one session: shrinking drops its history.
+      rt.Call(close, {MsgValue(sessions[0])});
+    });
+    ASSERT_GT(rt.Stats().compactions, 0u) << "seed " << seed;
+    ASSERT_GT(rt.Stats().log_pruned_entries, 0u) << "seed " << seed;
+
+    ASSERT_TRUE(rt.Reboot(counter).ok()) << "seed " << seed;
+    for (std::size_t s = 1; s < sessions.size(); ++s) {
+      std::int64_t got = 0;
+      RunApp(rt, [&] {
+        got = rt.Call(sum, {MsgValue(sessions[s])}).i64();
+      });
+      EXPECT_EQ(got, expected[s]) << "seed " << seed << " session " << s;
+    }
+  }
+}
+
+// --------------------------------------------------- compaction scheduling
+
+// Component whose compaction hook can never shrink anything — it returns
+// the history unchanged. Models a workload with no collapsible state.
+class IncompressibleComponent final : public comp::Component {
+ public:
+  IncompressibleComponent()
+      : Component("blob", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<std::int64_t>(0);
+    ctx.Export("open_session",
+               comp::FnOptions{.logged = true, .session_from_ret = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 if (auto forced = c.forced_session()) {
+                   return MsgValue(*forced);
+                 }
+                 return MsgValue((*state_)++);
+               });
+    ctx.Export("put", comp::FnOptions{.logged = true, .session_arg = 0},
+               [](comp::CallCtx&, const msg::Args& args) {
+                 return MsgValue(args[1]);
+               });
+  }
+
+  comp::CompactionHook compaction_hook() override {
+    return [this](const comp::CompactionRequest& req) {
+      hook_calls++;
+      return req.entries;  // nothing to collapse
+    };
+  }
+
+  int hook_calls = 0;  // lives outside the arena: survives reboots
+
+ private:
+  std::int64_t* state_ = nullptr;
+};
+
+// An uncompactable session parks after a failed hook pass and is only
+// revisited when its entry count doubles: the hook runs O(log n) times for
+// n calls instead of once per call, and the skipped passes are counted.
+TEST(CompactionSchedule, UncompactableSessionParksAndSkips) {
+  RuntimeOptions o = VampOpts();
+  o.log_shrink_threshold = 4;
+  Runtime rt(o);
+  auto blob_ptr = std::make_unique<IncompressibleComponent>();
+  IncompressibleComponent* blob = blob_ptr.get();
+  const ComponentId id = rt.AddComponent(std::move(blob_ptr));
+  rt.AddAppDependency(id);
+  rt.Boot();
+
+  const FunctionId open = rt.Lookup("blob", "open_session");
+  const FunctionId put = rt.Lookup("blob", "put");
+  constexpr int kCalls = 128;
+  RunApp(rt, [&] {
+    const std::int64_t s = rt.Call(open, {}).i64();
+    for (int i = 0; i < kCalls; ++i) {
+      rt.Call(put, {MsgValue(s), MsgValue(static_cast<std::int64_t>(i))});
+    }
+  });
+
+  const auto stats = rt.Stats();
+  EXPECT_EQ(stats.compactions, 0u);
+  // Over-threshold completions with no eligible session were skipped
+  // without a grouping pass...
+  EXPECT_GT(stats.compaction_skips, 0u);
+  // ...and the hook only ran when the parked session doubled in size.
+  EXPECT_GT(blob->hook_calls, 0);
+  EXPECT_LE(blob->hook_calls, 8);  // ~log2(kCalls), not kCalls
+
+  // The parked session still restores correctly.
+  ASSERT_TRUE(rt.Reboot(id).ok());
+  std::int64_t got = 0;
+  RunApp(rt, [&] {
+    got = rt.Call(put, {MsgValue(std::int64_t{0}), MsgValue(std::int64_t{42})})
+              .i64();
+  });
+  EXPECT_EQ(got, 42);
+}
+
+// ------------------------------------------------------- batched delivery
+
+// Fan-out: many app fibers flood one component; its resident executes the
+// backlog as one batch and the message thread drains the replies together.
+TEST(BatchDelivery, RepliesDrainInBatchesUnderFanout) {
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  const ComponentId ticker =
+      rt.AddComponent(std::make_unique<TickerComponent>());
+  rt.AddAppDependency(ticker);
+  rt.Boot();
+
+  const FunctionId tick = rt.Lookup("ticker", "tick");
+  std::int64_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    rt.SpawnApp("fan" + std::to_string(i),
+                [&] { total += rt.Call(tick, {}).i64(); });
+  }
+  rt.RunUntilIdle();
+  EXPECT_EQ(total, 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+  EXPECT_GT(rt.Stats().replies_batched, 0u);
+}
+
+// Full-log scans must not grow with call count on the session hot path.
+TEST(HotPath, NoFullLogScansUnderSessionWorkload) {
+  RuntimeOptions o = VampOpts();
+  o.log_shrink_threshold = 8;
+  Runtime rt(o);
+  const ComponentId store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto counter_ptr = std::make_unique<CounterComponent>();
+  counter_ptr->SetRuntimeForHook(&rt);
+  const ComponentId counter = rt.AddComponent(std::move(counter_ptr));
+  rt.AddAppDependency(counter);
+  rt.AddDependency(counter, store);
+  rt.Boot();
+
+  const FunctionId open = rt.Lookup("counter", "open_session");
+  const FunctionId add = rt.Lookup("counter", "add_session");
+  const FunctionId close = rt.Lookup("counter", "close_session");
+  RunApp(rt, [&] {
+    for (int round = 0; round < 10; ++round) {
+      const std::int64_t s = rt.Call(open, {}).i64();
+      for (int i = 0; i < 20; ++i) {
+        rt.Call(add, {MsgValue(s), MsgValue(std::int64_t{1})});
+      }
+      rt.Call(close, {MsgValue(s)});
+    }
+  });
+  EXPECT_EQ(rt.Stats().log_scans, 0u);
+}
+
+}  // namespace
+}  // namespace vampos

@@ -106,10 +106,11 @@ TEST(RuntimeLog, LoggedCallsAppendAndCaptureReturns) {
   });
   EXPECT_EQ(rig.rt.LogEntries(rig.counter), 2u);
   const auto& entries = rig.rt.domain().LogFor(rig.counter).entries();
-  EXPECT_TRUE(entries.front().have_ret);
-  EXPECT_EQ(entries.front().ret.i64(), 1);
+  const auto& first = entries.begin()->second;
+  EXPECT_TRUE(first.have_ret);
+  EXPECT_EQ(first.ret.i64(), 1);
   // Each inc made one outbound store.add whose return was recorded.
-  EXPECT_EQ(entries.front().outbound.size(), 1u);
+  EXPECT_EQ(first.outbound.size(), 1u);
 }
 
 TEST(RuntimeReboot, StatefulStateRestoredByReplay) {
