@@ -113,6 +113,12 @@ struct JsonDoc {
     std::snprintf(buf, sizeof(buf), "  \"%s\": %.3f", key.c_str(), value);
     body += buf;
   }
+  /// Embeds `raw` (already-valid JSON, e.g. MetricsRegistry::Json()) under
+  /// `key` without quoting it.
+  void AddRaw(const std::string& key, const std::string& raw) {
+    if (!body.empty()) body += ",\n";
+    body += "  \"" + key + "\": " + raw;
+  }
   bool Write(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -152,6 +158,20 @@ void BenchCallThroughput(JsonDoc& json) {
                 static_cast<unsigned long long>(stats.replies_batched));
     json.Add(logged ? "calls_per_sec_logged" : "calls_per_sec_unlogged",
              rate);
+    // End-to-end call latency distribution from the runtime's own
+    // histogram (enqueue to reply delivery, including scheduling).
+    const obs::Histogram* lat = rt.metrics().FindHistogram("rt.call_ns");
+    if (lat != nullptr && lat->count() > 0) {
+      PrintLatency(logged ? "logged" : "unlogged", *lat);
+      const std::string prefix =
+          logged ? "call_ns_logged_" : "call_ns_unlogged_";
+      json.Add(prefix + "p50", lat->Percentile(50));
+      json.Add(prefix + "p95", lat->Percentile(95));
+      json.Add(prefix + "p99", lat->Percentile(99));
+    }
+    // Snapshot the full registry of the logged run as the baseline's
+    // telemetry block — counters and histograms diffable run-to-run.
+    if (logged) json.AddRaw("telemetry", rt.metrics().Json());
   }
 }
 
@@ -315,11 +335,14 @@ void BenchRebootUnderLoad(JsonDoc& json) {
     stop.Add(static_cast<double>(report.value().stop_ns) / 1e3);
     replay.Add(static_cast<double>(report.value().replay_ns) / 1e3);
   }
-  std::printf("  total  %8.1f +- %.1f\n", total.Mean(), total.Stddev());
+  std::printf("  total  %8.1f +- %.1f  (p50=%.1f p95=%.1f p99=%.1f)\n",
+              total.Mean(), total.Stddev(), total.Percentile(50),
+              total.Percentile(95), total.Percentile(99));
   std::printf("  stop   %8.1f\n", stop.Mean());
   std::printf("  replay %8.1f  (%d log entries, consistency checked)\n",
               replay.Mean(), log_entries);
   json.Add("reboot_under_load_total_us", total.Mean());
+  json.Add("reboot_under_load_total_p95_us", total.Percentile(95));
   json.Add("reboot_under_load_stop_us", stop.Mean());
   json.Add("reboot_under_load_replay_us", replay.Mean());
 }

@@ -18,6 +18,7 @@
 #include "apps/posix.h"
 #include "apps/stack.h"
 #include "core/runtime.h"
+#include "obs/histogram.h"
 
 namespace vampos::bench {
 
@@ -123,7 +124,30 @@ struct Series {
     std::sort(samples.begin(), samples.end());
     return samples[samples.size() / 2];
   }
+  /// Sample percentile (q in [0,100]) by linear interpolation between the
+  /// sorted neighbors — exact, unlike the log2-bucketed runtime histograms.
+  [[nodiscard]] double Percentile(double q) {
+    if (samples.empty()) return 0;
+    std::sort(samples.begin(), samples.end());
+    if (q <= 0) return samples.front();
+    if (q >= 100) return samples.back();
+    const double pos = q / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples.size()) return samples.back();
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+  }
 };
+
+/// One-line p50/p95/p99 report from a runtime latency histogram (ns samples,
+/// printed in us). Histograms come from Runtime::metrics(), e.g. the
+/// end-to-end "rt.call_ns" or the per-function "fn.<comp>.<fn>.ns".
+inline void PrintLatency(const char* label, const obs::Histogram& h) {
+  std::printf("  %-12s p50=%8.2fus p95=%8.2fus p99=%8.2fus  (n=%llu)\n",
+              label, h.Percentile(50) / 1e3, h.Percentile(95) / 1e3,
+              h.Percentile(99) / 1e3,
+              static_cast<unsigned long long>(h.count()));
+}
 
 inline void Header(const char* title) {
   std::printf("\n================================================================\n");

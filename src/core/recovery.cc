@@ -32,7 +32,10 @@ FunctionId Runtime::ExportFn(ComponentId owner, const std::string& name,
     return it->second;
   }
   const auto id = static_cast<FunctionId>(fns_.size());
-  fns_.push_back(FnEntry{id, owner, name, options, std::move(handler)});
+  FnEntry entry{id, owner, name, options, std::move(handler)};
+  entry.latency = &metrics_.GetHistogram("fn." + qualified + ".ns");
+  entry.errors = &metrics_.GetCounter("fn." + qualified + ".errors");
+  fns_.push_back(std::move(entry));
   fn_by_name_.emplace(qualified, id);
   return id;
 }
@@ -49,8 +52,11 @@ LogSeq Runtime::MaybeLogCall(const FnEntry& fn, const Args& args) {
       static_cast<std::size_t>(fn.options.session_arg) < args.size()) {
     entry.session = args[static_cast<std::size_t>(fn.options.session_arg)].i64();
   }
-  stats_.log_appends++;
-  return domain_->LogFor(fn.owner).Append(std::move(entry));
+  ct_.log_appends->Add();
+  const LogSeq seq = domain_->LogFor(fn.owner).Append(std::move(entry));
+  recorder_.Record(obs::EventKind::kLogAppend, obs::TracePhase::kInstant,
+                   fn.owner, fn.id, static_cast<std::int64_t>(seq));
+  return seq;
 }
 
 void Runtime::FinishLog(const FnEntry& fn, LogSeq seq, const MsgValue& ret,
@@ -68,7 +74,12 @@ void Runtime::FinishLog(const FnEntry& fn, LogSeq seq, const MsgValue& ret,
     if (options_.session_shrink) {
       const std::size_t pruned = log.PruneSessionIf(
           session, [&](const CallLogEntry& e) { return e.seq < seq; });
-      stats_.log_pruned_entries += pruned;
+      ct_.log_pruned_entries->Add(pruned);
+      if (pruned > 0) {
+        recorder_.Record(obs::EventKind::kLogPrune, obs::TracePhase::kInstant,
+                         fn.owner, session,
+                         static_cast<std::int64_t>(pruned));
+      }
     }
     log.SetSession(seq, session);
   }
@@ -76,7 +87,7 @@ void Runtime::FinishLog(const FnEntry& fn, LogSeq seq, const MsgValue& ret,
   // replaying it is pointless, so drop it immediately.
   if (fn.options.session_from_ret && ret.is_i64() && ret.i64() < 0) {
     log.Erase(seq);
-    stats_.log_pruned_entries++;
+    ct_.log_pruned_entries->Add();
   }
 
   if (options_.session_shrink && fn.options.canceling && ret.is_i64() &&
@@ -104,7 +115,11 @@ void Runtime::ApplySessionShrink(const FnEntry& fn, LogSeq seq,
         const FnEntry& efn = Fn(e.fn);
         return !efn.options.session_from_ret && !efn.options.canceling;
       });
-  stats_.log_pruned_entries += pruned;
+  ct_.log_pruned_entries->Add(pruned);
+  if (pruned > 0) {
+    recorder_.Record(obs::EventKind::kLogPrune, obs::TracePhase::kInstant,
+                     fn.owner, session, static_cast<std::int64_t>(pruned));
+  }
 }
 
 void Runtime::MaybeCompact(ComponentId owner) {
@@ -120,7 +135,7 @@ void Runtime::MaybeCompact(ComponentId owner) {
   // pass per call once its sessions park.
   const std::vector<std::int64_t> candidates = log.CompactionCandidates();
   if (candidates.empty()) {
-    stats_.compaction_skips++;
+    ct_.compaction_skips->Add();
     return;
   }
   bool compacted = false;
@@ -151,12 +166,15 @@ void Runtime::MaybeCompact(ComponentId owner) {
     }
     // Drop the session's history *and* any synthetic summary from a prior
     // compaction round — the new summary supersedes it.
-    stats_.log_pruned_entries +=
+    const std::size_t dropped =
         log.PruneSessionIf(session, [&](const CallLogEntry& e) {
           if (!e.have_ret && !e.synthetic) return false;
           const FnEntry& efn = Fn(e.fn);
           return !efn.options.session_from_ret && !efn.options.canceling;
         });
+    ct_.log_pruned_entries->Add(dropped);
+    recorder_.Record(obs::EventKind::kLogCompact, obs::TracePhase::kInstant,
+                     owner, session, static_cast<std::int64_t>(dropped));
     for (auto& [fn_id, fn_args] : replacement) {
       CallLogEntry synth;
       synth.fn = fn_id;
@@ -169,7 +187,7 @@ void Runtime::MaybeCompact(ComponentId owner) {
     log.MarkSessionClean(session);
     compacted = true;
   }
-  if (compacted) stats_.compactions++;
+  if (compacted) ct_.compactions->Add();
 }
 
 void Runtime::RecordOutboundForCaller(const Message& reply,
@@ -285,17 +303,25 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   report.stateless =
       slot.component->statefulness() == Statefulness::kStateless;
   VAMPOS_TRACE("reboot '%s' begin", report.name.c_str());
+  recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kBegin, leader);
   const Nanos t0 = options_.clock->Now();
 
   inflight_retry_.clear();
   queued_requeue_.clear();
+  recorder_.Record(obs::EventKind::kRebootStop, obs::TracePhase::kBegin,
+                   leader);
   StopComponentFibers(leader);
   const Nanos t1 = options_.clock->Now();
   report.stop_ns = t1 - t0;
+  recorder_.Record(obs::EventKind::kRebootStop, obs::TracePhase::kEnd, leader,
+                   report.stop_ns);
+  hist_.reboot_stop_ns->Record(report.stop_ns);
 
   // Restore each primitive of the group: stateless components re-run Init on
   // a freshly formatted arena; stateful ones restore the post-init
   // checkpoint (dominant cost, proportional to the component footprint).
+  recorder_.Record(obs::EventKind::kRebootSnapshot, obs::TracePhase::kBegin,
+                   leader);
   for (ComponentId m : slot.group) {
     Slot& ms = slots_[m];
     comp::Component& c = *ms.component;
@@ -312,11 +338,16 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   }
   const Nanos t2 = options_.clock->Now();
   report.snapshot_ns = t2 - t1;
+  recorder_.Record(obs::EventKind::kRebootSnapshot, obs::TracePhase::kEnd,
+                   leader, report.snapshot_ns);
+  hist_.reboot_snapshot_ns->Record(report.snapshot_ns);
 
   // Encapsulated restoration: replay the (shrunk) logs. A fault during
   // replay means the component cannot be restored (e.g. a deterministic
   // bug triggered by its own history) — surface it as a failed reboot
   // instead of letting the exception unwind into the caller.
+  recorder_.Record(obs::EventKind::kRebootReplay, obs::TracePhase::kBegin,
+                   leader);
   try {
     for (ComponentId m : slot.group) {
       if (slots_[m].component->statefulness() == Statefulness::kStateful) {
@@ -335,11 +366,21 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
     restore_stack_.clear();
     replay_entry_ = nullptr;
     slot.failed = true;
+    recorder_.Record(obs::EventKind::kRebootReplay, obs::TracePhase::kEnd,
+                     leader, /*a=*/-1);
+    recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd, leader,
+                     /*a=*/-1);
     return Status::Error(Errno::kIo, std::string("restoration failed: ") +
                                          fault.what());
   }
   const Nanos t3 = options_.clock->Now();
   report.replay_ns = t3 - t2;
+  recorder_.Record(obs::EventKind::kRebootReplay, obs::TracePhase::kEnd,
+                   leader, report.replay_ns,
+                   static_cast<std::int64_t>(report.entries_replayed));
+  hist_.reboot_replay_ns->Record(report.replay_ns);
+  hist_.replay_entries->Record(
+      static_cast<std::int64_t>(report.entries_replayed));
 
   slot.failed = false;
   slot.reboots++;
@@ -359,7 +400,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
         retry_feeds_[retry.rpc_id] = std::move(rec.outbound_feed);
       }
       domain_->Push(retry, rec.args);
-      stats_.messages++;
+      ct_.messages->Add();
       slot.retried_once = true;
     }
   } else {
@@ -385,7 +426,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
     requeue.enqueued_at = options_.clock->Now();
     requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
     domain_->Push(requeue, rec.args);
-    stats_.messages++;
+    ct_.messages->Add();
   }
   queued_requeue_.clear();
 
@@ -394,7 +435,11 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
                report.name.c_str(),
                static_cast<long long>(report.total_ns / 1000),
                report.entries_replayed);
-  stats_.reboots++;
+  ct_.reboots->Add();
+  hist_.reboot_total_ns->Record(report.total_ns);
+  recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd, leader,
+                   report.total_ns,
+                   static_cast<std::int64_t>(report.entries_replayed));
   reboot_history_.push_back(report);
   return report;
 }
@@ -556,7 +601,7 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
       retry_feeds_[retry.rpc_id] = std::move(rec.outbound_feed);
     }
     domain_->Push(retry, rec.args);
-    stats_.messages++;
+    ct_.messages->Add();
   }
   inflight_retry_.clear();
   for (RetryRecord& rec : queued_requeue_) {
@@ -564,9 +609,11 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
     requeue.enqueued_at = options_.clock->Now();
     requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
     domain_->Push(requeue, rec.args);
-    stats_.messages++;
+    ct_.messages->Add();
   }
   queued_requeue_.clear();
+  recorder_.Record(obs::EventKind::kVariantSwap, obs::TracePhase::kInstant,
+                   leader, static_cast<std::int64_t>(variant_swaps_));
   VAMPOS_INFO("deterministic fault in '%s': swapped in variant",
               c.name().c_str());
   return true;
@@ -614,7 +661,9 @@ void Runtime::CheckHangs() {
   }
   if (hung == kComponentNone) return;
   Slot& slot = slots_[LeaderOf(hung)];
-  stats_.hangs_detected++;
+  ct_.hangs_detected->Add();
+  recorder_.Record(obs::EventKind::kHangDetected, obs::TracePhase::kInstant,
+                   hung);
   VAMPOS_INFO("hang detected in '%s'", slot.component->name().c_str());
   if (slot.retried_once) {
     if (TrySwapVariant(LeaderOf(hung))) return;
@@ -631,6 +680,9 @@ void Runtime::CheckHangs() {
 
 void Runtime::FailStop(const ComponentFault& fault) {
   terminal_fault_ = fault;
+  recorder_.Record(obs::EventKind::kFailStop, obs::TracePhase::kInstant,
+                   fault.component(),
+                   static_cast<std::int64_t>(fault.kind()));
   VAMPOS_ERROR("fail-stop: %s", fault.what());
   // Free the messages still staged for the dead component's group: nobody
   // will ever pull them, and their buffers would pin message-arena memory
@@ -662,6 +714,7 @@ void Runtime::FailStop(const ComponentFault& fault) {
       SpawnApp("termination-hook-" + std::to_string(n++), hook);
     }
   }
+  WritePostmortemTrace("fail-stop");
 }
 
 }  // namespace vampos::core

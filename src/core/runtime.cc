@@ -20,9 +20,36 @@ using msg::MsgValue;
 // ------------------------------------------------------------- lifecycle
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  // Observability: resolve every hot-path counter/histogram once; the
+  // recorder stays unallocated unless tracing was requested.
+  recorder_.set_clock(options_.clock);
+  if (options_.tracing) recorder_.Enable(options_.trace_capacity);
+  ct_.calls = &metrics_.GetCounter("rt.calls");
+  ct_.direct_calls = &metrics_.GetCounter("rt.direct_calls");
+  ct_.messages = &metrics_.GetCounter("rt.messages");
+  ct_.empty_polls = &metrics_.GetCounter("rt.empty_polls");
+  ct_.log_appends = &metrics_.GetCounter("rt.log_appends");
+  ct_.log_pruned_entries = &metrics_.GetCounter("rt.log_pruned_entries");
+  ct_.compactions = &metrics_.GetCounter("rt.compactions");
+  ct_.compaction_skips = &metrics_.GetCounter("rt.compaction_skips");
+  ct_.replies_batched = &metrics_.GetCounter("rt.replies_batched");
+  ct_.retries_deduped = &metrics_.GetCounter("rt.retries_deduped");
+  ct_.reboots = &metrics_.GetCounter("rt.reboots");
+  ct_.aux_fibers_spawned = &metrics_.GetCounter("rt.aux_fibers_spawned");
+  ct_.hangs_detected = &metrics_.GetCounter("rt.hangs_detected");
+  hist_.call_ns = &metrics_.GetHistogram("rt.call_ns");
+  hist_.queue_depth = &metrics_.GetHistogram("msg.queue_depth");
+  hist_.reboot_stop_ns = &metrics_.GetHistogram("reboot.stop_ns");
+  hist_.reboot_snapshot_ns = &metrics_.GetHistogram("reboot.snapshot_ns");
+  hist_.reboot_replay_ns = &metrics_.GetHistogram("reboot.replay_ns");
+  hist_.reboot_total_ns = &metrics_.GetHistogram("reboot.total_ns");
+  hist_.replay_entries = &metrics_.GetHistogram("reboot.replay_entries");
+
   isolation_ = options_.isolation && options_.mode == Mode::kVampOS;
   domain_ = std::make_unique<msg::MessageDomain>(
       options_.msg_arena_size, isolation_ ? &domains_ : nullptr);
+  domain_->BindTelemetry(&recorder_, hist_.queue_depth);
+  fibers_.set_recorder(&recorder_);
 }
 
 Runtime::~Runtime() = default;
@@ -175,6 +202,7 @@ void Runtime::RunUntilIdle() {
   while (Step()) {
     if (spin_limit > 0 && ++steps > spin_limit) {
       DumpState(stderr);
+      WritePostmortemTrace("spin-limit");
       Fatal("RunUntilIdle exceeded VAMPOS_SPIN_LIMIT=%ld steps", spin_limit);
     }
   }
@@ -350,7 +378,7 @@ void Runtime::MaybeSpawnAux() {
         slot.component->name() + "/aux", slot.component->id(),
         [this, cid] { ExecuteOne(cid); });
     slot.aux.push_back(aux);
-    stats_.aux_fibers_spawned++;
+    ct_.aux_fibers_spawned->Add();
   }
 }
 
@@ -360,7 +388,7 @@ void Runtime::NoteDispatched(ComponentId) {}
 
 msg::MsgValue Runtime::Call(FunctionId fn_id, Args args) {
   const FnEntry& fn = Fn(fn_id);
-  stats_.calls++;
+  ct_.calls->Add();
 
   // Restore mode: replay runs on the message thread with restore_stack_
   // tracking the component being restored.
@@ -392,14 +420,13 @@ msg::MsgValue Runtime::Call(FunctionId fn_id, Args args) {
 
 msg::MsgValue Runtime::DirectInvoke(ComponentId /*caller*/, FunctionId fn_id,
                                     const Args& args, bool restoring) {
-  stats_.direct_calls++;
+  ct_.direct_calls->Add();
   const FnEntry& fn = Fn(fn_id);
   CallCtx ctx(*this, fn.owner, restoring);
   const Nanos t0 = options_.clock->Now();
   MsgValue ret = fn.handler(ctx, args);
-  fn.calls++;
-  fn.total_ns += options_.clock->Now() - t0;
-  if (ret.is_i64() && ret.i64() < 0) fn.errors++;
+  fn.latency->Record(options_.clock->Now() - t0);
+  if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
   return ret;
 }
 
@@ -420,7 +447,7 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
         domain_->LogFor(ctx->component)
             .RecordOutbound(ctx->inbound_seq, fn_id, fed);
       }
-      stats_.retries_deduped++;
+      ct_.retries_deduped->Add();
       return fed;
     }
     ctx->outbound_feed.clear();
@@ -452,7 +479,7 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   m.enqueued_at = options_.clock->Now();
   m.log_seq = seq;
   domain_->Push(m, args);
-  stats_.messages++;
+  ct_.messages->Add();
   pending_replies_[m.rpc_id] = PendingReply{false, MsgValue(), self};
 
   if (options_.policy == SchedPolicy::kDependencyAware) {
@@ -467,6 +494,10 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   }
 
   fibers_.Block();  // the message thread takes over; Wake() on reply
+
+  // End-to-end call latency (enqueue to reply pickup) feeds the tail
+  // percentiles the bench harness reports.
+  hist_.call_ns->Record(options_.clock->Now() - m.enqueued_at);
 
   auto it = pending_replies_.find(m.rpc_id);
   if (it == pending_replies_.end() || !it->second.arrived) {
@@ -496,7 +527,7 @@ void Runtime::ResidentLoop(ComponentId leader) {
       if (!any) break;
       executed++;
     }
-    if (executed == 0) stats_.empty_polls++;
+    if (executed == 0) ct_.empty_polls->Add();
     fibers_.Yield();
   }
 }
@@ -514,6 +545,10 @@ bool Runtime::ExecuteOne(ComponentId id) {
       const FaultKind kind = slot.injection->kind;
       if (!slot.injection->sticky) slot.injection->armed = false;
       slot.injection->remaining = 0;
+      recorder_.Record(obs::EventKind::kFaultInjected,
+                       obs::TracePhase::kInstant, id,
+                       static_cast<std::int64_t>(kind),
+                       static_cast<std::int64_t>(m.rpc_id));
       if (kind == FaultKind::kHang) {
         // Model a hang: the handler never completes; the hang detector
         // (processing-time threshold) will reboot the component. The
@@ -556,9 +591,8 @@ bool Runtime::ExecuteOne(ComponentId id) {
   const Nanos t0 = options_.clock->Now();
   try {
     ret = fn.handler(cctx, args);
-    fn.calls++;
-    fn.total_ns += options_.clock->Now() - t0;
-    if (ret.is_i64() && ret.i64() < 0) fn.errors++;
+    fn.latency->Record(options_.clock->Now() - t0);
+    if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
   } catch (...) {
     slot.busy--;
     slot.inflight_failed = std::make_pair(m, args);
@@ -578,7 +612,7 @@ bool Runtime::ExecuteOne(ComponentId id) {
   r.caller_fiber = m.caller_fiber;
   r.log_seq = m.log_seq;
   domain_->PushReply(r, Args{ret});
-  stats_.messages++;
+  ct_.messages->Add();
   return true;
 }
 
@@ -602,6 +636,8 @@ void Runtime::DeliverOneReply(const Message& m, Args& payload) {
   }
   it->second.arrived = true;
   it->second.value = std::move(ret);
+  recorder_.Record(obs::EventKind::kReplyDeliver, obs::TracePhase::kInstant,
+                   m.to, m.fn, static_cast<std::int64_t>(m.rpc_id));
   fibers_.Wake(m.caller_fiber);
   // The caller made progress: refresh its hang timer so time spent
   // blocked on a (possibly hung and rebooted) callee is not charged to
@@ -619,7 +655,7 @@ void Runtime::DeliverOneReply(const Message& m, Args& payload) {
 void Runtime::DeliverReplies() {
   std::vector<std::pair<Message, Args>> batch;
   while (domain_->PullReplies(kReplyBatch, &batch) > 0) {
-    if (batch.size() > 1) stats_.replies_batched += batch.size();
+    if (batch.size() > 1) ct_.replies_batched->Add(batch.size());
     for (auto& [m, payload] : batch) DeliverOneReply(m, payload);
   }
 }
@@ -694,12 +730,15 @@ std::vector<FunctionStats> Runtime::TopFunctions(std::size_t limit) const {
   std::vector<FunctionStats> out;
   out.reserve(fns_.size());
   for (const FnEntry& fn : fns_) {
-    if (fn.calls == 0) continue;
+    if (fn.latency == nullptr || fn.latency->count() == 0) continue;
     FunctionStats s;
     s.name = slots_[fn.owner].component->name() + "." + fn.name;
-    s.calls = fn.calls;
-    s.total_ns = fn.total_ns;
-    s.errors = fn.errors;
+    s.calls = fn.latency->count();
+    s.total_ns = static_cast<Nanos>(fn.latency->sum());
+    s.errors = fn.errors->value();
+    s.p50_ns = static_cast<Nanos>(fn.latency->Percentile(50));
+    s.p95_ns = static_cast<Nanos>(fn.latency->Percentile(95));
+    s.p99_ns = static_cast<Nanos>(fn.latency->Percentile(99));
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -711,7 +750,20 @@ std::vector<FunctionStats> Runtime::TopFunctions(std::size_t limit) const {
 }
 
 RuntimeStats Runtime::Stats() const {
-  RuntimeStats s = stats_;
+  RuntimeStats s;
+  s.calls = ct_.calls->value();
+  s.direct_calls = ct_.direct_calls->value();
+  s.messages = ct_.messages->value();
+  s.empty_polls = ct_.empty_polls->value();
+  s.log_appends = ct_.log_appends->value();
+  s.log_pruned_entries = ct_.log_pruned_entries->value();
+  s.compactions = ct_.compactions->value();
+  s.compaction_skips = ct_.compaction_skips->value();
+  s.replies_batched = ct_.replies_batched->value();
+  s.retries_deduped = ct_.retries_deduped->value();
+  s.reboots = ct_.reboots->value();
+  s.aux_fibers_spawned = ct_.aux_fibers_spawned->value();
+  s.hangs_detected = ct_.hangs_detected->value();
   s.context_switches = fibers_.context_switches();
   s.pkru_writes = domains_.PkruWrites();
   s.log_scans = domain_->TotalLogScans();
@@ -788,6 +840,19 @@ void Runtime::DumpState(std::FILE* out) const {
   }
   std::fprintf(out, "  terminal fault: %s\n",
                terminal_fault_.has_value() ? terminal_fault_->what() : "none");
+  recorder_.DumpTail(out);
+}
+
+void Runtime::WritePostmortemTrace(const char* why) const {
+  if (recorder_.total_recorded() == 0) return;
+  const char* path = std::getenv("VAMPOS_TRACE_DUMP");
+  if (path == nullptr) path = "vampos_postmortem_trace.json";
+  if (path[0] == '\0') return;  // VAMPOS_TRACE_DUMP="" suppresses the dump
+  if (recorder_.WriteChromeTrace(path)) {
+    VAMPOS_INFO("post-mortem trace (%s) written to %s", why, path);
+  } else {
+    VAMPOS_ERROR("cannot write post-mortem trace to %s", path);
+  }
 }
 
 // ------------------------------------------------------------- the vault

@@ -29,6 +29,8 @@
 #include "mem/snapshot.h"
 #include "mpk/mpk.h"
 #include "msg/domain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/fiber.h"
 
 namespace vampos::core {
@@ -60,6 +62,12 @@ struct RuntimeOptions {
   /// faults won't re-trigger). A second failure of the same request
   /// fail-stops, per the paper's fault model.
   bool retry_inflight = true;
+  /// Start with the flight recorder enabled (it can also be toggled later
+  /// via Runtime::recorder()). Off by default: the recorder ring is not
+  /// even allocated, and every trace point is a single predicted branch.
+  bool tracing = false;
+  /// Ring capacity (events) used when `tracing` is set.
+  std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
   Clock* clock = &SteadyClock::Instance();
 };
 
@@ -96,12 +104,16 @@ struct RuntimeStats {
 };
 
 /// Per-exported-function metrics (observability for operators; also feeds
-/// the Fig 5 transition analysis).
+/// the Fig 5 transition analysis). Backed by the per-function latency
+/// histograms in the metrics registry ("fn.<component>.<function>.ns").
 struct FunctionStats {
   std::string name;         // "component.function"
   std::uint64_t calls = 0;  // handler executions (message or direct)
   Nanos total_ns = 0;       // time inside the handler
   std::uint64_t errors = 0; // negative-errno returns
+  Nanos p50_ns = 0;         // handler-latency percentiles
+  Nanos p95_ns = 0;
+  Nanos p99_ns = 0;
 };
 
 /// Memory accounting across the whole runtime (paper Fig 7b).
@@ -213,6 +225,18 @@ class Runtime {
   // ------------------------------------------------------- introspection
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] RuntimeStats Stats() const;
+  /// Flight recorder: enable/disable tracing, snapshot events, export
+  /// Chrome trace JSON (see docs/observability.md).
+  [[nodiscard]] obs::FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+  /// Metrics registry holding every named counter and histogram
+  /// (RuntimeStats and FunctionStats are snapshot views over it).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
   /// Snapshot of per-function metrics, sorted by total handler time.
   [[nodiscard]] std::vector<FunctionStats> TopFunctions(
       std::size_t limit = 16) const;
@@ -275,10 +299,10 @@ class Runtime {
     std::string name;
     comp::FnOptions options;
     comp::Handler handler;
-    // Metrics (mutable: updated on the call path, reads are snapshots).
-    mutable std::uint64_t calls = 0;
-    mutable Nanos total_ns = 0;
-    mutable std::uint64_t errors = 0;
+    // Registry-backed metrics, resolved once at export time (stable
+    // addresses; updated on the call path, reads are snapshots).
+    obs::Histogram* latency = nullptr;  // "fn.<comp>.<fn>.ns"
+    obs::Counter* errors = nullptr;     // "fn.<comp>.<fn>.errors"
   };
 
   struct FaultInjection {
@@ -382,6 +406,12 @@ class Runtime {
   void InstallPkruFor(ComponentId id);
   void InstallMessageThreadPkru();
 
+  // Observability internals.
+  /// Writes the recorder ring as Chrome trace JSON to VAMPOS_TRACE_DUMP (or
+  /// vampos_postmortem_trace.json). Called on fail-stop and on the
+  /// VAMPOS_SPIN_LIMIT dump; a never-enabled recorder writes nothing.
+  void WritePostmortemTrace(const char* why) const;
+
   [[nodiscard]] ComponentId LeaderOf(ComponentId id) const {
     return slots_[id].leader;
   }
@@ -395,6 +425,37 @@ class Runtime {
   RuntimeOptions options_;
   bool isolation_ = false;
   bool booted_ = false;
+
+  // Observability: registry + recorder are constructed first (the domain
+  // and fiber manager hold pointers into them) and destroyed last.
+  obs::MetricsRegistry metrics_;
+  obs::FlightRecorder recorder_;
+  /// Hot-path counters, resolved once from the registry at construction.
+  struct HotCounters {
+    obs::Counter* calls = nullptr;
+    obs::Counter* direct_calls = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Counter* empty_polls = nullptr;
+    obs::Counter* log_appends = nullptr;
+    obs::Counter* log_pruned_entries = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* compaction_skips = nullptr;
+    obs::Counter* replies_batched = nullptr;
+    obs::Counter* retries_deduped = nullptr;
+    obs::Counter* reboots = nullptr;
+    obs::Counter* aux_fibers_spawned = nullptr;
+    obs::Counter* hangs_detected = nullptr;
+  } ct_;
+  /// Hot-path histograms, likewise registry-backed.
+  struct HotHistograms {
+    obs::Histogram* call_ns = nullptr;        // end-to-end message call
+    obs::Histogram* queue_depth = nullptr;    // inbox depth at push
+    obs::Histogram* reboot_stop_ns = nullptr;
+    obs::Histogram* reboot_snapshot_ns = nullptr;
+    obs::Histogram* reboot_replay_ns = nullptr;
+    obs::Histogram* reboot_total_ns = nullptr;
+    obs::Histogram* replay_entries = nullptr;  // replay batch size
+  } hist_;
 
   mpk::DomainManager domains_;
   std::unique_ptr<msg::MessageDomain> domain_;
@@ -433,7 +494,6 @@ class Runtime {
   // Runtime-data vault: survives component reboots by construction.
   std::unordered_map<std::string, msg::MsgValue> vault_;
 
-  RuntimeStats stats_;
   std::vector<RebootReport> reboot_history_;
   std::optional<ComponentFault> terminal_fault_;
   std::vector<std::function<void()>> termination_hooks_;

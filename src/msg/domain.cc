@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/panic.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace vampos::msg {
 
@@ -202,6 +204,12 @@ void MessageDomain::EnsureCapacity(ComponentId max_id) {
   }
 }
 
+void MessageDomain::BindTelemetry(obs::FlightRecorder* recorder,
+                                  obs::Histogram* queue_depth) {
+  recorder_ = recorder;
+  queue_depth_ = queue_depth;
+}
+
 void MessageDomain::Push(Message msg, const Args& payload) {
   EnsureCapacity(msg.to);
   pushes_++;
@@ -219,6 +227,14 @@ void MessageDomain::Push(Message msg, const Args& payload) {
   msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
   msg.buf_len = static_cast<std::uint32_t>(wire.size());
   inbox_[msg.to].push_back(msg);
+  if (queue_depth_ != nullptr) {
+    queue_depth_->Record(static_cast<std::int64_t>(inbox_[msg.to].size()));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kMsgPush, obs::TracePhase::kInstant,
+                      msg.to, msg.fn,
+                      static_cast<std::int64_t>(inbox_[msg.to].size()));
+  }
 }
 
 std::optional<std::pair<Message, Args>> MessageDomain::Pull(ComponentId to) {
@@ -236,6 +252,10 @@ std::optional<std::pair<Message, Args>> MessageDomain::Pull(ComponentId to) {
   }
   // Buffer no longer needed once consumed; logs hold their own copy.
   alloc_.Free(buf);
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kMsgPull, obs::TracePhase::kInstant,
+                      to, msg.fn, static_cast<std::int64_t>(msg.rpc_id));
+  }
   return std::make_pair(msg, DeserializeArgs(wire));
 }
 
@@ -255,6 +275,11 @@ void MessageDomain::PushReply(Message msg, const Args& payload) {
   msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
   msg.buf_len = static_cast<std::uint32_t>(wire.size());
   replies_.push_back(msg);
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kReplyPush, obs::TracePhase::kInstant,
+                      msg.from, msg.fn,
+                      static_cast<std::int64_t>(msg.rpc_id));
+  }
 }
 
 std::optional<std::pair<Message, Args>> MessageDomain::PullReply() {

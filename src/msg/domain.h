@@ -29,6 +29,11 @@ namespace vampos::sched {
 class Fiber;
 }
 
+namespace vampos::obs {
+class FlightRecorder;
+class Histogram;
+}
+
 namespace vampos::msg {
 
 /// One in-flight message: either a function-call request or its reply. The
@@ -166,6 +171,12 @@ class MessageDomain {
   /// Makes room for inboxes up to component id `max_id`.
   void EnsureCapacity(ComponentId max_id);
 
+  /// Attaches the runtime's flight recorder (push/pull trace events) and
+  /// queue-depth histogram. Either may be nullptr; the recorder's own
+  /// enabled flag gates event cost at runtime.
+  void BindTelemetry(obs::FlightRecorder* recorder,
+                     obs::Histogram* queue_depth);
+
   /// vo_push_msgs(): serializes the payload into the domain arena with an
   /// MPK-checked write attributed to `msg.from`, then enqueues. The caller
   /// (runtime) must have opened write access to the domain key in PKRU.
@@ -231,6 +242,8 @@ class MessageDomain {
   std::unordered_map<ComponentId, CallLog> logs_;
   std::uint64_t next_rpc_id_ = 1;
   std::uint64_t pushes_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
 
  public:
   std::uint64_t NextRpcId() { return next_rpc_id_++; }

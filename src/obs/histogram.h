@@ -1,0 +1,109 @@
+// Log2-bucketed histograms for latency and size telemetry.
+//
+// One bucket per power of two (bucket index = bit_width of the sample), so
+// Record() is a handful of arithmetic ops with no allocation — cheap enough
+// for the per-call hot path. Percentiles are extracted by walking the bucket
+// counts and interpolating linearly inside the target bucket, clamped to the
+// observed [min, max] so an N-sample histogram never reports a value outside
+// what was actually recorded (a single sample reports itself exactly).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace vampos::obs {
+
+class Histogram {
+ public:
+  /// bit_width of a uint64 sample is in [0, 64].
+  static constexpr int kBuckets = 65;
+
+  void Record(std::int64_t value) {
+    const std::uint64_t v =
+        value < 0 ? 0u : static_cast<std::uint64_t>(value);
+    buckets_[BucketOf(v)]++;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    count_++;
+    sum_ += v;
+  }
+
+  /// Bucket index of a sample: 0 holds exactly {0}; bucket b >= 1 holds
+  /// [2^(b-1), 2^b - 1].
+  [[nodiscard]] static int BucketOf(std::uint64_t v) {
+    return std::bit_width(v);
+  }
+  [[nodiscard]] static std::uint64_t BucketLo(int b) {
+    return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  [[nodiscard]] static std::uint64_t BucketHi(int b) {
+    if (b <= 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// q in [0, 100]. Empty histogram reports 0; q=0 reports min, q=100 max.
+  [[nodiscard]] double Percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0) return static_cast<double>(min_);
+    if (q >= 100) return static_cast<double>(max_);
+    const double target = q / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const double before = static_cast<double>(cum);
+      cum += buckets_[b];
+      if (static_cast<double>(cum) >= target) {
+        const double frac =
+            (target - before) / static_cast<double>(buckets_[b]);
+        const double lo = static_cast<double>(BucketLo(b));
+        const double hi = static_cast<double>(BucketHi(b));
+        double v = lo + frac * (hi - lo);
+        if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+        if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+        return v;
+      }
+    }
+    return static_cast<double>(max_);
+  }
+
+  [[nodiscard]] double Mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucket_count(int b) const {
+    return b < 0 || b >= kBuckets ? 0 : buckets_[b];
+  }
+
+  /// Fold another histogram in (bench aggregation across runs).
+  void Merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = sum_ = max_ = 0;
+    min_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace vampos::obs

@@ -1,0 +1,72 @@
+#include "obs/metrics.h"
+
+namespace vampos::obs {
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::WriteText(std::FILE* out) const {
+  std::fprintf(out, "=== counters ===\n");
+  for (const auto& [name, c] : counters_) {
+    std::fprintf(out, "  %-40s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(c.value()));
+  }
+  std::fprintf(out, "=== histograms ===\n");
+  for (const auto& [name, h] : histograms_) {
+    std::fprintf(out,
+                 "  %-40s n=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f "
+                 "max=%llu\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count()),
+                 h.Mean(), h.Percentile(50), h.Percentile(95),
+                 h.Percentile(99),
+                 static_cast<unsigned long long>(h.max()));
+  }
+}
+
+std::string MetricsRegistry::Json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+        "\"p99\": %.3f}",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.sum()),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.max()), h.Mean(),
+        h.Percentile(50), h.Percentile(95), h.Percentile(99));
+    out += buf;
+    first = false;
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::FILE* out) const {
+  const std::string json = Json();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+}
+
+}  // namespace vampos::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace vampos::obs {
+
+namespace {
+
+struct KindInfo {
+  const char* name;
+  const char* category;
+};
+
+constexpr KindInfo kKinds[] = {
+    {"msg.push", "msg"},         {"msg.pull", "msg"},
+    {"reply.push", "msg"},       {"reply.deliver", "msg"},
+    {"fiber.dispatch", "sched"}, {"log.append", "log"},
+    {"log.prune", "log"},        {"log.compact", "log"},
+    {"reboot", "reboot"},        {"reboot.stop", "reboot"},
+    {"reboot.snapshot", "reboot"}, {"reboot.replay", "reboot"},
+    {"hang.detected", "fault"},  {"fault.injected", "fault"},
+    {"fail.stop", "fault"},      {"variant.swap", "fault"},
+};
+static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
+                  static_cast<std::size_t>(EventKind::kKindCount),
+              "kKinds table out of sync with EventKind");
+
+}  // namespace
+
+const char* KindName(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kKindCount)
+             ? kKinds[i].name
+             : "?";
+}
+
+const char* KindCategory(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kKindCount)
+             ? kKinds[i].category
+             : "?";
+}
+
+void FlightRecorder::Enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (capacity != ring_.size()) {
+    ring_.assign(capacity, TraceEvent{});
+    total_ = 0;
+  }
+  enabled_ = true;
+}
+
+void FlightRecorder::Clear() { total_ = 0; }
+
+void FlightRecorder::Append(EventKind kind, TracePhase phase,
+                            ComponentId comp, std::int64_t a,
+                            std::int64_t b) {
+  TraceEvent& e = ring_[total_ % ring_.size()];
+  e.ts = clock_->Now();
+  e.comp = comp;
+  e.kind = kind;
+  e.phase = phase;
+  e.a = a;
+  e.b = b;
+  total_++;
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  if (ring_.empty() || total_ == 0) return out;
+  const std::uint64_t n = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  const std::uint64_t start = total_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::WriteChromeTrace(std::FILE* out) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const Nanos ts0 = events.empty() ? 0 : events.front().ts;
+  // Chrome's importer wants B/E pairs to nest correctly per tid; an End
+  // whose Begin was overwritten by the ring would unbalance the whole
+  // track, so orphaned Ends are demoted to instants.
+  std::map<std::pair<ComponentId, EventKind>, int> depth;
+  std::fprintf(out, "{\"traceEvents\":[");
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    char ph = 'i';
+    if (e.phase == TracePhase::kBegin) {
+      ph = 'B';
+      depth[{e.comp, e.kind}]++;
+    }
+    if (e.phase == TracePhase::kEnd) {
+      int& d = depth[{e.comp, e.kind}];
+      if (d > 0) {
+        ph = 'E';
+        d--;
+      }
+    }
+    const double us = static_cast<double>(e.ts - ts0) / 1000.0;
+    std::fprintf(out, "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\"",
+                 first ? "" : ",", KindName(e.kind), KindCategory(e.kind),
+                 ph);
+    if (ph == 'i') std::fprintf(out, ",\"s\":\"t\"");
+    std::fprintf(out,
+                 ",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+                 "\"args\":{\"a\":%lld,\"b\":%lld}}",
+                 us, e.comp, static_cast<long long>(e.a),
+                 static_cast<long long>(e.b));
+    first = false;
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+bool FlightRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  WriteChromeTrace(f);
+  std::fclose(f);
+  return true;
+}
+
+void FlightRecorder::DumpTail(std::FILE* out, std::size_t max_events) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const std::size_t n = std::min(events.size(), max_events);
+  if (n == 0) {
+    std::fprintf(out, "  flight recorder: no events\n");
+    return;
+  }
+  std::fprintf(out,
+               "  flight recorder tail (%zu of %llu recorded, %llu "
+               "overwritten):\n",
+               n, static_cast<unsigned long long>(total_),
+               static_cast<unsigned long long>(dropped()));
+  const Nanos ts0 = events[events.size() - n].ts;
+  for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const char* ph = e.phase == TracePhase::kBegin
+                         ? "B"
+                         : (e.phase == TracePhase::kEnd ? "E" : ".");
+    std::fprintf(out, "    +%9.3fus %s %-15s comp=%-3d a=%lld b=%lld\n",
+                 static_cast<double>(e.ts - ts0) / 1000.0, ph,
+                 KindName(e.kind), e.comp, static_cast<long long>(e.a),
+                 static_cast<long long>(e.b));
+  }
+}
+
+}  // namespace vampos::obs

@@ -1,0 +1,115 @@
+// Flight recorder: an always-available, fixed-capacity ring buffer of
+// compact binary trace events covering the message plane (push/pull),
+// scheduling (dispatch), the call logs (append/prune/compaction), and
+// recovery (reboot phases, hang detection, fault injection, fail-stop).
+//
+// The recorder is toggleable at runtime and near-zero-cost when off: Record()
+// is a single branch, and the ring storage is only allocated by Enable().
+// When full, the oldest events are overwritten, so the tail always holds the
+// moments leading up to a failure — it is written out automatically as a
+// post-mortem on fail-stop and on the VAMPOS_SPIN_LIMIT dump.
+//
+// Exporters: Chrome trace_event JSON (load in chrome://tracing or
+// ui.perfetto.dev) and a human-readable text tail for DumpState.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/types.h"
+
+namespace vampos::obs {
+
+enum class EventKind : std::uint8_t {
+  kMsgPush = 0,     // call staged into a component inbox (a=fn, b=depth)
+  kMsgPull,         // call pulled for execution (a=fn, b=rpc_id)
+  kReplyPush,       // return value staged for the message thread (a=fn)
+  kReplyDeliver,    // reply handed to the blocked caller (a=fn, b=rpc_id)
+  kDispatch,        // fiber dispatched / returned control (a=dispatch count)
+  kLogAppend,       // call-log entry created (a=fn, b=seq)
+  kLogPrune,        // session shrink removed entries (a=session, b=count)
+  kLogCompact,      // compaction collapsed a log (a=pruned entries)
+  kReboot,          // whole reboot (B/E pair)
+  kRebootStop,      // fiber teardown + queue handling phase (B/E pair)
+  kRebootSnapshot,  // checkpoint restore phase (B/E pair)
+  kRebootReplay,    // encapsulated restoration phase (B/E, b=entries)
+  kHangDetected,    // processing-time threshold exceeded
+  kFaultInjected,   // injected fault fired (a=FaultKind)
+  kFailStop,        // unrecoverable failure, runtime terminating
+  kVariantSwap,     // multi-versioning failover engaged
+  kKindCount,
+};
+
+enum class TracePhase : std::uint8_t { kInstant = 0, kBegin, kEnd };
+
+/// Stable short name ("msg.push", "reboot.replay", ...) used in exports.
+const char* KindName(EventKind kind);
+/// Chrome trace category ("msg", "sched", "log", "reboot", "fault").
+const char* KindCategory(EventKind kind);
+
+/// One recorded moment: 32 bytes, trivially copyable.
+struct TraceEvent {
+  Nanos ts = 0;
+  ComponentId comp = kComponentNone;  // subject component ("tid" in exports)
+  EventKind kind = EventKind::kMsgPush;
+  TracePhase phase = TracePhase::kInstant;
+  std::int64_t a = 0;  // kind-specific payload (see EventKind comments)
+  std::int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  /// Allocates the ring and starts recording. Re-enabling with a different
+  /// capacity discards previously recorded events.
+  void Enable(std::size_t capacity = kDefaultCapacity);
+  /// Stops recording; the ring contents stay readable for post-mortems.
+  void Disable() { enabled_ = false; }
+  /// Drops all recorded events, keeping the enabled state and capacity.
+  void Clear();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events lost to ring overwrite.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  /// Timestamps come from this clock (injectable for deterministic tests).
+  void set_clock(const Clock* clock) { clock_ = clock; }
+
+  /// Hot path: one predictable branch when disabled, no allocation ever.
+  void Record(EventKind kind, TracePhase phase, ComponentId comp,
+              std::int64_t a = 0, std::int64_t b = 0) {
+    if (!enabled_) return;
+    Append(kind, phase, comp, a, b);
+  }
+
+  /// Oldest-first copy of the current ring contents.
+  [[nodiscard]] std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) of the ring contents.
+  void WriteChromeTrace(std::FILE* out) const;
+  /// Convenience wrapper; returns false if the path cannot be opened.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Newest `max_events` as text, oldest first — the DumpState post-mortem.
+  void DumpTail(std::FILE* out, std::size_t max_events = 32) const;
+
+ private:
+  void Append(EventKind kind, TracePhase phase, ComponentId comp,
+              std::int64_t a, std::int64_t b);
+
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;
+  bool enabled_ = false;
+  const Clock* clock_ = &SteadyClock::Instance();
+};
+
+}  // namespace vampos::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vampos::sched {
 
 namespace {
@@ -77,9 +79,20 @@ FiberState FiberManager::Dispatch(Fiber* fiber) {
   fiber->state_ = FiberState::kRunning;
   fiber->dispatches_++;
   switches_++;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kDispatch, obs::TracePhase::kBegin,
+                      fiber->owner_,
+                      static_cast<std::int64_t>(fiber->dispatches_));
+  }
   current_ = fiber;
   swapcontext(&main_ctx_, &fiber->ctx_);
   current_ = nullptr;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kDispatch, obs::TracePhase::kEnd,
+                      fiber->owner_,
+                      static_cast<std::int64_t>(fiber->dispatches_),
+                      static_cast<std::int64_t>(fiber->state_));
+  }
   return fiber->state_;
 }
 

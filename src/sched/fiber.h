@@ -30,6 +30,10 @@
 #include "base/panic.h"
 #include "base/types.h"
 
+namespace vampos::obs {
+class FlightRecorder;
+}
+
 namespace vampos::sched {
 
 enum class FiberState {
@@ -109,6 +113,10 @@ class FiberManager {
   /// Fiber currently executing, or nullptr if on the main context.
   [[nodiscard]] Fiber* Current() const { return current_; }
 
+  /// Optional flight recorder: Dispatch() records a B/E event pair around
+  /// every context switch into a fiber (no-op when the recorder is off).
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
   [[nodiscard]] std::size_t live_fibers() const { return fibers_.size(); }
 
@@ -122,6 +130,7 @@ class FiberManager {
   Fiber* current_ = nullptr;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::uint64_t switches_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace vampos::sched

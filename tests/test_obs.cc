@@ -1,0 +1,431 @@
+// Observability subsystem tests: log2-histogram bucket and percentile math,
+// the flight-recorder ring (wraparound, disabled no-op), the metrics
+// registry, Chrome trace export from a fault-injection run, the DumpState
+// post-mortem, and the zero-overhead-when-off guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using obs::EventKind;
+using obs::FlightRecorder;
+using obs::Histogram;
+using obs::TracePhase;
+using testing::CounterComponent;
+using testing::RunApp;
+using testing::StoreComponent;
+using testing::TickerComponent;
+
+struct Rig {
+  explicit Rig(RuntimeOptions opts = {}) : rt(opts) {
+    store = rt.AddComponent(std::make_unique<StoreComponent>());
+    counter = rt.AddComponent(std::make_unique<CounterComponent>());
+    ticker = rt.AddComponent(std::make_unique<TickerComponent>());
+    rt.AddAppDependency(counter);
+    rt.AddAppDependency(ticker);
+    rt.AddDependency(counter, store);
+  }
+  void Boot() { rt.Boot(); }
+
+  Runtime rt;
+  ComponentId store, counter, ticker;
+};
+
+RuntimeOptions VampOpts() {
+  RuntimeOptions o;
+  o.mode = Mode::kVampOS;
+  o.hang_threshold = 0;
+  return o;
+}
+
+/// Runs `fn` against a tmpfile and returns everything it wrote.
+std::string Capture(const std::function<void(std::FILE*)>& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long n = std::ftell(f);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::rewind(f);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  out.resize(got);
+  std::fclose(f);
+  return out;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// ------------------------------------------------------ histogram buckets
+
+TEST(HistogramBuckets, BoundariesFollowBitWidth) {
+  // Bucket 0 holds exactly {0}; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  for (int b = 1; b < 64; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    EXPECT_EQ(Histogram::BucketOf(lo), b) << "lo of bucket " << b;
+    EXPECT_EQ(Histogram::BucketOf(2 * lo - 1), b) << "hi of bucket " << b;
+    EXPECT_EQ(Histogram::BucketLo(b), lo);
+    EXPECT_EQ(Histogram::BucketHi(b), 2 * lo - 1);
+  }
+  EXPECT_EQ(Histogram::BucketOf(~std::uint64_t{0}), 64);
+  EXPECT_EQ(Histogram::BucketHi(64), ~std::uint64_t{0});
+  EXPECT_EQ(Histogram::BucketLo(0), 0u);
+  EXPECT_EQ(Histogram::BucketHi(0), 0u);
+}
+
+TEST(HistogramBuckets, RecordPlacesSamples) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  for (int k = 1; k < 63; ++k) h.Record(std::int64_t{1} << k);
+  h.Record(std::numeric_limits<std::int64_t>::max());  // bit_width 63
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  for (int k = 1; k < 63; ++k) {
+    EXPECT_GE(h.bucket_count(k + 1), 1u) << "power 2^" << k;
+  }
+  EXPECT_EQ(h.bucket_count(63), 2u);  // 2^62 and int64 max
+  EXPECT_EQ(h.count(), 65u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(),
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(HistogramBuckets, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Record(-1234);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// -------------------------------------------------- percentile edge cases
+
+TEST(HistogramPercentile, EmptyHistogramReportsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramPercentile, SingleSampleReportsItselfExactly) {
+  Histogram h;
+  h.Record(1234);
+  // Interpolation inside the [1024, 2047] bucket is clamped to the observed
+  // range, so every quantile of a one-sample histogram is the sample.
+  for (double q : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(q), 1234.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.Mean(), 1234.0);
+}
+
+TEST(HistogramPercentile, QuantilesAreMonotonicAndBounded) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // p50 of uniform 1..1000 lands in the [256, 1023] region under log2
+  // bucketing (the 512-bucket holds the median).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1023.0);
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(HistogramPercentile, MergeFoldsCountsAndRange) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.sum(), 1015u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(50), 0.0);
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, DisabledRecorderIsANoOp) {
+  FlightRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.capacity(), 0u);  // ring never allocated
+  rec.Record(EventKind::kMsgPush, TracePhase::kInstant, 1, 2, 3);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestEvents) {
+  FlightRecorder rec;
+  rec.Enable(8);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    rec.Record(EventKind::kMsgPush, TracePhase::kInstant, 1, i);
+  }
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const auto events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: the survivors are exactly the newest 8, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(FlightRecorder, DisableKeepsRingReadable) {
+  FlightRecorder rec;
+  rec.Enable(16);
+  rec.Record(EventKind::kFailStop, TracePhase::kInstant, 3);
+  rec.Disable();
+  rec.Record(EventKind::kMsgPush, TracePhase::kInstant, 1);  // dropped
+  EXPECT_EQ(rec.total_recorded(), 1u);
+  ASSERT_EQ(rec.Snapshot().size(), 1u);
+  EXPECT_EQ(rec.Snapshot()[0].kind, EventKind::kFailStop);
+}
+
+TEST(FlightRecorder, ChromeTraceBalancesOrphanedEnds) {
+  FlightRecorder rec;
+  rec.Enable(2);
+  // The Begin is overwritten; only Ends survive. The exporter must demote
+  // them to instants or the Chrome track nests forever.
+  rec.Record(EventKind::kReboot, TracePhase::kBegin, 1);
+  rec.Record(EventKind::kReboot, TracePhase::kEnd, 1);
+  rec.Record(EventKind::kReboot, TracePhase::kEnd, 1);
+  const std::string json =
+      Capture([&](std::FILE* f) { rec.WriteChromeTrace(f); });
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+// -------------------------------------------------------- metrics registry
+
+TEST(MetricsRegistry, CountersAndHistogramsByName) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("x.count");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(reg.GetCounter("x.count").value(), 5u);  // same object
+  EXPECT_EQ(&reg.GetCounter("x.count"), &c);         // stable address
+  reg.GetHistogram("x.ns").Record(100);
+  ASSERT_NE(reg.FindCounter("x.count"), nullptr);
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  ASSERT_NE(reg.FindHistogram("x.ns"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("x.ns")->count(), 1u);
+
+  const std::string text = Capture([&](std::FILE* f) { reg.WriteText(f); });
+  EXPECT_NE(text.find("x.count"), std::string::npos);
+  EXPECT_NE(text.find("x.ns"), std::string::npos);
+  const std::string json = reg.Json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ----------------------------------------------------- runtime integration
+
+TEST(ObsRuntime, TracingOffChangesNothingObservable) {
+  auto workload = [](Rig& rig) {
+    rig.Boot();
+    const FunctionId inc = rig.rt.Lookup("counter", "inc");
+    const FunctionId open = rig.rt.Lookup("counter", "open_session");
+    const FunctionId add = rig.rt.Lookup("counter", "add_session");
+    const FunctionId close = rig.rt.Lookup("counter", "close_session");
+    RunApp(rig.rt, [&] {
+      for (int i = 0; i < 32; ++i) rig.rt.Call(inc, {});
+      const std::int64_t s = rig.rt.Call(open, {}).i64();
+      for (int i = 0; i < 8; ++i) {
+        rig.rt.Call(add, {msg::MsgValue(s), msg::MsgValue(std::int64_t{1})});
+      }
+      rig.rt.Call(close, {msg::MsgValue(s)});
+    });
+  };
+
+  Rig off(VampOpts());
+  workload(off);
+  RuntimeOptions traced_opts = VampOpts();
+  traced_opts.tracing = true;
+  Rig on(traced_opts);
+  workload(on);
+
+  // Tracing must be purely observational: every behavior counter matches
+  // the untraced run, and the untraced recorder never allocated its ring.
+  const core::RuntimeStats a = off.rt.Stats();
+  const core::RuntimeStats b = on.rt.Stats();
+  EXPECT_EQ(a.calls, b.calls);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.log_appends, b.log_appends);
+  EXPECT_EQ(a.log_pruned_entries, b.log_pruned_entries);
+  EXPECT_EQ(a.reboots, b.reboots);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(off.rt.recorder().capacity(), 0u);
+  EXPECT_EQ(off.rt.recorder().total_recorded(), 0u);
+  EXPECT_GT(on.rt.recorder().total_recorded(), 0u);
+}
+
+TEST(ObsRuntime, RegistrySubsumesRuntimeStats) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 10; ++i) rig.rt.Call(inc, {});
+  });
+  const core::RuntimeStats s = rig.rt.Stats();
+  const obs::Counter* calls = rig.rt.metrics().FindCounter("rt.calls");
+  const obs::Counter* msgs = rig.rt.metrics().FindCounter("rt.messages");
+  ASSERT_NE(calls, nullptr);
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_EQ(calls->value(), s.calls);
+  EXPECT_EQ(msgs->value(), s.messages);
+  // The end-to-end latency histogram saw every message call (the 10 app
+  // calls plus each inc's nested call into the store).
+  const obs::Histogram* lat = rig.rt.metrics().FindHistogram("rt.call_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), s.calls);
+  EXPECT_EQ(lat->count(), 20u);
+  EXPECT_LE(lat->Percentile(50), lat->Percentile(99));
+  // Queue-depth histogram saw every push.
+  const obs::Histogram* qd =
+      rig.rt.metrics().FindHistogram("msg.queue_depth");
+  ASSERT_NE(qd, nullptr);
+  EXPECT_GT(qd->count(), 0u);
+}
+
+TEST(ObsRuntime, TopFunctionsCarryPercentiles) {
+  Rig rig(VampOpts());
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 20; ++i) rig.rt.Call(inc, {});
+  });
+  const auto fns = rig.rt.TopFunctions();
+  ASSERT_FALSE(fns.empty());
+  bool saw_inc = false;
+  for (const auto& f : fns) {
+    EXPECT_GT(f.calls, 0u);
+    EXPECT_LE(f.p50_ns, f.p95_ns);
+    EXPECT_LE(f.p95_ns, f.p99_ns);
+    if (f.name == "counter.inc") {
+      saw_inc = true;
+      EXPECT_EQ(f.calls, 20u);
+    }
+  }
+  EXPECT_TRUE(saw_inc);
+}
+
+TEST(ObsRuntime, FaultInjectionRunProducesRebootPhaseTrace) {
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  rig.rt.InjectFault(rig.counter, FaultKind::kPanic);
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  ASSERT_EQ(rig.rt.Stats().reboots, 1u);
+
+  const std::string path = ::testing::TempDir() + "vampos_obs_trace.json";
+  ASSERT_TRUE(rig.rt.recorder().WriteChromeTrace(path));
+  const std::string json = ReadFile(path);
+  std::remove(path.c_str());
+  // Chrome-loadable shape with all three recovery phases on the timeline.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault.injected\""), std::string::npos);
+  EXPECT_NE(json.find("\"reboot.stop\""), std::string::npos);
+  EXPECT_NE(json.find("\"reboot.snapshot\""), std::string::npos);
+  EXPECT_NE(json.find("\"reboot.replay\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+}
+
+TEST(ObsRuntime, FailStopWritesPostmortemTrace) {
+  const std::string path = ::testing::TempDir() + "vampos_postmortem.json";
+  std::remove(path.c_str());
+  setenv("VAMPOS_TRACE_DUMP", path.c_str(), 1);
+  {
+    RuntimeOptions o = VampOpts();
+    o.tracing = true;
+    Rig rig(o);
+    rig.Boot();
+    const FunctionId inc = rig.rt.Lookup("counter", "inc");
+    rig.rt.InjectFault(rig.counter, FaultKind::kPanic, 0, /*sticky=*/true);
+    RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+    ASSERT_TRUE(rig.rt.terminal_fault().has_value());
+  }
+  unsetenv("VAMPOS_TRACE_DUMP");
+  const std::string json = ReadFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fail.stop\""), std::string::npos);
+}
+
+TEST(ObsRuntime, DumpStateSmokeCoversComponentsAndPendingRpc) {
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  rig.rt.SpawnApp("dump-probe", [&] { rig.rt.Call(inc, {}); });
+  // Stop mid-call: the app fiber has pushed its message and blocked on the
+  // reply, so a pending rpc and a queued message are both live.
+  ASSERT_TRUE(rig.rt.RunUntil(
+      [&] { return rig.rt.domain().QueueDepth(rig.counter) > 0; }));
+  const std::string dump =
+      Capture([&](std::FILE* f) { rig.rt.DumpState(f); });
+  EXPECT_NE(dump.find("vampos runtime state"), std::string::npos);
+  EXPECT_NE(dump.find("counter"), std::string::npos);
+  EXPECT_NE(dump.find("store"), std::string::npos);
+  EXPECT_NE(dump.find("ticker"), std::string::npos);
+  EXPECT_NE(dump.find("pending rpcs=1"), std::string::npos);
+  EXPECT_NE(dump.find("rpc "), std::string::npos);
+  EXPECT_NE(dump.find("dump-probe"), std::string::npos);
+  // The recorder tail rides along in the dump.
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("msg.push"), std::string::npos);
+  rig.rt.RunUntilIdle();  // let the in-flight call finish cleanly
+}
+
+}  // namespace
+}  // namespace vampos
