@@ -3,9 +3,15 @@
 # configuration, then again under ASan+UBSan. Any sanitizer report fails the
 # run (-fno-sanitize-recover=all aborts on the first UBSan hit too).
 #
-# Usage: scripts/check.sh [--asan-only|--no-asan]
+# Usage: scripts/check.sh [--asan-only|--no-asan|--lint]
+#   --lint runs the vampcheck static passes (scripts/lint.sh) instead of the
+#   test suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--lint" ]]; then
+  exec scripts/lint.sh
+fi
 
 run_suite() {
   local dir="$1"; shift

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# vampcheck static prong (see docs/static-analysis.md):
+#
+#   1. layering lint — include-graph rules from DESIGN.md §"Layering rules",
+#      enforced by tools/layering_lint. A violation fails this script. The
+#      committed fixture (tools/layering_lint/fixtures) must keep *failing*,
+#      guarding the lint itself against regressions.
+#   2. clang-tidy — advisory pass over src/ with the checks pinned in
+#      .clang-tidy. Skipped with a notice when clang-tidy is not installed
+#      (CI installs it; minimal dev containers may not have it).
+#
+# Usage: scripts/lint.sh [--layering-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+build_dir="build-lint"
+
+# A dedicated small build dir: only the lint tool is compiled, and the
+# compile database for clang-tidy comes for free. CI caches this directory.
+cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$build_dir" --target layering_lint -j "$(nproc)"
+
+lint_bin="$build_dir/tools/layering_lint/layering_lint"
+
+echo "== layering lint: src/"
+"$lint_bin" src
+
+echo "== layering lint: fixture must fail"
+if "$lint_bin" tools/layering_lint/fixtures/src; then
+  echo "lint.sh: FIXTURE PASSED — the layering lint is broken" >&2
+  exit 1
+fi
+echo "fixture correctly rejected"
+
+if [[ "$mode" == "--layering-only" ]]; then
+  echo "lint.sh: layering checks passed (clang-tidy skipped by flag)"
+  exit 0
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not installed — advisory pass skipped"
+  echo "lint.sh: layering checks passed"
+  exit 0
+fi
+
+echo "== clang-tidy (advisory, checks pinned in .clang-tidy)"
+# The lint build dir has the compile database; findings are reported but do
+# not fail the run (WarningsAsErrors is empty in .clang-tidy).
+mapfile -t sources < <(find src -name '*.cc' | sort)
+clang-tidy -p "$build_dir" --quiet "${sources[@]}" || true
+
+echo "lint.sh: all lint stages completed"

@@ -21,6 +21,7 @@ enum class FaultKind {
   kHang,           // message processing exceeded the hang threshold
   kAllocFailure,   // component heap exhausted (aging / leak)
   kInjected,       // test-injected fail-stop
+  kDeadlock,       // reply wait-for cycle caught by the isolation checker
 };
 
 inline const char* ToString(FaultKind k) {
@@ -30,6 +31,7 @@ inline const char* ToString(FaultKind k) {
     case FaultKind::kHang: return "hang";
     case FaultKind::kAllocFailure: return "alloc-failure";
     case FaultKind::kInjected: return "injected";
+    case FaultKind::kDeadlock: return "deadlock";
   }
   return "unknown";
 }

@@ -1,0 +1,184 @@
+#include "check/isolation_checker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/panic.h"
+
+namespace vampos::check {
+
+void IsolationChecker::RegisterComponentName(ComponentId id,
+                                             std::string name) {
+  names_[id] = std::move(name);
+}
+
+std::string IsolationChecker::NameOf(ComponentId id) const {
+  if (id == kComponentNone) return "app";
+  if (id == kMessageDomainOwner) return "message-domain";
+  auto it = names_.find(id);
+  return it != names_.end() ? it->second : "comp" + std::to_string(id);
+}
+
+void IsolationChecker::RegisterRegion(ComponentId owner, const void* base,
+                                      std::size_t size, std::string label) {
+  Region r{reinterpret_cast<std::uintptr_t>(base),
+           reinterpret_cast<std::uintptr_t>(base) + size, owner,
+           std::move(label)};
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), r.base,
+      [](const Region& a, std::uintptr_t b) { return a.base < b; });
+  const Region* clash = nullptr;
+  if (it != regions_.end() && it->base < r.end) clash = &*it;
+  if (it != regions_.begin() && std::prev(it)->end > r.base) {
+    clash = &*std::prev(it);
+  }
+  if (clash != nullptr) {
+    ownership_violations_.push_back(
+        "'" + r.label + "' (" + NameOf(owner) + ") overlaps '" +
+        clash->label + "' (" + NameOf(clash->owner) + ")");
+    if (recorder_ != nullptr) {
+      recorder_->Record(obs::EventKind::kOwnershipOverlap,
+                        obs::TracePhase::kInstant, owner, clash->owner);
+    }
+    return;  // keep the map consistent: the first claim wins
+  }
+  regions_.insert(it, std::move(r));
+}
+
+void IsolationChecker::UnregisterRegion(const void* base) {
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), b,
+      [](const Region& a, std::uintptr_t p) { return a.base < p; });
+  if (it != regions_.end() && it->base == b) regions_.erase(it);
+}
+
+const IsolationChecker::Region* IsolationChecker::FindRegion(
+    std::uintptr_t addr) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), addr,
+      [](std::uintptr_t p, const Region& r) { return p < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  const Region& r = *std::prev(it);
+  return addr < r.end ? &r : nullptr;
+}
+
+void IsolationChecker::FlagIfForeignPointer(ComponentId actor,
+                                            ComponentId actor_domain,
+                                            std::uint64_t word) {
+  values_scanned_++;
+  const Region* r = FindRegion(static_cast<std::uintptr_t>(word));
+  if (r == nullptr || r->owner == actor_domain) return;
+  leaks_detected_++;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kPtrLeakDetected,
+                      obs::TracePhase::kInstant, actor, r->owner,
+                      static_cast<std::int64_t>(word));
+  }
+  char addr[32];
+  std::snprintf(addr, sizeof(addr), "0x%llx",
+                static_cast<unsigned long long>(word));
+  throw ComponentFault(
+      actor, FaultKind::kMpkViolation,
+      "cross-domain pointer leak: payload from " + NameOf(actor) +
+          " carries " + addr + " into '" + r->label + "' owned by " +
+          NameOf(r->owner));
+}
+
+void IsolationChecker::ScanPayload(ComponentId actor,
+                                   ComponentId actor_domain,
+                                   const msg::Args& payload) {
+  payload_scans_++;
+  for (const msg::MsgValue& v : payload) {
+    if (v.is_i64()) {
+      FlagIfForeignPointer(actor, actor_domain,
+                           static_cast<std::uint64_t>(v.i64()));
+    } else if (v.is_u64()) {
+      FlagIfForeignPointer(actor, actor_domain, v.u64());
+    } else if (v.is_bytes()) {
+      // Addresses smuggled inside byte buffers (a struct copied wholesale)
+      // hide at any alignment: slide an 8-byte window over the payload.
+      const std::string& b = v.bytes();
+      for (std::size_t off = 0; off + sizeof(std::uint64_t) <= b.size();
+           ++off) {
+        std::uint64_t word;
+        std::memcpy(&word, b.data() + off, sizeof(word));
+        FlagIfForeignPointer(actor, actor_domain, word);
+      }
+    }
+  }
+}
+
+void IsolationChecker::CheckCallCycle(ComponentId from, ComponentId to) {
+  // Would adding from -> to close a cycle? Equivalent: is `from` reachable
+  // from `to` through the existing wait edges? Graphs are tiny (one edge per
+  // blocked rpc), so a parent-tracking BFS is plenty.
+  if (from == kComponentNone || to == kComponentNone) return;
+  std::unordered_map<ComponentId, ComponentId> parent;  // node -> predecessor
+  std::vector<ComponentId> frontier{to};
+  parent[to] = to;
+  bool found = from == to;
+  while (!found && !frontier.empty()) {
+    const ComponentId node = frontier.back();
+    frontier.pop_back();
+    for (const auto& [rpc, edge] : waits_) {
+      (void)rpc;
+      if (edge.from != node || parent.contains(edge.to)) continue;
+      parent[edge.to] = node;
+      if (edge.to == from) {
+        found = true;
+        break;
+      }
+      frontier.push_back(edge.to);
+    }
+  }
+  if (!found) return;
+  deadlocks_detected_++;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::EventKind::kDeadlockDetected,
+                      obs::TracePhase::kInstant, from, to);
+  }
+  // Reconstruct the cycle from -> to -> ... -> from for the fault message.
+  std::vector<ComponentId> path{from};
+  for (ComponentId node = from; node != to;) {
+    node = parent[node];
+    path.push_back(node);
+  }
+  std::string cycle = NameOf(from);
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    cycle += " -> " + NameOf(*it);
+  }
+  throw ComponentFault(from, FaultKind::kDeadlock,
+                       "message-plane wait-for cycle: " + cycle);
+}
+
+void IsolationChecker::AddWait(std::uint64_t rpc_id, ComponentId from,
+                               ComponentId to) {
+  if (from == kComponentNone) return;  // app fibers never receive calls
+  waits_[rpc_id] = WaitEdge{from, to};
+}
+
+void IsolationChecker::RemoveWait(std::uint64_t rpc_id) {
+  waits_.erase(rpc_id);
+}
+
+void IsolationChecker::Dump(std::FILE* out) const {
+  std::fprintf(out,
+               "  isolation checker: regions=%zu scans=%llu values=%llu "
+               "leaks=%llu deadlocks=%llu\n",
+               regions_.size(),
+               static_cast<unsigned long long>(payload_scans_),
+               static_cast<unsigned long long>(values_scanned_),
+               static_cast<unsigned long long>(leaks_detected_),
+               static_cast<unsigned long long>(deadlocks_detected_));
+  for (const std::string& v : ownership_violations_) {
+    std::fprintf(out, "    ownership violation: %s\n", v.c_str());
+  }
+  for (const auto& [rpc, edge] : waits_) {
+    std::fprintf(out, "    wait rpc %llu: %s -> %s\n",
+                 static_cast<unsigned long long>(rpc),
+                 NameOf(edge.from).c_str(), NameOf(edge.to).c_str());
+  }
+}
+
+}  // namespace vampos::check

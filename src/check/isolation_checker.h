@@ -1,0 +1,136 @@
+// vampcheck's dynamic prong: runtime isolation and liveness checking for the
+// component plane.
+//
+// The recovery story rests on invariants the runtime otherwise only assumes:
+// components interact exclusively through the message domain, no raw pointer
+// into a private arena ever escapes its protection domain, and blocking on
+// replies cannot deadlock. The IsolationChecker turns each assumption into a
+// checked invariant:
+//
+//   1. Exclusive ownership — a shadow map of every registered arena asserts
+//      that each byte belongs to exactly one protection domain (catching
+//      overlapping DomainManager regions, e.g. a stale tag left behind by a
+//      variant swap).
+//   2. No cross-domain pointer leaks — message payloads are scanned at push
+//      time for values that decode to an address inside a *different*
+//      component's arena. A leak raises ComponentFault(kMpkViolation)
+//      attributed to the sender, so it enters the same reboot path a
+//      hardware #PF would.
+//   3. Reply-cycle freedom — a wait-for graph over components blocked on
+//      replies is maintained; a call that would close a cycle raises
+//      ComponentFault(kDeadlock) naming the cycle, instead of the message
+//      plane wedging until the spin limit trips.
+//
+// Like the flight recorder, the checker is a debug/CI tool and off by
+// default: the runtime holds a null pointer and every hook on the hot path
+// is a single predicted branch (asserted by test_check).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "msg/value.h"
+#include "obs/trace.h"
+
+namespace vampos::check {
+
+class IsolationChecker {
+ public:
+  /// Shadow-map owner id for the message-domain arena (the trust zone): any
+  /// component payload carrying a pointer into it is a leak too.
+  static constexpr ComponentId kMessageDomainOwner = -2;
+
+  /// Checker findings are recorded as flight-recorder events when bound
+  /// (Record() itself is a no-op while the recorder is disabled).
+  void BindRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
+  /// Human-readable component names for fault messages ("alpha -> beta"
+  /// beats "2 -> 5"). Ids without a name print as "comp<id>".
+  void RegisterComponentName(ComponentId id, std::string name);
+
+  // ------------------------------------------------- shadow ownership map
+  /// Claims [base, base+size) for `owner`. Overlap with an existing claim
+  /// violates exclusive ownership: it is recorded (and traced) rather than
+  /// thrown, because registration runs on the message thread at boot — the
+  /// runtime surfaces the violation list as a Fatal.
+  void RegisterRegion(ComponentId owner, const void* base, std::size_t size,
+                      std::string label);
+  /// Releases the claim starting at `base` (component destroyed, e.g.
+  /// variant swap). Unknown bases are ignored.
+  void UnregisterRegion(const void* base);
+  [[nodiscard]] const std::vector<std::string>& ownership_violations() const {
+    return ownership_violations_;
+  }
+  [[nodiscard]] std::size_t regions() const { return regions_.size(); }
+
+  // ---------------------------------------------------- payload scanning
+  /// Scans a payload about to be pushed by `actor` (whose protection domain
+  /// is `actor_domain`, i.e. its group leader; kComponentNone for app code).
+  /// Integer values and every 8-byte window of byte payloads are decoded as
+  /// addresses; one that lands inside another domain's registered arena
+  /// throws ComponentFault(actor, kMpkViolation).
+  void ScanPayload(ComponentId actor, ComponentId actor_domain,
+                   const msg::Args& payload);
+
+  // --------------------------------------------------- wait-for graph
+  /// Throws ComponentFault(from, kDeadlock) naming the cycle if a blocking
+  /// call from domain `from` to domain `to` would close a wait-for cycle.
+  /// Call *before* pushing the message.
+  void CheckCallCycle(ComponentId from, ComponentId to);
+  /// Records that domain `from` is blocked on a reply from domain `to`.
+  void AddWait(std::uint64_t rpc_id, ComponentId from, ComponentId to);
+  /// Drops the edge for `rpc_id`; idempotent (the runtime removes edges on
+  /// every path that retires a pending reply).
+  void RemoveWait(std::uint64_t rpc_id);
+  [[nodiscard]] std::size_t wait_edges() const { return waits_.size(); }
+
+  // ------------------------------------------------------------ counters
+  [[nodiscard]] std::uint64_t payload_scans() const { return payload_scans_; }
+  [[nodiscard]] std::uint64_t values_scanned() const {
+    return values_scanned_;
+  }
+  [[nodiscard]] std::uint64_t leaks_detected() const {
+    return leaks_detected_;
+  }
+  [[nodiscard]] std::uint64_t deadlocks_detected() const {
+    return deadlocks_detected_;
+  }
+
+  /// DumpState section: counters, violations, and live wait edges.
+  void Dump(std::FILE* out) const;
+
+ private:
+  struct Region {
+    std::uintptr_t base;
+    std::uintptr_t end;
+    ComponentId owner;
+    std::string label;
+  };
+  struct WaitEdge {
+    ComponentId from;
+    ComponentId to;
+  };
+
+  [[nodiscard]] const Region* FindRegion(std::uintptr_t addr) const;
+  void FlagIfForeignPointer(ComponentId actor, ComponentId actor_domain,
+                            std::uint64_t word);
+  [[nodiscard]] std::string NameOf(ComponentId id) const;
+
+  std::vector<Region> regions_;  // sorted by base, non-overlapping
+  std::vector<std::string> ownership_violations_;
+  std::unordered_map<std::uint64_t, WaitEdge> waits_;  // rpc_id -> edge
+  std::unordered_map<ComponentId, std::string> names_;
+  obs::FlightRecorder* recorder_ = nullptr;
+
+  std::uint64_t payload_scans_ = 0;
+  std::uint64_t values_scanned_ = 0;
+  std::uint64_t leaks_detected_ = 0;
+  std::uint64_t deadlocks_detected_ = 0;
+};
+
+}  // namespace vampos::check

@@ -117,6 +117,12 @@ class InitCtx {
   FunctionId Import(const std::string& component,
                     const std::string& function);
 
+  /// Non-fatal Import for optional peers: nullopt when the component or
+  /// function is absent from this assembly (e.g. a stack built without a
+  /// filesystem).
+  std::optional<FunctionId> TryImport(const std::string& component,
+                                      const std::string& function);
+
   [[nodiscard]] core::Runtime& runtime() { return rt_; }
   [[nodiscard]] ComponentId self() const { return self_; }
 

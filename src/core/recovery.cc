@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/diag.h"
+#include "check/isolation_checker.h"
 #include "core/runtime.h"
 
 namespace vampos::core {
@@ -235,6 +236,7 @@ void Runtime::StopComponentFibers(ComponentId leader) {
     // be answered to a dead fiber and must be discarded on arrival.
     for (auto pit = pending_replies_.begin(); pit != pending_replies_.end();) {
       if (pit->second.waiter == f) {
+        if (checker_ != nullptr) checker_->RemoveWait(pit->first);
         pit = pending_replies_.erase(pit);
       } else {
         ++pit;
@@ -276,6 +278,7 @@ void Runtime::StopComponentFibers(ComponentId leader) {
     }
     for (const Message& qm : domain_->DropQueuedFrom(m)) {
       if (qm.log_seq != 0) domain_->LogFor(Fn(qm.fn).owner).Erase(qm.log_seq);
+      if (checker_ != nullptr) checker_->RemoveWait(qm.rpc_id);
       pending_replies_.erase(qm.rpc_id);
     }
   }
@@ -552,12 +555,26 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   // fault does not carry over to the variant.
   slot.injection.reset();
 
+  // The retiring implementation's arena dies with it: drop its protection
+  // tag and its shadow-ownership claim before the successor's arena is
+  // registered, or a stale region would mis-tag recycled heap memory (and
+  // trip the overlap checks).
+  if (isolation_ && slot.key != mpk::kDefaultKey) {
+    domains_.UntagArena(slot.component->arena());
+  }
+  if (checker_ != nullptr) {
+    checker_->UnregisterRegion(slot.component->arena().base());
+  }
   std::unique_ptr<comp::Component> variant = std::move(slot.variant);
   variant->id_ = leader;
   slot.component = std::move(variant);
   comp::Component& c = *slot.component;
   if (isolation_ && slot.key != mpk::kDefaultKey) {
     domains_.TagArena(c.arena(), slot.key, c.name() + "+variant");
+  }
+  if (checker_ != nullptr) {
+    checker_->RegisterRegion(leader, c.arena().base(), c.arena().size(),
+                             c.name() + "+variant");
   }
   c.alloc_.emplace(c.arena());
   comp::InitCtx ictx(*this, leader);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/diag.h"
+#include "check/isolation_checker.h"
 
 namespace vampos::core {
 
@@ -50,6 +51,16 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
       options_.msg_arena_size, isolation_ ? &domains_ : nullptr);
   domain_->BindTelemetry(&recorder_, hist_.queue_depth);
   fibers_.set_recorder(&recorder_);
+
+  if (options_.isolation_check) {
+    checker_ = std::make_unique<check::IsolationChecker>();
+    checker_->BindRecorder(&recorder_);
+    // The message-domain arena is the trust zone: component payloads must
+    // not carry pointers into it either.
+    checker_->RegisterRegion(check::IsolationChecker::kMessageDomainOwner,
+                             domain_->arena().base(), domain_->arena().size(),
+                             "message-domain");
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -114,6 +125,23 @@ void Runtime::Boot() {
       if (slot.key != mpk::kDefaultKey) pkru.Allow(slot.key, /*write=*/true);
       pkru.Allow(domain_->key(), /*write=*/true);
       slot.pkru = pkru;
+    }
+  }
+
+  // Shadow ownership map: every component arena is claimed for its group
+  // leader's protection domain. Overlapping claims mean the domain layout is
+  // broken before any component runs — fail loudly at boot.
+  if (checker_ != nullptr) {
+    for (auto& slot : slots_) {
+      const ComponentId id = slot.component->id();
+      checker_->RegisterComponentName(id, slot.component->name());
+      checker_->RegisterRegion(slot.leader, slot.component->arena().base(),
+                               slot.component->arena().size(),
+                               slot.component->name());
+    }
+    if (!checker_->ownership_violations().empty()) {
+      Fatal("isolation checker: %s",
+            checker_->ownership_violations().front().c_str());
     }
   }
 
@@ -465,6 +493,18 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
           slots_[fn.owner].component->name().c_str(), fn.name.c_str());
   }
 
+  if (checker_ != nullptr) {
+    // Push-time isolation checks: a payload carrying a pointer into another
+    // domain's arena faults the *sender* (kMpkViolation → normal reboot
+    // path), and a call that would close a reply wait-for cycle faults it
+    // with kDeadlock before the message plane can wedge. Both throws unwind
+    // this fiber like any other component fault.
+    const ComponentId caller_domain =
+        caller == kComponentNone ? kComponentNone : LeaderOf(caller);
+    checker_->ScanPayload(caller, caller_domain, args);
+    checker_->CheckCallCycle(caller_domain, LeaderOf(fn.owner));
+  }
+
   // Message-thread work: store the arguments in the function-call log before
   // the callee is dispatched (§V-C).
   const LogSeq seq = MaybeLogCall(fn, args);
@@ -481,6 +521,9 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   domain_->Push(m, args);
   ct_.messages->Add();
   pending_replies_[m.rpc_id] = PendingReply{false, MsgValue(), self};
+  if (checker_ != nullptr && caller != kComponentNone) {
+    checker_->AddWait(m.rpc_id, LeaderOf(caller), LeaderOf(fn.owner));
+  }
 
   if (options_.policy == SchedPolicy::kDependencyAware) {
     // Correlation hint: the sender's dependency set *replaces* the candidate
@@ -494,6 +537,8 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   }
 
   fibers_.Block();  // the message thread takes over; Wake() on reply
+
+  if (checker_ != nullptr) checker_->RemoveWait(m.rpc_id);
 
   // End-to-end call latency (enqueue to reply pickup) feeds the tail
   // percentiles the bench harness reports.
@@ -593,6 +638,11 @@ bool Runtime::ExecuteOne(ComponentId id) {
     ret = fn.handler(cctx, args);
     fn.latency->Record(options_.clock->Now() - t0);
     if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
+    // Reply-side leak scan, still inside the try so a leaked return value
+    // gets the same retry-then-fail-stop treatment as a faulting handler.
+    if (checker_ != nullptr) {
+      checker_->ScanPayload(id, LeaderOf(id), Args{ret});
+    }
   } catch (...) {
     slot.busy--;
     slot.inflight_failed = std::make_pair(m, args);
@@ -840,6 +890,7 @@ void Runtime::DumpState(std::FILE* out) const {
   }
   std::fprintf(out, "  terminal fault: %s\n",
                terminal_fault_.has_value() ? terminal_fault_->what() : "none");
+  if (checker_ != nullptr) checker_->Dump(out);
   recorder_.DumpTail(out);
 }
 
@@ -899,6 +950,11 @@ FunctionId InitCtx::Export(const std::string& name, FnOptions options,
 FunctionId InitCtx::Import(const std::string& component,
                            const std::string& function) {
   return rt_.Lookup(component, function);
+}
+
+std::optional<FunctionId> InitCtx::TryImport(const std::string& component,
+                                             const std::string& function) {
+  return rt_.TryLookup(component, function);
 }
 
 }  // namespace vampos::comp

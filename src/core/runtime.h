@@ -33,6 +33,10 @@
 #include "obs/trace.h"
 #include "sched/fiber.h"
 
+namespace vampos::check {
+class IsolationChecker;
+}
+
 namespace vampos::core {
 
 enum class Mode { kUnikraft, kVampOS };
@@ -68,6 +72,13 @@ struct RuntimeOptions {
   bool tracing = false;
   /// Ring capacity (events) used when `tracing` is set.
   std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Debug/CI isolation and liveness checking (vampcheck, see
+  /// docs/static-analysis.md): shadow arena-ownership map, cross-domain
+  /// pointer-leak scan on every push/reply, and wait-for-graph deadlock
+  /// detection over blocked calls. Off by default: the runtime holds a null
+  /// checker and every hook is a single predicted branch (same guarantee as
+  /// the flight recorder).
+  bool isolation_check = false;
   Clock* clock = &SteadyClock::Instance();
 };
 
@@ -230,6 +241,12 @@ class Runtime {
   [[nodiscard]] obs::FlightRecorder& recorder() { return recorder_; }
   [[nodiscard]] const obs::FlightRecorder& recorder() const {
     return recorder_;
+  }
+  /// Isolation/deadlock checker; nullptr unless
+  /// RuntimeOptions::isolation_check was set.
+  [[nodiscard]] check::IsolationChecker* checker() { return checker_.get(); }
+  [[nodiscard]] const check::IsolationChecker* checker() const {
+    return checker_.get();
   }
   /// Metrics registry holding every named counter and histogram
   /// (RuntimeStats and FunctionStats are snapshot views over it).
@@ -459,6 +476,8 @@ class Runtime {
 
   mpk::DomainManager domains_;
   std::unique_ptr<msg::MessageDomain> domain_;
+  // Null unless options_.isolation_check (hot-path hooks branch on it once).
+  std::unique_ptr<check::IsolationChecker> checker_;
   sched::FiberManager fibers_;
 
   std::vector<Slot> slots_;

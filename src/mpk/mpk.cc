@@ -1,5 +1,6 @@
 #include "mpk/mpk.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace vampos::mpk {
@@ -26,41 +27,70 @@ std::optional<Key> DomainManager::AssignKey(const mem::Arena& arena,
 
 void DomainManager::TagArena(const mem::Arena& arena, Key key,
                              std::string label) {
-  regions_.push_back(Region{
+  Region r{
       .base = reinterpret_cast<std::uintptr_t>(arena.base()),
       .end = reinterpret_cast<std::uintptr_t>(arena.base()) + arena.size(),
       .key = key,
       .label = std::move(label),
-  });
+  };
+  // Sorted insert; every byte must belong to exactly one region, so an
+  // overlap means two protection domains claim the same memory — a runtime
+  // bug (e.g. a stale tag surviving its arena), not a recoverable component
+  // fault.
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), r.base,
+      [](const Region& a, std::uintptr_t b) { return a.base < b; });
+  const Region* clash = nullptr;
+  if (it != regions_.end() && it->base < r.end) clash = &*it;
+  if (it != regions_.begin() && std::prev(it)->end > r.base) {
+    clash = &*std::prev(it);
+  }
+  if (clash != nullptr) {
+    Fatal("overlapping MPK regions: '%s' (key %d) overlaps '%s' (key %d)",
+          r.label.c_str(), r.key, clash->label.c_str(), clash->key);
+  }
+  regions_.insert(it, std::move(r));
+}
+
+void DomainManager::UntagArena(const mem::Arena& arena) {
+  const auto base = reinterpret_cast<std::uintptr_t>(arena.base());
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), base,
+      [](const Region& a, std::uintptr_t b) { return a.base < b; });
+  if (it != regions_.end() && it->base == base) regions_.erase(it);
+}
+
+const DomainManager::Region* DomainManager::FindRegion(
+    std::uintptr_t ptr) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), ptr,
+      [](std::uintptr_t p, const Region& r) { return p < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  const Region& r = *std::prev(it);
+  return ptr < r.end ? &r : nullptr;
 }
 
 Key DomainManager::KeyFor(const void* ptr) const {
-  const auto p = reinterpret_cast<std::uintptr_t>(ptr);
-  for (const auto& r : regions_) {
-    if (p >= r.base && p < r.end) return r.key;
-  }
-  return kDefaultKey;
+  const Region* r = FindRegion(reinterpret_cast<std::uintptr_t>(ptr));
+  return r != nullptr ? r->key : kDefaultKey;
 }
 
 void DomainManager::CheckAccess(ComponentId actor, const void* ptr,
                                 std::size_t len, bool write) const {
   const auto p = reinterpret_cast<std::uintptr_t>(ptr);
-  for (const auto& r : regions_) {
-    if (p >= r.base && p < r.end) {
-      // Reject ranges straddling out of the region as well.
-      const bool inside = p + len <= r.end;
-      const bool allowed = write ? current_.CanWrite(r.key)
-                                 : current_.CanRead(r.key);
-      if (!inside || !allowed) {
-        throw ComponentFault(
-            actor, FaultKind::kMpkViolation,
-            std::string(write ? "write" : "read") + " to '" + r.label +
-                "' denied by PKRU (key " + std::to_string(r.key) + ")");
-      }
-      return;
-    }
-  }
+  const Region* r = FindRegion(p);
   // Untagged memory (key 0) is always accessible.
+  if (r == nullptr) return;
+  // Reject ranges straddling out of the region as well.
+  const bool inside = p + len <= r->end;
+  const bool allowed =
+      write ? current_.CanWrite(r->key) : current_.CanRead(r->key);
+  if (!inside || !allowed) {
+    throw ComponentFault(
+        actor, FaultKind::kMpkViolation,
+        std::string(write ? "write" : "read") + " to '" + r->label +
+            "' denied by PKRU (key " + std::to_string(r->key) + ")");
+  }
 }
 
 void DomainManager::CheckedRead(ComponentId actor, const void* src, void* dst,

@@ -89,8 +89,17 @@ class DomainManager {
   }
 
   /// Tags an arena with an already-allocated key (used by merged components,
-  /// which share one key across their constituent regions).
+  /// which share one key across their constituent regions). Regions are kept
+  /// sorted by base for binary-search lookups; overlapping an existing
+  /// region is a runtime bug (two domains claiming the same bytes) and
+  /// aborts via Fatal.
   void TagArena(const mem::Arena& arena, Key key, std::string label);
+
+  /// Removes the region tagged for `arena`. Used when a component is
+  /// destroyed while the runtime lives on (variant swap): a stale region
+  /// would mis-tag recycled heap memory and trip the overlap check when the
+  /// successor arena is tagged.
+  void UntagArena(const mem::Arena& arena);
 
   /// Scheduler entry point: installs the PKRU for the component being
   /// dispatched. Cheap by design — models a WRPKRU instruction.
@@ -123,9 +132,13 @@ class DomainManager {
     std::string label;
   };
 
+  /// Containing region for `ptr`, or nullptr for untagged memory. Binary
+  /// search over the sorted, non-overlapping `regions_`.
+  [[nodiscard]] const Region* FindRegion(std::uintptr_t ptr) const;
+
   Pkru current_ = Pkru::AllDenied();
   int next_key_ = 1;  // key 0 reserved as default
-  std::vector<Region> regions_;
+  std::vector<Region> regions_;  // sorted by base, non-overlapping
   std::uint64_t pkru_writes_ = 0;
   bool virtualize_ = false;
   std::uint64_t shared_assignments_ = 0;

@@ -227,6 +227,9 @@ class MessageDomain {
   }
 
   [[nodiscard]] mpk::Key key() const { return key_; }
+  /// Staging-buffer arena (exposed so the isolation checker can claim it in
+  /// its shadow ownership map).
+  [[nodiscard]] const mem::Arena& arena() const { return arena_; }
   [[nodiscard]] std::size_t TotalLogBytes() const;
   [[nodiscard]] std::size_t TotalLogEntries() const;
   [[nodiscard]] std::uint64_t TotalLogScans() const;

@@ -22,6 +22,8 @@ constexpr KindInfo kKinds[] = {
     {"reboot.snapshot", "reboot"}, {"reboot.replay", "reboot"},
     {"hang.detected", "fault"},  {"fault.injected", "fault"},
     {"fail.stop", "fault"},      {"variant.swap", "fault"},
+    {"check.ptr_leak", "fault"}, {"check.deadlock", "fault"},
+    {"check.overlap", "fault"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),

@@ -40,6 +40,9 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,   // injected fault fired (a=FaultKind)
   kFailStop,        // unrecoverable failure, runtime terminating
   kVariantSwap,     // multi-versioning failover engaged
+  kPtrLeakDetected,   // checker: payload carried a foreign pointer (a=owner)
+  kDeadlockDetected,  // checker: reply wait-for cycle closed (a=callee)
+  kOwnershipOverlap,  // checker: two domains claimed the same bytes (a=other)
   kKindCount,
 };
 

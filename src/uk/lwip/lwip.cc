@@ -4,7 +4,7 @@
 #include <cstring>
 #include <span>
 
-#include "uk/virtio/virtio.h"
+#include "uk/platform.h"
 
 namespace vampos::uk {
 

@@ -207,4 +207,29 @@ std::string NinePServer::Handle(const std::string& request) {
   return reply_err("bad op");
 }
 
+std::string EncodeFrame(const Frame& f) {
+  msg::Args args{msg::MsgValue(static_cast<std::int64_t>(f.flags)),
+                 msg::MsgValue(static_cast<std::int64_t>(f.src_port)),
+                 msg::MsgValue(static_cast<std::int64_t>(f.dst_port)),
+                 msg::MsgValue(static_cast<std::int64_t>(f.seq)),
+                 msg::MsgValue(static_cast<std::int64_t>(f.ack)),
+                 msg::MsgValue(f.payload)};
+  auto bytes = msg::SerializeArgs(args);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+Frame DecodeFrame(const std::string& wire) {
+  msg::Args args = msg::DeserializeArgs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
+  Frame f;
+  f.flags = static_cast<std::uint8_t>(args[0].i64());
+  f.src_port = static_cast<std::uint16_t>(args[1].i64());
+  f.dst_port = static_cast<std::uint16_t>(args[2].i64());
+  f.seq = static_cast<std::uint32_t>(args[3].i64());
+  f.ack = static_cast<std::uint32_t>(args[4].i64());
+  f.payload = args[5].bytes();
+  return f;
+}
+
 }  // namespace vampos::uk

@@ -36,6 +36,11 @@ struct Frame {
   std::string payload;
 };
 
+/// Frame wire codec, shared by every layer that touches frames (VIRTIO's
+/// rings, NETDEV, LWIP, and the host-side client harness).
+std::string EncodeFrame(const Frame& f);
+Frame DecodeFrame(const std::string& wire);
+
 /// Host network backend: two queues per direction, the moral equivalent of
 /// the tap device QEMU plugs virtio-net into.
 class HostNet {

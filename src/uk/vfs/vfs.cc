@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstring>
 
-#include "core/runtime.h"
-
 namespace vampos::uk {
 
 using comp::CallCtx;
@@ -458,41 +456,40 @@ void VfsComponent::Init(InitCtx& ctx) {
 }
 
 void VfsComponent::Bind(InitCtx& ctx) {
-  auto& rt = ctx.runtime();
   // File-system backend is optional (Echo's stack has none) and pluggable
   // (9PFS or RAMFS; both export the same interface).
   const std::string& fs = fs_backend_;
-  ninep_mount_ = rt.TryLookup(fs, "mount").value_or(-1);
-  ninep_lookup_ = rt.TryLookup(fs, "lookup").value_or(-1);
-  ninep_create_ = rt.TryLookup(fs, "create").value_or(-1);
-  ninep_open_ = rt.TryLookup(fs, "open").value_or(-1);
-  ninep_read_ = rt.TryLookup(fs, "read").value_or(-1);
-  ninep_write_ = rt.TryLookup(fs, "write").value_or(-1);
-  ninep_clunk_ = rt.TryLookup(fs, "clunk").value_or(-1);
-  ninep_stat_ = rt.TryLookup(fs, "stat").value_or(-1);
-  ninep_fsync_ = rt.TryLookup(fs, "fsync").value_or(-1);
-  ninep_mkdir_ = rt.TryLookup(fs, "mkdir").value_or(-1);
-  ninep_remove_path_ = rt.TryLookup(fs, "remove_path").value_or(-1);
-  ninep_rename_ = rt.TryLookup(fs, "rename").value_or(-1);
-  ninep_readdir_ = rt.TryLookup(fs, "readdir").value_or(-1);
-  ninep_truncate_ = rt.TryLookup(fs, "truncate").value_or(-1);
-  ninep_stat_path_ = rt.TryLookup(fs, "stat_path").value_or(-1);
+  ninep_mount_ = ctx.TryImport(fs, "mount").value_or(-1);
+  ninep_lookup_ = ctx.TryImport(fs, "lookup").value_or(-1);
+  ninep_create_ = ctx.TryImport(fs, "create").value_or(-1);
+  ninep_open_ = ctx.TryImport(fs, "open").value_or(-1);
+  ninep_read_ = ctx.TryImport(fs, "read").value_or(-1);
+  ninep_write_ = ctx.TryImport(fs, "write").value_or(-1);
+  ninep_clunk_ = ctx.TryImport(fs, "clunk").value_or(-1);
+  ninep_stat_ = ctx.TryImport(fs, "stat").value_or(-1);
+  ninep_fsync_ = ctx.TryImport(fs, "fsync").value_or(-1);
+  ninep_mkdir_ = ctx.TryImport(fs, "mkdir").value_or(-1);
+  ninep_remove_path_ = ctx.TryImport(fs, "remove_path").value_or(-1);
+  ninep_rename_ = ctx.TryImport(fs, "rename").value_or(-1);
+  ninep_readdir_ = ctx.TryImport(fs, "readdir").value_or(-1);
+  ninep_truncate_ = ctx.TryImport(fs, "truncate").value_or(-1);
+  ninep_stat_path_ = ctx.TryImport(fs, "stat_path").value_or(-1);
   timer_now_ = ctx.Import("timer", "time_ms");
   user_getuid_ = ctx.Import("user", "getuid");
   self_lseek_ = ctx.Import("vfs", "lseek");
   // Network backends are optional (SQLite's stack has no LWIP).
-  lwip_socket_ = rt.TryLookup("lwip", "socket").value_or(-1);
-  lwip_bind_ = rt.TryLookup("lwip", "bind").value_or(-1);
-  lwip_listen_ = rt.TryLookup("lwip", "listen").value_or(-1);
-  lwip_accept_ = rt.TryLookup("lwip", "accept").value_or(-1);
-  lwip_connect_ = rt.TryLookup("lwip", "connect").value_or(-1);
-  lwip_send_ = rt.TryLookup("lwip", "send").value_or(-1);
-  lwip_recv_ = rt.TryLookup("lwip", "recv").value_or(-1);
-  lwip_close_ = rt.TryLookup("lwip", "sock_net_close").value_or(-1);
-  lwip_socket_dgram_ = rt.TryLookup("lwip", "socket_dgram").value_or(-1);
-  lwip_sendto_ = rt.TryLookup("lwip", "sendto").value_or(-1);
-  lwip_recvfrom_ = rt.TryLookup("lwip", "recvfrom").value_or(-1);
-  lwip_last_peer_ = rt.TryLookup("lwip", "last_peer").value_or(-1);
+  lwip_socket_ = ctx.TryImport("lwip", "socket").value_or(-1);
+  lwip_bind_ = ctx.TryImport("lwip", "bind").value_or(-1);
+  lwip_listen_ = ctx.TryImport("lwip", "listen").value_or(-1);
+  lwip_accept_ = ctx.TryImport("lwip", "accept").value_or(-1);
+  lwip_connect_ = ctx.TryImport("lwip", "connect").value_or(-1);
+  lwip_send_ = ctx.TryImport("lwip", "send").value_or(-1);
+  lwip_recv_ = ctx.TryImport("lwip", "recv").value_or(-1);
+  lwip_close_ = ctx.TryImport("lwip", "sock_net_close").value_or(-1);
+  lwip_socket_dgram_ = ctx.TryImport("lwip", "socket_dgram").value_or(-1);
+  lwip_sendto_ = ctx.TryImport("lwip", "sendto").value_or(-1);
+  lwip_recvfrom_ = ctx.TryImport("lwip", "recvfrom").value_or(-1);
+  lwip_last_peer_ = ctx.TryImport("lwip", "last_peer").value_or(-1);
 }
 
 comp::CompactionHook VfsComponent::compaction_hook() {

@@ -13,31 +13,6 @@ using comp::Statefulness;
 using msg::Args;
 using msg::MsgValue;
 
-std::string EncodeFrame(const Frame& f) {
-  Args args{MsgValue(static_cast<std::int64_t>(f.flags)),
-            MsgValue(static_cast<std::int64_t>(f.src_port)),
-            MsgValue(static_cast<std::int64_t>(f.dst_port)),
-            MsgValue(static_cast<std::int64_t>(f.seq)),
-            MsgValue(static_cast<std::int64_t>(f.ack)),
-            MsgValue(f.payload)};
-  auto bytes = msg::SerializeArgs(args);
-  return std::string(reinterpret_cast<const char*>(bytes.data()),
-                     bytes.size());
-}
-
-Frame DecodeFrame(const std::string& wire) {
-  Args args = msg::DeserializeArgs(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(wire.data()), wire.size()));
-  Frame f;
-  f.flags = static_cast<std::uint8_t>(args[0].i64());
-  f.src_port = static_cast<std::uint16_t>(args[1].i64());
-  f.dst_port = static_cast<std::uint16_t>(args[2].i64());
-  f.seq = static_cast<std::uint32_t>(args[3].i64());
-  f.ack = static_cast<std::uint32_t>(args[4].i64());
-  f.payload = args[5].bytes();
-  return f;
-}
-
 Nanos VirtioComponent::hypercall_cost_ns = 1500;
 
 VirtioComponent::VirtioComponent(Platform* platform, HostRingView* host_view)

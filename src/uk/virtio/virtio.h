@@ -58,8 +58,4 @@ class VirtioComponent final : public comp::Component {
   Rings* rings_ = nullptr;
 };
 
-/// Serialization helpers shared with NETDEV/LWIP.
-std::string EncodeFrame(const Frame& f);
-Frame DecodeFrame(const std::string& wire);
-
 }  // namespace vampos::uk

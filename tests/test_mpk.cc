@@ -79,6 +79,71 @@ TEST(DomainManager, KeyVirtualizationSharesWhenExhausted) {
   EXPECT_THROW(dm.CheckedWrite(1, arenas[1]->base(), &c, 1), ComponentFault);
 }
 
+TEST(DomainManager, OverflowDomainSharesLeastPopulatedKey) {
+  DomainManager dm;
+  dm.EnableKeyVirtualization();
+  std::vector<std::unique_ptr<mem::Arena>> arenas;
+  std::vector<Key> keys;
+  // 15 domains exhaust the hardware budget (key 0 reserved) with unique keys.
+  for (int i = 0; i < 15; ++i) {
+    arenas.push_back(std::make_unique<mem::Arena>(4096));
+    keys.push_back(*dm.AssignKey(*arenas.back(), "d" + std::to_string(i)));
+  }
+  EXPECT_EQ(dm.shared_key_assignments(), 0u);
+  // The 16th domain shares the least-populated physical key; the 17th takes
+  // the next one, so sharing stays balanced.
+  arenas.push_back(std::make_unique<mem::Arena>(4096));
+  const Key shared = *dm.AssignKey(*arenas.back(), "overflow-1");
+  EXPECT_EQ(dm.shared_key_assignments(), 1u);
+  EXPECT_EQ(shared, keys[0]);
+  arenas.push_back(std::make_unique<mem::Arena>(4096));
+  const Key shared2 = *dm.AssignKey(*arenas.back(), "overflow-2");
+  EXPECT_EQ(dm.shared_key_assignments(), 2u);
+  EXPECT_NE(shared2, shared);
+
+  // Same-key isolation degrades by design: a PKRU that opens the shared key
+  // reaches both the original domain's arena and the overflow's...
+  Pkru open_shared = Pkru::AllDenied();
+  open_shared.Allow(shared, /*write=*/true);
+  dm.WritePkru(open_shared);
+  char c = 0;
+  dm.CheckedWrite(1, arenas[0]->base(), &c, 1);
+  dm.CheckedWrite(1, arenas[15]->base(), &c, 1);
+  // ...while domains on distinct physical keys stay isolated.
+  EXPECT_THROW(dm.CheckedWrite(1, arenas[1]->base(), &c, 1), ComponentFault);
+}
+
+TEST(DomainManager, UntagArenaReleasesTheRegion) {
+  DomainManager dm;
+  mem::Arena a(4096, "transient");
+  const Key key = *dm.AssignKey(a, "transient");
+  EXPECT_EQ(dm.KeyFor(a.base()), key);
+  dm.UntagArena(a);
+  EXPECT_EQ(dm.KeyFor(a.base()), kDefaultKey);
+  // The bytes can be re-tagged (variant swap re-uses the group's key).
+  dm.TagArena(a, key, "transient+variant");
+  EXPECT_EQ(dm.KeyFor(a.base()), key);
+}
+
+TEST(DomainManagerDeathTest, OverlappingTagAborts) {
+  DomainManager dm;
+  mem::Arena a(4096, "claimed");
+  (void)dm.AssignKey(a, "claimed");
+  // A second domain claiming the same bytes is a runtime bug, not a
+  // component fault: it aborts.
+  EXPECT_DEATH(dm.TagArena(a, 3, "dup"), "overlap");
+}
+
+TEST(DomainManager, KeyForRangeBoundaries) {
+  DomainManager dm;
+  mem::Arena a(4096, "edges");
+  const Key key = *dm.AssignKey(a, "edges");
+  EXPECT_EQ(dm.KeyFor(a.base()), key);
+  EXPECT_EQ(dm.KeyFor(a.base() + a.size() / 2), key);
+  EXPECT_EQ(dm.KeyFor(a.base() + a.size() - 1), key);
+  EXPECT_EQ(dm.KeyFor(a.base() + a.size()), kDefaultKey);  // one past end
+}
+
 TEST(DomainManager, UntaggedMemoryIsKeyZero) {
   DomainManager dm;
   int local = 0;

@@ -1,0 +1,196 @@
+// layering_lint — vampcheck's static prong.
+//
+// Enforces the include-layering rules documented in DESIGN.md ("Layering
+// rules"): each subsystem directory under src/ may only include headers from
+// the layers beneath it, component code under src/uk/<name>/ may include
+// base/obs/mem/msg/comp, the shared uk platform headers, and its own
+// directory — never another component's headers or core/sched internals —
+// and obs/ depends only on base/.
+//
+// Usage: layering_lint <root>...
+//   Each root is a source tree whose top-level directories are layer names
+//   (typically the repo's src/). Every .h/.cc/.cpp/.hpp under it is scanned
+//   for quoted #include directives; both endpoints are classified and
+//   forbidden edges are reported as
+//     <file>:<line>: error: ...
+//   Exit code: 0 clean, 1 violations found, 2 usage/IO error.
+//
+// Deliberately dependency-free (no libclang): quoted includes in this tree
+// are always root-relative layer paths, so textual extraction is exact.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Allowed direct-include sets, bottom-up. "uk" covers the shared platform
+// files directly in src/uk/; per-component subdirectories get the same set
+// plus their own directory (handled in CheckEdge). "apps" is the top layer
+// and unrestricted.
+const std::map<std::string, std::set<std::string>>& AllowedLayers() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"base", {"base"}},
+      {"obs", {"base", "obs"}},
+      {"mem", {"base", "mem"}},
+      {"mpk", {"base", "mem", "mpk"}},
+      {"sched", {"base", "obs", "sched"}},
+      {"msg", {"base", "obs", "mem", "mpk", "msg"}},
+      {"comp", {"base", "mem", "msg", "comp"}},
+      {"check", {"base", "obs", "msg", "check"}},
+      {"core",
+       {"base", "obs", "mem", "mpk", "sched", "msg", "comp", "check",
+        "core"}},
+      {"uk", {"base", "obs", "mem", "msg", "comp", "uk"}},
+      {"apps", {}},
+  };
+  return kAllowed;
+}
+
+struct Layer {
+  std::string top;      // "base", "uk", "apps", ...
+  std::string uk_comp;  // non-empty for uk/<component>/... paths
+};
+
+// Classifies a root-relative path (or an include string, which uses the same
+// shape). Unknown top-level directories — system headers, gtest — are not
+// subject to the rules.
+std::optional<Layer> Classify(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return std::nullopt;  // top-level file
+  Layer layer;
+  layer.top = rel.substr(0, slash);
+  if (!AllowedLayers().contains(layer.top)) return std::nullopt;
+  if (layer.top == "uk") {
+    const std::string rest = rel.substr(slash + 1);
+    const std::size_t inner = rest.find('/');
+    if (inner != std::string::npos) layer.uk_comp = rest.substr(0, inner);
+  }
+  return layer;
+}
+
+// Extracts the target of a quoted #include on `line`, if any. Bracketed
+// includes (<vector>) are system headers and exempt.
+std::optional<std::string> QuotedInclude(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return std::nullopt;
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
+    return std::nullopt;
+  }
+  const std::size_t open = line.find('"', i + 7);
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(open + 1, close - open - 1);
+}
+
+std::string DescribeSet(const std::set<std::string>& allowed) {
+  std::string out = "{";
+  for (const std::string& a : allowed) {
+    if (out.size() > 1) out += ", ";
+    out += a;
+  }
+  return out + "}";
+}
+
+// Returns an error description for a forbidden edge, or nullopt if allowed.
+std::optional<std::string> CheckEdge(const Layer& file, const Layer& inc) {
+  if (file.top == "apps") return std::nullopt;  // top layer: unrestricted
+  if (file.top == "uk") {
+    if (inc.top == "uk") {
+      // Shared platform headers (directly in uk/) are open to everyone in
+      // uk/; a component's own headers only to itself. Shared files must not
+      // reach down into a component.
+      if (inc.uk_comp.empty() || inc.uk_comp == file.uk_comp) {
+        return std::nullopt;
+      }
+      return "component code may not include another component's headers "
+             "(uk/" +
+             inc.uk_comp + "/)";
+    }
+    if (AllowedLayers().at("uk").contains(inc.top)) return std::nullopt;
+    return "uk components may only include " +
+           DescribeSet(AllowedLayers().at("uk")) +
+           " and their own headers, never " + inc.top + "/ internals";
+  }
+  const std::set<std::string>& allowed = AllowedLayers().at(file.top);
+  if (allowed.contains(inc.top)) return std::nullopt;
+  return "layer '" + file.top + "' may only include " + DescribeSet(allowed);
+}
+
+bool SourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+int LintRoot(const fs::path& root, int& files, int& edges) {
+  int violations = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && SourceExtension(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic report order
+  for (const fs::path& path : paths) {
+    const std::string rel = path.lexically_relative(root).generic_string();
+    const std::optional<Layer> file_layer = Classify(rel);
+    if (!file_layer.has_value()) continue;
+    files++;
+    std::ifstream in(path);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      lineno++;
+      const std::optional<std::string> inc = QuotedInclude(line);
+      if (!inc.has_value()) continue;
+      const std::optional<Layer> inc_layer = Classify(*inc);
+      if (!inc_layer.has_value()) continue;
+      edges++;
+      if (const auto err = CheckEdge(*file_layer, *inc_layer)) {
+        std::fprintf(stderr, "%s:%d: error: forbidden include \"%s\": %s\n",
+                     path.generic_string().c_str(), lineno, inc->c_str(),
+                     err->c_str());
+        violations++;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: layering_lint <root>...\n");
+    return 2;
+  }
+  int violations = 0;
+  int files = 0;
+  int edges = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "layering_lint: not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    violations += LintRoot(root, files, edges);
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "layering_lint: %d violation%s in %d files\n",
+                 violations, violations == 1 ? "" : "s", files);
+    return 1;
+  }
+  std::printf("layering_lint: OK (%d files, %d layered includes)\n", files,
+              edges);
+  return 0;
+}
