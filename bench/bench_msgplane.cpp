@@ -105,32 +105,6 @@ class SessComponent final : public comp::Component {
   FunctionId set_fn_ = -1;
 };
 
-struct JsonDoc {
-  std::string body;
-  void Add(const std::string& key, double value) {
-    if (!body.empty()) body += ",\n";
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "  \"%s\": %.3f", key.c_str(), value);
-    body += buf;
-  }
-  /// Embeds `raw` (already-valid JSON, e.g. MetricsRegistry::Json()) under
-  /// `key` without quoting it.
-  void AddRaw(const std::string& key, const std::string& raw) {
-    if (!body.empty()) body += ",\n";
-    body += "  \"" + key + "\": " + raw;
-  }
-  bool Write(const char* path) const {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path);
-      return false;
-    }
-    std::fprintf(f, "{\n%s\n}\n", body.c_str());
-    std::fclose(f);
-    return true;
-  }
-};
-
 // ----------------------------------------------------- call throughput
 
 void BenchCallThroughput(JsonDoc& json) {
@@ -353,8 +327,7 @@ void Run() {
   BenchLogOps(json);
   BenchSessionWorkload(json);
   BenchRebootUnderLoad(json);
-  const char* path = std::getenv("VAMPOS_BENCH_JSON");
-  if (path == nullptr) path = "bench_msgplane.json";
+  const char* path = BenchJsonPath("bench_msgplane.json");
   if (!json.Write(path)) std::exit(1);
   std::printf("\nJSON baseline written to %s\n", path);
 }

@@ -146,6 +146,16 @@ std::vector<double> RunScenario(bool vampos, int warm_keys) {
   return latencies;
 }
 
+/// Median probe latency over the non-fault ticks (the steady-state floor
+/// the fault-tick spike is compared against).
+double SteadyMedian(const std::vector<double>& latencies) {
+  Series steady;
+  for (int t = 0; t < static_cast<int>(latencies.size()); ++t) {
+    if (t != kFaultTick && latencies[t] > 0) steady.Add(latencies[t]);
+  }
+  return steady.Median();
+}
+
 void Run() {
   const int warm_keys = FullScale() ? 100000 : 10000;
   Header("Fig 8: Redis GET latency across failure recovery [us per tick]");
@@ -159,12 +169,21 @@ void Run() {
                 t < static_cast<int>(vamp.size()) ? vamp[t] : -1.0,
                 t < static_cast<int>(uk.size()) ? uk[t] : -1.0);
   }
+  JsonDoc json;
+  json.Add("fault_tick_vampos_us", vamp[kFaultTick]);
+  json.Add("fault_tick_unikraft_us", uk[kFaultTick]);
+  json.Add("steady_median_vampos_us", SteadyMedian(vamp));
+  json.Add("steady_median_unikraft_us", SteadyMedian(uk));
   // Summary shape check: the spike ratio at the fault tick.
   if (vamp[kFaultTick] > 0 && uk[kFaultTick] > 0) {
     std::printf("\n  fault-tick latency: VampOS %.1f us vs Unikraft %.1f us"
                 " (%.0fx)\n", vamp[kFaultTick], uk[kFaultTick],
                 uk[kFaultTick] / vamp[kFaultTick]);
+    json.Add("fault_tick_spike_ratio", uk[kFaultTick] / vamp[kFaultTick]);
   }
+  const char* path = BenchJsonPath("BENCH_recovery.json");
+  if (!json.Write(path)) std::exit(1);
+  std::printf("\nJSON baseline written to %s\n", path);
 }
 
 }  // namespace

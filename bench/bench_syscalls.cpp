@@ -97,12 +97,20 @@ std::map<std::string, Series> MeasureConfig(Config cfg) {
   return results;
 }
 
-void Fig5() {
+void Fig5(JsonDoc& json) {
   Header("Fig 5: system call execution time [us], median of 100 trials");
   std::printf("  %-14s %9s %9s %9s %9s %9s %9s %9s\n", "config", "getpid",
               "open", "write", "read", "close", "sock_rd", "sock_wr");
   std::map<Config, std::map<std::string, Series>> all;
   for (Config cfg : AllConfigs()) all[cfg] = MeasureConfig(cfg);
+
+  for (Config cfg : AllConfigs()) {
+    for (const char* call : {"getpid", "open", "write", "read", "close",
+                             "socket_read", "socket_write"}) {
+      json.Add(JsonKey(Name(cfg)) + "_" + call + "_us",
+               all[cfg][call].Median() / 1000.0);
+    }
+  }
 
   std::printf("\n  Relative to Unikraft (x):\n");
   std::printf("  %-14s %9s %9s %9s %9s %9s %9s %9s\n", "config", "getpid",
@@ -172,7 +180,7 @@ std::map<std::string, double> LogDeltas(bool shrink) {
   return medians;
 }
 
-void TableIII() {
+void TableIII(JsonDoc& json) {
   Header("Table III: log space overhead per system call [entries]");
   auto normal = LogDeltas(/*shrink=*/false);
   auto shrunk = LogDeltas(/*shrink=*/true);
@@ -180,14 +188,24 @@ void TableIII() {
   for (const char* call : {"getpid", "open", "read", "write", "close",
                            "socket_read", "socket_write"}) {
     std::printf("  %-14s %10.0f %10.0f\n", call, normal[call], shrunk[call]);
+    json.Add(std::string("log_delta_normal_") + call, normal[call]);
+    json.Add(std::string("log_delta_shrunk_") + call, shrunk[call]);
   }
+}
+
+void Run() {
+  JsonDoc json;
+  Fig5(json);
+  TableIII(json);
+  const char* path = BenchJsonPath("BENCH_syscalls.json");
+  if (!json.Write(path)) std::exit(1);
+  std::printf("\nJSON baseline written to %s\n", path);
 }
 
 }  // namespace
 }  // namespace vampos::bench
 
 int main() {
-  vampos::bench::Fig5();
-  vampos::bench::TableIII();
+  vampos::bench::Run();
   return 0;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -147,6 +148,59 @@ inline void PrintLatency(const char* label, const obs::Histogram& h) {
               label, h.Percentile(50) / 1e3, h.Percentile(95) / 1e3,
               h.Percentile(99) / 1e3,
               static_cast<unsigned long long>(h.count()));
+}
+
+/// Flat JSON baseline document shared by the bench binaries. Each bench
+/// writes one of these at the repo root (bench_msgplane.json,
+/// BENCH_recovery.json, BENCH_syscalls.json) so the perf trajectory is
+/// machine-diffable run-to-run.
+struct JsonDoc {
+  std::string body;
+  void Add(const std::string& key, double value) {
+    if (!body.empty()) body += ",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.3f", key.c_str(), value);
+    body += buf;
+  }
+  /// Embeds `raw` (already-valid JSON, e.g. MetricsRegistry::Json()) under
+  /// `key` without quoting it.
+  void AddRaw(const std::string& key, const std::string& raw) {
+    if (!body.empty()) body += ",\n";
+    body += "  \"" + key + "\": " + raw;
+  }
+  bool Write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n%s\n}\n", body.c_str());
+    std::fclose(f);
+    return true;
+  }
+};
+
+/// Lower-cases and underscores a display name ("VampOS-DaS" -> "vampos_das")
+/// so config/call names compose into stable JSON keys.
+inline std::string JsonKey(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+/// Output path for a bench's JSON baseline: VAMPOS_BENCH_JSON if set,
+/// otherwise the bench's default name (relative to the working directory,
+/// i.e. the repo root when run from there).
+inline const char* BenchJsonPath(const char* default_name) {
+  const char* path = std::getenv("VAMPOS_BENCH_JSON");
+  return path != nullptr ? path : default_name;
 }
 
 inline void Header(const char* title) {

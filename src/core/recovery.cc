@@ -385,6 +385,29 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   hist_.replay_entries->Record(
       static_cast<std::int64_t>(report.entries_replayed));
 
+  // Per-request stall attribution: every traced request this reboot parked
+  // (interrupted mid-handler) or re-queued (drained from the inbox) was
+  // stalled for the stop+snapshot+replay phases — the recovery-induced
+  // share of its end-to-end latency. Each affected trace is charged once,
+  // as a trace.stall event plus a trace.stall_reboot_ns sample; deduped
+  // outbound retries create no new spans, so nothing double-counts.
+  // (TrySwapVariant intentionally skips this: a variant swap is a
+  // deterministic-bug failover, not the reboot path the paper measures.)
+  if (recorder_.enabled()) {
+    const Nanos stall =
+        report.stop_ns + report.snapshot_ns + report.replay_ns;
+    const auto charge = [&](const RetryRecord& rec) {
+      if (!rec.msg.trace.active()) return;
+      hist_.trace_stall_ns->Record(stall);
+      recorder_.Record(obs::EventKind::kTraceStall, obs::TracePhase::kInstant,
+                       leader, stall,
+                       static_cast<std::int64_t>(rec.msg.rpc_id),
+                       rec.msg.trace);
+    };
+    for (const RetryRecord& rec : inflight_retry_) charge(rec);
+    for (const RetryRecord& rec : queued_requeue_) charge(rec);
+  }
+
   slot.failed = false;
   slot.reboots++;
   RespawnResident(leader);
@@ -415,6 +438,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
       r.to = rec.msg.from;
       r.fn = rec.msg.fn;
       r.caller_fiber = rec.msg.caller_fiber;
+      r.trace = rec.msg.trace;
       domain_->PushReply(
           r, Args{MsgValue(ToWire(Status::Error(Errno::kIo, "rebooted")))});
     }
@@ -444,6 +468,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
                    report.total_ns,
                    static_cast<std::int64_t>(report.entries_replayed));
   reboot_history_.push_back(report);
+  if (dump_trace_on_reboot_) WritePostmortemTrace("post-reboot");
   return report;
 }
 

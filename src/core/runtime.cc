@@ -22,9 +22,25 @@ using msg::MsgValue;
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   // Observability: resolve every hot-path counter/histogram once; the
-  // recorder stays unallocated unless tracing was requested.
+  // recorder stays unallocated unless tracing was requested. Env knobs let
+  // operators trace any binary without a code change: VAMPOS_TRACE forces
+  // tracing on ("1") or off, VAMPOS_TRACE_EVENTS overrides the ring
+  // capacity, VAMPOS_TRACE_DUMP_ON_REBOOT adds a post-reboot dump to the
+  // fail-stop/spin-limit auto-dump paths.
   recorder_.set_clock(options_.clock);
-  if (options_.tracing) recorder_.Enable(options_.trace_capacity);
+  recorder_.set_dropped_counter(&metrics_.GetCounter("obs.dropped_events"));
+  bool tracing = options_.tracing;
+  if (const char* env = std::getenv("VAMPOS_TRACE")) tracing = env[0] == '1';
+  std::size_t trace_capacity = options_.trace_capacity;
+  if (const char* env = std::getenv("VAMPOS_TRACE_EVENTS")) {
+    if (const long n = std::atol(env); n > 0) {
+      trace_capacity = static_cast<std::size_t>(n);
+    }
+  }
+  if (tracing) recorder_.Enable(trace_capacity);
+  if (const char* env = std::getenv("VAMPOS_TRACE_DUMP_ON_REBOOT")) {
+    dump_trace_on_reboot_ = env[0] == '1';
+  }
   ct_.calls = &metrics_.GetCounter("rt.calls");
   ct_.direct_calls = &metrics_.GetCounter("rt.direct_calls");
   ct_.messages = &metrics_.GetCounter("rt.messages");
@@ -45,6 +61,10 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   hist_.reboot_replay_ns = &metrics_.GetHistogram("reboot.replay_ns");
   hist_.reboot_total_ns = &metrics_.GetHistogram("reboot.total_ns");
   hist_.replay_entries = &metrics_.GetHistogram("reboot.replay_entries");
+  hist_.trace_queue_ns = &metrics_.GetHistogram("trace.queue_ns");
+  hist_.trace_exec_ns = &metrics_.GetHistogram("trace.exec_ns");
+  hist_.trace_reply_ns = &metrics_.GetHistogram("trace.reply_ns");
+  hist_.trace_stall_ns = &metrics_.GetHistogram("trace.stall_reboot_ns");
 
   isolation_ = options_.isolation && options_.mode == Mode::kVampOS;
   domain_ = std::make_unique<msg::MessageDomain>(
@@ -518,6 +538,22 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   m.caller_fiber = self;
   m.enqueued_at = options_.clock->Now();
   m.log_seq = seq;
+  // Causal identity (single branch when tracing is off): a call issued
+  // while serving a traced request becomes a child span of that request; a
+  // call with no active trace — an app-facing entry point — mints a new
+  // trace, pinned to this fiber for the duration of the call so the
+  // callee's nested calls chain under it.
+  bool minted_root = false;
+  if (recorder_.enabled()) {
+    const obs::TraceContext parent = self->trace();
+    if (parent.active()) {
+      m.trace = {parent.trace_id, next_span_id_++, parent.span_id};
+    } else {
+      m.trace = {next_trace_id_++, next_span_id_++, 0};
+      self->set_trace(m.trace);
+      minted_root = true;
+    }
+  }
   domain_->Push(m, args);
   ct_.messages->Add();
   pending_replies_[m.rpc_id] = PendingReply{false, MsgValue(), self};
@@ -543,6 +579,10 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   // End-to-end call latency (enqueue to reply pickup) feeds the tail
   // percentiles the bench harness reports.
   hist_.call_ns->Record(options_.clock->Now() - m.enqueued_at);
+
+  // The request is complete: a root minted for this call must not leak
+  // onto the app fiber's next, unrelated call.
+  if (minted_root) self->set_trace({});
 
   auto it = pending_replies_.find(m.rpc_id);
   if (it == pending_replies_.end() || !it->second.arrived) {
@@ -583,6 +623,17 @@ bool Runtime::ExecuteOne(ComponentId id) {
   auto& [m, args] = *pulled;
   Slot& slot = slots_[LeaderOf(id)];
   sched::Fiber* fiber = fibers_.Current();
+
+  // Adopt the message's causal identity before anything can fault or hang:
+  // nested calls the handler makes become child spans, and a reboot that
+  // interrupts this execution finds the trace on the retry record. The
+  // queue-wait share of the request's latency is knowable right here.
+  if (recorder_.enabled()) {
+    fiber->set_trace(m.trace);
+    if (m.trace.active()) {
+      hist_.trace_queue_ns->Record(options_.clock->Now() - m.enqueued_at);
+    }
+  }
 
   // Fault injection (tests, case studies): trigger before the handler runs.
   if (slot.injection.has_value() && slot.injection->armed) {
@@ -633,10 +684,15 @@ bool Runtime::ExecuteOne(ComponentId id) {
   const FnEntry& fn = Fn(m.fn);
   CallCtx cctx(*this, id, /*restoring=*/false);
   MsgValue ret;
+  Nanos t1 = 0;
   const Nanos t0 = options_.clock->Now();
   try {
     ret = fn.handler(cctx, args);
-    fn.latency->Record(options_.clock->Now() - t0);
+    t1 = options_.clock->Now();
+    fn.latency->Record(t1 - t0);
+    if (recorder_.enabled() && m.trace.active()) {
+      hist_.trace_exec_ns->Record(t1 - t0);
+    }
     if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
     // Reply-side leak scan, still inside the try so a leaked return value
     // gets the same retry-then-fail-stop treatment as a faulting handler.
@@ -652,6 +708,7 @@ bool Runtime::ExecuteOne(ComponentId id) {
   slot.busy--;
   slot.retried_once = false;  // forward progress resets the retry budget
   exec_ctx_.erase(fiber);
+  if (recorder_.enabled()) fiber->set_trace({});
 
   Message r;
   r.kind = Message::Kind::kReply;
@@ -660,7 +717,11 @@ bool Runtime::ExecuteOne(ComponentId id) {
   r.to = m.from;
   r.fn = m.fn;
   r.caller_fiber = m.caller_fiber;
+  // Replies inherit the call's identity; enqueued_at doubles as the reply
+  // push timestamp so delivery can record the reply-hop latency.
+  r.enqueued_at = t1;
   r.log_seq = m.log_seq;
+  r.trace = m.trace;
   domain_->PushReply(r, Args{ret});
   ct_.messages->Add();
   return true;
@@ -687,7 +748,10 @@ void Runtime::DeliverOneReply(const Message& m, Args& payload) {
   it->second.arrived = true;
   it->second.value = std::move(ret);
   recorder_.Record(obs::EventKind::kReplyDeliver, obs::TracePhase::kInstant,
-                   m.to, m.fn, static_cast<std::int64_t>(m.rpc_id));
+                   m.to, m.fn, static_cast<std::int64_t>(m.rpc_id), m.trace);
+  if (recorder_.enabled() && m.trace.active() && m.enqueued_at != 0) {
+    hist_.trace_reply_ns->Record(options_.clock->Now() - m.enqueued_at);
+  }
   fibers_.Wake(m.caller_fiber);
   // The caller made progress: refresh its hang timer so time spent
   // blocked on a (possibly hung and rebooted) callee is not charged to
@@ -903,6 +967,17 @@ void Runtime::WritePostmortemTrace(const char* why) const {
     VAMPOS_INFO("post-mortem trace (%s) written to %s", why, path);
   } else {
     VAMPOS_ERROR("cannot write post-mortem trace to %s", path);
+  }
+  // A companion metrics snapshot (VAMPOS_METRICS_DUMP=path) pairs the
+  // trace with the registry state — CI archives both as artifacts.
+  if (const char* mpath = std::getenv("VAMPOS_METRICS_DUMP");
+      mpath != nullptr && mpath[0] != '\0') {
+    if (std::FILE* f = std::fopen(mpath, "w")) {
+      metrics_.WriteJson(f);
+      std::fclose(f);
+    } else {
+      VAMPOS_ERROR("cannot write metrics snapshot to %s", mpath);
+    }
   }
 }
 

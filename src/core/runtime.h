@@ -69,8 +69,11 @@ struct RuntimeOptions {
   /// Start with the flight recorder enabled (it can also be toggled later
   /// via Runtime::recorder()). Off by default: the recorder ring is not
   /// even allocated, and every trace point is a single predicted branch.
+  /// The VAMPOS_TRACE env var ("1"/"0") overrides this at construction, so
+  /// any binary can be traced without a code change.
   bool tracing = false;
-  /// Ring capacity (events) used when `tracing` is set.
+  /// Ring capacity (events) used when tracing is enabled. Overridden by
+  /// the VAMPOS_TRACE_EVENTS env var when set to a positive integer.
   std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
   /// Debug/CI isolation and liveness checking (vampcheck, see
   /// docs/static-analysis.md): shadow arena-ownership map, cross-domain
@@ -472,6 +475,12 @@ class Runtime {
     obs::Histogram* reboot_replay_ns = nullptr;
     obs::Histogram* reboot_total_ns = nullptr;
     obs::Histogram* replay_entries = nullptr;  // replay batch size
+    // Per-request latency decomposition, recorded only for traced calls
+    // (the recorder's enabled flag gates them along with span minting).
+    obs::Histogram* trace_queue_ns = nullptr;   // push → pull wait
+    obs::Histogram* trace_exec_ns = nullptr;    // handler execution
+    obs::Histogram* trace_reply_ns = nullptr;   // reply push → deliver
+    obs::Histogram* trace_stall_ns = nullptr;   // "trace.stall_reboot_ns"
   } hist_;
 
   mpk::DomainManager domains_;
@@ -512,6 +521,16 @@ class Runtime {
 
   // Runtime-data vault: survives component reboots by construction.
   std::unordered_map<std::string, msg::MsgValue> vault_;
+
+  // Causal tracing: monotonically increasing ids minted when a traced call
+  // enters the message plane (see MessageCall). Only advanced while the
+  // recorder is enabled, so untraced runs never touch them.
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  // Write the trace dump after every completed reboot
+  // (VAMPOS_TRACE_DUMP_ON_REBOOT=1), in addition to the fail-stop and
+  // spin-limit dumps — all three honor VAMPOS_TRACE_DUMP.
+  bool dump_trace_on_reboot_ = false;
 
   std::vector<RebootReport> reboot_history_;
   std::optional<ComponentFault> terminal_fault_;

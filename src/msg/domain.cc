@@ -233,7 +233,8 @@ void MessageDomain::Push(Message msg, const Args& payload) {
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kMsgPush, obs::TracePhase::kInstant,
                       msg.to, msg.fn,
-                      static_cast<std::int64_t>(inbox_[msg.to].size()));
+                      static_cast<std::int64_t>(inbox_[msg.to].size()),
+                      msg.trace);
   }
 }
 
@@ -254,7 +255,8 @@ std::optional<std::pair<Message, Args>> MessageDomain::Pull(ComponentId to) {
   alloc_.Free(buf);
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kMsgPull, obs::TracePhase::kInstant,
-                      to, msg.fn, static_cast<std::int64_t>(msg.rpc_id));
+                      to, msg.fn, static_cast<std::int64_t>(msg.rpc_id),
+                      msg.trace);
   }
   return std::make_pair(msg, DeserializeArgs(wire));
 }
@@ -278,7 +280,7 @@ void MessageDomain::PushReply(Message msg, const Args& payload) {
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kReplyPush, obs::TracePhase::kInstant,
                       msg.from, msg.fn,
-                      static_cast<std::int64_t>(msg.rpc_id));
+                      static_cast<std::int64_t>(msg.rpc_id), msg.trace);
   }
 }
 

@@ -24,13 +24,13 @@
 #include "mem/buddy_allocator.h"
 #include "mpk/mpk.h"
 #include "msg/value.h"
+#include "obs/trace.h"
 
 namespace vampos::sched {
 class Fiber;
 }
 
 namespace vampos::obs {
-class FlightRecorder;
 class Histogram;
 }
 
@@ -51,6 +51,7 @@ struct Message {
   sched::Fiber* caller_fiber = nullptr;  // fiber to wake when replied
   Nanos enqueued_at = 0;                 // for the hang detector
   LogSeq log_seq = 0;                    // call-log entry for this call, 0 = unlogged
+  obs::TraceContext trace;               // causal identity; zero = untraced
 };
 
 /// One logged inbound call on a stateful component, with everything needed

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace vampos::obs {
 
 namespace {
@@ -23,7 +25,7 @@ constexpr KindInfo kKinds[] = {
     {"hang.detected", "fault"},  {"fault.injected", "fault"},
     {"fail.stop", "fault"},      {"variant.swap", "fault"},
     {"check.ptr_leak", "fault"}, {"check.deadlock", "fault"},
-    {"check.overlap", "fault"},
+    {"check.overlap", "fault"},  {"trace.stall", "trace"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),
@@ -58,7 +60,10 @@ void FlightRecorder::Clear() { total_ = 0; }
 
 void FlightRecorder::Append(EventKind kind, TracePhase phase,
                             ComponentId comp, std::int64_t a,
-                            std::int64_t b) {
+                            std::int64_t b, const TraceContext& trace) {
+  if (total_ >= ring_.size() && dropped_counter_ != nullptr) {
+    dropped_counter_->Add();
+  }
   TraceEvent& e = ring_[total_ % ring_.size()];
   e.ts = clock_->Now();
   e.comp = comp;
@@ -66,6 +71,9 @@ void FlightRecorder::Append(EventKind kind, TracePhase phase,
   e.phase = phase;
   e.a = a;
   e.b = b;
+  e.trace = trace.trace_id;
+  e.span = trace.span_id;
+  e.parent = trace.parent_span_id;
   total_++;
 }
 
@@ -108,12 +116,49 @@ void FlightRecorder::WriteChromeTrace(std::FILE* out) const {
                  first ? "" : ",", KindName(e.kind), KindCategory(e.kind),
                  ph);
     if (ph == 'i') std::fprintf(out, ",\"s\":\"t\"");
-    std::fprintf(out,
-                 ",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
-                 "\"args\":{\"a\":%lld,\"b\":%lld}}",
+    std::fprintf(out, ",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+                      "\"args\":{\"a\":%lld,\"b\":%lld",
                  us, e.comp, static_cast<long long>(e.a),
                  static_cast<long long>(e.b));
+    if (e.trace != 0) {
+      std::fprintf(out, ",\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+                   static_cast<unsigned long long>(e.trace),
+                   static_cast<unsigned long long>(e.span),
+                   static_cast<unsigned long long>(e.parent));
+    }
+    std::fprintf(out, "}}");
     first = false;
+    // Flow events tie a span's push→pull and reply→deliver hops across
+    // component tracks in Perfetto: an "s"/"f" pair with a shared id draws
+    // the causal arrow. One id space per span: 2*span for the call hop,
+    // 2*span+1 for the reply hop.
+    unsigned long long flow_id = 0;
+    char flow_ph = 0;
+    const char* flow_name = nullptr;
+    switch (e.kind) {
+      case EventKind::kMsgPush:
+        flow_id = 2 * e.span, flow_ph = 's', flow_name = "call";
+        break;
+      case EventKind::kMsgPull:
+        flow_id = 2 * e.span, flow_ph = 'f', flow_name = "call";
+        break;
+      case EventKind::kReplyPush:
+        flow_id = 2 * e.span + 1, flow_ph = 's', flow_name = "reply";
+        break;
+      case EventKind::kReplyDeliver:
+        flow_id = 2 * e.span + 1, flow_ph = 'f', flow_name = "reply";
+        break;
+      default:
+        break;
+    }
+    if (flow_name != nullptr && e.span != 0) {
+      std::fprintf(out,
+                   ",\n{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%c\"%s,"
+                   "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%d}",
+                   flow_name, flow_ph,
+                   flow_ph == 'f' ? ",\"bp\":\"e\"" : "", flow_id, us,
+                   e.comp);
+    }
   }
   std::fprintf(out, "\n]}\n");
 }
@@ -144,10 +189,16 @@ void FlightRecorder::DumpTail(std::FILE* out, std::size_t max_events) const {
     const char* ph = e.phase == TracePhase::kBegin
                          ? "B"
                          : (e.phase == TracePhase::kEnd ? "E" : ".");
-    std::fprintf(out, "    +%9.3fus %s %-15s comp=%-3d a=%lld b=%lld\n",
+    std::fprintf(out, "    +%9.3fus %s %-15s comp=%-3d a=%lld b=%lld",
                  static_cast<double>(e.ts - ts0) / 1000.0, ph,
                  KindName(e.kind), e.comp, static_cast<long long>(e.a),
                  static_cast<long long>(e.b));
+    if (e.trace != 0) {
+      std::fprintf(out, " trace=%llu span=%llu",
+                   static_cast<unsigned long long>(e.trace),
+                   static_cast<unsigned long long>(e.span));
+    }
+    std::fprintf(out, "\n");
   }
 }
 

@@ -43,6 +43,7 @@ enum class EventKind : std::uint8_t {
   kPtrLeakDetected,   // checker: payload carried a foreign pointer (a=owner)
   kDeadlockDetected,  // checker: reply wait-for cycle closed (a=callee)
   kOwnershipOverlap,  // checker: two domains claimed the same bytes (a=other)
+  kTraceStall,        // reboot charged to a parked/requeued trace (a=stall ns)
   kKindCount,
 };
 
@@ -53,7 +54,20 @@ const char* KindName(EventKind kind);
 /// Chrome trace category ("msg", "sched", "log", "reboot", "fault").
 const char* KindCategory(EventKind kind);
 
-/// One recorded moment: 32 bytes, trivially copyable.
+/// Causal identity of one request flowing through the message plane. A
+/// trace is minted when an app-facing entry point issues a call with no
+/// active trace; every nested outbound call becomes a child span of the
+/// span that issued it. The context is a POD carried by value on every
+/// Message — propagation never allocates, and a zero trace_id means
+/// "untraced" so the disabled path stays a single branch.
+struct TraceContext {
+  std::uint64_t trace_id = 0;        // request identity, 0 = untraced
+  std::uint64_t span_id = 0;         // this call within the trace
+  std::uint64_t parent_span_id = 0;  // issuing span, 0 = root
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+};
+
+/// One recorded moment: 56 bytes, trivially copyable.
 struct TraceEvent {
   Nanos ts = 0;
   ComponentId comp = kComponentNone;  // subject component ("tid" in exports)
@@ -61,7 +75,12 @@ struct TraceEvent {
   TracePhase phase = TracePhase::kInstant;
   std::int64_t a = 0;  // kind-specific payload (see EventKind comments)
   std::int64_t b = 0;
+  std::uint64_t trace = 0;   // TraceContext::trace_id, 0 = untraced event
+  std::uint64_t span = 0;    // TraceContext::span_id
+  std::uint64_t parent = 0;  // TraceContext::parent_span_id
 };
+
+class Counter;
 
 class FlightRecorder {
  public:
@@ -87,11 +106,24 @@ class FlightRecorder {
   /// Timestamps come from this clock (injectable for deterministic tests).
   void set_clock(const Clock* clock) { clock_ = clock; }
 
+  /// Optional registry counter bumped on every ring overwrite, so an
+  /// undersized ring shows up in the metrics exporters as well as in
+  /// dropped(). May be nullptr (standalone recorders in tests).
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
+
   /// Hot path: one predictable branch when disabled, no allocation ever.
   void Record(EventKind kind, TracePhase phase, ComponentId comp,
               std::int64_t a = 0, std::int64_t b = 0) {
     if (!enabled_) return;
-    Append(kind, phase, comp, a, b);
+    Append(kind, phase, comp, a, b, TraceContext{});
+  }
+
+  /// Trace-stamped variant: same cost, plus the causal identity so spans
+  /// can be reassembled post-hoc (vamptrace, flow events in the export).
+  void Record(EventKind kind, TracePhase phase, ComponentId comp,
+              std::int64_t a, std::int64_t b, const TraceContext& trace) {
+    if (!enabled_) return;
+    Append(kind, phase, comp, a, b, trace);
   }
 
   /// Oldest-first copy of the current ring contents.
@@ -107,12 +139,13 @@ class FlightRecorder {
 
  private:
   void Append(EventKind kind, TracePhase phase, ComponentId comp,
-              std::int64_t a, std::int64_t b);
+              std::int64_t a, std::int64_t b, const TraceContext& trace);
 
   std::vector<TraceEvent> ring_;
   std::uint64_t total_ = 0;
   bool enabled_ = false;
   const Clock* clock_ = &SteadyClock::Instance();
+  Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace vampos::obs

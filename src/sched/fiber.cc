@@ -82,7 +82,8 @@ FiberState FiberManager::Dispatch(Fiber* fiber) {
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kDispatch, obs::TracePhase::kBegin,
                       fiber->owner_,
-                      static_cast<std::int64_t>(fiber->dispatches_));
+                      static_cast<std::int64_t>(fiber->dispatches_), 0,
+                      fiber->trace_);
   }
   current_ = fiber;
   swapcontext(&main_ctx_, &fiber->ctx_);
@@ -91,7 +92,8 @@ FiberState FiberManager::Dispatch(Fiber* fiber) {
     recorder_->Record(obs::EventKind::kDispatch, obs::TracePhase::kEnd,
                       fiber->owner_,
                       static_cast<std::int64_t>(fiber->dispatches_),
-                      static_cast<std::int64_t>(fiber->state_));
+                      static_cast<std::int64_t>(fiber->state_),
+                      fiber->trace_);
   }
   return fiber->state_;
 }

@@ -29,10 +29,7 @@
 
 #include "base/panic.h"
 #include "base/types.h"
-
-namespace vampos::obs {
-class FlightRecorder;
-}
+#include "obs/trace.h"
 
 namespace vampos::sched {
 
@@ -61,6 +58,13 @@ class Fiber {
   }
   [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
 
+  /// Fiber-local current span: the causal identity of the request this
+  /// fiber is serving (or issued, for app fibers mid-Call). The runtime
+  /// sets it when a traced message starts executing and clears it when the
+  /// handler completes; nested Calls read it to become child spans.
+  [[nodiscard]] const obs::TraceContext& trace() const { return trace_; }
+  void set_trace(const obs::TraceContext& trace) { trace_ = trace; }
+
  private:
   friend class FiberManager;
   static void Trampoline();
@@ -73,6 +77,7 @@ class Fiber {
   FiberState state_ = FiberState::kReady;
   std::optional<ComponentFault> fault_;
   std::uint64_t dispatches_ = 0;
+  obs::TraceContext trace_;
   FiberManager* manager_ = nullptr;
 };
 

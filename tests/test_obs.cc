@@ -427,5 +427,163 @@ TEST(ObsRuntime, DumpStateSmokeCoversComponentsAndPendingRpc) {
   rig.rt.RunUntilIdle();  // let the in-flight call finish cleanly
 }
 
+// ----------------------------------------------------------- causal tracing
+
+TEST(Tracing, NestedCallSharesTraceWithParentSpan) {
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+
+  // counter.inc nests a call into store.add: the push into counter is the
+  // root span, the push into store a child of it, both on one trace.
+  std::uint64_t root_trace = 0, root_span = 0;
+  std::uint64_t child_trace = 0, child_parent = 0;
+  for (const obs::TraceEvent& e : rig.rt.recorder().Snapshot()) {
+    if (e.kind != EventKind::kMsgPush || e.trace == 0) continue;
+    if (e.comp == rig.counter) {
+      root_trace = e.trace;
+      root_span = e.span;
+      EXPECT_EQ(e.parent, 0u);  // minted at the app-facing entry point
+    } else if (e.comp == rig.store) {
+      child_trace = e.trace;
+      child_parent = e.parent;
+    }
+  }
+  ASSERT_NE(root_trace, 0u);
+  ASSERT_NE(child_trace, 0u);
+  EXPECT_EQ(child_trace, root_trace);
+  EXPECT_EQ(child_parent, root_span);
+}
+
+TEST(Tracing, LatencyDecompositionHistogramsFollowTracing) {
+  auto workload = [](Rig& rig) {
+    rig.Boot();
+    const FunctionId inc = rig.rt.Lookup("counter", "inc");
+    RunApp(rig.rt, [&] {
+      for (int i = 0; i < 8; ++i) rig.rt.Call(inc, {});
+    });
+  };
+  Rig off(VampOpts());
+  workload(off);
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  Rig on(o);
+  workload(on);
+
+  for (const char* name : {"trace.queue_ns", "trace.exec_ns",
+                           "trace.reply_ns"}) {
+    const Histogram* h_off = off.rt.metrics().FindHistogram(name);
+    const Histogram* h_on = on.rt.metrics().FindHistogram(name);
+    ASSERT_NE(h_off, nullptr) << name;
+    ASSERT_NE(h_on, nullptr) << name;
+    EXPECT_EQ(h_off->count(), 0u) << name;  // untraced run records nothing
+    EXPECT_GT(h_on->count(), 0u) << name;
+  }
+  // No reboot happened, so no stall was charged in either run.
+  EXPECT_EQ(on.rt.metrics().FindHistogram("trace.stall_reboot_ns")->count(),
+            0u);
+}
+
+TEST(Tracing, ChromeTraceCarriesSpanArgsAndFlowEvents) {
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+  const std::string json = Capture(
+      [&](std::FILE* f) { rig.rt.recorder().WriteChromeTrace(f); });
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"span\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos);
+  // Flow events tie a span's push to its pull across component tracks.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(Tracing, EnvKnobsOverrideOptions) {
+  // VAMPOS_TRACE=1 forces tracing on even when options say off, and
+  // VAMPOS_TRACE_EVENTS overrides the ring capacity.
+  setenv("VAMPOS_TRACE", "1", 1);
+  setenv("VAMPOS_TRACE_EVENTS", "32", 1);
+  {
+    Rig rig(VampOpts());
+    EXPECT_TRUE(rig.rt.recorder().enabled());
+    EXPECT_EQ(rig.rt.recorder().capacity(), 32u);
+  }
+  // VAMPOS_TRACE=0 forces tracing off even when options say on.
+  setenv("VAMPOS_TRACE", "0", 1);
+  {
+    RuntimeOptions o = VampOpts();
+    o.tracing = true;
+    Rig rig(o);
+    EXPECT_FALSE(rig.rt.recorder().enabled());
+    EXPECT_EQ(rig.rt.recorder().capacity(), 0u);
+  }
+  unsetenv("VAMPOS_TRACE");
+  unsetenv("VAMPOS_TRACE_EVENTS");
+}
+
+TEST(Tracing, DroppedEventsCounterTracksOverwrites) {
+  RuntimeOptions o = VampOpts();
+  o.tracing = true;
+  o.trace_capacity = 16;  // deliberately undersized
+  Rig rig(o);
+  rig.Boot();
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 64; ++i) rig.rt.Call(inc, {});
+  });
+  const obs::Counter* dropped =
+      rig.rt.metrics().FindCounter("obs.dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->value(), 0u);
+  EXPECT_EQ(dropped->value(), rig.rt.recorder().dropped());
+  // The overwrite count also rides along in the DumpState tail.
+  const std::string dump =
+      Capture([&](std::FILE* f) { rig.rt.DumpState(f); });
+  EXPECT_NE(dump.find("overwritten"), std::string::npos);
+}
+
+TEST(ObsRuntime, PostRebootDumpHonorsTraceDumpPath) {
+  const std::string path = ::testing::TempDir() + "vampos_postreboot.json";
+  std::remove(path.c_str());
+  setenv("VAMPOS_TRACE_DUMP", path.c_str(), 1);
+  setenv("VAMPOS_TRACE_DUMP_ON_REBOOT", "1", 1);
+  {
+    RuntimeOptions o = VampOpts();
+    o.tracing = true;
+    Rig rig(o);
+    rig.Boot();
+    const FunctionId inc = rig.rt.Lookup("counter", "inc");
+    RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+    ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  }
+  const std::string json = ReadFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"reboot.replay\""), std::string::npos);
+
+  // VAMPOS_TRACE_DUMP="" suppresses the post-reboot dump like every other
+  // auto-dump path.
+  setenv("VAMPOS_TRACE_DUMP", "", 1);
+  {
+    RuntimeOptions o = VampOpts();
+    o.tracing = true;
+    Rig rig(o);
+    rig.Boot();
+    const FunctionId inc = rig.rt.Lookup("counter", "inc");
+    RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+    ASSERT_TRUE(rig.rt.Reboot(rig.counter).ok());
+  }
+  unsetenv("VAMPOS_TRACE_DUMP");
+  unsetenv("VAMPOS_TRACE_DUMP_ON_REBOOT");
+  EXPECT_TRUE(ReadFile(path).empty());
+}
+
 }  // namespace
 }  // namespace vampos

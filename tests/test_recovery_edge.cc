@@ -210,5 +210,128 @@ TEST(RecoveryEdge, CompactionThenRebootThenMoreTraffic) {
   EXPECT_LE(rt.LogEntries(id), 10u);
 }
 
+// --------------------------------------------- trace continuity across reboot
+
+/// All traced events in the recorder must carry `want` as their trace id;
+/// returns how many kTraceStall events were seen and checks each one's
+/// charged nanoseconds against `want_stall`.
+int CheckSingleTrace(const core::Runtime& rt, std::uint64_t want,
+                     std::int64_t want_stall) {
+  int stalls = 0;
+  for (const obs::TraceEvent& e : rt.recorder().Snapshot()) {
+    if (e.trace == 0) continue;
+    EXPECT_EQ(e.trace, want) << "event kind " << static_cast<int>(e.kind);
+    if (e.kind == obs::EventKind::kTraceStall) {
+      ++stalls;
+      EXPECT_EQ(e.a, want_stall);
+    }
+  }
+  return stalls;
+}
+
+std::uint64_t FirstTraceId(const core::Runtime& rt) {
+  for (const obs::TraceEvent& e : rt.recorder().Snapshot()) {
+    if (e.trace != 0) return e.trace;
+  }
+  return 0;
+}
+
+TEST(RecoveryEdge, TraceIdentitySurvivesMidFlightReboot) {
+  RuntimeOptions o = Opts();
+  o.tracing = true;
+  Runtime rt(o);
+  auto id = rt.AddComponent(std::make_unique<CounterComponent>());
+  rt.AddAppDependency(id);
+  rt.Boot();
+  const FunctionId crash = rt.Lookup("counter", "crash");
+  // One-shot panic mid-call: the message thread reboots the component and
+  // retries the same message, which then succeeds.
+  std::int64_t got = -1;
+  RunApp(rt, [&] { got = rt.Call(crash, {}).i64(); });
+  EXPECT_EQ(got, 0);
+  ASSERT_EQ(rt.Stats().reboots, 1u);
+
+  // The whole journey — original push, post-reboot retry, reply — keeps the
+  // one trace id minted at the app entry point.
+  const std::uint64_t trace_id = FirstTraceId(rt);
+  ASSERT_NE(trace_id, 0u);
+  const core::RebootReport& rep = rt.reboot_history().at(0);
+  const std::int64_t phase_sum = rep.stop_ns + rep.snapshot_ns + rep.replay_ns;
+  // Exactly one stall event, charged with exactly the reboot's phase sum.
+  EXPECT_EQ(CheckSingleTrace(rt, trace_id, phase_sum), 1);
+  const obs::Histogram* stall =
+      rt.metrics().FindHistogram("trace.stall_reboot_ns");
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->count(), 1u);
+  EXPECT_EQ(stall->sum(), static_cast<std::uint64_t>(phase_sum));
+}
+
+/// Component that issues two nested store.add calls per request, giving the
+/// dedupe test a window where one outbound executed (return recorded on the
+/// log entry) while the second is still queued downstream.
+class TraceRelayComponent final : public comp::Component {
+ public:
+  TraceRelayComponent()
+      : Component("relay", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<std::int64_t>(0);
+    ctx.Export("do2", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 std::int64_t sum = 0;
+                 sum += c.Call(store_add_, {MsgValue(std::int64_t{1})}).i64();
+                 sum += c.Call(store_add_, {MsgValue(std::int64_t{1})}).i64();
+                 *state_ = sum;
+                 return MsgValue(sum);
+               });
+  }
+
+  void Bind(comp::InitCtx& ctx) override {
+    store_add_ = ctx.runtime().Lookup("store", "add");
+  }
+
+ private:
+  std::int64_t* state_ = nullptr;
+  FunctionId store_add_ = -1;
+};
+
+TEST(RecoveryEdge, DedupedRetryKeepsTraceWithoutDoubleCharge) {
+  RuntimeOptions o = Opts();
+  o.tracing = true;
+  Runtime rt(o);
+  auto store = rt.AddComponent(std::make_unique<StoreComponent>());
+  auto relay = rt.AddComponent(std::make_unique<TraceRelayComponent>());
+  rt.AddAppDependency(relay);
+  rt.AddDependency(relay, store);
+  rt.Boot();
+  const FunctionId do2 = rt.Lookup("relay", "do2");
+  std::int64_t got = 0;
+  rt.SpawnApp("caller", [&] { got = rt.Call(do2, {}).i64(); });
+  // Reboot lands mid-request: add#1's return is recorded on relay's log
+  // entry, add#2 sits unexecuted in store's inbox.
+  ASSERT_TRUE(rt.RunUntil([&] {
+    const auto& log = rt.domain().LogFor(relay);
+    if (log.size() == 0) return false;
+    return log.entries().begin()->second.outbound.size() == 1;
+  }));
+  ASSERT_TRUE(rt.Reboot(relay).ok());
+  rt.RunUntilIdle();
+  EXPECT_EQ(got, 3);
+  EXPECT_GE(rt.Stats().retries_deduped, 1u);
+
+  // The fed-from-log add#1 never re-entered the message plane, so latency
+  // is not double-counted: one stall charge for the retried request, and
+  // every event (including add#2's re-issued child span) keeps the trace id.
+  const std::uint64_t trace_id = FirstTraceId(rt);
+  ASSERT_NE(trace_id, 0u);
+  const core::RebootReport& rep = rt.reboot_history().at(0);
+  const std::int64_t phase_sum = rep.stop_ns + rep.snapshot_ns + rep.replay_ns;
+  EXPECT_EQ(CheckSingleTrace(rt, trace_id, phase_sum), 1);
+  const obs::Histogram* stall =
+      rt.metrics().FindHistogram("trace.stall_reboot_ns");
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->count(), 1u);
+}
+
 }  // namespace
 }  // namespace vampos

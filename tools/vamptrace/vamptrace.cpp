@@ -1,0 +1,394 @@
+// vamptrace: post-hoc analysis of VampOS flight-recorder trace dumps.
+//
+// Ingests the Chrome trace_event JSON written by obs::FlightRecorder
+// (WriteChromeTrace / VAMPOS_TRACE_DUMP) — one event object per line, with
+// causal identity in args.{trace,span,parent} — and reassembles spans into
+// per-request trees:
+//
+//   vamptrace trace.json              # summary + N slowest traces with
+//                                     # critical path & per-component time
+//   vamptrace -n 10 trace.json       # widen the slow-trace list
+//   vamptrace --availability trace.json   # throughput-during-recovery
+//                                         # curve (completions per bucket,
+//                                         # reboot windows marked)
+//   vamptrace --verify-stall trace.json   # exit 0 iff some trace's
+//                                         # recovery stall matches a
+//                                         # reboot's stop+snapshot+replay
+//                                         # phase sum within 5%
+//
+// Dependency-free (std only); parses exactly the exporter's line-oriented
+// format, not general JSON.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ------------------------------------------------------------- line parse
+
+// Finds `"key":` in an event line and parses the numeric value after it.
+// Returns false when the key is absent. Keys in the exporter's output are
+// unique per line, so a plain substring search is unambiguous.
+bool FindNumber(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+std::uint64_t FindU64(const std::string& line, const char* key) {
+  double v = 0;
+  return FindNumber(line, key, &v) ? static_cast<std::uint64_t>(v) : 0;
+}
+
+std::int64_t FindI64(const std::string& line, const char* key) {
+  double v = 0;
+  return FindNumber(line, key, &v) ? static_cast<std::int64_t>(v) : 0;
+}
+
+// Parses a `"key":"value"` string field (name, ph).
+std::string FindString(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = line.find('"', start);
+  return end == std::string::npos ? "" : line.substr(start, end - start);
+}
+
+// --------------------------------------------------------------- the model
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t trace = 0;
+  int comp = -1;
+  std::int64_t fn = -1;
+  // Timestamps in microseconds relative to the dump start; -1 = unseen.
+  double push_us = -1, pull_us = -1, reply_us = -1, deliver_us = -1;
+  std::vector<std::uint64_t> children;
+};
+
+struct Trace {
+  std::uint64_t id = 0;
+  std::map<std::uint64_t, Span> spans;  // roots: parent 0 or overwritten
+  std::vector<std::int64_t> stall_ns;   // one entry per trace.stall charge
+};
+
+struct RebootWindow {
+  int comp = -1;
+  double begin_us = -1, end_us = -1;
+  std::int64_t stop_ns = 0, snapshot_ns = 0, replay_ns = 0;
+  bool failed = false;
+  [[nodiscard]] std::int64_t PhaseSum() const {
+    return stop_ns + snapshot_ns + replay_ns;
+  }
+};
+
+struct Dump {
+  std::map<std::uint64_t, Trace> traces;
+  std::vector<RebootWindow> reboots;
+  std::size_t events = 0;
+  double min_ts = 1e300, max_ts = -1e300;
+};
+
+Span& SpanFor(Dump& d, std::uint64_t trace_id, std::uint64_t span_id) {
+  Trace& t = d.traces[trace_id];
+  t.id = trace_id;
+  Span& s = t.spans[span_id];
+  s.id = span_id;
+  s.trace = trace_id;
+  return s;
+}
+
+bool Parse(const std::string& path, Dump* d) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vamptrace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  // Reboot B events open a window per component; the phase E events that
+  // follow (same component) fill in the phase durations (a = phase ns).
+  std::map<int, std::size_t> open_reboot;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    const std::string name = FindString(line, "name");
+    const std::string ph = FindString(line, "ph");
+    if (name.empty() || ph == "s" || ph == "f") continue;  // skip flow pairs
+    d->events++;
+    double ts = 0;
+    FindNumber(line, "ts", &ts);
+    d->min_ts = std::min(d->min_ts, ts);
+    d->max_ts = std::max(d->max_ts, ts);
+    const int comp = static_cast<int>(FindI64(line, "tid"));
+    const std::uint64_t trace = FindU64(line, "trace");
+    const std::uint64_t span = FindU64(line, "span");
+    const std::int64_t a = FindI64(line, "a");
+
+    if (trace != 0 && span != 0) {
+      if (name == "msg.push") {
+        Span& s = SpanFor(*d, trace, span);
+        s.push_us = s.push_us < 0 ? ts : s.push_us;  // retry keeps original
+        s.comp = comp;
+        s.fn = a;
+        s.parent = FindU64(line, "parent");
+      } else if (name == "msg.pull") {
+        SpanFor(*d, trace, span).pull_us = ts;  // last pull wins (retry)
+      } else if (name == "reply.push") {
+        SpanFor(*d, trace, span).reply_us = ts;
+      } else if (name == "reply.deliver") {
+        SpanFor(*d, trace, span).deliver_us = ts;
+      } else if (name == "trace.stall") {
+        Trace& t = d->traces[trace];
+        t.id = trace;
+        t.stall_ns.push_back(a);
+      }
+      continue;
+    }
+    if (name == "reboot" && ph == "B") {
+      open_reboot[comp] = d->reboots.size();
+      RebootWindow w;
+      w.comp = comp;
+      w.begin_us = ts;
+      d->reboots.push_back(w);
+    } else if (auto it = open_reboot.find(comp); it != open_reboot.end()) {
+      RebootWindow& w = d->reboots[it->second];
+      if (name == "reboot.stop" && ph == "E") w.stop_ns = a;
+      if (name == "reboot.snapshot" && ph == "E") w.snapshot_ns = a;
+      if (name == "reboot.replay" && ph == "E") w.replay_ns = a;
+      if (name == "reboot" && (ph == "E" || ph == "i")) {
+        w.end_us = ts;
+        w.failed = a < 0;
+        open_reboot.erase(it);
+      }
+    }
+  }
+  // Link children after the fact (spans may arrive in any ring order).
+  for (auto& [tid, t] : d->traces) {
+    (void)tid;
+    for (auto& [sid, s] : t.spans) {
+      if (s.parent != 0) {
+        if (auto p = t.spans.find(s.parent); p != t.spans.end()) {
+          p->second.children.push_back(sid);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- reporting
+
+double SpanTotalUs(const Span& s) {
+  if (s.push_us >= 0 && s.deliver_us >= 0) return s.deliver_us - s.push_us;
+  return 0;
+}
+
+double TraceDurationUs(const Trace& t) {
+  // Root-span end-to-end when complete; otherwise the observed extent.
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [sid, s] : t.spans) {
+    (void)sid;
+    for (const double ts : {s.push_us, s.pull_us, s.reply_us, s.deliver_us}) {
+      if (ts < 0) continue;
+      lo = std::min(lo, ts);
+      hi = std::max(hi, ts);
+    }
+  }
+  return hi >= lo ? hi - lo : 0;
+}
+
+void PrintSpanTree(const Trace& t, const Span& s, int depth,
+                   std::map<int, double>* comp_self_us) {
+  const double total = SpanTotalUs(s);
+  const double queue =
+      (s.push_us >= 0 && s.pull_us >= 0) ? s.pull_us - s.push_us : 0;
+  const double exec =
+      (s.pull_us >= 0 && s.reply_us >= 0) ? s.reply_us - s.pull_us : 0;
+  const double reply =
+      (s.reply_us >= 0 && s.deliver_us >= 0) ? s.deliver_us - s.reply_us : 0;
+  double child_total = 0;
+  for (const std::uint64_t c : s.children) {
+    child_total += SpanTotalUs(t.spans.at(c));
+  }
+  const double self = std::max(0.0, exec - child_total);
+  (*comp_self_us)[s.comp] += self;
+  std::printf("  %*s[span %llu] comp=%d fn=%lld total=%.1fus queue=%.1fus "
+              "exec=%.1fus self=%.1fus reply=%.1fus\n",
+              depth * 2, "", static_cast<unsigned long long>(s.id), s.comp,
+              static_cast<long long>(s.fn), total, queue, exec, self, reply);
+  for (const std::uint64_t c : s.children) {
+    PrintSpanTree(t, t.spans.at(c), depth + 1, comp_self_us);
+  }
+}
+
+void PrintSlowest(const Dump& d, std::size_t n) {
+  std::vector<const Trace*> order;
+  order.reserve(d.traces.size());
+  for (const auto& [tid, t] : d.traces) {
+    (void)tid;
+    order.push_back(&t);
+  }
+  std::sort(order.begin(), order.end(), [](const Trace* a, const Trace* b) {
+    return TraceDurationUs(*a) > TraceDurationUs(*b);
+  });
+  if (order.size() > n) order.resize(n);
+  std::printf("slowest traces:\n");
+  for (const Trace* t : order) {
+    std::int64_t stall = 0;
+    for (const std::int64_t s : t->stall_ns) stall += s;
+    std::printf("trace %llu total=%.1fus spans=%zu stall=%lldns\n",
+                static_cast<unsigned long long>(t->id), TraceDurationUs(*t),
+                t->spans.size(), static_cast<long long>(stall));
+    std::map<int, double> comp_self_us;
+    // Print each root (parent absent) as its own critical-path tree.
+    for (const auto& [sid, s] : t->spans) {
+      (void)sid;
+      if (s.parent == 0 || !t->spans.contains(s.parent)) {
+        PrintSpanTree(*t, s, 1, &comp_self_us);
+      }
+    }
+    std::printf("  per-component self time:");
+    for (const auto& [comp, us] : comp_self_us) {
+      std::printf(" comp%d=%.1fus", comp, us);
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintAvailability(const Dump& d, std::size_t buckets) {
+  // The paper's throughput-during-recovery lens (§VII Fig 8): completed
+  // root requests per time bucket, with reboot windows marked so the dip
+  // and its recovery are visible in one glance.
+  std::vector<double> completions;
+  for (const auto& [tid, t] : d.traces) {
+    (void)tid;
+    for (const auto& [sid, s] : t.spans) {
+      (void)sid;
+      const bool is_root = s.parent == 0 || !t.spans.contains(s.parent);
+      if (is_root && s.deliver_us >= 0) completions.push_back(s.deliver_us);
+    }
+  }
+  if (completions.empty() || d.max_ts <= d.min_ts) {
+    std::printf("availability: no completed root spans in dump\n");
+    return;
+  }
+  const double width = (d.max_ts - d.min_ts) / static_cast<double>(buckets);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const double ts : completions) {
+    auto b = static_cast<std::size_t>((ts - d.min_ts) / width);
+    counts[std::min(b, buckets - 1)]++;
+  }
+  std::size_t peak = 1;
+  for (const std::size_t c : counts) peak = std::max(peak, c);
+  std::printf("availability (%zu buckets, %.1fus each, %zu completions):\n",
+              buckets, width, completions.size());
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const double t0 = d.min_ts + width * static_cast<double>(i);
+    const double t1 = t0 + width;
+    bool in_reboot = false;
+    for (const RebootWindow& w : d.reboots) {
+      if (w.begin_us < t1 && (w.end_us < 0 || w.end_us > t0)) {
+        in_reboot = true;
+      }
+    }
+    const int bar =
+        static_cast<int>(40.0 * static_cast<double>(counts[i]) /
+                         static_cast<double>(peak));
+    std::printf("  %10.1fus %6zu %-40.*s%s\n", t0, counts[i], bar,
+                "########################################",
+                in_reboot ? " *reboot*" : "");
+  }
+}
+
+int VerifyStall(const Dump& d) {
+  // Acceptance gate: at least one trace's recovery stall must match some
+  // reboot's stop+snapshot+replay phase sum within 5%.
+  for (const auto& [tid, t] : d.traces) {
+    (void)tid;
+    for (const std::int64_t stall : t.stall_ns) {
+      for (const RebootWindow& w : d.reboots) {
+        if (w.failed || w.PhaseSum() <= 0) continue;
+        const double sum = static_cast<double>(w.PhaseSum());
+        if (std::abs(static_cast<double>(stall) - sum) <= 0.05 * sum) {
+          std::printf("stall attribution OK: trace %llu stall=%lldns "
+                      "matches reboot comp=%d stop+snapshot+replay=%lldns\n",
+                      static_cast<unsigned long long>(t.id),
+                      static_cast<long long>(stall), w.comp,
+                      static_cast<long long>(w.PhaseSum()));
+          return 0;
+        }
+      }
+    }
+  }
+  std::printf("stall attribution FAILED: no trace stall within 5%% of any "
+              "reboot phase sum\n");
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vamptrace [-n N] [--availability [BUCKETS]] "
+               "[--verify-stall] trace.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top_n = 5;
+  std::size_t buckets = 40;
+  bool availability = false;
+  bool verify_stall = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-n" && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--availability") {
+      availability = true;
+      if (i + 1 < argc && std::atol(argv[i + 1]) > 0) {
+        buckets = static_cast<std::size_t>(std::atol(argv[++i]));
+      }
+    } else if (arg == "--verify-stall") {
+      verify_stall = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+
+  Dump dump;
+  if (!Parse(path, &dump)) return 2;
+  std::printf("vamptrace: %zu events, %zu traces, %zu reboots\n", dump.events,
+              dump.traces.size(), dump.reboots.size());
+  for (std::size_t i = 0; i < dump.reboots.size(); ++i) {
+    const RebootWindow& w = dump.reboots[i];
+    std::printf(
+        "reboot #%zu comp=%d%s stop=%lldns snapshot=%lldns replay=%lldns "
+        "sum=%lldns\n",
+        i + 1, w.comp, w.failed ? " (failed)" : "",
+        static_cast<long long>(w.stop_ns),
+        static_cast<long long>(w.snapshot_ns),
+        static_cast<long long>(w.replay_ns),
+        static_cast<long long>(w.PhaseSum()));
+  }
+  if (verify_stall) return VerifyStall(dump);
+  if (availability) {
+    PrintAvailability(dump, buckets);
+    return 0;
+  }
+  PrintSlowest(dump, top_n);
+  return 0;
+}
