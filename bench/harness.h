@@ -60,6 +60,14 @@ inline core::RuntimeOptions OptionsFor(Config c) {
       o.policy = core::SchedPolicy::kDependencyAware;
       break;
   }
+  // Checkpoint-engine override, so any bench can be rerun against the
+  // full-copy fallback (VAMPOS_SNAPSHOT_MODE=full) for A/B comparisons.
+  if (const char* m = std::getenv("VAMPOS_SNAPSHOT_MODE")) {
+    if (std::string(m) == "full") o.snapshot_mode = mem::SnapshotMode::kFullCopy;
+    if (std::string(m) == "incr") {
+      o.snapshot_mode = mem::SnapshotMode::kIncremental;
+    }
+  }
   return o;
 }
 

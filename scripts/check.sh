@@ -24,6 +24,10 @@ mode="${1:-all}"
 
 if [[ "$mode" != "--asan-only" ]]; then
   run_suite build
+  # Snapshot-regression smoke: the incremental checkpoint engine must keep
+  # copying fewer bytes per reboot than the full-copy fallback.
+  cmake --build build -j "$(nproc)" --target bench_reboot
+  scripts/snapshot_smoke.sh build
 fi
 
 if [[ "$mode" != "--no-asan" ]]; then

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Snapshot-regression smoke: runs bench_reboot, which reboots the DaS web
+# stack under both checkpoint engines, and fails if the page-granular
+# incremental engine stops paying for itself — i.e. if it copies as many
+# (or more) bytes per stateful rejuvenation pass as the full-copy engine on
+# the mostly-clean 1,000-GET workload. The JSON baseline is left at
+# BENCH_reboot.json (or $VAMPOS_BENCH_JSON) for run-to-run diffing.
+#
+# Usage: scripts/snapshot_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+bench="$build_dir/bench/bench_reboot"
+if [[ ! -x "$bench" ]]; then
+  echo "snapshot_smoke: $bench not built (cmake --build $build_dir --target bench_reboot)" >&2
+  exit 1
+fi
+
+json="${VAMPOS_BENCH_JSON:-BENCH_reboot.json}"
+VAMPOS_BENCH_JSON="$json" "$bench" > /dev/null
+
+get() { grep "\"$1\"" "$json" | head -1 | sed 's/.*: *//; s/,$//'; }
+full="$(get full_stateful_bytes_per_reboot)"
+incr="$(get incr_stateful_bytes_per_reboot)"
+
+awk -v f="${full:-0}" -v i="${incr:--1}" 'BEGIN {
+  if (f <= 0 || i < 0) {
+    print "snapshot_smoke: FAIL — bytes-copied series missing from baseline"
+    exit 1
+  }
+  if (i >= f) {
+    printf "snapshot_smoke: FAIL — incremental copied %.0f B/reboot, full-copy %.0f B/reboot\n", i, f
+    exit 1
+  }
+  ratio = (i > 0) ? f / i : f
+  printf "snapshot_smoke: OK — full-copy %.0f B/reboot, incremental %.0f B/reboot (%.1fx less)\n", f, i, ratio
+  if (ratio < 5) {
+    printf "snapshot_smoke: WARNING — ratio %.1fx is below the 5x acceptance target\n", ratio
+  }
+}'

@@ -284,7 +284,87 @@ void Runtime::StopComponentFibers(ComponentId leader) {
   }
 }
 
-Result<RebootReport> Runtime::Reboot(ComponentId id) {
+// ------------------------------------------------------------ checkpoints
+
+mem::SnapshotConfig Runtime::SnapshotCfg() {
+  mem::SnapshotConfig cfg;
+  cfg.mode = options_.snapshot_mode;
+  cfg.workers = options_.snapshot_workers;
+  cfg.baseline = &snapshot_baseline_;
+  cfg.clock = options_.clock;
+  return cfg;
+}
+
+void Runtime::AccountSnapshot(const mem::SnapshotStats& stats) {
+  ct_.snapshot_pages_total->Add(stats.pages_total);
+  ct_.snapshot_pages_dirty->Add(stats.pages_dirty);
+  ct_.snapshot_pages_zero->Add(stats.pages_zero);
+  ct_.snapshot_pages_shared->Add(stats.pages_shared);
+  ct_.snapshot_bytes_copied->Add(stats.bytes_copied);
+}
+
+mem::Snapshot Runtime::CaptureCheckpoint(comp::Component& c) {
+  mem::SnapshotStats stats;
+  mem::Snapshot snap = mem::Snapshot::Capture(c.arena(), SnapshotCfg(), &stats);
+  ct_.snapshot_captures->Add();
+  AccountSnapshot(stats);
+  recorder_.Record(obs::EventKind::kSnapshotHash, obs::TracePhase::kInstant,
+                   c.id(), stats.hash_ns,
+                   static_cast<std::int64_t>(stats.pages_total));
+  recorder_.Record(obs::EventKind::kSnapshotCopy, obs::TracePhase::kInstant,
+                   c.id(), stats.copy_ns,
+                   static_cast<std::int64_t>(stats.bytes_copied));
+  return snap;
+}
+
+void Runtime::RefreshCheckpoints(Slot& slot, RebootReport& report) {
+  // Runs right after a successful replay: each stateful member's arena is
+  // exactly "checkpoint ⊕ replayed log", so re-capturing here and dropping
+  // the baked-in entries is consistent by construction. The incremental
+  // engine makes this cheap — only pages the replay dirtied are re-copied.
+  for (ComponentId m : slot.group) {
+    Slot& ms = slots_[m];
+    comp::Component& c = *ms.component;
+    if (c.statefulness() != Statefulness::kStateful) continue;
+    mem::SnapshotStats stats;
+    const Status re = ms.checkpoint.Recapture(c.arena(), SnapshotCfg(), &stats);
+    if (!re.ok()) {
+      // Keep the old checkpoint + log: that pair is still consistent.
+      VAMPOS_ERROR("checkpoint refresh failed for '%s': %s", c.name().c_str(),
+                   re.message().c_str());
+      continue;
+    }
+    ct_.snapshot_recaptures->Add();
+    AccountSnapshot(stats);
+    report.snapshot_bytes_copied += stats.bytes_copied;
+    recorder_.Record(obs::EventKind::kSnapshotRecapture,
+                     obs::TracePhase::kInstant, m,
+                     static_cast<std::int64_t>(stats.bytes_copied),
+                     static_cast<std::int64_t>(stats.pages_dirty));
+    // Completed and synthetic entries are now part of the checkpoint; the
+    // next reboot must not replay them again. Cold path: the full-log walk
+    // happens once per rejuvenation refresh, not per call.
+    if (domain_->HasLog(m)) {
+      const std::size_t pruned = domain_->LogFor(m).PruneIf(
+          [](const CallLogEntry& e) { return e.have_ret || e.synthetic; });
+      ct_.log_pruned_entries->Add(pruned);
+      if (pruned > 0) {
+        recorder_.Record(obs::EventKind::kLogPrune, obs::TracePhase::kInstant,
+                         m, /*session=*/-1,
+                         static_cast<std::int64_t>(pruned));
+      }
+    }
+  }
+}
+
+void Runtime::CorruptCheckpointForTest(ComponentId id) {
+  mem::Arena scratch(slots_[id].component->arena().size() +
+                         mem::Arena::kPageSize,
+                     "corrupt-checkpoint");
+  slots_[id].checkpoint = mem::Snapshot::Capture(scratch);
+}
+
+Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
   const ComponentId leader = LeaderOf(id);
   Slot& slot = slots_[leader];
   for (ComponentId m : slot.group) {
@@ -329,7 +409,30 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
     Slot& ms = slots_[m];
     comp::Component& c = *ms.component;
     if (c.statefulness() == Statefulness::kStateful) {
-      ms.checkpoint.Restore(c.arena());
+      mem::SnapshotStats sstats;
+      const Status restored =
+          ms.checkpoint.Restore(c.arena(), SnapshotCfg(), &sstats);
+      if (!restored.ok()) {
+        // A corrupt or mismatched checkpoint fails this reboot through the
+        // normal fault path: the group stays down and the caller decides
+        // (HandleFaultedFiber escalates to fail-stop), but the process and
+        // the other components keep running.
+        slot.failed = true;
+        recorder_.Record(obs::EventKind::kRebootSnapshot,
+                         obs::TracePhase::kEnd, leader, /*a=*/-1);
+        recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd,
+                         leader, /*a=*/-1);
+        return Status::Error(Errno::kIo,
+                             "checkpoint restore failed for '" + c.name() +
+                                 "': " + restored.message());
+      }
+      ct_.snapshot_restores->Add();
+      AccountSnapshot(sstats);
+      report.snapshot_hash_ns += sstats.hash_ns;
+      report.snapshot_copy_ns += sstats.copy_ns;
+      report.snapshot_pages_total += sstats.pages_total;
+      report.snapshot_pages_dirty += sstats.pages_dirty;
+      report.snapshot_bytes_copied += sstats.bytes_copied;
       c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
       CallCtx rctx(*this, m, /*restoring=*/true);
       c.OnRestored(rctx);
@@ -344,6 +447,14 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   recorder_.Record(obs::EventKind::kRebootSnapshot, obs::TracePhase::kEnd,
                    leader, report.snapshot_ns);
   hist_.reboot_snapshot_ns->Record(report.snapshot_ns);
+  hist_.reboot_snapshot_hash_ns->Record(report.snapshot_hash_ns);
+  hist_.reboot_snapshot_copy_ns->Record(report.snapshot_copy_ns);
+  recorder_.Record(obs::EventKind::kSnapshotHash, obs::TracePhase::kInstant,
+                   leader, report.snapshot_hash_ns,
+                   static_cast<std::int64_t>(report.snapshot_pages_total));
+  recorder_.Record(obs::EventKind::kSnapshotCopy, obs::TracePhase::kInstant,
+                   leader, report.snapshot_copy_ns,
+                   static_cast<std::int64_t>(report.snapshot_bytes_copied));
 
   // Encapsulated restoration: replay the (shrunk) logs. A fault during
   // replay means the component cannot be restored (e.g. a deterministic
@@ -384,6 +495,11 @@ Result<RebootReport> Runtime::Reboot(ComponentId id) {
   hist_.reboot_replay_ns->Record(report.replay_ns);
   hist_.replay_entries->Record(
       static_cast<std::int64_t>(report.entries_replayed));
+
+  // Checkpoint refresh (periodic rejuvenation): fold the replayed history
+  // into the checkpoint so the next reboot starts from here. Incremental
+  // mode touches only the pages the replay dirtied.
+  if (refresh_checkpoint) RefreshCheckpoints(slot, report);
 
   // Per-request stall attribution: every traced request this reboot parked
   // (interrupted mid-handler) or re-queued (drained from the inbox) was
@@ -612,7 +728,7 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   report.component = leader;
   report.name = c.name() + "+variant";
   if (stateful) {
-    slot.checkpoint = mem::Snapshot::Capture(c.arena());
+    slot.checkpoint = CaptureCheckpoint(c);
     try {
       ReplayLog(leader, report);
       comp::CallCtx rctx(*this, leader, /*restoring=*/true);

@@ -40,7 +40,7 @@ std::optional<RebootReport> RejuvenationScheduler::ForceNext() {
   const ComponentId target = plan_[next_];
   next_ = (next_ + 1) % plan_.size();
   if (next_ == 0) cycles_++;
-  auto result = rt_.Reboot(target);
+  auto result = rt_.Reboot(target, refresh_checkpoints_);
   if (!result.ok()) return std::nullopt;
   return result.value();
 }

@@ -42,6 +42,15 @@ class RejuvenationScheduler {
   /// Forces the next component's rejuvenation now, ignoring the interval.
   std::optional<RebootReport> ForceNext();
 
+  /// When enabled, every rejuvenation reboot also refreshes the component's
+  /// checkpoint (incremental re-snapshot of replay-dirtied pages) and prunes
+  /// the replayed log entries, so checkpoint age — and therefore the next
+  /// reboot's replay cost — stays bounded by one rejuvenation period.
+  void set_refresh_checkpoints(bool refresh) { refresh_checkpoints_ = refresh; }
+  [[nodiscard]] bool refresh_checkpoints() const {
+    return refresh_checkpoints_;
+  }
+
   [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_; }
   [[nodiscard]] std::size_t plan_size() const { return plan_.size(); }
 
@@ -52,6 +61,7 @@ class RejuvenationScheduler {
   Nanos last_ = 0;
   std::size_t next_ = 0;
   std::uint64_t cycles_ = 0;
+  bool refresh_checkpoints_ = false;
 };
 
 }  // namespace vampos::core

@@ -54,10 +54,22 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   ct_.reboots = &metrics_.GetCounter("rt.reboots");
   ct_.aux_fibers_spawned = &metrics_.GetCounter("rt.aux_fibers_spawned");
   ct_.hangs_detected = &metrics_.GetCounter("rt.hangs_detected");
+  ct_.snapshot_captures = &metrics_.GetCounter("snapshot.captures");
+  ct_.snapshot_recaptures = &metrics_.GetCounter("snapshot.recaptures");
+  ct_.snapshot_restores = &metrics_.GetCounter("snapshot.restores");
+  ct_.snapshot_pages_total = &metrics_.GetCounter("snapshot.pages_total");
+  ct_.snapshot_pages_dirty = &metrics_.GetCounter("snapshot.pages_dirty");
+  ct_.snapshot_pages_zero = &metrics_.GetCounter("snapshot.pages_zero");
+  ct_.snapshot_pages_shared = &metrics_.GetCounter("snapshot.pages_shared");
+  ct_.snapshot_bytes_copied = &metrics_.GetCounter("snapshot.bytes_copied");
   hist_.call_ns = &metrics_.GetHistogram("rt.call_ns");
   hist_.queue_depth = &metrics_.GetHistogram("msg.queue_depth");
   hist_.reboot_stop_ns = &metrics_.GetHistogram("reboot.stop_ns");
   hist_.reboot_snapshot_ns = &metrics_.GetHistogram("reboot.snapshot_ns");
+  hist_.reboot_snapshot_hash_ns =
+      &metrics_.GetHistogram("reboot.snapshot_hash_ns");
+  hist_.reboot_snapshot_copy_ns =
+      &metrics_.GetHistogram("reboot.snapshot_copy_ns");
   hist_.reboot_replay_ns = &metrics_.GetHistogram("reboot.replay_ns");
   hist_.reboot_total_ns = &metrics_.GetHistogram("reboot.total_ns");
   hist_.replay_entries = &metrics_.GetHistogram("reboot.replay_entries");
@@ -182,7 +194,7 @@ void Runtime::Boot() {
   if (options_.mode == Mode::kVampOS) {
     for (auto& slot : slots_) {
       if (slot.component->statefulness() == Statefulness::kStateful) {
-        slot.checkpoint = mem::Snapshot::Capture(slot.component->arena());
+        slot.checkpoint = CaptureCheckpoint(*slot.component);
       }
     }
   }
@@ -892,7 +904,9 @@ MemoryReport Runtime::Memory() const {
       r.component_used_bytes += slot.component->alloc_->Stats().bytes_in_use;
     }
     r.snapshot_bytes += slot.checkpoint.size_bytes();
+    r.snapshot_stored_bytes += slot.checkpoint.stored_bytes();
   }
+  r.snapshot_baseline_bytes = snapshot_baseline_.bytes();
   r.log_bytes = domain_->TotalLogBytes();
   r.log_entries = domain_->TotalLogEntries();
   return r;

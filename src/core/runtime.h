@@ -75,6 +75,18 @@ struct RuntimeOptions {
   /// Ring capacity (events) used when tracing is enabled. Overridden by
   /// the VAMPOS_TRACE_EVENTS env var when set to a positive integer.
   std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Checkpoint engine (paper §V-E). kIncremental (default) captures and
+  /// restores at 4 KiB page granularity with per-page content hashes:
+  /// restores copy only divergent pages, re-captures copy only pages dirtied
+  /// since the last capture, zero pages are elided, and post-init images are
+  /// deduplicated through a runtime-wide read-only page baseline. kFullCopy
+  /// is the legacy full-arena memcpy fallback (verified byte-equivalent by
+  /// tests); both modes feed the snapshot.* metrics.
+  mem::SnapshotMode snapshot_mode = mem::SnapshotMode::kIncremental;
+  /// Worker threads for the page-hash pass of captures/restores; <= 1 hashes
+  /// on the message thread. Page hashing is pure and deterministic, so the
+  /// result is identical at any worker count.
+  int snapshot_workers = 0;
   /// Debug/CI isolation and liveness checking (vampcheck, see
   /// docs/static-analysis.md): shadow arena-ownership map, cross-domain
   /// pointer-leak scan on every push/reply, and wait-for-graph deadlock
@@ -95,6 +107,14 @@ struct RebootReport {
   Nanos snapshot_ns = 0;   // checkpoint restore (dominant for stateful)
   Nanos replay_ns = 0;     // encapsulated restoration
   std::size_t entries_replayed = 0;
+  // Decomposition of the snapshot phase under the page-granular engine:
+  // the hash pass (scales with arena size, parallelizable) vs the copy pass
+  // (scales with how many pages actually diverged).
+  Nanos snapshot_hash_ns = 0;
+  Nanos snapshot_copy_ns = 0;
+  std::size_t snapshot_pages_total = 0;
+  std::size_t snapshot_pages_dirty = 0;   // pages copied by the restore
+  std::size_t snapshot_bytes_copied = 0;  // bytes written into arenas
 };
 
 /// Aggregate counters for the bench harness.
@@ -136,7 +156,13 @@ struct MemoryReport {
   std::size_t component_used_bytes = 0;   // buddy bytes_in_use
   std::size_t log_bytes = 0;              // call/return logs
   std::size_t log_entries = 0;
-  std::size_t snapshot_bytes = 0;         // checkpoint images
+  std::size_t snapshot_bytes = 0;         // checkpoint images (logical)
+  /// Private checkpoint storage actually held — excludes zero-elided pages
+  /// and pages served by the shared baseline, so under the incremental
+  /// engine this is typically far below snapshot_bytes.
+  std::size_t snapshot_stored_bytes = 0;
+  /// Read-only page pool shared by all checkpoints (counted once).
+  std::size_t snapshot_baseline_bytes = 0;
 };
 
 class Runtime {
@@ -206,8 +232,16 @@ class Runtime {
   /// Reboots one component (or its merged group): stop fibers, restore the
   /// post-init checkpoint, replay the shrunk log with encapsulated
   /// restoration, respawn fibers. Returns the timing report, or an error
-  /// status for unrebootable components.
-  Result<RebootReport> Reboot(ComponentId id);
+  /// status for unrebootable components or a corrupt checkpoint (a bad
+  /// checkpoint fails the reboot through the normal fault path instead of
+  /// killing the process).
+  ///
+  /// `refresh_checkpoint`: after a successful replay, incrementally
+  /// re-capture each stateful member's checkpoint (only pages the replay
+  /// dirtied are copied) and drop the now-baked-in log entries, so future
+  /// reboots restore directly to this point. Used by periodic rejuvenation
+  /// to keep both the replay log and the re-snapshot cost near zero.
+  Result<RebootReport> Reboot(ComponentId id, bool refresh_checkpoint = false);
 
   /// Injects a fail-stop fault: after `trigger_after` further messages, the
   /// component fails with `kind`. `sticky` keeps the fault armed across
@@ -285,6 +319,15 @@ class Runtime {
   [[nodiscard]] const std::optional<ComponentFault>& terminal_fault() const {
     return terminal_fault_;
   }
+  /// Shared read-only page pool backing incremental checkpoints.
+  [[nodiscard]] const mem::PageBaseline& snapshot_baseline() const {
+    return snapshot_baseline_;
+  }
+
+  /// Test hook: replaces a component's checkpoint with one of the wrong
+  /// size, simulating a corrupted/foreign image. The next reboot of the
+  /// component must fail with a status error (never a process abort).
+  void CorruptCheckpointForTest(ComponentId id);
 
   /// Dumps the full runtime state (component table, fibers, queues, logs,
   /// pending rpcs) for debugging. Also triggered automatically when
@@ -418,6 +461,16 @@ class Runtime {
   void StopComponentFibers(ComponentId id);
   void RestoreStateful(Slot& slot, RebootReport& report);
   void ReplayLog(ComponentId id, RebootReport& report);
+  /// Snapshot knobs for this runtime: mode/workers from RuntimeOptions, the
+  /// shared baseline, and the runtime clock for the hash/copy phase split.
+  [[nodiscard]] mem::SnapshotConfig SnapshotCfg();
+  /// Captures a component checkpoint under SnapshotCfg(), bumping the
+  /// snapshot.* metrics and recorder events.
+  mem::Snapshot CaptureCheckpoint(comp::Component& c);
+  /// Rejuvenation refresh: re-capture each stateful member's checkpoint
+  /// incrementally and prune the log entries the capture baked in.
+  void RefreshCheckpoints(Slot& slot, RebootReport& report);
+  void AccountSnapshot(const mem::SnapshotStats& stats);
   void RespawnResident(ComponentId id);
   void FailStop(const ComponentFault& fault);
   bool TrySwapVariant(ComponentId leader);
@@ -465,6 +518,17 @@ class Runtime {
     obs::Counter* reboots = nullptr;
     obs::Counter* aux_fibers_spawned = nullptr;
     obs::Counter* hangs_detected = nullptr;
+    // Checkpoint engine (cold path: bumped per capture/restore, not per
+    // page). bytes_copied is the headline: it scales with the delta under
+    // the incremental engine and with arena size under full copy.
+    obs::Counter* snapshot_captures = nullptr;
+    obs::Counter* snapshot_recaptures = nullptr;
+    obs::Counter* snapshot_restores = nullptr;
+    obs::Counter* snapshot_pages_total = nullptr;
+    obs::Counter* snapshot_pages_dirty = nullptr;
+    obs::Counter* snapshot_pages_zero = nullptr;
+    obs::Counter* snapshot_pages_shared = nullptr;
+    obs::Counter* snapshot_bytes_copied = nullptr;
   } ct_;
   /// Hot-path histograms, likewise registry-backed.
   struct HotHistograms {
@@ -472,6 +536,8 @@ class Runtime {
     obs::Histogram* queue_depth = nullptr;    // inbox depth at push
     obs::Histogram* reboot_stop_ns = nullptr;
     obs::Histogram* reboot_snapshot_ns = nullptr;
+    obs::Histogram* reboot_snapshot_hash_ns = nullptr;  // hash-pass share
+    obs::Histogram* reboot_snapshot_copy_ns = nullptr;  // copy-pass share
     obs::Histogram* reboot_replay_ns = nullptr;
     obs::Histogram* reboot_total_ns = nullptr;
     obs::Histogram* replay_entries = nullptr;  // replay batch size
@@ -482,6 +548,11 @@ class Runtime {
     obs::Histogram* trace_reply_ns = nullptr;   // reply push → deliver
     obs::Histogram* trace_stall_ns = nullptr;   // "trace.stall_reboot_ns"
   } hist_;
+
+  // Shared read-only page pool for incremental checkpoints: components with
+  // mostly-identical post-init images (merged twins, repeated stacks) hold
+  // one pooled copy instead of N private ones.
+  mem::PageBaseline snapshot_baseline_;
 
   mpk::DomainManager domains_;
   std::unique_ptr<msg::MessageDomain> domain_;

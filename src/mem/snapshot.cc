@@ -1,24 +1,330 @@
 #include "mem/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
-
-#include "base/panic.h"
+#include <string>
+#include <thread>
 
 namespace vampos::mem {
 
+namespace {
+
+constexpr std::size_t kPage = Arena::kPageSize;
+
+/// Mixes one 64-bit lane into the running hash. xor-multiply keeps the
+/// chain positionally sensitive (swapping two lanes changes the result).
+inline std::uint64_t MixLane(std::uint64_t h, std::uint64_t lane) {
+  h ^= lane;
+  h *= 0x100000001b3ull;  // FNV-1a prime, applied to 8-byte lanes
+  return h;
+}
+
+/// splitmix64 finalizer: avalanches the lane chain so single-bit page
+/// differences flip about half the hash bits.
+inline std::uint64_t Finalize(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Hashes pages [first, first+count) of `base` into hashes/zeros.
+void HashRange(const std::byte* base, std::size_t first, std::size_t count,
+               std::uint64_t* hashes, std::uint8_t* zeros) {
+  for (std::size_t i = first; i < first + count; ++i) {
+    bool is_zero = false;
+    hashes[i] = Snapshot::HashPage(base + i * kPage, &is_zero);
+    zeros[i] = is_zero ? 1 : 0;
+  }
+}
+
+/// Page-hash pass, optionally spread over worker threads. Pages are
+/// independent, so the split is a plain range partition; results land in
+/// caller-provided arrays and the pass is deterministic regardless of
+/// worker count.
+void HashPages(const std::byte* base, std::size_t n_pages, int workers,
+               std::uint64_t* hashes, std::uint8_t* zeros) {
+  const auto requested = static_cast<std::size_t>(workers > 1 ? workers : 1);
+  // Below a few hundred pages the thread spawn costs more than the hashing.
+  constexpr std::size_t kMinPagesPerWorker = 64;
+  const std::size_t usable =
+      std::min(requested, std::max<std::size_t>(1, n_pages /
+                                                       kMinPagesPerWorker));
+  if (usable <= 1) {
+    HashRange(base, 0, n_pages, hashes, zeros);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(usable);
+  const std::size_t chunk = (n_pages + usable - 1) / usable;
+  for (std::size_t w = 0; w < usable; ++w) {
+    const std::size_t first = w * chunk;
+    if (first >= n_pages) break;
+    const std::size_t count = std::min(chunk, n_pages - first);
+    threads.emplace_back(HashRange, base, first, count, hashes, zeros);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+inline Nanos NowOrZero(const Clock* clock) {
+  return clock != nullptr ? clock->Now() : 0;
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::HashPage(const std::byte* page, bool* is_zero) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  std::uint64_t acc = 0;
+  for (std::size_t off = 0; off < kPage; off += sizeof(std::uint64_t)) {
+    std::uint64_t lane;
+    std::memcpy(&lane, page + off, sizeof(lane));
+    acc |= lane;
+    h = MixLane(h, lane);
+  }
+  if (is_zero != nullptr) *is_zero = acc == 0;
+  return Finalize(h);
+}
+
+// ------------------------------------------------------------ PageBaseline
+
+const std::byte* PageBaseline::Intern(const std::byte* page,
+                                      std::uint64_t hash, bool* reused) {
+  auto& chain = pool_[hash];
+  for (const auto& pooled : chain) {
+    if (std::memcmp(pooled.get(), page, kPage) == 0) {
+      hits_++;
+      if (reused != nullptr) *reused = true;
+      return pooled.get();
+    }
+  }
+  auto copy = std::make_unique<std::byte[]>(kPage);
+  std::memcpy(copy.get(), page, kPage);
+  chain.push_back(std::move(copy));
+  pages_++;
+  if (reused != nullptr) *reused = false;
+  return chain.back().get();
+}
+
+// ---------------------------------------------------------------- Snapshot
+
 Snapshot Snapshot::Capture(const Arena& arena) {
   Snapshot snap;
+  snap.mode_ = SnapshotMode::kFullCopy;
   snap.bytes_.resize(arena.size());
   std::memcpy(snap.bytes_.data(), arena.base(), arena.size());
   return snap;
 }
 
-void Snapshot::Restore(Arena& arena) const {
-  if (bytes_.size() != arena.size()) {
-    Fatal("Snapshot::Restore size mismatch: snapshot %zu vs arena '%s' %zu",
-          bytes_.size(), arena.name().c_str(), arena.size());
+Snapshot Snapshot::Capture(const Arena& arena, const SnapshotConfig& config,
+                           SnapshotStats* stats) {
+  SnapshotStats local;
+  if (config.mode == SnapshotMode::kFullCopy) {
+    const Nanos t0 = NowOrZero(config.clock);
+    Snapshot snap = Capture(arena);
+    local.pages_total = arena.size() / kPage;
+    local.pages_dirty = local.pages_total;
+    local.bytes_copied = arena.size();
+    local.copy_ns = NowOrZero(config.clock) - t0;
+    if (stats != nullptr) *stats = local;
+    return snap;
   }
-  std::memcpy(arena.base(), bytes_.data(), bytes_.size());
+
+  Snapshot snap;
+  snap.mode_ = SnapshotMode::kIncremental;
+  snap.logical_bytes_ = arena.size();
+  const std::size_t n = arena.size() / kPage;
+  snap.pages_.resize(n);
+  local.pages_total = n;
+
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::uint8_t> zeros(n);
+  const Nanos t0 = NowOrZero(config.clock);
+  HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
+  const Nanos t1 = NowOrZero(config.clock);
+  local.hash_ns = t1 - t0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    PageEntry& e = snap.pages_[i];
+    e.hash = hashes[i];
+    if (zeros[i] != 0) {
+      e.src = PageSource::kZero;
+      local.pages_zero++;
+      continue;
+    }
+    const std::byte* page = arena.base() + i * kPage;
+    if (config.baseline != nullptr) {
+      bool reused = false;
+      e.shared = config.baseline->Intern(page, hashes[i], &reused);
+      e.src = PageSource::kBaseline;
+      if (reused) {
+        local.pages_shared++;
+      } else {
+        local.pages_dirty++;
+        local.bytes_copied += kPage;
+      }
+    } else {
+      std::memcpy(snap.WritablePage(i), page, kPage);
+      local.pages_dirty++;
+      local.bytes_copied += kPage;
+    }
+  }
+  local.copy_ns = NowOrZero(config.clock) - t1;
+  if (stats != nullptr) *stats = local;
+  return snap;
+}
+
+Status Snapshot::Recapture(const Arena& arena, const SnapshotConfig& config,
+                           SnapshotStats* stats) {
+  if (empty()) {
+    *this = Capture(arena, config, stats);
+    return Status::Ok();
+  }
+  if (size_bytes() != arena.size()) {
+    return Status::Error(Errno::kInval,
+                         "Snapshot::Recapture size mismatch: snapshot " +
+                             std::to_string(size_bytes()) + " vs arena '" +
+                             arena.name() + "' " +
+                             std::to_string(arena.size()));
+  }
+  SnapshotStats local;
+  if (mode_ == SnapshotMode::kFullCopy) {
+    const Nanos t0 = NowOrZero(config.clock);
+    std::memcpy(bytes_.data(), arena.base(), arena.size());
+    local.pages_total = arena.size() / kPage;
+    local.pages_dirty = local.pages_total;
+    local.bytes_copied = arena.size();
+    local.copy_ns = NowOrZero(config.clock) - t0;
+    if (stats != nullptr) *stats = local;
+    return Status::Ok();
+  }
+
+  const std::size_t n = pages_.size();
+  local.pages_total = n;
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::uint8_t> zeros(n);
+  const Nanos t0 = NowOrZero(config.clock);
+  HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
+  const Nanos t1 = NowOrZero(config.clock);
+  local.hash_ns = t1 - t0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    PageEntry& e = pages_[i];
+    const bool now_zero = zeros[i] != 0;
+    const bool was_zero = e.src == PageSource::kZero;
+    if (hashes[i] == e.hash && now_zero == was_zero) {
+      if (was_zero) local.pages_zero++;
+      if (e.src == PageSource::kBaseline) local.pages_shared++;
+      continue;  // clean page: the checkpoint already holds these bytes
+    }
+    local.pages_dirty++;
+    e.hash = hashes[i];
+    if (now_zero) {
+      ReleasePage(i);
+      e.src = PageSource::kZero;
+      local.pages_zero++;
+      continue;
+    }
+    // Dirtied pages go to private storage: live mutated state is unlikely
+    // to be shared across components, so it skips the baseline pool.
+    std::memcpy(WritablePage(i), arena.base() + i * kPage, kPage);
+    local.bytes_copied += kPage;
+  }
+  local.copy_ns = NowOrZero(config.clock) - t1;
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+Status Snapshot::Restore(Arena& arena, const SnapshotConfig& config,
+                         SnapshotStats* stats) const {
+  if (size_bytes() != arena.size()) {
+    return Status::Error(Errno::kInval,
+                         "Snapshot::Restore size mismatch: snapshot " +
+                             std::to_string(size_bytes()) + " vs arena '" +
+                             arena.name() + "' " +
+                             std::to_string(arena.size()));
+  }
+  SnapshotStats local;
+  if (mode_ == SnapshotMode::kFullCopy) {
+    const Nanos t0 = NowOrZero(config.clock);
+    std::memcpy(arena.base(), bytes_.data(), bytes_.size());
+    local.pages_total = bytes_.size() / kPage;
+    local.pages_dirty = local.pages_total;
+    local.bytes_copied = bytes_.size();
+    local.copy_ns = NowOrZero(config.clock) - t0;
+    if (stats != nullptr) *stats = local;
+    return Status::Ok();
+  }
+
+  const std::size_t n = pages_.size();
+  local.pages_total = n;
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::uint8_t> zeros(n);
+  const Nanos t0 = NowOrZero(config.clock);
+  HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
+  const Nanos t1 = NowOrZero(config.clock);
+  local.hash_ns = t1 - t0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageEntry& e = pages_[i];
+    const bool live_zero = zeros[i] != 0;
+    const bool snap_zero = e.src == PageSource::kZero;
+    if (hashes[i] == e.hash && live_zero == snap_zero) continue;  // clean
+    local.pages_dirty++;
+    std::byte* dst = arena.base() + i * kPage;
+    if (snap_zero) {
+      std::memset(dst, 0, kPage);
+    } else {
+      std::memcpy(dst, PageData(i), kPage);
+    }
+    local.bytes_copied += kPage;
+  }
+  local.copy_ns = NowOrZero(config.clock) - t1;
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+std::size_t Snapshot::size_bytes() const {
+  return mode_ == SnapshotMode::kFullCopy ? bytes_.size() : logical_bytes_;
+}
+
+std::size_t Snapshot::stored_bytes() const {
+  if (mode_ == SnapshotMode::kFullCopy) return bytes_.size();
+  return (private_pages_.size() - free_slots_.size()) * kPage;
+}
+
+const std::byte* Snapshot::PageData(std::size_t i) const {
+  const PageEntry& e = pages_[i];
+  switch (e.src) {
+    case PageSource::kZero: return nullptr;
+    case PageSource::kBaseline: return e.shared;
+    case PageSource::kPrivate: return private_pages_[e.slot].get();
+  }
+  return nullptr;
+}
+
+std::byte* Snapshot::WritablePage(std::size_t i) {
+  PageEntry& e = pages_[i];
+  if (e.src == PageSource::kPrivate) return private_pages_[e.slot].get();
+  e.shared = nullptr;
+  if (!free_slots_.empty()) {
+    e.slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    e.slot = static_cast<std::uint32_t>(private_pages_.size());
+    private_pages_.push_back(std::make_unique<std::byte[]>(kPage));
+  }
+  e.src = PageSource::kPrivate;
+  return private_pages_[e.slot].get();
+}
+
+void Snapshot::ReleasePage(std::size_t i) {
+  PageEntry& e = pages_[i];
+  if (e.src == PageSource::kPrivate) free_slots_.push_back(e.slot);
+  e.src = PageSource::kZero;
+  e.shared = nullptr;
+  e.slot = 0;
 }
 
 }  // namespace vampos::mem

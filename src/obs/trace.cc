@@ -26,6 +26,8 @@ constexpr KindInfo kKinds[] = {
     {"fail.stop", "fault"},      {"variant.swap", "fault"},
     {"check.ptr_leak", "fault"}, {"check.deadlock", "fault"},
     {"check.overlap", "fault"},  {"trace.stall", "trace"},
+    {"snapshot.hash", "reboot"}, {"snapshot.copy", "reboot"},
+    {"snapshot.recapture", "reboot"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),

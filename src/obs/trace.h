@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
   kDeadlockDetected,  // checker: reply wait-for cycle closed (a=callee)
   kOwnershipOverlap,  // checker: two domains claimed the same bytes (a=other)
   kTraceStall,        // reboot charged to a parked/requeued trace (a=stall ns)
+  kSnapshotHash,      // page-hash pass of a checkpoint op (a=ns, b=pages)
+  kSnapshotCopy,      // copy pass of a checkpoint op (a=ns, b=bytes copied)
+  kSnapshotRecapture,  // incremental re-snapshot (a=bytes copied, b=dirty)
   kKindCount,
 };
 

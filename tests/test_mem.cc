@@ -195,7 +195,7 @@ TEST(Snapshot, RoundTripRestoresBytes) {
   alloc.Free(p);
   for (int i = 0; i < 10; ++i) (void)alloc.Alloc(512);  // churn + leak
 
-  snap.Restore(arena);
+  ASSERT_TRUE(snap.Restore(arena).ok());
   BuddyAllocator restored = BuddyAllocator::Attach(arena);
   EXPECT_STREQ(p, "checkpoint me");          // same address, old content
   EXPECT_EQ(restored.Stats().bytes_in_use, 128u);  // leaks rolled back
