@@ -60,12 +60,26 @@ inline core::RuntimeOptions OptionsFor(Config c) {
       o.policy = core::SchedPolicy::kDependencyAware;
       break;
   }
-  // Checkpoint-engine override, so any bench can be rerun against the
-  // full-copy fallback (VAMPOS_SNAPSHOT_MODE=full) for A/B comparisons.
+  // Checkpoint-engine override, so any bench can be rerun against all three
+  // engines: "full" (copy everything), "incr" (hash-scan incremental), and
+  // "track" (incremental + write-tracked dirty pages). A typo'd mode used
+  // to silently fall through to the build default and poison A/B numbers —
+  // reject anything unrecognized.
   if (const char* m = std::getenv("VAMPOS_SNAPSHOT_MODE")) {
-    if (std::string(m) == "full") o.snapshot_mode = mem::SnapshotMode::kFullCopy;
-    if (std::string(m) == "incr") {
+    const std::string mode(m);
+    if (mode == "full") {
+      o.snapshot_mode = mem::SnapshotMode::kFullCopy;
+    } else if (mode == "incr") {
       o.snapshot_mode = mem::SnapshotMode::kIncremental;
+    } else if (mode == "track") {
+      o.snapshot_mode = mem::SnapshotMode::kIncremental;
+      o.dirty_tracking = true;
+    } else {
+      std::fprintf(stderr,
+                   "unrecognized VAMPOS_SNAPSHOT_MODE='%s' "
+                   "(expected: full, incr, track)\n",
+                   m);
+      std::exit(2);
     }
   }
   return o;

@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Snapshot-regression smoke: runs bench_reboot, which reboots the DaS web
-# stack under both checkpoint engines, and fails if the page-granular
-# incremental engine stops paying for itself — i.e. if it copies as many
-# (or more) bytes per stateful rejuvenation pass as the full-copy engine on
-# the mostly-clean 1,000-GET workload. The JSON baseline is left at
-# BENCH_reboot.json (or $VAMPOS_BENCH_JSON) for run-to-run diffing.
+# stack under all three checkpoint engines (full-copy, hash-scan
+# incremental, write-tracked incremental), and fails if:
+#   1. the incremental engine copies >= the bytes the full-copy engine
+#      moves per stateful rejuvenation pass, or less than 5x fewer
+#      (the acceptance target — a hard gate, not a warning), or
+#   2. the write-tracked engine's idle LWIP recapture is not faster than
+#      the full-copy engine's (the wall-time gate: incremental must beat
+#      full-copy on *time*, not just bytes, or the O(footprint) hash scan
+#      has eaten the win).
+# The JSON baseline is left at BENCH_reboot.json (or $VAMPOS_BENCH_JSON)
+# for run-to-run diffing; the per-engine hash/recapture time series is
+# extracted to BENCH_reboot_hash_series.txt (or $VAMPOS_HASH_SERIES) so CI
+# can upload it as an artifact.
 #
 # Usage: scripts/snapshot_smoke.sh [build-dir]
 set -euo pipefail
@@ -20,7 +28,11 @@ fi
 json="${VAMPOS_BENCH_JSON:-BENCH_reboot.json}"
 VAMPOS_BENCH_JSON="$json" "$bench" > /dev/null
 
-get() { grep "\"$1\"" "$json" | head -1 | sed 's/.*: *//; s/,$//'; }
+# Anchored to the start of the line: an unanchored grep matched any key that
+# merely *contained* the requested name (e.g. "full_stateful_bytes_per_reboot"
+# inside a longer future key) and silently returned the wrong series.
+get() { grep "^[[:space:]]*\"$1\": " "$json" | head -1 | sed 's/.*: *//; s/,$//'; }
+
 full="$(get full_stateful_bytes_per_reboot)"
 incr="$(get incr_stateful_bytes_per_reboot)"
 
@@ -36,6 +48,35 @@ awk -v f="${full:-0}" -v i="${incr:--1}" 'BEGIN {
   ratio = (i > 0) ? f / i : f
   printf "snapshot_smoke: OK — full-copy %.0f B/reboot, incremental %.0f B/reboot (%.1fx less)\n", f, i, ratio
   if (ratio < 5) {
-    printf "snapshot_smoke: WARNING — ratio %.1fx is below the 5x acceptance target\n", ratio
+    printf "snapshot_smoke: FAIL — ratio %.1fx is below the 5x acceptance target\n", ratio
+    exit 1
   }
 }'
+
+# Wall-time gate: the write-tracked engine must beat full-copy on the idle
+# rejuvenation recapture, or O(dirty) is a bytes-only claim.
+full_us="$(get full_idle_recapture_us)"
+track_us="$(get track_idle_recapture_us)"
+track_skipped="$(get track_idle_pages_skipped)"
+
+awk -v f="${full_us:-0}" -v t="${track_us:--1}" -v s="${track_skipped:-0}" 'BEGIN {
+  if (f <= 0 || t < 0) {
+    print "snapshot_smoke: FAIL — idle-recapture series missing from baseline"
+    exit 1
+  }
+  if (t >= f) {
+    printf "snapshot_smoke: FAIL — write-tracked idle recapture %.1f us is not faster than full-copy %.1f us\n", t, f
+    exit 1
+  }
+  if (s <= 0) {
+    print "snapshot_smoke: FAIL — write-tracked recapture skipped no pages (tracker never synced?)"
+    exit 1
+  }
+  printf "snapshot_smoke: OK — idle recapture full-copy %.1f us, write-tracked %.1f us (%.1fx faster, %.0f pages skipped)\n", f, t, f / t, s
+}'
+
+# Per-engine hash/recapture time series for the CI artifact.
+series="${VAMPOS_HASH_SERIES:-BENCH_reboot_hash_series.txt}"
+grep -E '^[[:space:]]*"(full|incr|track)_[a-z0-9_]*(hash_us|idle_recapture_us|idle_pages_(dirty|skipped))": ' "$json" \
+  | sed 's/^[[:space:]]*//; s/,$//' > "$series"
+echo "snapshot_smoke: hash-time series written to $series"

@@ -34,6 +34,18 @@ namespace vampos::comp {
 
 enum class Statefulness { kStateless, kStateful, kUnrebootable };
 
+/// How a component's writes feed its arena's dirty-page tracker (only
+/// relevant when the runtime enables write tracking):
+///   kNone    — untracked: the runtime conservatively taints the whole arena
+///              every time control enters the component, so its checkpoints
+///              never trust the bitmap but are always correct.
+///   kState   — every mutable byte lives inside the MakeState root (plus
+///              freshly allocated blocks, which the allocator flags at Alloc
+///              time): the runtime marks just the state root per entry.
+///   kTracked — the component marks each write itself via arena().MarkDirty;
+///              the runtime adds nothing on entry.
+enum class WriteTracking : std::uint8_t { kNone, kState, kTracked };
+
 /// Per-exported-function metadata. Mirrors what makes a component
 /// "VampOS-aware" in the paper: which calls are logged (Table II), how a log
 /// entry binds to a session (fd / socket id) for session-aware shrinking,
@@ -176,6 +188,26 @@ class Component {
   [[nodiscard]] ComponentId id() const { return id_; }
   [[nodiscard]] mem::Arena& arena() { return arena_; }
   [[nodiscard]] mem::BuddyAllocator& alloc() { return *alloc_; }
+  [[nodiscard]] WriteTracking write_tracking() const {
+    return write_tracking_;
+  }
+
+  /// Called by the runtime before control enters component code (handler
+  /// dispatch, log replay, restore hooks, compaction): applies the
+  /// conservative dirty marks this component's tracking level requires.
+  /// No-op when the arena has no tracker attached.
+  void TaintForEntry() const {
+    switch (write_tracking_) {
+      case WriteTracking::kNone:
+        arena_.TaintAll();
+        break;
+      case WriteTracking::kState:
+        arena_.MarkDirty(state_root_, state_root_bytes_);
+        break;
+      case WriteTracking::kTracked:
+        break;
+    }
+  }
 
  protected:
   /// Convenience: placement-construct the component's state root in the
@@ -183,14 +215,37 @@ class Component {
   template <typename T, typename... Args>
   T* MakeState(Args&&... args);
 
+  /// Declares how this component's writes are tracked. Call from the
+  /// constructor; kState is only sound when all post-Init writes land in
+  /// the MakeState root or in blocks allocated during the same entry.
+  void set_write_tracking(WriteTracking wt) { write_tracking_ = wt; }
+
  private:
   friend class core::Runtime;
+
+  void RecordStateRoot(void* p, std::size_t bytes) {
+    auto* b = static_cast<std::byte*>(p);
+    if (state_root_ == nullptr) {
+      state_root_ = b;
+      state_root_bytes_ = bytes;
+      return;
+    }
+    std::byte* lo = state_root_ < b ? state_root_ : b;
+    std::byte* hi1 = state_root_ + state_root_bytes_;
+    std::byte* hi2 = b + bytes;
+    std::byte* hi = hi1 > hi2 ? hi1 : hi2;
+    state_root_ = lo;
+    state_root_bytes_ = static_cast<std::size_t>(hi - lo);
+  }
 
   std::string name_;
   Statefulness statefulness_;
   mem::Arena arena_;
   std::optional<mem::BuddyAllocator> alloc_;
   ComponentId id_ = kComponentNone;
+  WriteTracking write_tracking_ = WriteTracking::kNone;
+  std::byte* state_root_ = nullptr;
+  std::size_t state_root_bytes_ = 0;
 };
 
 template <typename T, typename... Args>
@@ -200,6 +255,7 @@ T* Component::MakeState(Args&&... args) {
     throw ComponentFault(id_, FaultKind::kAllocFailure,
                          "arena exhausted during Init of " + name_);
   }
+  RecordStateRoot(p, sizeof(T));
   return new (p) T(std::forward<Args>(args)...);
 }
 

@@ -140,6 +140,8 @@ void Runtime::MaybeCompact(ComponentId owner) {
     return;
   }
   bool compacted = false;
+  // The hook is component code: its writes must land in the dirty bitmap.
+  TaintComponentEntry(*slots_[owner].component);
   for (const std::int64_t session : candidates) {
     // Collapse the session's completed, non-boundary entries into the
     // synthetic state-setting entries the component supplies ("extract and
@@ -292,22 +294,68 @@ mem::SnapshotConfig Runtime::SnapshotCfg() {
   cfg.workers = options_.snapshot_workers;
   cfg.baseline = &snapshot_baseline_;
   cfg.clock = options_.clock;
+  cfg.dirty_tracking =
+      options_.dirty_tracking &&
+      options_.snapshot_mode == mem::SnapshotMode::kIncremental;
+  cfg.audit_rate = options_.dirty_audit_rate;
+  cfg.audit_fail_stop = options_.dirty_audit_fail_stop;
   return cfg;
 }
 
-void Runtime::AccountSnapshot(const mem::SnapshotStats& stats) {
+void Runtime::AccountSnapshot(ComponentId id,
+                              const mem::SnapshotStats& stats) {
   ct_.snapshot_pages_total->Add(stats.pages_total);
   ct_.snapshot_pages_dirty->Add(stats.pages_dirty);
   ct_.snapshot_pages_zero->Add(stats.pages_zero);
   ct_.snapshot_pages_shared->Add(stats.pages_shared);
   ct_.snapshot_bytes_copied->Add(stats.bytes_copied);
+  if (!options_.dirty_tracking ||
+      options_.snapshot_mode != mem::SnapshotMode::kIncremental) {
+    return;
+  }
+  if (stats.dirty_fast) {
+    ct_.snapshot_dirty_fast_ops->Add();
+    ct_.snapshot_dirty_pages_skipped->Add(stats.pages_skipped);
+    recorder_.Record(obs::EventKind::kSnapshotDirty, obs::TracePhase::kInstant,
+                     id, static_cast<std::int64_t>(stats.pages_skipped),
+                     static_cast<std::int64_t>(stats.pages_dirty));
+  } else {
+    ct_.snapshot_dirty_fallback_ops->Add();
+  }
+  if (stats.audited) {
+    ct_.snapshot_dirty_audits->Add();
+    ct_.snapshot_dirty_audit_misses->Add(stats.audit_misses);
+    recorder_.Record(obs::EventKind::kSnapshotAudit, obs::TracePhase::kInstant,
+                     id, static_cast<std::int64_t>(stats.audit_misses),
+                     static_cast<std::int64_t>(stats.pages_dirty));
+  }
+}
+
+void Runtime::TaintComponentEntry(comp::Component& c) {
+  // Before control enters a component (dispatch, replay, restore hooks),
+  // apply its declared write-tracking level: kNone taints the whole arena,
+  // kState marks the MakeState root, kTracked trusts the component's own
+  // MarkDirty calls. No-op when the arena has no tracker.
+  if (!options_.dirty_tracking) return;
+  if (c.arena().dirty_tracker() == nullptr) return;
+  c.TaintForEntry();
+  if (c.write_tracking() == comp::WriteTracking::kNone) {
+    ct_.snapshot_dirty_taints->Add();
+  }
 }
 
 mem::Snapshot Runtime::CaptureCheckpoint(comp::Component& c) {
+  // A fresh capture always walks the whole arena, so trackers are synced by
+  // it, never consumed — enable tracking here so the arena's bitmap exists
+  // before its first sync.
+  if (options_.dirty_tracking &&
+      options_.snapshot_mode == mem::SnapshotMode::kIncremental) {
+    c.arena().EnableDirtyTracking();
+  }
   mem::SnapshotStats stats;
   mem::Snapshot snap = mem::Snapshot::Capture(c.arena(), SnapshotCfg(), &stats);
   ct_.snapshot_captures->Add();
-  AccountSnapshot(stats);
+  AccountSnapshot(c.id(), stats);
   recorder_.Record(obs::EventKind::kSnapshotHash, obs::TracePhase::kInstant,
                    c.id(), stats.hash_ns,
                    static_cast<std::int64_t>(stats.pages_total));
@@ -335,8 +383,12 @@ void Runtime::RefreshCheckpoints(Slot& slot, RebootReport& report) {
       continue;
     }
     ct_.snapshot_recaptures->Add();
-    AccountSnapshot(stats);
+    AccountSnapshot(m, stats);
     report.snapshot_bytes_copied += stats.bytes_copied;
+    report.refresh_hash_ns += stats.hash_ns;
+    report.refresh_copy_ns += stats.copy_ns;
+    report.refresh_pages_dirty += stats.pages_dirty;
+    report.refresh_pages_skipped += stats.pages_skipped;
     recorder_.Record(obs::EventKind::kSnapshotRecapture,
                      obs::TracePhase::kInstant, m,
                      static_cast<std::int64_t>(stats.bytes_copied),
@@ -427,14 +479,16 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
                                  "': " + restored.message());
       }
       ct_.snapshot_restores->Add();
-      AccountSnapshot(sstats);
+      AccountSnapshot(m, sstats);
       report.snapshot_hash_ns += sstats.hash_ns;
       report.snapshot_copy_ns += sstats.copy_ns;
       report.snapshot_pages_total += sstats.pages_total;
       report.snapshot_pages_dirty += sstats.pages_dirty;
+      report.snapshot_pages_skipped += sstats.pages_skipped;
       report.snapshot_bytes_copied += sstats.bytes_copied;
       c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
       CallCtx rctx(*this, m, /*restoring=*/true);
+      TaintComponentEntry(c);
       c.OnRestored(rctx);
     } else {
       c.alloc_.emplace(c.arena());  // reformat
@@ -472,6 +526,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
       if (slots_[m].component->statefulness() == Statefulness::kStateful) {
         CallCtx rctx(*this, m, /*restoring=*/true);
         restore_stack_.push_back(ExecCtx{m, 0, Message{}, Args{}, 0, {}, 0});
+        TaintComponentEntry(*slots_[m].component);
         slots_[m].component->OnReplayed(rctx);
         restore_stack_.pop_back();
       }
@@ -607,6 +662,7 @@ void Runtime::ReplayLog(ComponentId id, RebootReport& report) {
       forced = entry.session;
     }
     CallCtx rctx(*this, id, /*restoring=*/true, forced);
+    TaintComponentEntry(*slots_[id].component);
     MsgValue ret;
     try {
       ret = Fn(entry.fn).handler(rctx, entry.args);
@@ -734,6 +790,7 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
       comp::CallCtx rctx(*this, leader, /*restoring=*/true);
       restore_stack_.push_back(
           ExecCtx{leader, 0, Message{}, Args{}, 0, {}, 0});
+      TaintComponentEntry(c);
       c.OnReplayed(rctx);
       restore_stack_.pop_back();
     } catch (const ComponentFault&) {

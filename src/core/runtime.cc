@@ -41,6 +41,17 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   if (const char* env = std::getenv("VAMPOS_TRACE_DUMP_ON_REBOOT")) {
     dump_trace_on_reboot_ = env[0] == '1';
   }
+  // VAMPOS_DIRTY_TRACKING forces write-tracked snapshots on ("1") or off;
+  // VAMPOS_SNAPSHOT_AUDIT overrides the randomized audit rate (0 disables,
+  // 1 audits every incremental op).
+  if (const char* env = std::getenv("VAMPOS_DIRTY_TRACKING")) {
+    options_.dirty_tracking = env[0] == '1';
+  }
+  if (const char* env = std::getenv("VAMPOS_SNAPSHOT_AUDIT")) {
+    if (const long n = std::atol(env); n >= 0) {
+      options_.dirty_audit_rate = static_cast<std::uint32_t>(n);
+    }
+  }
   ct_.calls = &metrics_.GetCounter("rt.calls");
   ct_.direct_calls = &metrics_.GetCounter("rt.direct_calls");
   ct_.messages = &metrics_.GetCounter("rt.messages");
@@ -62,6 +73,15 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   ct_.snapshot_pages_zero = &metrics_.GetCounter("snapshot.pages_zero");
   ct_.snapshot_pages_shared = &metrics_.GetCounter("snapshot.pages_shared");
   ct_.snapshot_bytes_copied = &metrics_.GetCounter("snapshot.bytes_copied");
+  ct_.snapshot_dirty_fast_ops = &metrics_.GetCounter("snapshot.dirty_fast_ops");
+  ct_.snapshot_dirty_fallback_ops =
+      &metrics_.GetCounter("snapshot.dirty_fallback_ops");
+  ct_.snapshot_dirty_pages_skipped =
+      &metrics_.GetCounter("snapshot.dirty_pages_skipped");
+  ct_.snapshot_dirty_audits = &metrics_.GetCounter("snapshot.dirty_audits");
+  ct_.snapshot_dirty_audit_misses =
+      &metrics_.GetCounter("snapshot.dirty_audit_misses");
+  ct_.snapshot_dirty_taints = &metrics_.GetCounter("snapshot.dirty_taints");
   hist_.call_ns = &metrics_.GetHistogram("rt.call_ns");
   hist_.queue_depth = &metrics_.GetHistogram("msg.queue_depth");
   hist_.reboot_stop_ns = &metrics_.GetHistogram("reboot.stop_ns");
@@ -483,6 +503,7 @@ msg::MsgValue Runtime::DirectInvoke(ComponentId /*caller*/, FunctionId fn_id,
   ct_.direct_calls->Add();
   const FnEntry& fn = Fn(fn_id);
   CallCtx ctx(*this, fn.owner, restoring);
+  TaintComponentEntry(*slots_[fn.owner].component);
   const Nanos t0 = options_.clock->Now();
   MsgValue ret = fn.handler(ctx, args);
   fn.latency->Record(options_.clock->Now() - t0);
@@ -695,6 +716,7 @@ bool Runtime::ExecuteOne(ComponentId id) {
 
   const FnEntry& fn = Fn(m.fn);
   CallCtx cctx(*this, id, /*restoring=*/false);
+  TaintComponentEntry(*slots_[id].component);
   MsgValue ret;
   Nanos t1 = 0;
   const Nanos t0 = options_.clock->Now();

@@ -87,6 +87,27 @@ struct RuntimeOptions {
   /// on the message thread. Page hashing is pure and deterministic, so the
   /// result is identical at any worker count.
   int snapshot_workers = 0;
+  /// Write-time dirty-page tracking (requires kIncremental): every stateful
+  /// component arena gets a per-4KiB-page bitmap fed by the sanctioned write
+  /// paths (allocator, checked MPK writes, message-domain copies, explicit
+  /// Arena::MarkDirty), and Recapture/Restore consume it so their cost is
+  /// O(dirty pages) instead of O(footprint). Components that do not declare
+  /// a WriteTracking level are conservatively whole-arena-tainted on every
+  /// entry, which keeps them correct but un-accelerated. Overridden by the
+  /// VAMPOS_DIRTY_TRACKING env var ("1"/"0").
+  bool dirty_tracking = false;
+  /// Audit sampling for dirty-tracked snapshot operations: roughly 1-in-N
+  /// fast-path operations full-hash-scan anyway and flag any page that
+  /// changed without its dirty bit (an untracked write). 0 disables audits;
+  /// 1 audits every operation. Overridden by VAMPOS_SNAPSHOT_AUDIT.
+  std::uint32_t dirty_audit_rate = 64;
+  /// Fail-stop (Fatal) on an audit miss instead of counting and resyncing.
+  /// Defaults to fail-stop in debug builds, count-and-resync in release.
+#ifdef NDEBUG
+  bool dirty_audit_fail_stop = false;
+#else
+  bool dirty_audit_fail_stop = true;
+#endif
   /// Debug/CI isolation and liveness checking (vampcheck, see
   /// docs/static-analysis.md): shadow arena-ownership map, cross-domain
   /// pointer-leak scan on every push/reply, and wait-for-graph deadlock
@@ -115,6 +136,16 @@ struct RebootReport {
   std::size_t snapshot_pages_total = 0;
   std::size_t snapshot_pages_dirty = 0;   // pages copied by the restore
   std::size_t snapshot_bytes_copied = 0;  // bytes written into arenas
+  // Dirty-tracking restore: pages never even read because their bit was
+  // clean (nonzero only when the tracker fast path ran).
+  std::size_t snapshot_pages_skipped = 0;
+  // Rejuvenation refresh (Recapture) breakdown, filled only when the reboot
+  // ran with refresh_checkpoint — this is where write-tracking pays: an
+  // idle component's refresh should skip nearly every page.
+  Nanos refresh_hash_ns = 0;
+  Nanos refresh_copy_ns = 0;
+  std::size_t refresh_pages_dirty = 0;
+  std::size_t refresh_pages_skipped = 0;
 };
 
 /// Aggregate counters for the bench harness.
@@ -470,7 +501,10 @@ class Runtime {
   /// Rejuvenation refresh: re-capture each stateful member's checkpoint
   /// incrementally and prune the log entries the capture baked in.
   void RefreshCheckpoints(Slot& slot, RebootReport& report);
-  void AccountSnapshot(const mem::SnapshotStats& stats);
+  void AccountSnapshot(ComponentId id, const mem::SnapshotStats& stats);
+  /// Applies a component's write-tracking level before control enters it
+  /// (dispatch, replay, restore hooks); no-op when tracking is off.
+  void TaintComponentEntry(comp::Component& c);
   void RespawnResident(ComponentId id);
   void FailStop(const ComponentFault& fault);
   bool TrySwapVariant(ComponentId leader);
@@ -529,6 +563,15 @@ class Runtime {
     obs::Counter* snapshot_pages_zero = nullptr;
     obs::Counter* snapshot_pages_shared = nullptr;
     obs::Counter* snapshot_bytes_copied = nullptr;
+    // Write-tracking dirty pages (snapshot.dirty_*): fast-path operations
+    // vs full-scan fallbacks, pages skipped outright, audit activity, and
+    // conservative whole-arena taints.
+    obs::Counter* snapshot_dirty_fast_ops = nullptr;
+    obs::Counter* snapshot_dirty_fallback_ops = nullptr;
+    obs::Counter* snapshot_dirty_pages_skipped = nullptr;
+    obs::Counter* snapshot_dirty_audits = nullptr;
+    obs::Counter* snapshot_dirty_audit_misses = nullptr;
+    obs::Counter* snapshot_dirty_taints = nullptr;
   } ct_;
   /// Hot-path histograms, likewise registry-backed.
   struct HotHistograms {

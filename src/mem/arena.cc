@@ -18,4 +18,11 @@ Arena::Arena(std::size_t size, std::string name)
   std::memset(storage_.get(), 0, size_);
 }
 
+void Arena::EnableDirtyTracking() {
+  if (tracker_ != nullptr) return;
+  tracker_ = std::make_unique<DirtyTracker>(size_);
+  // Anything written before tracking began is untracked by definition.
+  tracker_->MarkAll();
+}
+
 }  // namespace vampos::mem

@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "mem/dirty_tracker.h"
+
 namespace vampos::mem {
 
 class Arena {
@@ -42,12 +44,37 @@ class Arena {
 
   [[nodiscard]] void* AtOffset(std::size_t off) { return storage_.get() + off; }
 
+  /// Attaches a write-time dirty-page tracker (idempotent). The tracker
+  /// starts saturated: everything that happened before tracking began is
+  /// conservatively dirty until the first snapshot synchronization clears it.
+  void EnableDirtyTracking();
+
+  /// The attached tracker, or nullptr when tracking is off.
+  [[nodiscard]] DirtyTracker* dirty_tracker() const { return tracker_.get(); }
+
+  /// Flags the pages covering [ptr, ptr+len) as dirty. No-op when tracking
+  /// is off or the range falls outside the arena, so write paths can call
+  /// it unconditionally. Const because marking is bookkeeping about arena
+  /// content, not a mutation of it.
+  void MarkDirty(const void* ptr, std::size_t len) const {
+    if (tracker_ == nullptr || len == 0) return;
+    if (!Contains(ptr, len)) return;
+    tracker_->Mark(OffsetOf(ptr), len);
+  }
+
+  /// Conservative whole-arena taint for writes that bypass the sanctioned
+  /// marking paths. No-op when tracking is off.
+  void TaintAll() const {
+    if (tracker_ != nullptr) tracker_->MarkAll();
+  }
+
   static constexpr std::size_t kPageSize = 4096;
 
  private:
   std::size_t size_;
   std::string name_;
   std::unique_ptr<std::byte[]> storage_;
+  std::unique_ptr<DirtyTracker> tracker_;
 };
 
 }  // namespace vampos::mem

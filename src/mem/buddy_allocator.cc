@@ -82,6 +82,8 @@ BuddyAllocator::BuddyAllocator(Arena& arena, bool attach) : arena_(&arena) {
   for (auto& head : h->free_head) head = kNull;
 
   std::memset(order_map(), kInterior, map_bytes);
+  arena_->MarkDirty(h, sizeof(Header));
+  arena_->MarkDirty(order_map(), map_bytes);
   PushFree(0, h->top_order);
 }
 
@@ -110,24 +112,34 @@ void BuddyAllocator::PushFree(std::uint32_t off, int order) {
   auto* blk = reinterpret_cast<FreeBlock*>(heap_base() + off);
   blk->next = h->free_head[order];
   blk->prev = kNull;
+  arena_->MarkDirty(blk, sizeof(FreeBlock));
   if (h->free_head[order] != kNull) {
-    reinterpret_cast<FreeBlock*>(heap_base() + h->free_head[order])->prev = off;
+    auto* head = reinterpret_cast<FreeBlock*>(heap_base() + h->free_head[order]);
+    head->prev = off;
+    arena_->MarkDirty(head, sizeof(FreeBlock));
   }
   h->free_head[order] = off;
   order_map()[off >> kMinOrder] =
       static_cast<std::uint8_t>(order) | kFreeBit;
+  arena_->MarkDirty(h, sizeof(Header));
+  arena_->MarkDirty(order_map() + (off >> kMinOrder), 1);
 }
 
 void BuddyAllocator::RemoveFree(std::uint32_t off, int order) {
   auto* h = header();
   auto* blk = reinterpret_cast<FreeBlock*>(heap_base() + off);
   if (blk->prev != kNull) {
-    reinterpret_cast<FreeBlock*>(heap_base() + blk->prev)->next = blk->next;
+    auto* prev = reinterpret_cast<FreeBlock*>(heap_base() + blk->prev);
+    prev->next = blk->next;
+    arena_->MarkDirty(prev, sizeof(FreeBlock));
   } else {
     h->free_head[order] = blk->next;
+    arena_->MarkDirty(h, sizeof(Header));
   }
   if (blk->next != kNull) {
-    reinterpret_cast<FreeBlock*>(heap_base() + blk->next)->prev = blk->prev;
+    auto* next = reinterpret_cast<FreeBlock*>(heap_base() + blk->next);
+    next->prev = blk->prev;
+    arena_->MarkDirty(next, sizeof(FreeBlock));
   }
 }
 
@@ -141,6 +153,7 @@ std::uint32_t BuddyAllocator::PopFree(int order) {
 void* BuddyAllocator::Alloc(std::size_t size) {
   auto* h = header();
   h->stats.alloc_calls++;
+  arena_->MarkDirty(h, sizeof(Header));
   if (size == 0) size = 1;
   const int want = OrderFor(size);
   if (want > h->top_order) {
@@ -165,6 +178,10 @@ void* BuddyAllocator::Alloc(std::size_t size) {
   if (h->stats.bytes_in_use > h->stats.bytes_peak) {
     h->stats.bytes_peak = h->stats.bytes_in_use;
   }
+  arena_->MarkDirty(order_map() + (off >> kMinOrder), 1);
+  // The caller owns the returned block and will write into it without any
+  // marking seam of its own; flag the whole range up front.
+  arena_->MarkDirty(heap_base() + off, std::size_t{1} << want);
   return heap_base() + off;
 }
 
@@ -178,6 +195,7 @@ void BuddyAllocator::Free(void* ptr) {
   if (ptr == nullptr) return;
   auto* h = header();
   h->stats.free_calls++;
+  arena_->MarkDirty(h, sizeof(Header));
   if (!arena_->Contains(ptr)) {
     Fatal("BuddyAllocator::Free of pointer outside arena '%s'",
           arena_->name().c_str());
@@ -192,6 +210,7 @@ void BuddyAllocator::Free(void* ptr) {
   int order = tag;
   h->stats.bytes_in_use -= (std::uint64_t{1} << order);
   order_map()[off >> kMinOrder] = kInterior;
+  arena_->MarkDirty(order_map() + (off >> kMinOrder), 1);
   // Coalesce with the buddy as long as it is free and the same order.
   while (order < h->top_order) {
     const std::uint32_t buddy = off ^ (1u << order);
@@ -199,6 +218,7 @@ void BuddyAllocator::Free(void* ptr) {
     if (btag != (static_cast<std::uint8_t>(order) | kFreeBit)) break;
     RemoveFree(buddy, order);
     order_map()[buddy >> kMinOrder] = kInterior;
+    arena_->MarkDirty(order_map() + (buddy >> kMinOrder), 1);
     off = off < buddy ? off : buddy;
     ++order;
   }

@@ -1,0 +1,63 @@
+#include "mem/dirty_tracker.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace vampos::mem {
+
+DirtyTracker::DirtyTracker(std::size_t arena_bytes)
+    : n_pages_((arena_bytes + kPageSize - 1) / kPageSize),
+      bits_((n_pages_ + 63) / 64, 0) {}
+
+void DirtyTracker::Mark(std::size_t offset, std::size_t len) {
+  if (len == 0) return;
+  marks_++;
+  if (saturated_) return;  // already everything-dirty; bits are redundant
+  const std::size_t first = offset / kPageSize;
+  std::size_t last = (offset + len - 1) / kPageSize;
+  if (first >= n_pages_) return;
+  if (last >= n_pages_) last = n_pages_ - 1;
+  // Large ranges (whole state roots) fill word-at-a-time.
+  std::size_t page = first;
+  while (page <= last) {
+    if ((page & 63) == 0 && page + 63 <= last) {
+      bits_[page >> 6] = ~std::uint64_t{0};
+      page += 64;
+      continue;
+    }
+    bits_[page >> 6] |= std::uint64_t{1} << (page & 63);
+    ++page;
+  }
+}
+
+void DirtyTracker::MarkAll() {
+  taints_++;
+  saturated_ = true;
+}
+
+void DirtyTracker::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  saturated_ = false;
+  ++generation_;
+}
+
+std::size_t DirtyTracker::DirtyPages() const {
+  if (saturated_) return n_pages_;
+  std::size_t total = 0;
+  for (std::uint64_t word : bits_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+bool DirtyTracker::RollAudit(std::uint32_t rate) {
+  if (rate == 0) return false;
+  if (rate == 1) return true;
+  // xorshift64: cheap, deterministic, never zero.
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  return rng_ % rate == 0;
+}
+
+}  // namespace vampos::mem

@@ -1,0 +1,86 @@
+// Write-time dirty-page tracking for arenas.
+//
+// A DirtyTracker is a per-arena bitmap with one bit per 4 KiB page, set by
+// the sanctioned write paths (allocator metadata updates, checked MPK
+// writes, message-domain copies, explicit Arena::MarkDirty calls from
+// component code). The checkpoint engine consumes the bitmap so that
+// Recapture/Restore cost O(dirty pages) instead of O(arena footprint) — the
+// write-tracking analogue of PRISM-style operation logs: record mutations
+// when they happen so recovery scales with what changed.
+//
+// Untracked writes are handled two ways:
+//   * MarkAll() is the conservative escape hatch — a whole-arena taint used
+//     by the runtime whenever control passes through a path that may write
+//     without marking (e.g. a component that has not declared its hooks
+//     write-tracked). A saturated tracker makes every Test() true in O(1).
+//   * RollAudit() drives the snapshot engine's randomized audit mode: on a
+//     sampled operation the engine full-hash-scans anyway and flags any page
+//     that changed without its bit set.
+//
+// Clearing the bitmap bumps `generation()`; the snapshot engine records the
+// (tracker, generation) pair it last synchronized against and falls back to
+// a full hash scan when they no longer match, so two snapshots sharing one
+// arena cannot consume each other's bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vampos::mem {
+
+class DirtyTracker {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  explicit DirtyTracker(std::size_t arena_bytes);
+
+  DirtyTracker(const DirtyTracker&) = delete;
+  DirtyTracker& operator=(const DirtyTracker&) = delete;
+
+  /// Flags every page overlapping [offset, offset+len) as dirty.
+  void Mark(std::size_t offset, std::size_t len);
+
+  /// Conservative taint: every page is dirty until the next Clear(). O(1).
+  void MarkAll();
+
+  /// Resets every bit to clean and bumps the generation. Called by the
+  /// snapshot engine once a capture/restore has synchronized arena and
+  /// checkpoint content.
+  void Clear();
+
+  /// True when `page` must be treated as dirty.
+  [[nodiscard]] bool Test(std::size_t page) const {
+    if (saturated_) return true;
+    if (page >= n_pages_) return false;
+    return (bits_[page >> 6] >> (page & 63)) & 1u;
+  }
+
+  [[nodiscard]] bool saturated() const { return saturated_; }
+  [[nodiscard]] std::size_t pages() const { return n_pages_; }
+  /// Bumped by Clear(); lets consumers detect that someone else reset the
+  /// bitmap since they last synchronized.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Number of pages currently flagged dirty (pages() when saturated).
+  [[nodiscard]] std::size_t DirtyPages() const;
+
+  /// Lifetime counters, for the runtime's snapshot.dirty_* metrics.
+  [[nodiscard]] std::uint64_t marks() const { return marks_; }
+  [[nodiscard]] std::uint64_t taints() const { return taints_; }
+
+  /// Audit sampling: true on roughly 1-in-`rate` calls (0 = never,
+  /// 1 = always). Deterministic per-tracker xorshift sequence, so runs are
+  /// reproducible without a global RNG.
+  [[nodiscard]] bool RollAudit(std::uint32_t rate);
+
+ private:
+  std::size_t n_pages_;
+  std::vector<std::uint64_t> bits_;
+  bool saturated_ = false;
+  std::uint64_t generation_ = 1;
+  std::uint64_t marks_ = 0;
+  std::uint64_t taints_ = 0;
+  std::uint64_t rng_ = 0x2545F4914F6CDD1Dull;
+};
+
+}  // namespace vampos::mem

@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "base/panic.h"
+
 namespace vampos::mem {
 
 namespace {
@@ -35,9 +37,20 @@ void HashRange(const std::byte* base, std::size_t first, std::size_t count,
                std::uint64_t* hashes, std::uint8_t* zeros) {
   for (std::size_t i = first; i < first + count; ++i) {
     bool is_zero = false;
-    hashes[i] = Snapshot::HashPage(base + i * kPage, &is_zero);
+    hashes[i] = Snapshot::PageHash(base + i * kPage, &is_zero);
     zeros[i] = is_zero ? 1 : 0;
   }
+}
+
+/// Exact all-zeroes check for one page (no hashing involved).
+bool IsZeroPage(const std::byte* page) {
+  std::uint64_t acc = 0;
+  for (std::size_t off = 0; off < kPage; off += sizeof(std::uint64_t)) {
+    std::uint64_t lane;
+    std::memcpy(&lane, page + off, sizeof(lane));
+    acc |= lane;
+  }
+  return acc == 0;
 }
 
 /// Page-hash pass, optionally spread over worker threads. Pages are
@@ -85,6 +98,39 @@ std::uint64_t Snapshot::HashPage(const std::byte* page, bool* is_zero) {
   }
   if (is_zero != nullptr) *is_zero = acc == 0;
   return Finalize(h);
+}
+
+Snapshot::PageHashFn Snapshot::hash_override_ = nullptr;
+
+std::uint64_t Snapshot::PageHash(const std::byte* page, bool* is_zero) {
+  return hash_override_ != nullptr ? hash_override_(page, is_zero)
+                                   : HashPage(page, is_zero);
+}
+
+Snapshot::PageHashFn Snapshot::SetPageHashForTest(PageHashFn fn) {
+  PageHashFn prev = hash_override_;
+  hash_override_ = fn;
+  return prev;
+}
+
+const DirtyTracker* Snapshot::SyncedTracker(const Arena& arena,
+                                            const SnapshotConfig& config) const {
+  if (!config.dirty_tracking) return nullptr;
+  const DirtyTracker* t = arena.dirty_tracker();
+  if (t == nullptr || t != synced_tracker_ || t->generation() != synced_gen_) {
+    return nullptr;
+  }
+  return t;
+}
+
+void Snapshot::MarkTrackerSynced(const Arena& arena,
+                                 const SnapshotConfig& config) const {
+  if (!config.dirty_tracking) return;
+  DirtyTracker* t = arena.dirty_tracker();
+  if (t == nullptr) return;
+  t->Clear();
+  synced_tracker_ = t;
+  synced_gen_ = t->generation();
 }
 
 // ------------------------------------------------------------ PageBaseline
@@ -171,6 +217,8 @@ Snapshot Snapshot::Capture(const Arena& arena, const SnapshotConfig& config,
     }
   }
   local.copy_ns = NowOrZero(config.clock) - t1;
+  // Checkpoint now equals the arena: start a fresh dirty window.
+  snap.MarkTrackerSynced(arena, config);
   if (stats != nullptr) *stats = local;
   return snap;
 }
@@ -202,36 +250,95 @@ Status Snapshot::Recapture(const Arena& arena, const SnapshotConfig& config,
 
   const std::size_t n = pages_.size();
   local.pages_total = n;
-  std::vector<std::uint64_t> hashes(n);
-  std::vector<std::uint8_t> zeros(n);
-  const Nanos t0 = NowOrZero(config.clock);
-  HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
-  const Nanos t1 = NowOrZero(config.clock);
-  local.hash_ns = t1 - t0;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // Exact clean test for one page against the checkpoint entry — byte-wise,
+  // never a bare hash comparison (64-bit collisions alias divergent pages).
+  auto page_clean = [&](std::size_t i) {
+    const PageEntry& e = pages_[i];
+    const std::byte* live = arena.base() + i * kPage;
+    if (e.src == PageSource::kZero) return IsZeroPage(live);
+    return std::memcmp(live, PageData(i), kPage) == 0;
+  };
+  // Re-stores page `i` from the live arena; e.hash must already be updated.
+  auto store_page = [&](std::size_t i, std::uint64_t hash, bool now_zero) {
     PageEntry& e = pages_[i];
-    const bool now_zero = zeros[i] != 0;
-    const bool was_zero = e.src == PageSource::kZero;
-    if (hashes[i] == e.hash && now_zero == was_zero) {
-      if (was_zero) local.pages_zero++;
-      if (e.src == PageSource::kBaseline) local.pages_shared++;
-      continue;  // clean page: the checkpoint already holds these bytes
-    }
     local.pages_dirty++;
-    e.hash = hashes[i];
+    e.hash = hash;
     if (now_zero) {
       ReleasePage(i);
-      e.src = PageSource::kZero;
       local.pages_zero++;
-      continue;
+      return;
     }
     // Dirtied pages go to private storage: live mutated state is unlikely
     // to be shared across components, so it skips the baseline pool.
     std::memcpy(WritablePage(i), arena.base() + i * kPage, kPage);
     local.bytes_copied += kPage;
+  };
+  auto count_clean = [&](std::size_t i) {
+    const PageEntry& e = pages_[i];
+    if (e.src == PageSource::kZero) local.pages_zero++;
+    if (e.src == PageSource::kBaseline) local.pages_shared++;
+  };
+
+  const DirtyTracker* tracker = SyncedTracker(arena, config);
+  const bool audit = tracker != nullptr &&
+                     arena.dirty_tracker()->RollAudit(config.audit_rate);
+  if (tracker != nullptr && !audit) {
+    // Fast path: only pages with a dirty bit are even read. A flagged page
+    // whose bytes still match the checkpoint (e.g. allocator metadata that
+    // round-tripped) costs one memcmp; a changed page is re-hashed and
+    // re-stored.
+    local.dirty_fast = true;
+    const Nanos t0 = NowOrZero(config.clock);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!tracker->Test(i)) {
+        local.pages_skipped++;
+        count_clean(i);
+        continue;
+      }
+      if (page_clean(i)) {
+        count_clean(i);
+        continue;
+      }
+      bool now_zero = false;
+      const std::uint64_t h = PageHash(arena.base() + i * kPage, &now_zero);
+      store_page(i, h, now_zero);
+    }
+    local.copy_ns = NowOrZero(config.clock) - t0;
+  } else {
+    // Full hash scan: either dirty tracking is off/desynced, or a sampled
+    // audit deliberately re-scans everything to catch untracked writes.
+    std::vector<std::uint64_t> hashes(n);
+    std::vector<std::uint8_t> zeros(n);
+    const Nanos t0 = NowOrZero(config.clock);
+    HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
+    const Nanos t1 = NowOrZero(config.clock);
+    local.hash_ns = t1 - t0;
+    local.audited = audit;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const PageEntry& e = pages_[i];
+      const bool now_zero = zeros[i] != 0;
+      const bool was_zero = e.src == PageSource::kZero;
+      if (hashes[i] == e.hash && now_zero == was_zero && page_clean(i)) {
+        count_clean(i);
+        continue;  // clean page: the checkpoint already holds these bytes
+      }
+      if (audit && !tracker->Test(i)) {
+        local.audit_misses++;
+        if (config.audit_fail_stop) {
+          Fatal("snapshot audit: page %zu of arena '%s' changed without a "
+                "dirty bit (untracked write)",
+                i, arena.name().c_str());
+        }
+      }
+      store_page(i, hashes[i], now_zero);
+    }
+    local.copy_ns = NowOrZero(config.clock) - t1;
   }
-  local.copy_ns = NowOrZero(config.clock) - t1;
+  // Checkpoint now equals the arena again: consume the bits and open a
+  // fresh dirty window.
+  MarkTrackerSynced(arena, config);
   if (stats != nullptr) *stats = local;
   return Status::Ok();
 }
@@ -259,28 +366,75 @@ Status Snapshot::Restore(Arena& arena, const SnapshotConfig& config,
 
   const std::size_t n = pages_.size();
   local.pages_total = n;
-  std::vector<std::uint64_t> hashes(n);
-  std::vector<std::uint8_t> zeros(n);
-  const Nanos t0 = NowOrZero(config.clock);
-  HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
-  const Nanos t1 = NowOrZero(config.clock);
-  local.hash_ns = t1 - t0;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // Byte-exact divergence test (never a bare hash comparison — a live page
+  // whose hash collides with the checkpoint entry must still be restored).
+  auto page_clean = [&](std::size_t i) {
     const PageEntry& e = pages_[i];
-    const bool live_zero = zeros[i] != 0;
-    const bool snap_zero = e.src == PageSource::kZero;
-    if (hashes[i] == e.hash && live_zero == snap_zero) continue;  // clean
+    const std::byte* live = arena.base() + i * kPage;
+    if (e.src == PageSource::kZero) return IsZeroPage(live);
+    return std::memcmp(live, PageData(i), kPage) == 0;
+  };
+  auto restore_page = [&](std::size_t i) {
+    const PageEntry& e = pages_[i];
     local.pages_dirty++;
     std::byte* dst = arena.base() + i * kPage;
-    if (snap_zero) {
+    if (e.src == PageSource::kZero) {
       std::memset(dst, 0, kPage);
     } else {
       std::memcpy(dst, PageData(i), kPage);
     }
     local.bytes_copied += kPage;
+  };
+
+  const DirtyTracker* tracker = SyncedTracker(arena, config);
+  const bool audit = tracker != nullptr &&
+                     arena.dirty_tracker()->RollAudit(config.audit_rate);
+  if (tracker != nullptr && !audit) {
+    // Fast path: unflagged pages are untouched since the last sync, so the
+    // live bytes already match the checkpoint. No hashing at all — flagged
+    // pages are memcmp'd and only true divergence is copied.
+    local.dirty_fast = true;
+    const Nanos t0 = NowOrZero(config.clock);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!tracker->Test(i)) {
+        local.pages_skipped++;
+        continue;
+      }
+      if (!page_clean(i)) restore_page(i);
+    }
+    local.copy_ns = NowOrZero(config.clock) - t0;
+  } else {
+    std::vector<std::uint64_t> hashes(n);
+    std::vector<std::uint8_t> zeros(n);
+    const Nanos t0 = NowOrZero(config.clock);
+    HashPages(arena.base(), n, config.workers, hashes.data(), zeros.data());
+    const Nanos t1 = NowOrZero(config.clock);
+    local.hash_ns = t1 - t0;
+    local.audited = audit;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const PageEntry& e = pages_[i];
+      const bool live_zero = zeros[i] != 0;
+      const bool snap_zero = e.src == PageSource::kZero;
+      if (hashes[i] == e.hash && live_zero == snap_zero && page_clean(i)) {
+        continue;  // clean
+      }
+      if (audit && !tracker->Test(i)) {
+        local.audit_misses++;
+        if (config.audit_fail_stop) {
+          Fatal("snapshot audit: page %zu of arena '%s' changed without a "
+                "dirty bit (untracked write)",
+                i, arena.name().c_str());
+        }
+      }
+      restore_page(i);
+    }
+    local.copy_ns = NowOrZero(config.clock) - t1;
   }
-  local.copy_ns = NowOrZero(config.clock) - t1;
+  // The live arena now equals the checkpoint: consume the bits and open a
+  // fresh dirty window.
+  MarkTrackerSynced(arena, config);
   if (stats != nullptr) *stats = local;
   return Status::Ok();
 }

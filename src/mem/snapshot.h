@@ -50,7 +50,11 @@ struct SnapshotStats {
   std::size_t pages_dirty = 0;   // pages copied (divergent / newly stored)
   std::size_t pages_zero = 0;    // zero pages elided from storage
   std::size_t pages_shared = 0;  // pages deduplicated against the baseline
+  std::size_t pages_skipped = 0;  // pages never touched (tracker said clean)
+  std::size_t audit_misses = 0;  // pages changed without a dirty bit set
   std::size_t bytes_copied = 0;  // bytes memcpy'd/memset by this operation
+  bool dirty_fast = false;       // op consumed the dirty bitmap (O(dirty))
+  bool audited = false;          // randomized audit full-scan ran
   Nanos hash_ns = 0;             // page-hash pass (parallelizable)
   Nanos copy_ns = 0;             // classification + copy pass
 };
@@ -95,6 +99,16 @@ struct SnapshotConfig {
   PageBaseline* baseline = nullptr;
   /// Clock for the hash/copy phase split; nullptr leaves *_ns at zero.
   const Clock* clock = nullptr;
+  /// Consume per-arena dirty bitmaps (Arena::EnableDirtyTracking) so
+  /// Recapture/Restore touch only flagged pages. Requires kIncremental.
+  bool dirty_tracking = false;
+  /// Audit sampling for the fast path: 0 = never, 1 = every operation,
+  /// N = roughly 1-in-N operations full-hash-scan anyway and check that no
+  /// page changed without its dirty bit set.
+  std::uint32_t audit_rate = 0;
+  /// On an audit miss: Fatal (fail-stop, for debug builds) when true, or
+  /// count the miss and resync the page when false.
+  bool audit_fail_stop = false;
 };
 
 class Snapshot {
@@ -141,6 +155,17 @@ class Snapshot {
   /// is all zeroes (detected in the same pass).
   static std::uint64_t HashPage(const std::byte* page, bool* is_zero);
 
+  /// Hash actually used by the engine: the test override when one is
+  /// installed, else HashPage. The override must still report `*is_zero`
+  /// truthfully — zero-page elision relies on it.
+  static std::uint64_t PageHash(const std::byte* page, bool* is_zero);
+
+  using PageHashFn = std::uint64_t (*)(const std::byte* page, bool* is_zero);
+  /// Test seam: overrides the page hash so tests can force collisions
+  /// (nullptr restores the real hash). Returns the previous override so
+  /// callers can RAII-restore it.
+  static PageHashFn SetPageHashForTest(PageHashFn fn);
+
  private:
   enum class PageSource : std::uint8_t { kZero, kBaseline, kPrivate };
 
@@ -158,6 +183,19 @@ class Snapshot {
   std::byte* WritablePage(std::size_t i);
   void ReleasePage(std::size_t i);
 
+  /// True when the arena's tracker is the one this snapshot last
+  /// synchronized with and nobody cleared it since — the precondition for
+  /// trusting its bits as "only these pages may differ".
+  [[nodiscard]] const DirtyTracker* SyncedTracker(
+      const Arena& arena, const SnapshotConfig& config) const;
+  /// Records checkpoint == arena: clears the tracker and remembers the
+  /// (tracker, generation) pair the fast path must match. Mutable-only
+  /// bookkeeping, so Restore can stay const.
+  void MarkTrackerSynced(const Arena& arena,
+                         const SnapshotConfig& config) const;
+
+  static PageHashFn hash_override_;
+
   SnapshotMode mode_ = SnapshotMode::kFullCopy;
   std::vector<std::byte> bytes_;  // kFullCopy image
 
@@ -166,6 +204,13 @@ class Snapshot {
   std::vector<PageEntry> pages_;
   std::vector<std::unique_ptr<std::byte[]>> private_pages_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Dirty-tracking synchronization point. A generation mismatch (another
+  // snapshot consumed the bitmap, or the checkpoint was swapped out) makes
+  // the engine fall back to the full hash scan instead of trusting bits it
+  // did not synchronize against.
+  mutable const DirtyTracker* synced_tracker_ = nullptr;
+  mutable std::uint64_t synced_gen_ = 0;
 };
 
 }  // namespace vampos::mem

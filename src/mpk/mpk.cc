@@ -32,6 +32,7 @@ void DomainManager::TagArena(const mem::Arena& arena, Key key,
       .end = reinterpret_cast<std::uintptr_t>(arena.base()) + arena.size(),
       .key = key,
       .label = std::move(label),
+      .arena = &arena,
   };
   // Sorted insert; every byte must belong to exactly one region, so an
   // overlap means two protection domains claim the same memory — a runtime
@@ -103,6 +104,9 @@ void DomainManager::CheckedWrite(ComponentId actor, void* dst,
                                  const void* src, std::size_t len) const {
   CheckAccess(actor, dst, len, /*write=*/true);
   std::memcpy(dst, src, len);
+  // Sanctioned cross-domain write: feed the target arena's dirty tracker.
+  const Region* r = FindRegion(reinterpret_cast<std::uintptr_t>(dst));
+  if (r != nullptr && r->arena != nullptr) r->arena->MarkDirty(dst, len);
 }
 
 }  // namespace vampos::mpk

@@ -130,6 +130,8 @@ class DomainManager {
     std::uintptr_t end;
     Key key;
     std::string label;
+    // Backing arena, so checked writes can feed its dirty-page tracker.
+    const mem::Arena* arena = nullptr;
   };
 
   /// Containing region for `ptr`, or nullptr for untagged memory. Binary

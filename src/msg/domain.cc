@@ -223,6 +223,7 @@ void MessageDomain::Push(Message msg, const Args& payload) {
     domains_->CheckedWrite(msg.from, buf, wire.data(), wire.size());
   } else {
     std::memcpy(buf, wire.data(), wire.size());
+    arena_.MarkDirty(buf, wire.size());
   }
   msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
   msg.buf_len = static_cast<std::uint32_t>(wire.size());
@@ -272,6 +273,7 @@ void MessageDomain::PushReply(Message msg, const Args& payload) {
     domains_->CheckedWrite(msg.from, buf, wire.data(), wire.size());
   } else {
     std::memcpy(buf, wire.data(), wire.size());
+    arena_.MarkDirty(buf, wire.size());
   }
   msg.kind = Message::Kind::kReply;
   msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));

@@ -28,6 +28,8 @@ constexpr KindInfo kKinds[] = {
     {"check.overlap", "fault"},  {"trace.stall", "trace"},
     {"snapshot.hash", "reboot"}, {"snapshot.copy", "reboot"},
     {"snapshot.recapture", "reboot"},
+    {"snapshot.dirty", "reboot"},
+    {"snapshot.audit", "reboot"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),

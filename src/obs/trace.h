@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   kSnapshotHash,      // page-hash pass of a checkpoint op (a=ns, b=pages)
   kSnapshotCopy,      // copy pass of a checkpoint op (a=ns, b=bytes copied)
   kSnapshotRecapture,  // incremental re-snapshot (a=bytes copied, b=dirty)
+  kSnapshotDirty,      // write-tracked fast-path op (a=pages skipped, b=dirty)
+  kSnapshotAudit,      // randomized tracker audit (a=misses, b=dirty)
   kKindCount,
 };
 

@@ -23,7 +23,11 @@ constexpr int kDrainBudget = 32;
 }  // namespace
 
 LwipComponent::LwipComponent()
-    : Component("lwip", Statefulness::kStateful, 16u << 20) {}
+    : Component("lwip", Statefulness::kStateful, 16u << 20) {
+  // Every mutable byte (socks, backlog, counters) lives in the State root,
+  // so dirty tracking only needs the state range marked per entry.
+  set_write_tracking(comp::WriteTracking::kState);
+}
 
 LwipComponent::Sock* LwipComponent::Get(std::int64_t s) {
   if (s < 0 || s >= static_cast<std::int64_t>(kMaxSocks)) return nullptr;

@@ -40,7 +40,10 @@ Args DecodeReply(const MsgValue& wire) {
 }  // namespace
 
 NinePfsComponent::NinePfsComponent()
-    : Component("9pfs", Statefulness::kStateful, 2u << 20) {}
+    : Component("9pfs", Statefulness::kStateful, 2u << 20) {
+  // All mutable bytes (mount point, fid table, counters) live in State.
+  set_write_tracking(comp::WriteTracking::kState);
+}
 
 NinePfsComponent::FidEntry* NinePfsComponent::Fid(std::int64_t fid) {
   if (fid < 0 || fid >= static_cast<std::int64_t>(kMaxFids)) return nullptr;

@@ -20,7 +20,12 @@ MsgValue Err(Errno e) { return MsgValue(ToWire(Status::Error(e))); }
 }  // namespace
 
 RamFsComponent::RamFsComponent()
-    : Component("ramfs", Statefulness::kStateful, 24u << 20) {}
+    : Component("ramfs", Statefulness::kStateful, 24u << 20) {
+  // The file table lives in State; content blocks are flagged at Alloc time
+  // by the buddy allocator plus explicit MarkDirty calls at the in-place
+  // content writes (write/truncate/OnRestored).
+  set_write_tracking(comp::WriteTracking::kState);
+}
 
 char* RamFsComponent::DataOf(File* f) {
   return static_cast<char*>(arena().AtOffset(f->data_off));
@@ -121,6 +126,7 @@ void RamFsComponent::OnRestored(CallCtx& ctx) {
     const std::string& data = content->bytes();
     if (!EnsureCapacity(f, static_cast<std::uint32_t>(data.size()))) continue;
     std::memcpy(DataOf(f), data.data(), data.size());
+    arena().MarkDirty(DataOf(f), data.size());
     f->size = static_cast<std::uint32_t>(data.size());
   }
 }
@@ -210,6 +216,10 @@ void RamFsComponent::Init(InitCtx& ctx) {
                  std::memset(DataOf(&f) + f.size, 0, off - f.size);
                }
                std::memcpy(DataOf(&f) + off, data.data(), data.size());
+               // Content blocks live outside the State root; mark the
+               // written span for the dirty tracker explicitly.
+               arena().MarkDirty(DataOf(&f) + std::min(off, f.size),
+                                 end - std::min(off, f.size));
                f.size = std::max(f.size, end);
                if (!c.restoring()) SaveFileVault(c, f);
                return MsgValue(static_cast<std::int64_t>(data.size()));
@@ -303,6 +313,7 @@ void RamFsComponent::Init(InitCtx& ctx) {
                if (len > f.size) {
                  if (!EnsureCapacity(&f, len)) return Err(Errno::kNoSpc);
                  std::memset(DataOf(&f) + f.size, 0, len - f.size);
+                 arena().MarkDirty(DataOf(&f) + f.size, len - f.size);
                }
                f.size = len;
                if (!c.restoring()) SaveFileVault(c, f);

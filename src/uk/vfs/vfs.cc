@@ -28,7 +28,10 @@ bool IsErr(const MsgValue& v) { return v.is_i64() && v.i64() < 0; }
 
 VfsComponent::VfsComponent(std::string fs_backend)
     : Component("vfs", Statefulness::kStateful, 8u << 20),
-      fs_backend_(std::move(fs_backend)) {}
+      fs_backend_(std::move(fs_backend)) {
+  // Fd table, pipes (in-struct buffers) and refcounts all live in State.
+  set_write_tracking(comp::WriteTracking::kState);
+}
 
 VfsComponent::FdEntry* VfsComponent::Get(std::int64_t fd) {
   if (fd < 0 || fd >= static_cast<std::int64_t>(kMaxFds)) return nullptr;

@@ -1,0 +1,521 @@
+// Write-tracked checkpoint engine tests: the DirtyTracker bitmap itself,
+// the O(dirty) fast paths of Recapture/Restore and their equivalence with
+// the hash-scan and full-copy engines under randomized mutation, the
+// memcmp-confirmed clean verdicts (a forced hash collision must not smuggle
+// a changed page past recapture or restore), the randomized audit mode
+// catching a deliberately untracked write, the desync fallback when two
+// snapshots share one tracker, and the runtime-level wiring (counters,
+// state survival with dirty_tracking on).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "mem/arena.h"
+#include "mem/dirty_tracker.h"
+#include "mem/snapshot.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using mem::Arena;
+using mem::DirtyTracker;
+using mem::PageBaseline;
+using mem::Snapshot;
+using mem::SnapshotConfig;
+using mem::SnapshotMode;
+using mem::SnapshotStats;
+using testing::CounterComponent;
+using testing::RunApp;
+
+constexpr std::size_t kPage = Arena::kPageSize;
+
+SnapshotConfig TrackCfg(std::uint32_t audit_rate = 0,
+                        bool audit_fail_stop = false) {
+  SnapshotConfig cfg;
+  cfg.mode = SnapshotMode::kIncremental;
+  cfg.dirty_tracking = true;
+  cfg.audit_rate = audit_rate;
+  cfg.audit_fail_stop = audit_fail_stop;
+  return cfg;
+}
+
+void FillRandom(Arena& arena, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    arena.base()[i] = static_cast<std::byte>(byte(rng));
+  }
+}
+
+/// RAII guard for the page-hash test seam.
+struct HashOverride {
+  explicit HashOverride(Snapshot::PageHashFn fn)
+      : prev(Snapshot::SetPageHashForTest(fn)) {}
+  ~HashOverride() { Snapshot::SetPageHashForTest(prev); }
+  Snapshot::PageHashFn prev;
+};
+
+/// Constant hash: every page collides with every other. is_zero must stay
+/// truthful or the zero-elision path would corrupt the image by itself.
+std::uint64_t CollidingHash(const std::byte* page, bool* is_zero) {
+  bool zero = true;
+  for (std::size_t i = 0; i < kPage && zero; ++i) {
+    zero = page[i] == std::byte{0};
+  }
+  if (is_zero != nullptr) *is_zero = zero;
+  return 0x1234567890ABCDEFull;
+}
+
+// ------------------------------------------------------- tracker bitmap
+
+TEST(DirtyTracker, MarkTestAndClear) {
+  DirtyTracker t(16 * kPage);
+  EXPECT_EQ(t.pages(), 16u);
+  EXPECT_EQ(t.DirtyPages(), 0u);
+  EXPECT_FALSE(t.Test(0));
+
+  t.Mark(0, 1);  // first byte -> first page
+  t.Mark(5 * kPage + 100, 1);
+  EXPECT_TRUE(t.Test(0));
+  EXPECT_FALSE(t.Test(1));
+  EXPECT_TRUE(t.Test(5));
+  EXPECT_EQ(t.DirtyPages(), 2u);
+
+  const std::uint64_t gen = t.generation();
+  t.Clear();
+  EXPECT_EQ(t.DirtyPages(), 0u);
+  EXPECT_FALSE(t.Test(0));
+  EXPECT_GT(t.generation(), gen);
+}
+
+TEST(DirtyTracker, RangeMarkCoversOverlappingPages) {
+  DirtyTracker t(8 * kPage);
+  // A one-byte-into-page-1 to one-byte-into-page-3 range touches 1,2,3.
+  t.Mark(kPage + 1, 2 * kPage);
+  EXPECT_FALSE(t.Test(0));
+  EXPECT_TRUE(t.Test(1));
+  EXPECT_TRUE(t.Test(2));
+  EXPECT_TRUE(t.Test(3));
+  EXPECT_FALSE(t.Test(4));
+}
+
+TEST(DirtyTracker, WordFillMatchesBitLoop) {
+  // 256 pages: large aligned runs take the word-fill path; check it against
+  // per-page marking of the same span.
+  DirtyTracker fast(256 * kPage);
+  DirtyTracker slow(256 * kPage);
+  fast.Mark(0, 256 * kPage);
+  for (std::size_t p = 0; p < 256; ++p) slow.Mark(p * kPage, 1);
+  for (std::size_t p = 0; p < 256; ++p) {
+    ASSERT_EQ(fast.Test(p), slow.Test(p)) << "page " << p;
+  }
+  EXPECT_EQ(fast.DirtyPages(), 256u);
+}
+
+TEST(DirtyTracker, SaturationIsStickyUntilClear) {
+  DirtyTracker t(4 * kPage);
+  t.MarkAll();
+  EXPECT_TRUE(t.saturated());
+  EXPECT_TRUE(t.Test(3));
+  EXPECT_EQ(t.DirtyPages(), 4u);
+  EXPECT_EQ(t.taints(), 1u);
+  t.Clear();
+  EXPECT_FALSE(t.saturated());
+  EXPECT_EQ(t.DirtyPages(), 0u);
+}
+
+TEST(DirtyTracker, RollAuditRateSemantics) {
+  DirtyTracker t(kPage);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(t.RollAudit(0));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(t.RollAudit(1));
+  int fired = 0;
+  for (int i = 0; i < 4000; ++i) fired += t.RollAudit(4) ? 1 : 0;
+  EXPECT_GT(fired, 0);      // fires sometimes...
+  EXPECT_LT(fired, 4000);   // ...but not always
+}
+
+// ------------------------------------------------- O(dirty) fast paths
+
+TEST(DirtyTrackingSnapshot, RecaptureSkipsUnmarkedPages) {
+  Arena arena(64 * kPage);
+  std::mt19937_64 rng(9);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+
+  // First capture full-scans (tracker starts saturated) and syncs.
+  SnapshotStats cs;
+  Snapshot snap = Snapshot::Capture(arena, TrackCfg(), &cs);
+  EXPECT_FALSE(cs.dirty_fast);
+
+  // One tracked write -> the recapture touches one page, skips the rest.
+  arena.base()[10 * kPage + 5] = std::byte{0x77};
+  arena.MarkDirty(arena.base() + 10 * kPage + 5, 1);
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Recapture(arena, TrackCfg(), &rs).ok());
+  EXPECT_TRUE(rs.dirty_fast);
+  EXPECT_EQ(rs.pages_dirty, 1u);
+  EXPECT_EQ(rs.pages_skipped, 63u);
+
+  // An idle recapture skips everything.
+  SnapshotStats is;
+  ASSERT_TRUE(snap.Recapture(arena, TrackCfg(), &is).ok());
+  EXPECT_TRUE(is.dirty_fast);
+  EXPECT_EQ(is.pages_dirty, 0u);
+  EXPECT_EQ(is.pages_skipped, 64u);
+}
+
+TEST(DirtyTrackingSnapshot, RestoreRepairsOnlyMarkedPages) {
+  Arena arena(32 * kPage);
+  std::mt19937_64 rng(21);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+  Snapshot snap = Snapshot::Capture(arena, TrackCfg());
+  std::vector<std::byte> image(arena.base(), arena.base() + arena.size());
+
+  std::memset(arena.base() + 4 * kPage, 0xEE, 2 * kPage);
+  arena.MarkDirty(arena.base() + 4 * kPage, 2 * kPage);
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Restore(arena, TrackCfg(), &rs).ok());
+  EXPECT_TRUE(rs.dirty_fast);
+  EXPECT_EQ(rs.pages_dirty, 2u);
+  EXPECT_EQ(rs.pages_skipped, 30u);
+  EXPECT_EQ(std::memcmp(arena.base(), image.data(), arena.size()), 0);
+}
+
+// The three-engine equivalence property: after any sequence of identical
+// (tracked) mutations, capture/recapture/restore cycles leave the
+// write-tracked arena byte-identical to the hash-scan and full-copy arenas.
+TEST(DirtyTrackingSnapshot, FuzzThreeEnginesStayByteIdentical) {
+  constexpr std::size_t kPages = 48;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937_64 rng(seed);
+    Arena track_arena(kPages * kPage, "track");
+    Arena incr_arena(kPages * kPage, "incr");
+    Arena full_arena(kPages * kPage, "full");
+    FillRandom(track_arena, rng);
+    std::memset(track_arena.base() + 6 * kPage, 0, 3 * kPage);  // zero pages
+    std::memcpy(incr_arena.base(), track_arena.base(), track_arena.size());
+    std::memcpy(full_arena.base(), track_arena.base(), track_arena.size());
+    track_arena.EnableDirtyTracking();
+
+    SnapshotConfig icfg;
+    icfg.mode = SnapshotMode::kIncremental;
+    SnapshotConfig fcfg;
+    fcfg.mode = SnapshotMode::kFullCopy;
+    Snapshot track = Snapshot::Capture(track_arena, TrackCfg());
+    Snapshot incr = Snapshot::Capture(incr_arena, icfg);
+    Snapshot full = Snapshot::Capture(full_arena, fcfg);
+
+    std::uniform_int_distribution<std::size_t> off_d(0, kPages * kPage - 1);
+    std::uniform_int_distribution<std::size_t> len_d(1, 3 * kPage);
+    std::uniform_int_distribution<int> kind_d(0, 3);
+    std::uniform_int_distribution<int> byte_d(0, 255);
+    std::size_t skipped_total = 0;
+    for (int round = 0; round < 25; ++round) {
+      const int mutations = 1 + kind_d(rng);
+      for (int m = 0; m < mutations; ++m) {
+        const std::size_t off = off_d(rng);
+        const std::size_t len = std::min(len_d(rng), kPages * kPage - off);
+        switch (kind_d(rng)) {
+          case 0: {
+            const std::byte v = static_cast<std::byte>(byte_d(rng));
+            track_arena.base()[off] = v;
+            track_arena.MarkDirty(track_arena.base() + off, 1);
+            break;
+          }
+          case 1: {
+            const std::size_t p = (off / kPage) * kPage;
+            std::memset(track_arena.base() + p, 0, kPage);
+            track_arena.MarkDirty(track_arena.base() + p, kPage);
+            break;
+          }
+          case 2:
+            std::memset(track_arena.base() + off, byte_d(rng), len);
+            track_arena.MarkDirty(track_arena.base() + off, len);
+            break;
+          case 3:
+          default:
+            break;  // clean round
+        }
+      }
+      std::memcpy(incr_arena.base(), track_arena.base(), track_arena.size());
+      std::memcpy(full_arena.base(), track_arena.base(), track_arena.size());
+
+      SnapshotStats ts;
+      if (round % 2 == 0) {
+        // Recapture cycle: fold the mutations in, then prove all three
+        // checkpoints restore to the same image after a scribble.
+        ASSERT_TRUE(track.Recapture(track_arena, TrackCfg(), &ts).ok());
+        ASSERT_TRUE(incr.Recapture(incr_arena, icfg).ok());
+        ASSERT_TRUE(full.Recapture(full_arena, fcfg).ok());
+        FillRandom(track_arena, rng);
+        track_arena.TaintAll();  // scribble is an untracked bulk write
+        std::memcpy(incr_arena.base(), track_arena.base(),
+                    track_arena.size());
+        std::memcpy(full_arena.base(), track_arena.base(),
+                    track_arena.size());
+      }
+      SnapshotStats rs;
+      ASSERT_TRUE(track.Restore(track_arena, TrackCfg(), &rs).ok());
+      ASSERT_TRUE(incr.Restore(incr_arena, icfg).ok());
+      ASSERT_TRUE(full.Restore(full_arena, fcfg).ok());
+      skipped_total += ts.pages_skipped + rs.pages_skipped;
+      ASSERT_EQ(std::memcmp(track_arena.base(), incr_arena.base(),
+                            track_arena.size()),
+                0)
+          << "track vs incr divergence at seed " << seed << " round "
+          << round;
+      ASSERT_EQ(std::memcmp(track_arena.base(), full_arena.base(),
+                            track_arena.size()),
+                0)
+          << "track vs full divergence at seed " << seed << " round "
+          << round;
+    }
+    // The fast path must actually engage: a fuzz run that always fell back
+    // to the full scan would vacuously pass the equivalence check.
+    EXPECT_GT(skipped_total, 0u) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------ hash-collision defense
+
+// Satellite regression test: before the memcmp-confirm fix, Recapture and
+// Restore trusted a bare 64-bit hash match as "page unchanged". With a
+// colliding hash installed, every page matches every hash — only the
+// byte-wise confirm can tell changed pages apart.
+TEST(DirtyTrackingSnapshot, CollidingHashDoesNotHideChangesFromRecapture) {
+  HashOverride guard(&CollidingHash);
+  Arena arena(8 * kPage);
+  std::mt19937_64 rng(13);
+  FillRandom(arena, rng);
+
+  SnapshotConfig icfg;
+  icfg.mode = SnapshotMode::kIncremental;
+  Snapshot snap = Snapshot::Capture(arena, icfg);
+
+  // Change one page. Its hash is unchanged by construction.
+  arena.base()[3 * kPage] ^= std::byte{0xFF};
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Recapture(arena, icfg, &rs).ok());
+  EXPECT_EQ(rs.pages_dirty, 1u) << "collision swallowed the recapture";
+
+  // The recaptured image must round-trip the changed byte.
+  std::vector<std::byte> live(arena.base(), arena.base() + arena.size());
+  FillRandom(arena, rng);
+  ASSERT_TRUE(snap.Restore(arena, icfg).ok());
+  EXPECT_EQ(std::memcmp(arena.base(), live.data(), arena.size()), 0);
+}
+
+TEST(DirtyTrackingSnapshot, CollidingHashDoesNotHideChangesFromRestore) {
+  HashOverride guard(&CollidingHash);
+  Arena arena(8 * kPage);
+  std::mt19937_64 rng(14);
+  FillRandom(arena, rng);
+
+  SnapshotConfig icfg;
+  icfg.mode = SnapshotMode::kIncremental;
+  Snapshot snap = Snapshot::Capture(arena, icfg);
+  std::vector<std::byte> image(arena.base(), arena.base() + arena.size());
+
+  arena.base()[5 * kPage + 17] ^= std::byte{0x0F};
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Restore(arena, icfg, &rs).ok());
+  EXPECT_EQ(rs.pages_dirty, 1u) << "collision swallowed the restore";
+  EXPECT_EQ(std::memcmp(arena.base(), image.data(), arena.size()), 0);
+}
+
+// The write-tracked fast path never hashes, so it is immune by design —
+// but the audit scan runs under the override and must still catch changes.
+TEST(DirtyTrackingSnapshot, CollidingHashDoesNotBreakAuditScan) {
+  HashOverride guard(&CollidingHash);
+  Arena arena(8 * kPage);
+  std::mt19937_64 rng(15);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+  Snapshot snap = Snapshot::Capture(arena, TrackCfg());
+
+  arena.base()[2 * kPage] ^= std::byte{0xA5};
+  arena.MarkDirty(arena.base() + 2 * kPage, 1);
+  SnapshotStats rs;
+  // audit_rate=1: every op full-scans; the tracked change must be captured
+  // with no audit miss (its bit was set).
+  ASSERT_TRUE(snap.Recapture(arena, TrackCfg(1), &rs).ok());
+  EXPECT_TRUE(rs.audited);
+  EXPECT_EQ(rs.audit_misses, 0u);
+  EXPECT_EQ(rs.pages_dirty, 1u);
+}
+
+// ---------------------------------------------------------- audit mode
+
+TEST(DirtyTrackingSnapshot, AuditCatchesUntrackedWrite) {
+  Arena arena(16 * kPage);
+  std::mt19937_64 rng(31);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+  Snapshot snap = Snapshot::Capture(arena, TrackCfg());
+
+  // Write WITHOUT marking: the bug the audit exists to catch.
+  arena.base()[9 * kPage + 42] = std::byte{0x5A};
+
+  // audit_rate=1, count-and-resync (fail_stop=false): the miss is counted
+  // and the change still lands in the checkpoint.
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Recapture(arena, TrackCfg(1, false), &rs).ok());
+  EXPECT_TRUE(rs.audited);
+  EXPECT_GE(rs.audit_misses, 1u);
+  EXPECT_EQ(rs.pages_dirty, 1u) << "audit must resync the untracked page";
+
+  std::vector<std::byte> live(arena.base(), arena.base() + arena.size());
+  FillRandom(arena, rng);
+  arena.TaintAll();
+  ASSERT_TRUE(snap.Restore(arena, TrackCfg()).ok());
+  EXPECT_EQ(std::memcmp(arena.base(), live.data(), arena.size()), 0);
+}
+
+TEST(DirtyTrackingSnapshotDeath, AuditFailStopOnUntrackedWrite) {
+  Arena arena(8 * kPage);
+  arena.base()[0] = std::byte{1};
+  arena.EnableDirtyTracking();
+  Snapshot snap = Snapshot::Capture(arena, TrackCfg());
+  arena.base()[3 * kPage] = std::byte{0x66};  // untracked
+  EXPECT_DEATH(
+      {
+        SnapshotStats rs;
+        (void)snap.Recapture(arena, TrackCfg(1, true), &rs);
+      },
+      "audit");
+}
+
+// ------------------------------------------------------ desync fallback
+
+// Two snapshots consuming one arena's tracker must not trust each other's
+// sync points: the second operation sees a generation mismatch, falls back
+// to the full hash scan, and still produces a correct image.
+TEST(DirtyTrackingSnapshot, SharedTrackerForcesFallbackNotCorruption) {
+  Arena arena(16 * kPage);
+  std::mt19937_64 rng(55);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+
+  Snapshot a = Snapshot::Capture(arena, TrackCfg());  // syncs the tracker
+  Snapshot b = Snapshot::Capture(arena, TrackCfg());  // re-syncs: a desynced
+
+  arena.base()[7 * kPage] ^= std::byte{0xFF};
+  arena.MarkDirty(arena.base() + 7 * kPage, 1);
+
+  // b synced last: fast path valid. a must fall back (generation moved on).
+  SnapshotStats sa;
+  ASSERT_TRUE(a.Recapture(arena, TrackCfg(), &sa).ok());
+  EXPECT_FALSE(sa.dirty_fast);
+  EXPECT_EQ(sa.pages_dirty, 1u);
+
+  // a's recapture re-synced the tracker to a; now b is the stale one. Its
+  // full-scan recapture sees both mutations (it never folded the first).
+  arena.base()[2 * kPage] ^= std::byte{0x0F};
+  arena.MarkDirty(arena.base() + 2 * kPage, 1);
+  SnapshotStats sb;
+  ASSERT_TRUE(b.Recapture(arena, TrackCfg(), &sb).ok());
+  EXPECT_FALSE(sb.dirty_fast);
+  EXPECT_EQ(sb.pages_dirty, 2u);
+
+  // Both checkpoints restore the exact live image they last saw.
+  std::vector<std::byte> live(arena.base(), arena.base() + arena.size());
+  FillRandom(arena, rng);
+  arena.TaintAll();
+  ASSERT_TRUE(b.Restore(arena, TrackCfg()).ok());
+  EXPECT_EQ(std::memcmp(arena.base(), live.data(), arena.size()), 0);
+}
+
+TEST(DirtyTrackingSnapshot, TrackingOffIgnoresTrackerEntirely) {
+  Arena arena(8 * kPage);
+  std::mt19937_64 rng(77);
+  FillRandom(arena, rng);
+  arena.EnableDirtyTracking();
+  SnapshotConfig icfg;
+  icfg.mode = SnapshotMode::kIncremental;  // dirty_tracking stays false
+  Snapshot snap = Snapshot::Capture(arena, icfg);
+
+  arena.base()[1 * kPage] ^= std::byte{0x3C};  // untracked on purpose
+  SnapshotStats rs;
+  ASSERT_TRUE(snap.Recapture(arena, icfg, &rs).ok());
+  EXPECT_FALSE(rs.dirty_fast);
+  EXPECT_EQ(rs.pages_skipped, 0u);
+  EXPECT_EQ(rs.pages_dirty, 1u);  // full scan caught it without the bitmap
+}
+
+// ---------------------------------------------------- runtime integration
+
+struct TrackRig {
+  TrackRig() : rt(Opts()) {
+    counter = rt.AddComponent(std::make_unique<CounterComponent>());
+    rt.AddAppDependency(counter);
+    rt.Boot();
+  }
+  static RuntimeOptions Opts() {
+    RuntimeOptions o;
+    o.mode = Mode::kVampOS;
+    o.hang_threshold = 0;
+    o.snapshot_mode = SnapshotMode::kIncremental;
+    o.dirty_tracking = true;
+    o.dirty_audit_rate = 0;  // deterministic fast path for the assertions
+    return o;
+  }
+  std::uint64_t Ct(const char* name) {
+    return rt.metrics().FindCounter(name)->value();
+  }
+  Runtime rt;
+  ComponentId counter;
+};
+
+TEST(DirtyTrackingRuntime, StateSurvivesAndCountersAccount) {
+  TrackRig rig;
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] {
+    for (int i = 0; i < 10; ++i) rig.rt.Call(inc, {});
+  });
+
+  // CounterComponent declares no write tracking: every dispatch taints the
+  // whole arena, so reboots are correct (if not fast) and taints count up.
+  for (int i = 0; i < 3; ++i) {
+    auto result = rig.rt.Reboot(rig.counter, /*refresh_checkpoint=*/true);
+    ASSERT_TRUE(result.ok());
+    rig.rt.RunUntilIdle();
+  }
+  const FunctionId get = rig.rt.Lookup("counter", "get");
+  std::int64_t v = 0;
+  RunApp(rig.rt, [&] { v = rig.rt.Call(get, {}).i64(); });
+  EXPECT_EQ(v, 10);
+
+  EXPECT_GT(rig.Ct("snapshot.dirty_taints"), 0u);
+  EXPECT_GT(rig.Ct("snapshot.dirty_fast_ops") +
+                rig.Ct("snapshot.dirty_fallback_ops"),
+            0u);
+  EXPECT_EQ(rig.Ct("snapshot.dirty_audit_misses"), 0u);
+}
+
+TEST(DirtyTrackingRuntime, IdleRefreshRebootSkipsPages) {
+  TrackRig rig;
+  const FunctionId inc = rig.rt.Lookup("counter", "inc");
+  RunApp(rig.rt, [&] { rig.rt.Call(inc, {}); });
+
+  // First refresh folds history; the second one runs against a synced
+  // tracker, and the whole-arena taints from dispatch are the only dirt.
+  ASSERT_TRUE(rig.rt.Reboot(rig.counter, true).ok());
+  rig.rt.RunUntilIdle();
+  auto result = rig.rt.Reboot(rig.counter, true);
+  ASSERT_TRUE(result.ok());
+  rig.rt.RunUntilIdle();
+  // Under VAMPOS_SNAPSHOT_AUDIT=1 every op full-scans instead of taking
+  // the fast path, so accept audited ops as engagement too.
+  EXPECT_GT(rig.Ct("snapshot.dirty_fast_ops") +
+                rig.Ct("snapshot.dirty_audits"),
+            0u);
+}
+
+}  // namespace
+}  // namespace vampos
