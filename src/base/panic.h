@@ -22,6 +22,7 @@ enum class FaultKind {
   kAllocFailure,   // component heap exhausted (aging / leak)
   kInjected,       // test-injected fail-stop
   kDeadlock,       // reply wait-for cycle caught by the isolation checker
+  kCorruptCheckpoint,  // checkpoint image damaged before the fault fires
 };
 
 inline const char* ToString(FaultKind k) {
@@ -32,6 +33,7 @@ inline const char* ToString(FaultKind k) {
     case FaultKind::kAllocFailure: return "alloc-failure";
     case FaultKind::kInjected: return "injected";
     case FaultKind::kDeadlock: return "deadlock";
+    case FaultKind::kCorruptCheckpoint: return "corrupt-checkpoint";
   }
   return "unknown";
 }

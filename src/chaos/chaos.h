@@ -1,0 +1,145 @@
+// Chaos campaign engine: deterministic, seeded fault-injection campaigns
+// against a live DasHarness stack. A campaign is generated purely from its
+// seed (FaultPlan), injected burst by burst under live traffic, and scored
+// into a Report: per-fault recovery outcome and MTTR, per-window
+// availability, replay-correctness verdicts, and the concurrent-recovery
+// high-water mark. Same seed + same spec = bit-for-bit the same plan, so a
+// failing campaign is replayable from one integer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/panic.h"
+#include "base/types.h"
+#include "chaos/harness.h"
+
+namespace vampos::chaos {
+
+/// One planned fault: inject `kind` into target `target` (an index into the
+/// harness's target list). Faults sharing a `burst` id are injected together
+/// before any traffic runs, so their recoveries overlap.
+struct PlannedFault {
+  std::size_t target = 0;
+  FaultKind kind = FaultKind::kPanic;
+  std::size_t burst = 0;
+};
+
+struct CampaignSpec {
+  std::uint64_t seed = 1;
+  std::size_t faults = 200;
+  /// Percent of bursts that contain 2-3 faults (distinct components) instead
+  /// of a single one — the source of genuinely overlapping recoveries.
+  int burst_percent = 35;
+  /// Availability windows the campaign's traffic rounds are bucketed into.
+  std::size_t windows = 10;
+  /// Traffic rounds driven after each burst, beyond recovery completion.
+  int settle_rounds = 2;
+  /// Weight (out of 100) of hang faults. Each hang costs a real
+  /// hang-threshold delay, so campaigns keep this low.
+  int hang_weight = 8;
+
+  /// Seed after the VAMPOS_CHAOS_SEED env override (bit-for-bit repro knob).
+  [[nodiscard]] std::uint64_t ResolvedSeed() const;
+};
+
+/// The full, deterministic schedule of a campaign: a pure function of
+/// (spec, number of targets). Timing-independent — generation never looks
+/// at a clock, so the plan replays identically on any machine.
+struct FaultPlan {
+  std::vector<PlannedFault> faults;
+  std::size_t bursts = 0;
+
+  static FaultPlan Generate(const CampaignSpec& spec, std::size_t n_targets);
+};
+
+struct FaultOutcome {
+  std::size_t index = 0;  // position in the plan
+  std::string target;
+  FaultKind kind = FaultKind::kPanic;
+  std::size_t burst = 0;
+  bool recovered = false;
+  bool reinitialized = false;  // corrupt checkpoint rebuilt from Init
+  Nanos mttr_ns = 0;           // reboot total for this component, 0 if lost
+};
+
+struct WindowStat {
+  std::uint64_t rounds = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t recoveries = 0;  // reboots completed during this window
+  [[nodiscard]] double availability() const {
+    return rounds == 0 ? 1.0 : static_cast<double>(ok) /
+                                   static_cast<double>(rounds);
+  }
+};
+
+struct Report {
+  std::uint64_t seed = 0;
+  std::size_t faults_planned = 0;
+  std::size_t faults_fired = 0;
+  std::size_t recovered = 0;
+  std::size_t unrecovered = 0;
+  std::size_t reinitialized = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t recovery_failures = 0;
+  std::uint64_t replay_divergence = 0;
+  std::size_t peak_concurrent_recoveries = 0;
+  std::size_t overlapped_bursts = 0;  // bursts that reached >=2 in flight
+  bool fail_stopped = false;
+  std::vector<FaultOutcome> outcomes;
+  std::vector<WindowStat> windows;
+  Nanos mttr_p50_ns = 0;
+  Nanos mttr_p95_ns = 0;
+  Nanos mttr_max_ns = 0;
+
+  [[nodiscard]] double min_availability() const;
+  /// Campaign verdict: every fired fault recovered, no fail-stop, no replay
+  /// divergence.
+  [[nodiscard]] bool clean() const {
+    return !fail_stopped && unrecovered == 0 && replay_divergence == 0;
+  }
+
+  void WriteJson(std::FILE* out) const;
+  /// Availability curve as CSV (window,rounds,ok,availability,recoveries).
+  void WriteCurveCsv(std::FILE* out) const;
+};
+
+class Campaign {
+ public:
+  Campaign(DasHarness& harness, CampaignSpec spec);
+
+  /// Runs the whole planned campaign and scores it. Deterministic in its
+  /// injection schedule; timings in the report come from the real clock.
+  Report Run();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  DasHarness& h_;
+  CampaignSpec spec_;
+  FaultPlan plan_;
+};
+
+/// Serialized-vs-concurrent recovery comparison for an N-components-down
+/// burst on a freshly built stack (full-copy checkpoints, so restore cost
+/// dominates and the overlap is measurable). Returns best-of-`reps` wall
+/// times for each mode plus the concurrent run's in-flight high-water mark.
+///
+/// `serial_ns` is a real one-at-a-time run; on a multi-core host it shows
+/// the restore overlap directly, but on a single-core host it is bound by
+/// scheduler noise (CPU-bound work cannot truly overlap). `serialized_sum_ns`
+/// is the burst run's own accounting: the sum of the per-recovery durations
+/// the burst overlapped — what replaying those same recoveries back-to-back
+/// would cost. It is the host-independent overlap signal.
+struct BurstCompare {
+  Nanos serial_ns = 0;
+  Nanos parallel_ns = 0;          // burst wall time, first inject -> all up
+  Nanos serialized_sum_ns = 0;    // sum of the burst's per-job durations
+  std::size_t components = 0;
+  std::size_t peak_concurrent = 0;
+};
+BurstCompare CompareBurstRecovery(int workers = 4, int reps = 3);
+
+}  // namespace vampos::chaos

@@ -2,6 +2,8 @@
 // log shrinking, component reboot, encapsulated restoration, and failure
 // detection/handling.
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
@@ -218,19 +220,22 @@ void Runtime::InjectFault(ComponentId id, FaultKind kind, int trigger_after,
 
 // ----------------------------------------------------------------- reboot
 
-void Runtime::StopComponentFibers(ComponentId leader) {
+void Runtime::StopComponentFibers(ComponentId leader,
+                                  std::vector<RetryRecord>* inflight,
+                                  std::vector<RetryRecord>* queued) {
   Slot& slot = slots_[leader];
   // Collect in-flight messages (handlers interrupted mid-execution) for
   // post-restore retry, and drop their incomplete log entries: a partially
   // executed call has an incomplete outbound record and must not be
-  // replayed.
+  // replayed. The records go into the caller's per-job vectors so that N
+  // concurrent recoveries never clobber each other's retry state.
   std::vector<sched::Fiber*> victims;
   if (slot.resident != nullptr) victims.push_back(slot.resident);
   victims.insert(victims.end(), slot.aux.begin(), slot.aux.end());
   for (sched::Fiber* f : victims) {
     auto it = exec_ctx_.find(f);
     if (it != exec_ctx_.end()) {
-      inflight_retry_.push_back(
+      inflight->push_back(
           {std::move(it->second.msg), std::move(it->second.args), {}});
       exec_ctx_.erase(it);
     }
@@ -247,9 +252,9 @@ void Runtime::StopComponentFibers(ComponentId leader) {
     fibers_.Destroy(f);
   }
   if (slot.inflight_failed.has_value()) {
-    inflight_retry_.push_back({std::move(slot.inflight_failed->first),
-                               std::move(slot.inflight_failed->second),
-                               {}});
+    inflight->push_back({std::move(slot.inflight_failed->first),
+                         std::move(slot.inflight_failed->second),
+                         {}});
     slot.inflight_failed.reset();
   }
   slot.resident = nullptr;
@@ -259,7 +264,7 @@ void Runtime::StopComponentFibers(ComponentId leader) {
   // recorded outbound returns into the retry record first, so the retried
   // execution can feed them back instead of re-invoking the peers (whose
   // side effects already happened).
-  for (RetryRecord& r : inflight_retry_) {
+  for (RetryRecord& r : *inflight) {
     if (r.msg.log_seq == 0) continue;
     msg::CallLog& log = domain_->LogFor(Fn(r.msg.fn).owner);
     if (const CallLogEntry* e = log.Lookup(r.msg.log_seq)) {
@@ -276,7 +281,7 @@ void Runtime::StopComponentFibers(ComponentId leader) {
   for (ComponentId m : slot.group) {
     for (auto& [qm, qargs] : domain_->DrainQueued(m)) {
       if (qm.log_seq != 0) domain_->LogFor(Fn(qm.fn).owner).Erase(qm.log_seq);
-      queued_requeue_.push_back({qm, std::move(qargs), {}});
+      queued->push_back({qm, std::move(qargs), {}});
     }
     for (const Message& qm : domain_->DropQueuedFrom(m)) {
       if (qm.log_seq != 0) domain_->LogFor(Fn(qm.fn).owner).Erase(qm.log_seq);
@@ -409,14 +414,51 @@ void Runtime::RefreshCheckpoints(Slot& slot, RebootReport& report) {
   }
 }
 
-void Runtime::CorruptCheckpointForTest(ComponentId id) {
+void Runtime::CorruptCheckpoint(ComponentId id) {
+  // Building the garbage checkpoint captures a component-sized scratch arena
+  // — tens of milliseconds of message-thread time for a large component.
+  // That is injection scaffolding, not handler work: without the pause a
+  // healthy in-flight handler ages past the hang threshold while this runs.
+  HangClockPause pause(*this);
   mem::Arena scratch(slots_[id].component->arena().size() +
                          mem::Arena::kPageSize,
                      "corrupt-checkpoint");
   slots_[id].checkpoint = mem::Snapshot::Capture(scratch);
 }
 
+void Runtime::CorruptCheckpointForTest(ComponentId id) {
+  CorruptCheckpoint(id);
+}
+
 Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
+  // Synchronous wrapper over the job machinery: start (or join) a recovery
+  // and drive the whole recovery plane until this job completes. Semantics
+  // match the legacy serialized reboot exactly when no other job is active.
+  auto begun = BeginRecovery(id, refresh_checkpoint, /*escalate=*/false,
+                             std::nullopt);
+  if (!begun.ok()) return begun.status();
+  const std::shared_ptr<RecoveryJob> job = begun.value();
+  while (!job->done) DriveRecovery(/*block=*/true);
+  if (!job->ok) return job->error;
+  return job->report;
+}
+
+Status Runtime::RebootAsync(ComponentId id, bool refresh_checkpoint) {
+  auto begun = BeginRecovery(id, refresh_checkpoint, /*escalate=*/false,
+                             std::nullopt);
+  if (!begun.ok()) return begun.status();
+  return Status::Ok();
+}
+
+void Runtime::EnsureRecoveryPool() {
+  if (recovery_pool_ == nullptr) {
+    recovery_pool_ = std::make_unique<RecoveryPool>(options_.recovery_workers);
+  }
+}
+
+Result<std::shared_ptr<Runtime::RecoveryJob>> Runtime::BeginRecovery(
+    ComponentId id, bool refresh, bool escalate,
+    std::optional<ComponentFault> origin) {
   const ComponentId leader = LeaderOf(id);
   Slot& slot = slots_[leader];
   for (ComponentId m : slot.group) {
@@ -431,84 +473,219 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
     return Status::Error(Errno::kInval,
                          "component-level reboot requires VampOS mode");
   }
+  if (terminal_fault_.has_value()) {
+    return Status::Error(Errno::kIo,
+                         "runtime fail-stopped; recovery is disabled");
+  }
+  // A recovery for this group is already in flight: join it instead of
+  // stopping fibers that are already stopped.
+  for (const auto& j : recovery_jobs_) {
+    if (j->leader == leader) return j;
+  }
 
-  RebootReport report;
+  HangClockPause pause(*this);
+  auto job = std::make_shared<RecoveryJob>();
+  job->leader = leader;
+  job->refresh = refresh;
+  job->escalate = escalate;
+  job->origin = std::move(origin);
+  RebootReport& report = job->report;
   report.component = leader;
   report.name = slot.component->name();
   report.stateless =
       slot.component->statefulness() == Statefulness::kStateless;
   VAMPOS_TRACE("reboot '%s' begin", report.name.c_str());
   recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kBegin, leader);
-  const Nanos t0 = options_.clock->Now();
+  job->t0 = options_.clock->Now();
 
-  inflight_retry_.clear();
-  queued_requeue_.clear();
   recorder_.Record(obs::EventKind::kRebootStop, obs::TracePhase::kBegin,
                    leader);
-  StopComponentFibers(leader);
-  const Nanos t1 = options_.clock->Now();
-  report.stop_ns = t1 - t0;
+  StopComponentFibers(leader, &job->inflight, &job->queued);
+  job->t1 = options_.clock->Now();
+  report.stop_ns = job->t1 - job->t0;
   recorder_.Record(obs::EventKind::kRebootStop, obs::TracePhase::kEnd, leader,
                    report.stop_ns);
   hist_.reboot_stop_ns->Record(report.stop_ns);
+  // Parked until the replay completes: no resident fiber exists, and the
+  // failed flag keeps MaybeSpawnAux from attaching one to a half-restored
+  // arena. Inbound traffic queues in the domain and is served post-respawn.
+  slot.failed = true;
 
-  // Restore each primitive of the group: stateless components re-run Init on
-  // a freshly formatted arena; stateful ones restore the post-init
-  // checkpoint (dominant cost, proportional to the component footprint).
+  // Restore each stateful primitive of the group (dominant cost,
+  // proportional to the component footprint). With recovery workers the
+  // restores run off-thread so N failed components overlap; stateless
+  // members re-Init cheaply at join time.
   recorder_.Record(obs::EventKind::kRebootSnapshot, obs::TracePhase::kBegin,
                    leader);
   for (ComponentId m : slot.group) {
-    Slot& ms = slots_[m];
-    comp::Component& c = *ms.component;
-    if (c.statefulness() == Statefulness::kStateful) {
-      mem::SnapshotStats sstats;
-      const Status restored =
-          ms.checkpoint.Restore(c.arena(), SnapshotCfg(), &sstats);
-      if (!restored.ok()) {
-        // A corrupt or mismatched checkpoint fails this reboot through the
-        // normal fault path: the group stays down and the caller decides
-        // (HandleFaultedFiber escalates to fail-stop), but the process and
-        // the other components keep running.
-        slot.failed = true;
-        recorder_.Record(obs::EventKind::kRebootSnapshot,
-                         obs::TracePhase::kEnd, leader, /*a=*/-1);
-        recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd,
-                         leader, /*a=*/-1);
-        return Status::Error(Errno::kIo,
-                             "checkpoint restore failed for '" + c.name() +
-                                 "': " + restored.message());
-      }
-      ct_.snapshot_restores->Add();
-      AccountSnapshot(m, sstats);
-      report.snapshot_hash_ns += sstats.hash_ns;
-      report.snapshot_copy_ns += sstats.copy_ns;
-      report.snapshot_pages_total += sstats.pages_total;
-      report.snapshot_pages_dirty += sstats.pages_dirty;
-      report.snapshot_pages_skipped += sstats.pages_skipped;
-      report.snapshot_bytes_copied += sstats.bytes_copied;
-      c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
-      CallCtx rctx(*this, m, /*restoring=*/true);
-      TaintComponentEntry(c);
-      c.OnRestored(rctx);
-    } else {
-      c.alloc_.emplace(c.arena());  // reformat
-      comp::InitCtx ictx(*this, m);
-      c.Init(ictx);
+    if (slots_[m].component->statefulness() == Statefulness::kStateful) {
+      RecoveryJob::MemberRestore mr;
+      mr.member = m;
+      job->restores.push_back(std::move(mr));
     }
   }
-  const Nanos t2 = options_.clock->Now();
-  report.snapshot_ns = t2 - t1;
+  recovery_jobs_.push_back(job);
+  peak_concurrent_recoveries_ =
+      std::max(peak_concurrent_recoveries_, recovery_jobs_.size());
+  if (recovery_jobs_.size() >= 2) {
+    ct_.recovery_overlaps->Add();
+    recorder_.Record(obs::EventKind::kRecoveryOverlap,
+                     obs::TracePhase::kInstant, leader,
+                     static_cast<std::int64_t>(recovery_jobs_.size()));
+  }
+
+  if (job->restores.empty()) {
+    job->restore_done.store(true, std::memory_order_release);
+  } else if (options_.recovery_workers > 0) {
+    // Worker-side restore: only the thread-safe Snapshot::Restore runs off
+    // the message thread. Workers must not touch a FakeClock, the metrics
+    // registry, the recorder, or the audit sampler — per-member stats are
+    // carried back and accounted at join, on the message thread.
+    EnsureRecoveryPool();
+    mem::SnapshotConfig cfg = SnapshotCfg();
+    cfg.clock = &SteadyClock::Instance();
+    cfg.workers = 0;
+    cfg.audit_rate = 0;
+    recovery_pool_->Submit([this, job, cfg] {
+      for (auto& mr : job->restores) {
+        Slot& ms = slots_[mr.member];
+        mr.status =
+            ms.checkpoint.Restore(ms.component->arena(), cfg, &mr.stats);
+      }
+      {
+        std::lock_guard<std::mutex> lk(recovery_mu_);
+        job->restore_done.store(true, std::memory_order_release);
+      }
+      recovery_cv_.notify_all();
+    });
+  } else {
+    // Inline restore: the legacy serialized behavior, full audit coverage.
+    for (auto& mr : job->restores) {
+      Slot& ms = slots_[mr.member];
+      mr.status = ms.checkpoint.Restore(ms.component->arena(), SnapshotCfg(),
+                                        &mr.stats);
+    }
+    job->restore_done.store(true, std::memory_order_release);
+  }
+  return job;
+}
+
+bool Runtime::ReplayBlockedByDeps(const RecoveryJob& job) const {
+  for (ComponentId m : slots_[job.leader].group) {
+    for (ComponentId d : slots_[m].deps) {
+      const ComponentId dep_leader = LeaderOf(d);
+      if (dep_leader == job.leader) continue;
+      for (const auto& other : recovery_jobs_) {
+        if (other.get() == &job) continue;
+        if (other->leader == dep_leader && !other->done) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Runtime::RemoveJob(const std::shared_ptr<RecoveryJob>& job) {
+  recovery_jobs_.erase(
+      std::remove(recovery_jobs_.begin(), recovery_jobs_.end(), job),
+      recovery_jobs_.end());
+}
+
+void Runtime::FailJob(const std::shared_ptr<RecoveryJob>& job, Status error,
+                      obs::EventKind phase) {
+  // The group stays down (slot.failed remains set); the process and every
+  // other component — including the other in-flight recoveries — keep
+  // going. An escalating (fault-path) job defers its FailStop until the
+  // surviving jobs have drained, so a reboot that fails mid-restore while
+  // another reboot is in flight never strands that reboot mid-recovery.
+  recorder_.Record(phase, obs::TracePhase::kEnd, job->leader, /*a=*/-1);
+  recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd,
+                   job->leader, /*a=*/-1);
+  ct_.recovery_failures->Add();
+  job->error = std::move(error);
+  job->ok = false;
+  job->done = true;
+  RemoveJob(job);
+  if (job->escalate && !pending_failstop_.has_value()) {
+    pending_failstop_ = job->origin.value_or(ComponentFault(
+        job->leader, FaultKind::kInjected, job->error.message()));
+  }
+}
+
+void Runtime::FinalizeRestore(const std::shared_ptr<RecoveryJob>& job) {
+  Slot& slot = slots_[job->leader];
+  RebootReport& report = job->report;
+  for (auto& mr : job->restores) {
+    Slot& ms = slots_[mr.member];
+    comp::Component& c = *ms.component;
+    if (!mr.status.ok()) {
+      if (options_.reinit_on_restore_failure) {
+        // The image is unusable; rebuild from scratch instead of giving up:
+        // reformat + Init/Bind (exports replace in place, so fn ids and the
+        // log stay valid), take a fresh post-init checkpoint, and let the
+        // full log replay rebuild the state the dead image held.
+        VAMPOS_INFO(
+            "checkpoint restore failed for '%s' (%s); re-initializing",
+            c.name().c_str(), mr.status.message().c_str());
+        c.alloc_.emplace(c.arena());
+        comp::InitCtx ictx(*this, mr.member);
+        c.Init(ictx);
+        c.Bind(ictx);
+        ms.checkpoint = CaptureCheckpoint(c);
+        ct_.recovery_reinits->Add();
+        continue;
+      }
+      // A corrupt or mismatched checkpoint fails this reboot through the
+      // normal fault path: the group stays down and the caller decides
+      // (the fault path escalates to fail-stop), but the process and the
+      // other components keep running.
+      FailJob(job,
+              Status::Error(Errno::kIo, "checkpoint restore failed for '" +
+                                            c.name() + "': " +
+                                            mr.status.message()),
+              obs::EventKind::kRebootSnapshot);
+      return;
+    }
+    ct_.snapshot_restores->Add();
+    AccountSnapshot(mr.member, mr.stats);
+    report.snapshot_hash_ns += mr.stats.hash_ns;
+    report.snapshot_copy_ns += mr.stats.copy_ns;
+    report.snapshot_pages_total += mr.stats.pages_total;
+    report.snapshot_pages_dirty += mr.stats.pages_dirty;
+    report.snapshot_pages_skipped += mr.stats.pages_skipped;
+    report.snapshot_bytes_copied += mr.stats.bytes_copied;
+    c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
+    CallCtx rctx(*this, mr.member, /*restoring=*/true);
+    TaintComponentEntry(c);
+    c.OnRestored(rctx);
+  }
+  // Stateless members re-run Init on a freshly formatted arena.
+  for (ComponentId m : slot.group) {
+    Slot& ms = slots_[m];
+    if (ms.component->statefulness() == Statefulness::kStateful) continue;
+    ms.component->alloc_.emplace(ms.component->arena());
+    comp::InitCtx ictx(*this, m);
+    ms.component->Init(ictx);
+  }
+  job->t2 = options_.clock->Now();
+  report.snapshot_ns = job->t2 - job->t1;
   recorder_.Record(obs::EventKind::kRebootSnapshot, obs::TracePhase::kEnd,
-                   leader, report.snapshot_ns);
+                   job->leader, report.snapshot_ns);
   hist_.reboot_snapshot_ns->Record(report.snapshot_ns);
   hist_.reboot_snapshot_hash_ns->Record(report.snapshot_hash_ns);
   hist_.reboot_snapshot_copy_ns->Record(report.snapshot_copy_ns);
   recorder_.Record(obs::EventKind::kSnapshotHash, obs::TracePhase::kInstant,
-                   leader, report.snapshot_hash_ns,
+                   job->leader, report.snapshot_hash_ns,
                    static_cast<std::int64_t>(report.snapshot_pages_total));
   recorder_.Record(obs::EventKind::kSnapshotCopy, obs::TracePhase::kInstant,
-                   leader, report.snapshot_copy_ns,
+                   job->leader, report.snapshot_copy_ns,
                    static_cast<std::int64_t>(report.snapshot_bytes_copied));
+  job->restored = true;
+}
+
+void Runtime::FinalizeReplay(const std::shared_ptr<RecoveryJob>& job) {
+  const ComponentId leader = job->leader;
+  Slot& slot = slots_[leader];
+  RebootReport& report = job->report;
 
   // Encapsulated restoration: replay the (shrunk) logs. A fault during
   // replay means the component cannot be restored (e.g. a deterministic
@@ -534,16 +711,14 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
   } catch (const ComponentFault& fault) {
     restore_stack_.clear();
     replay_entry_ = nullptr;
-    slot.failed = true;
-    recorder_.Record(obs::EventKind::kRebootReplay, obs::TracePhase::kEnd,
-                     leader, /*a=*/-1);
-    recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd, leader,
-                     /*a=*/-1);
-    return Status::Error(Errno::kIo, std::string("restoration failed: ") +
-                                         fault.what());
+    FailJob(job,
+            Status::Error(Errno::kIo, std::string("restoration failed: ") +
+                                          fault.what()),
+            obs::EventKind::kRebootReplay);
+    return;
   }
   const Nanos t3 = options_.clock->Now();
-  report.replay_ns = t3 - t2;
+  report.replay_ns = t3 - job->t2;
   recorder_.Record(obs::EventKind::kRebootReplay, obs::TracePhase::kEnd,
                    leader, report.replay_ns,
                    static_cast<std::int64_t>(report.entries_replayed));
@@ -554,7 +729,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
   // Checkpoint refresh (periodic rejuvenation): fold the replayed history
   // into the checkpoint so the next reboot starts from here. Incremental
   // mode touches only the pages the replay dirtied.
-  if (refresh_checkpoint) RefreshCheckpoints(slot, report);
+  if (job->refresh) RefreshCheckpoints(slot, report);
 
   // Per-request stall attribution: every traced request this reboot parked
   // (interrupted mid-handler) or re-queued (drained from the inbox) was
@@ -575,8 +750,8 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
                        static_cast<std::int64_t>(rec.msg.rpc_id),
                        rec.msg.trace);
     };
-    for (const RetryRecord& rec : inflight_retry_) charge(rec);
-    for (const RetryRecord& rec : queued_requeue_) charge(rec);
+    for (const RetryRecord& rec : job->inflight) charge(rec);
+    for (const RetryRecord& rec : job->queued) charge(rec);
   }
 
   slot.failed = false;
@@ -587,7 +762,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
   // trigger again on the same input (paper §II-B). The retry budget is one;
   // a repeat failure fail-stops.
   if (options_.retry_inflight) {
-    for (RetryRecord& rec : inflight_retry_) {
+    for (RetryRecord& rec : job->inflight) {
       Message retry = rec.msg;
       retry.enqueued_at = options_.clock->Now();
       retry.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
@@ -601,7 +776,7 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
       slot.retried_once = true;
     }
   } else {
-    for (RetryRecord& rec : inflight_retry_) {
+    for (RetryRecord& rec : job->inflight) {
       Message r;
       r.kind = Message::Kind::kReply;
       r.rpc_id = rec.msg.rpc_id;
@@ -614,21 +789,21 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
           r, Args{MsgValue(ToWire(Status::Error(Errno::kIo, "rebooted")))});
     }
   }
-  inflight_retry_.clear();
+  job->inflight.clear();
 
   // Re-queue the stale inbound messages drained from the group's inboxes:
   // they never executed, so they are requeues, not retries — no retried_once
   // charge, and a later fault while serving them gets a fresh reboot budget.
-  for (RetryRecord& rec : queued_requeue_) {
+  for (RetryRecord& rec : job->queued) {
     Message requeue = rec.msg;
     requeue.enqueued_at = options_.clock->Now();
     requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
     domain_->Push(requeue, rec.args);
     ct_.messages->Add();
   }
-  queued_requeue_.clear();
+  job->queued.clear();
 
-  report.total_ns = options_.clock->Now() - t0;
+  report.total_ns = options_.clock->Now() - job->t0;
   VAMPOS_TRACE("reboot '%s' done (%lld us, %zu replayed)",
                report.name.c_str(),
                static_cast<long long>(report.total_ns / 1000),
@@ -639,8 +814,74 @@ Result<RebootReport> Runtime::Reboot(ComponentId id, bool refresh_checkpoint) {
                    report.total_ns,
                    static_cast<std::int64_t>(report.entries_replayed));
   reboot_history_.push_back(report);
+  job->ok = true;
+  job->done = true;
+  RemoveJob(job);
   if (dump_trace_on_reboot_) WritePostmortemTrace("post-reboot");
-  return report;
+}
+
+bool Runtime::DriveRecovery(bool block) {
+  if (recovery_jobs_.empty() && !pending_failstop_.has_value()) return false;
+  HangClockPause pause(*this);
+  bool progressed = false;
+  // Join restores the pool (or the inline path) finished. All accounting —
+  // metrics, recorder events, OnRestored hooks, stateless re-Init — happens
+  // here, on the message thread.
+  for (const auto& job :
+       std::vector<std::shared_ptr<RecoveryJob>>(recovery_jobs_)) {
+    if (job->done || job->restored) continue;
+    if (!job->restore_done.load(std::memory_order_acquire)) continue;
+    FinalizeRestore(job);
+    progressed = true;
+  }
+  // Dependency-ordered replay: a job replays only after the components its
+  // group calls into are back. When every remaining job is restored but
+  // mutually dependent (a dependency cycle), the lowest leader id breaks it.
+  for (;;) {
+    std::shared_ptr<RecoveryJob> pick;
+    bool waiting = false;
+    bool restoring = false;
+    for (const auto& job : recovery_jobs_) {
+      if (job->done) continue;
+      if (!job->restored) {
+        restoring = true;
+        continue;
+      }
+      waiting = true;
+      if (ReplayBlockedByDeps(*job)) continue;
+      pick = job;
+      break;
+    }
+    if (pick == nullptr && waiting && !restoring) {
+      for (const auto& job : recovery_jobs_) {
+        if (job->done || !job->restored) continue;
+        if (pick == nullptr || job->leader < pick->leader) pick = job;
+      }
+    }
+    if (pick == nullptr) break;
+    FinalizeReplay(pick);
+    progressed = true;
+  }
+  if (!progressed && block && !recovery_jobs_.empty()) {
+    // Nothing can advance until a worker lands a restore: sleep on its
+    // signal (bounded, as a safety valve) instead of spinning.
+    std::unique_lock<std::mutex> lk(recovery_mu_);
+    recovery_cv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
+      for (const auto& job : recovery_jobs_) {
+        if (!job->done && !job->restored &&
+            job->restore_done.load(std::memory_order_acquire)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  if (recovery_jobs_.empty() && pending_failstop_.has_value()) {
+    const ComponentFault fault = *pending_failstop_;
+    pending_failstop_.reset();
+    FailStop(fault);
+  }
+  return progressed;
 }
 
 void Runtime::ReplayLog(ComponentId id, RebootReport& report) {
@@ -676,6 +917,7 @@ void Runtime::ReplayLog(ComponentId id, RebootReport& report) {
     }
     restore_stack_.pop_back();
     if (entry.have_ret && !entry.synthetic && !(ret == entry.ret)) {
+      ct_.replay_divergence->Add();
       VAMPOS_ERROR("replay divergence in %s.%s (entry %llu)",
                    slots_[id].component->name().c_str(),
                    Fn(entry.fn).name.c_str(),
@@ -745,9 +987,9 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   Slot& slot = slots_[leader];
   if (slot.variant == nullptr || slot.group.size() != 1) return false;
 
-  inflight_retry_.clear();
-  queued_requeue_.clear();
-  StopComponentFibers(leader);
+  std::vector<RetryRecord> inflight_retry;
+  std::vector<RetryRecord> queued_requeue;
+  StopComponentFibers(leader, &inflight_retry, &queued_requeue);
   // The deterministic bug lives in the old implementation; the injected
   // fault does not carry over to the variant.
   slot.injection.reset();
@@ -808,7 +1050,7 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
   variant_swaps_++;
   reboot_history_.push_back(report);
 
-  for (RetryRecord& rec : inflight_retry_) {
+  for (RetryRecord& rec : inflight_retry) {
     Message retry = rec.msg;
     retry.enqueued_at = options_.clock->Now();
     retry.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
@@ -818,15 +1060,13 @@ bool Runtime::TrySwapVariant(ComponentId leader) {
     domain_->Push(retry, rec.args);
     ct_.messages->Add();
   }
-  inflight_retry_.clear();
-  for (RetryRecord& rec : queued_requeue_) {
+  for (RetryRecord& rec : queued_requeue) {
     Message requeue = rec.msg;
     requeue.enqueued_at = options_.clock->Now();
     requeue.log_seq = MaybeLogCall(Fn(rec.msg.fn), rec.args);
     domain_->Push(requeue, rec.args);
     ct_.messages->Add();
   }
-  queued_requeue_.clear();
   recorder_.Record(obs::EventKind::kVariantSwap, obs::TracePhase::kInstant,
                    leader, static_cast<std::int64_t>(variant_swaps_));
   VAMPOS_INFO("deterministic fault in '%s': swapped in variant",
@@ -848,6 +1088,18 @@ void Runtime::HandleFaultedFiber(sched::Fiber* fiber) {
   slot.failed = true;
   VAMPOS_INFO("component '%s' failed: %s",
               slot.component->name().c_str(), fault.what());
+  if (terminal_fault_.has_value()) {
+    // Post-fail-stop fault (e.g. a parked hang unwinding): the runtime is
+    // already terminal — retire the fiber so idle detection can succeed, but
+    // start no new recovery.
+    if (slot.resident == fiber) slot.resident = nullptr;
+    if (auto it = std::find(slot.aux.begin(), slot.aux.end(), fiber);
+        it != slot.aux.end()) {
+      slot.aux.erase(it);
+    }
+    fibers_.Destroy(fiber);
+    return;
+  }
   if (slot.retried_once) {
     // The rebooted component faced the failure again: a deterministic
     // fault. A registered variant can take over (§VIII); otherwise this is
@@ -856,8 +1108,13 @@ void Runtime::HandleFaultedFiber(sched::Fiber* fiber) {
     FailStop(fault);
     return;
   }
-  auto result = Reboot(leader);
-  if (!result.ok()) FailStop(fault);
+  // Recovery runs as a job so other components keep being served (and other
+  // failed components recover concurrently) while this group restores. If
+  // the job later fails, it escalates to the legacy fail-stop — deferred
+  // until the surviving jobs have drained.
+  auto begun = BeginRecovery(leader, /*refresh=*/false, /*escalate=*/true,
+                             fault);
+  if (!begun.ok()) FailStop(fault);
 }
 
 void Runtime::CheckHangs() {
@@ -866,30 +1123,43 @@ void Runtime::CheckHangs() {
   // Only fibers that are dispatchable (kReady) count: a fiber blocked on a
   // nested reply is waiting on someone else, not hung itself.
   if (options_.hang_threshold <= 0) return;
+  if (terminal_fault_.has_value()) return;  // already dead; nothing to save
   const Nanos now = options_.clock->Now();
   ComponentId hung = kComponentNone;
+  Nanos hung_age = 0;
+  std::uint64_t hung_rpc = 0;
+  FunctionId hung_fn = 0;
   for (const auto& [fiber, ctx] : exec_ctx_) {
     if (fiber->state() != sched::FiberState::kReady) continue;
     if (now - ctx.started_at <= options_.hang_threshold) continue;
     hung = ctx.component;
+    hung_age = now - ctx.started_at;
+    hung_rpc = ctx.msg.rpc_id;
+    hung_fn = ctx.msg.fn;
     break;
   }
   if (hung == kComponentNone) return;
   Slot& slot = slots_[LeaderOf(hung)];
   ct_.hangs_detected->Add();
   recorder_.Record(obs::EventKind::kHangDetected, obs::TracePhase::kInstant,
-                   hung);
-  VAMPOS_INFO("hang detected in '%s'", slot.component->name().c_str());
+                   hung, hung_age, static_cast<std::int64_t>(hung_rpc));
+  VAMPOS_INFO("hang detected in '%s' (fn=%u rpc=%llu age=%lldus)",
+              slot.component->name().c_str(),
+              static_cast<unsigned>(hung_fn),
+              static_cast<unsigned long long>(hung_rpc),
+              static_cast<long long>(hung_age / 1000));
   if (slot.retried_once) {
     if (TrySwapVariant(LeaderOf(hung))) return;
     FailStop(ComponentFault(hung, FaultKind::kHang,
                             "hang re-occurred after reboot"));
     return;
   }
-  auto result = Reboot(LeaderOf(hung));
-  if (!result.ok()) {
+  const ComponentFault fault(hung, FaultKind::kHang, "hang detected");
+  auto begun = BeginRecovery(LeaderOf(hung), /*refresh=*/false,
+                             /*escalate=*/true, fault);
+  if (!begun.ok()) {
     FailStop(
-        ComponentFault(hung, FaultKind::kHang, result.status().message()));
+        ComponentFault(hung, FaultKind::kHang, begun.status().message()));
   }
 }
 

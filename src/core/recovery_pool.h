@@ -1,0 +1,82 @@
+// Bounded worker pool for concurrent component recovery. Workers run only
+// the thread-safe half of a reboot — Snapshot::Restore into a stopped
+// component's arena — while all metrics, recorder events, and component
+// hooks stay on the message thread (neither the registry nor the flight
+// recorder is thread-safe). The runtime spawns the pool lazily on the first
+// recovery submit, so the hundreds of short-lived Runtime instances in unit
+// tests never pay for threads they don't use.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vampos::core {
+
+class RecoveryPool {
+ public:
+  explicit RecoveryPool(int workers) {
+    if (workers < 1) workers = 1;
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { Run(); });
+    }
+  }
+
+  RecoveryPool(const RecoveryPool&) = delete;
+  RecoveryPool& operator=(const RecoveryPool&) = delete;
+
+  /// Drains every queued and running task before joining: tasks hold raw
+  /// pointers into the runtime's slots, which must outlive them.
+  ~RecoveryPool() {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      drained_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        active_++;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        active_--;
+        if (queue_.empty() && active_ == 0) drained_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vampos::core

@@ -52,6 +52,13 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
       options_.dirty_audit_rate = static_cast<std::uint32_t>(n);
     }
   }
+  // VAMPOS_RECOVERY_WORKERS sizes the concurrent-recovery pool (0 keeps the
+  // legacy serialized inline restore path).
+  if (const char* env = std::getenv("VAMPOS_RECOVERY_WORKERS")) {
+    if (const long n = std::atol(env); n >= 0) {
+      options_.recovery_workers = static_cast<int>(n);
+    }
+  }
   ct_.calls = &metrics_.GetCounter("rt.calls");
   ct_.direct_calls = &metrics_.GetCounter("rt.direct_calls");
   ct_.messages = &metrics_.GetCounter("rt.messages");
@@ -63,6 +70,10 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   ct_.replies_batched = &metrics_.GetCounter("rt.replies_batched");
   ct_.retries_deduped = &metrics_.GetCounter("rt.retries_deduped");
   ct_.reboots = &metrics_.GetCounter("rt.reboots");
+  ct_.recovery_failures = &metrics_.GetCounter("rt.recovery_failures");
+  ct_.recovery_reinits = &metrics_.GetCounter("rt.recovery_reinits");
+  ct_.recovery_overlaps = &metrics_.GetCounter("rt.recovery_overlaps");
+  ct_.replay_divergence = &metrics_.GetCounter("rt.replay_divergence");
   ct_.aux_fibers_spawned = &metrics_.GetCounter("rt.aux_fibers_spawned");
   ct_.hangs_detected = &metrics_.GetCounter("rt.hangs_detected");
   ct_.snapshot_captures = &metrics_.GetCounter("snapshot.captures");
@@ -115,7 +126,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // The pool drains before anything else is torn down: worker tasks hold
+  // raw pointers into slots_.
+  recovery_pool_.reset();
+}
 
 ComponentId Runtime::AddComponent(std::unique_ptr<Component> component) {
   if (booted_) Fatal("AddComponent after Boot()");
@@ -301,6 +316,10 @@ void Runtime::RunUntilIdle() {
 bool Runtime::Step() {
   DeliverReplies();
   CheckHangs();
+  // Drain any recovery progress without blocking: worker restores that have
+  // landed get joined and replays run here, between dispatches, so healthy
+  // components keep being served while others recover.
+  DriveRecovery(/*block=*/false);
   MaybeSpawnAux();
 
   // Idle detection: work exists if an app fiber can run, a message or reply
@@ -322,10 +341,18 @@ bool Runtime::Step() {
       }
     }
   }
-  if (!has_work) return false;
+  if (!has_work && recovery_jobs_.empty()) return false;
 
   sched::Fiber* f = PickNext();
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    if (!recovery_jobs_.empty()) {
+      // Nothing dispatchable, but recoveries are in flight: block on their
+      // progress instead of spinning through empty polls.
+      DriveRecovery(/*block=*/true);
+      return true;
+    }
+    return false;
+  }
   InstallPkruFor(f->owner());
   const sched::FiberState st = fibers_.Dispatch(f);
   InstallMessageThreadPkru();
@@ -428,10 +455,17 @@ sched::Fiber* Runtime::PickDependencyAware() {
   if (dest != kComponentNone) {
     if (sched::Fiber* f = fiber_of(LeaderOf(dest))) return f;
   }
-  for (std::size_t id = 0; id < slots_.size(); ++id) {
-    if (sched::Fiber* f = fiber_of(LeaderOf(static_cast<ComponentId>(id)))) {
-      if (slots_[LeaderOf(static_cast<ComponentId>(id))].busy > 0 ||
-          domain_->HasMessage(static_cast<ComponentId>(id))) {
+  // Rotating cursor: a fixed id-order scan would let a low-id component
+  // whose fiber is always ready (e.g. parked in an injected hang, yielding
+  // forever) starve every higher-id fiber woken by a reply — the starved
+  // caller then ages past the hang threshold without ever running.
+  const std::size_t n = slots_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (das_fallback_cursor_ + i) % n;
+    const auto cid = static_cast<ComponentId>(idx);
+    if (sched::Fiber* f = fiber_of(LeaderOf(cid))) {
+      if (slots_[LeaderOf(cid)].busy > 0 || domain_->HasMessage(cid)) {
+        das_fallback_cursor_ = (idx + 1) % n;
         return f;
       }
     }
@@ -686,9 +720,30 @@ bool Runtime::ExecuteOne(ComponentId id) {
         slot.busy++;
         exec_ctx_[fiber] =
             ExecCtx{id, m.log_seq, m, args, options_.clock->Now(), {}, 0};
-        while (true) fibers_.Yield();
+        // Park until the hang detector's recovery destroys this fiber. A
+        // fail-stop ends recovery for good, so unwind then instead: an
+        // immortal always-ready fiber would keep the terminal runtime from
+        // ever going idle.
+        while (!terminal_fault_.has_value()) fibers_.Yield();
+        slot.busy--;
+        exec_ctx_.erase(fiber);
+        throw ComponentFault(id, FaultKind::kHang,
+                             "injected hang unwound at fail-stop");
       }
       slot.inflight_failed = std::make_pair(m, args);
+      if (kind == FaultKind::kCorruptCheckpoint) {
+        // Damage the group's checkpoint before the fault fires, so the
+        // reboot this fault triggers fails its restore (and, with the
+        // reinit-on-restore-failure fallback, rebuilds the component from
+        // Init plus a full log replay instead of fail-stopping).
+        for (ComponentId member : slots_[LeaderOf(id)].group) {
+          if (slots_[member].component->statefulness() ==
+              Statefulness::kStateful) {
+            CorruptCheckpoint(member);
+            break;
+          }
+        }
+      }
       if (kind == FaultKind::kMpkViolation && isolation_) {
         // Attempt a cross-domain write; the MPK simulator raises the fault.
         for (auto& other : slots_) {

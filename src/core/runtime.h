@@ -14,10 +14,13 @@
 //               function-call/return-value logging, component reboots.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -26,6 +29,7 @@
 #include "base/clock.h"
 #include "base/types.h"
 #include "comp/component.h"
+#include "core/recovery_pool.h"
 #include "mem/snapshot.h"
 #include "mpk/mpk.h"
 #include "msg/domain.h"
@@ -115,6 +119,20 @@ struct RuntimeOptions {
   /// checker and every hook is a single predicted branch (same guarantee as
   /// the flight recorder).
   bool isolation_check = false;
+  /// Worker threads for concurrent component recovery: checkpoint restores
+  /// of distinct failed components run on a bounded pool while the message
+  /// thread keeps serving unaffected components and replays restored
+  /// components in dependency order. 0 (default) restores inline on the
+  /// message thread — the legacy serialized behavior. Overridden by the
+  /// VAMPOS_RECOVERY_WORKERS env var.
+  int recovery_workers = 0;
+  /// When a checkpoint restore fails (corrupt/foreign image), fall back to
+  /// re-running Init on a freshly formatted arena, capture a new checkpoint,
+  /// and rebuild state through the full log replay, instead of failing the
+  /// reboot. Off by default (tests rely on the status-error contract); chaos
+  /// campaigns enable it so corrupt-checkpoint faults stay recoverable.
+  /// Caveat: incorrect after a refresh pruned replayed history from the log.
+  bool reinit_on_restore_failure = false;
   Clock* clock = &SteadyClock::Instance();
 };
 
@@ -274,10 +292,32 @@ class Runtime {
   /// to keep both the replay log and the re-snapshot cost near zero.
   Result<RebootReport> Reboot(ComponentId id, bool refresh_checkpoint = false);
 
+  /// Starts a reboot without waiting for it to finish: the component's
+  /// fibers stop immediately, its checkpoint restores on the recovery worker
+  /// pool (RuntimeOptions::recovery_workers), and replay happens on a later
+  /// Step() once every component it depends on is back. N failed components
+  /// recover concurrently; the message thread keeps serving the rest. If a
+  /// recovery for the same group is already in flight, joins it. Outcomes
+  /// land in reboot_history() / the rt.recovery_failures counter.
+  Status RebootAsync(ComponentId id, bool refresh_checkpoint = false);
+
+  /// Recoveries currently in flight (stopped but not yet fully replayed).
+  [[nodiscard]] std::size_t active_recoveries() const {
+    return recovery_jobs_.size();
+  }
+  /// High-water mark of concurrently in-flight recoveries.
+  [[nodiscard]] std::size_t peak_concurrent_recoveries() const {
+    return peak_concurrent_recoveries_;
+  }
+
   /// Injects a fail-stop fault: after `trigger_after` further messages, the
-  /// component fails with `kind`. `sticky` keeps the fault armed across
-  /// reboots — a *deterministic* bug that re-triggers on the retried input
-  /// and drives the runtime to fail-stop (paper §II-B).
+  /// component fails with `kind`. All FaultKinds route through here —
+  /// kCorruptCheckpoint damages the group's checkpoint image before the
+  /// fault fires, so the subsequent reboot exercises the restore-failure
+  /// path; kHang parks the handler for the hang detector; the rest throw.
+  /// `sticky` keeps the fault armed across reboots — a *deterministic* bug
+  /// that re-triggers on the retried input and drives the runtime to
+  /// fail-stop (paper §II-B).
   void InjectFault(ComponentId id, FaultKind kind, int trigger_after = 0,
                    bool sticky = false);
 
@@ -478,6 +518,28 @@ class Runtime {
   void CheckHangs();
   void NoteDispatched(ComponentId id);
 
+  // Recovery work runs on the message thread (stop, replay, reinit
+  // recapture, or blocking on a worker restore) and can pause dispatch for
+  // milliseconds. The guard shifts every in-flight handler's hang timer
+  // forward by the pause so CheckHangs charges that time to the recovery,
+  // not to whichever healthy handler happened to be mid-call.
+  class HangClockPause {
+   public:
+    explicit HangClockPause(Runtime& rt)
+        : rt_(rt), t0_(rt.options_.clock->Now()) {}
+    ~HangClockPause() {
+      const Nanos dt = rt_.options_.clock->Now() - t0_;
+      if (dt <= 0) return;
+      for (auto& kv : rt_.exec_ctx_) kv.second.started_at += dt;
+    }
+    HangClockPause(const HangClockPause&) = delete;
+    HangClockPause& operator=(const HangClockPause&) = delete;
+
+   private:
+    Runtime& rt_;
+    Nanos t0_;
+  };
+
   // Logging internals (run conceptually on the message thread).
   LogSeq MaybeLogCall(const FnEntry& fn, const msg::Args& args);
   void FinishLog(const FnEntry& fn, LogSeq seq, const msg::MsgValue& ret,
@@ -488,8 +550,56 @@ class Runtime {
                           const msg::MsgValue& ret, const msg::Args& args);
   void MaybeCompact(ComponentId owner);
 
-  // Recovery internals.
-  void StopComponentFibers(ComponentId id);
+  // Recovery internals. A reboot is a RecoveryJob: stop (message thread) →
+  // restore (worker pool or inline) → replay (message thread, dependency
+  // ordered). The sync Reboot() wrapper drives its job to completion;
+  // RebootAsync() leaves the job for Step()/DriveRecovery() to finish.
+  struct RecoveryJob {
+    ComponentId leader = kComponentNone;
+    bool refresh = false;
+    // Fault-path job: a failure escalates to FailStop (after the other
+    // in-flight recoveries complete — they must not be stranded).
+    bool escalate = false;
+    std::optional<ComponentFault> origin;
+    RebootReport report;
+    std::vector<RetryRecord> inflight;  // interrupted mid-handler
+    std::vector<RetryRecord> queued;    // drained, never executed
+    struct MemberRestore {
+      ComponentId member = kComponentNone;
+      Status status;
+      mem::SnapshotStats stats;
+    };
+    std::vector<MemberRestore> restores;  // stateful members only
+    std::atomic<bool> restore_done{false};  // set by the worker (or inline)
+    bool restored = false;   // message thread joined + accounted the restore
+    bool done = false;
+    bool ok = false;
+    Status error;
+    Nanos t0 = 0, t1 = 0, t2 = 0;  // begin / stop-end / restore-end
+  };
+
+  Result<std::shared_ptr<RecoveryJob>> BeginRecovery(
+      ComponentId id, bool refresh, bool escalate,
+      std::optional<ComponentFault> origin);
+  /// Joins finished restores and replays eligible jobs. `block` waits for a
+  /// worker-side restore when nothing else can progress. Returns whether any
+  /// job advanced.
+  bool DriveRecovery(bool block);
+  void FinalizeRestore(const std::shared_ptr<RecoveryJob>& job);
+  void FinalizeReplay(const std::shared_ptr<RecoveryJob>& job);
+  void FailJob(const std::shared_ptr<RecoveryJob>& job, Status error,
+               obs::EventKind phase);
+  /// A job replays only after the components its group calls into are back
+  /// (no active recovery for any dependency leader).
+  [[nodiscard]] bool ReplayBlockedByDeps(const RecoveryJob& job) const;
+  void RemoveJob(const std::shared_ptr<RecoveryJob>& job);
+  void EnsureRecoveryPool();
+  /// Replaces `id`'s checkpoint with a wrong-size image (corrupt-checkpoint
+  /// fault injection; also the CorruptCheckpointForTest seam).
+  void CorruptCheckpoint(ComponentId id);
+
+  void StopComponentFibers(ComponentId id, std::vector<RetryRecord>* inflight,
+                           std::vector<RetryRecord>* queued);
   void RestoreStateful(Slot& slot, RebootReport& report);
   void ReplayLog(ComponentId id, RebootReport& report);
   /// Snapshot knobs for this runtime: mode/workers from RuntimeOptions, the
@@ -572,6 +682,11 @@ class Runtime {
     obs::Counter* snapshot_dirty_audits = nullptr;
     obs::Counter* snapshot_dirty_audit_misses = nullptr;
     obs::Counter* snapshot_dirty_taints = nullptr;
+    // Concurrent recovery + replay verdicts.
+    obs::Counter* recovery_failures = nullptr;  // jobs that did not recover
+    obs::Counter* recovery_reinits = nullptr;   // reinit-on-restore fallbacks
+    obs::Counter* recovery_overlaps = nullptr;  // a job began with >=1 active
+    obs::Counter* replay_divergence = nullptr;  // replayed ret != logged ret
   } ct_;
   /// Hot-path histograms, likewise registry-backed.
   struct HotHistograms {
@@ -617,11 +732,16 @@ class Runtime {
   std::size_t replay_outbound_cursor_ = 0;
 
   std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
-  std::vector<RetryRecord> inflight_retry_;
-  // Queued-but-never-executed inbound messages drained during a reboot;
-  // re-logged and re-queued after restore (they are not retries: no
-  // retried_once charge, no double-execution risk).
-  std::vector<RetryRecord> queued_requeue_;
+  // In-flight and pending recoveries. Jobs are owned here; the sync Reboot
+  // wrapper and the chaos engine hold shared_ptrs across DriveRecovery.
+  std::vector<std::shared_ptr<RecoveryJob>> recovery_jobs_;
+  std::unique_ptr<RecoveryPool> recovery_pool_;  // lazily spawned
+  std::mutex recovery_mu_;
+  std::condition_variable recovery_cv_;
+  std::size_t peak_concurrent_recoveries_ = 0;
+  // Escalating job failed while others were in flight: FailStop deferred
+  // until the survivors finish recovering (they must not be stranded).
+  std::optional<ComponentFault> pending_failstop_;
   // rpc_id -> outbound feed for a retried request awaiting execution.
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<FunctionId, msg::MsgValue>>>
@@ -631,6 +751,7 @@ class Runtime {
 
   // Scheduling state.
   std::size_t rr_cursor_ = 0;
+  std::size_t das_fallback_cursor_ = 0;
   std::deque<ComponentId> das_candidates_;
 
   // Runtime-data vault: survives component reboots by construction.

@@ -30,6 +30,7 @@ constexpr KindInfo kKinds[] = {
     {"snapshot.recapture", "reboot"},
     {"snapshot.dirty", "reboot"},
     {"snapshot.audit", "reboot"},
+    {"recovery.overlap", "reboot"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),

@@ -49,6 +49,7 @@ enum class EventKind : std::uint8_t {
   kSnapshotRecapture,  // incremental re-snapshot (a=bytes copied, b=dirty)
   kSnapshotDirty,      // write-tracked fast-path op (a=pages skipped, b=dirty)
   kSnapshotAudit,      // randomized tracker audit (a=misses, b=dirty)
+  kRecoveryOverlap,    // >=2 recoveries in flight (a=active jobs)
   kKindCount,
 };
 

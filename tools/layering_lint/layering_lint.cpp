@@ -51,6 +51,7 @@ const std::map<std::string, std::set<std::string>>& AllowedLayers() {
         "core"}},
       {"uk", {"base", "obs", "mem", "msg", "comp", "uk"}},
       {"apps", {}},
+      {"chaos", {}},
   };
   return kAllowed;
 }
@@ -104,7 +105,9 @@ std::string DescribeSet(const std::set<std::string>& allowed) {
 
 // Returns an error description for a forbidden edge, or nullopt if allowed.
 std::optional<std::string> CheckEdge(const Layer& file, const Layer& inc) {
-  if (file.top == "apps") return std::nullopt;  // top layer: unrestricted
+  // Top layers (application assembly and the chaos campaign engine that
+  // drives a full stack) are unrestricted.
+  if (file.top == "apps" || file.top == "chaos") return std::nullopt;
   if (file.top == "uk") {
     if (inc.top == "uk") {
       // Shared platform headers (directly in uk/) are open to everyone in

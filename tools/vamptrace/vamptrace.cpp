@@ -308,6 +308,35 @@ void PrintAvailability(const Dump& d, std::size_t buckets) {
                 "########################################",
                 in_reboot ? " *reboot*" : "");
   }
+
+  // Per-window MTTR percentiles: recoveries are binned by the bucket their
+  // reboot *completed* in and scored by reboot wall time, so a burst of
+  // concurrent recoveries shows up as one window with several samples.
+  std::vector<std::vector<double>> mttr(buckets);
+  std::vector<double> all;
+  for (const RebootWindow& w : d.reboots) {
+    if (w.failed || w.end_us < 0 || w.begin_us < 0) continue;
+    auto b = static_cast<std::size_t>((w.end_us - d.min_ts) / width);
+    mttr[std::min(b, buckets - 1)].push_back(w.end_us - w.begin_us);
+    all.push_back(w.end_us - w.begin_us);
+  }
+  const auto pct = [](std::vector<double>& v, double p) {
+    std::sort(v.begin(), v.end());
+    const auto i = static_cast<std::size_t>(p * static_cast<double>(v.size()));
+    return v[std::min(v.size() - 1, i)];
+  };
+  if (!all.empty()) {
+    std::printf(
+        "recovery MTTR: %zu recoveries p50=%.1fus p95=%.1fus max=%.1fus\n",
+        all.size(), pct(all, 0.50), pct(all, 0.95),
+        *std::max_element(all.begin(), all.end()));
+    std::printf("per-window MTTR:\n");
+    for (std::size_t i = 0; i < buckets; ++i) {
+      if (mttr[i].empty()) continue;
+      std::printf("  window %zu: recoveries=%zu p50=%.1fus p95=%.1fus\n", i,
+                  mttr[i].size(), pct(mttr[i], 0.50), pct(mttr[i], 0.95));
+    }
+  }
 }
 
 int VerifyStall(const Dump& d) {
