@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# TSan race matrix for the concurrent recovery paths (docs/static-analysis.md).
+#
+# Builds the tree under -DCMAKE_BUILD_TYPE=Tsan (ThreadSanitizer; the
+# ucontext fiber switches are annotated via the TSan fiber API in
+# src/sched/fiber.cc) and drives the three suites that actually exercise
+# cross-thread state — the recovery pool workers, the parallel snapshot
+# workers, and the campaign engine:
+#
+#   1. test_chaos          — concurrent component recovery unit tests
+#   2. test_recovery_edge  — recovery edge cases (failed restores, stacking)
+#   3. chaoscamp           — seeded 200-fault mini campaign, 4 workers
+#
+# Suppressions live in tools/tsan.supp (curated, commented; empty is the
+# healthy state). The run fails on any unsuppressed TSan warning or any
+# suite failure. The full interleaved output is written to $TSAN_SMOKE_REPORT
+# (default tsan_report.txt) for CI artifact upload.
+#
+# Usage: scripts/tsan_smoke.sh [build-dir]   (default: build-tsan)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build-tsan}"
+report="${TSAN_SMOKE_REPORT:-tsan_report.txt}"
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Tsan || exit 1
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target test_chaos test_recovery_edge chaoscamp || exit 1
+
+# halt_on_error=0: collect every report in one run instead of dying on the
+# first — the matrix is only useful if it shows the whole surface.
+export TSAN_OPTIONS="halt_on_error=0 suppressions=$PWD/tools/tsan.supp ${TSAN_OPTIONS:-}"
+
+: > "$report"
+failures=0
+
+run_suite() {
+  local name="$1"; shift
+  echo "== tsan_smoke: $name" | tee -a "$report"
+  if ! "$@" >> "$report" 2>&1; then
+    echo "tsan_smoke: suite '$name' FAILED" | tee -a "$report"
+    failures=$((failures + 1))
+  fi
+}
+
+run_suite test_chaos "$build_dir/tests/test_chaos"
+run_suite test_recovery_edge "$build_dir/tests/test_recovery_edge"
+run_suite chaoscamp-mini "$build_dir/tools/chaoscamp/chaoscamp" \
+  --seed 42 --faults 200 --workers 4
+
+races=$(grep -c "WARNING: ThreadSanitizer" "$report" || true)
+echo "tsan_smoke: $races unsuppressed ThreadSanitizer warning(s), $failures suite failure(s) (report: $report)"
+if [[ "$races" -gt 0 || "$failures" -gt 0 ]]; then
+  grep -A 12 "WARNING: ThreadSanitizer" "$report" | head -80 || true
+  exit 1
+fi
+echo "tsan_smoke: PASS"

@@ -1,0 +1,24 @@
+// Thread-ownership annotations for the concurrent-recovery boundary
+// (DESIGN.md §8). The macros expand to nothing — they are read textually by
+// `vampcheck ownership` (tools/vampcheck), which flags any
+// VAMP_MSG_THREAD_ONLY member touched from code reachable from a
+// VAMP_POOL_ENTRY function or a RecoveryPool Submit() task, and any
+// VAMP_GUARDED_BY member touched in a function that takes no visible lock
+// on the named mutex.
+//
+//   std::vector<Slot> slots_ VAMP_MSG_THREAD_ONLY;
+//   int active_ VAMP_GUARDED_BY(mu_) = 0;
+//   std::atomic<bool> restore_done VAMP_RECOVERY_POOL_SHARED{false};
+//   void Run() VAMP_POOL_ENTRY { ... }
+//
+// Member annotations sit after the member name (before any initializer);
+// VAMP_POOL_ENTRY sits between the parameter list and the function body.
+// VAMP_RECOVERY_POOL_SHARED documents state that deliberately crosses the
+// boundary — it must be atomic or published under a mutex; the lint exempts
+// it rather than checks it (TSan covers the dynamic side).
+#pragma once
+
+#define VAMP_MSG_THREAD_ONLY
+#define VAMP_RECOVERY_POOL_SHARED
+#define VAMP_GUARDED_BY(mutex)
+#define VAMP_POOL_ENTRY

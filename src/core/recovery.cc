@@ -521,6 +521,10 @@ Result<std::shared_ptr<Runtime::RecoveryJob>> Runtime::BeginRecovery(
     if (slots_[m].component->statefulness() == Statefulness::kStateful) {
       RecoveryJob::MemberRestore mr;
       mr.member = m;
+      // Resolved here, on the message thread: the worker gets job-private
+      // pointers and never dereferences slots_ (vampcheck ownership).
+      mr.checkpoint = &slots_[m].checkpoint;
+      mr.arena = &slots_[m].component->arena();
       job->restores.push_back(std::move(mr));
     }
   }
@@ -546,28 +550,30 @@ Result<std::shared_ptr<Runtime::RecoveryJob>> Runtime::BeginRecovery(
     cfg.clock = &SteadyClock::Instance();
     cfg.workers = 0;
     cfg.audit_rate = 0;
-    recovery_pool_->Submit([this, job, cfg] {
-      for (auto& mr : job->restores) {
-        Slot& ms = slots_[mr.member];
-        mr.status =
-            ms.checkpoint.Restore(ms.component->arena(), cfg, &mr.stats);
-      }
-      {
-        std::lock_guard<std::mutex> lk(recovery_mu_);
-        job->restore_done.store(true, std::memory_order_release);
-      }
-      recovery_cv_.notify_all();
-    });
+    recovery_pool_->Submit([this, job, cfg] { RestoreOnWorker(job, cfg); });
   } else {
     // Inline restore: the legacy serialized behavior, full audit coverage.
     for (auto& mr : job->restores) {
-      Slot& ms = slots_[mr.member];
-      mr.status = ms.checkpoint.Restore(ms.component->arena(), SnapshotCfg(),
-                                        &mr.stats);
+      mr.status = mr.checkpoint->Restore(*mr.arena, SnapshotCfg(), &mr.stats);
     }
     job->restore_done.store(true, std::memory_order_release);
   }
   return job;
+}
+
+// Runs on a RecoveryPool worker. Only job-private state (the restores the
+// message thread resolved in BeginRecovery) and the completion handshake —
+// everything else in the runtime is VAMP_MSG_THREAD_ONLY.
+void Runtime::RestoreOnWorker(std::shared_ptr<RecoveryJob> job,
+                              mem::SnapshotConfig cfg) VAMP_POOL_ENTRY {
+  for (auto& mr : job->restores) {
+    mr.status = mr.checkpoint->Restore(*mr.arena, cfg, &mr.stats);
+  }
+  {
+    std::lock_guard<std::mutex> lk(recovery_mu_);
+    job->restore_done.store(true, std::memory_order_release);
+  }
+  recovery_cv_.notify_all();
 }
 
 bool Runtime::ReplayBlockedByDeps(const RecoveryJob& job) const {

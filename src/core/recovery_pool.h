@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/thread_annotations.h"
+
 namespace vampos::core {
 
 class RecoveryPool {
@@ -50,7 +52,7 @@ class RecoveryPool {
   }
 
  private:
-  void Run() {
+  void Run() VAMP_POOL_ENTRY {
     for (;;) {
       std::function<void()> task;
       {
@@ -73,9 +75,9 @@ class RecoveryPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ VAMP_GUARDED_BY(mu_);
+  int active_ VAMP_GUARDED_BY(mu_) = 0;
+  bool stop_ VAMP_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "comp/component.h"
 #include "core/recovery_pool.h"
@@ -566,11 +567,15 @@ class Runtime {
     std::vector<RetryRecord> queued;    // drained, never executed
     struct MemberRestore {
       ComponentId member = kComponentNone;
+      // Resolved from slots_ by the message thread in BeginRecovery, so the
+      // worker never dereferences runtime state (vampcheck ownership).
+      mem::Snapshot* checkpoint = nullptr;
+      mem::Arena* arena = nullptr;
       Status status;
       mem::SnapshotStats stats;
     };
-    std::vector<MemberRestore> restores;  // stateful members only
-    std::atomic<bool> restore_done{false};  // set by the worker (or inline)
+    std::vector<MemberRestore> restores VAMP_RECOVERY_POOL_SHARED;
+    std::atomic<bool> restore_done VAMP_RECOVERY_POOL_SHARED{false};
     bool restored = false;   // message thread joined + accounted the restore
     bool done = false;
     bool ok = false;
@@ -594,6 +599,11 @@ class Runtime {
   [[nodiscard]] bool ReplayBlockedByDeps(const RecoveryJob& job) const;
   void RemoveJob(const std::shared_ptr<RecoveryJob>& job);
   void EnsureRecoveryPool();
+  /// Worker-side half of a recovery: restores the job's members through the
+  /// pointers BeginRecovery resolved, then signals restore_done. Touches
+  /// only job-private state and the recovery handshake.
+  void RestoreOnWorker(std::shared_ptr<RecoveryJob> job,
+                       mem::SnapshotConfig cfg) VAMP_POOL_ENTRY;
   /// Replaces `id`'s checkpoint with a wrong-size image (corrupt-checkpoint
   /// fault injection; also the CorruptCheckpointForTest seam).
   void CorruptCheckpoint(ComponentId id);
@@ -718,34 +728,41 @@ class Runtime {
   std::unique_ptr<check::IsolationChecker> checker_;
   sched::FiberManager fibers_;
 
-  std::vector<Slot> slots_;
+  // Message-thread ownership (DESIGN.md §8): everything below is
+  // VAMP_MSG_THREAD_ONLY unless annotated otherwise — pool workers get
+  // job-private pointers, never the runtime's containers.
+  std::vector<Slot> slots_ VAMP_MSG_THREAD_ONLY;
   std::vector<FnEntry> fns_;
   std::unordered_map<std::string, FunctionId> fn_by_name_;  // "comp.fn"
   std::vector<ComponentId> app_deps_;
 
   // Fiber-local execution contexts (single OS thread; keyed by fiber).
-  std::unordered_map<sched::Fiber*, ExecCtx> exec_ctx_;
+  std::unordered_map<sched::Fiber*, ExecCtx> exec_ctx_ VAMP_MSG_THREAD_ONLY;
   // Restore-mode execution (runs on the message thread, no fiber).
-  std::vector<ExecCtx> restore_stack_;
+  std::vector<ExecCtx> restore_stack_ VAMP_MSG_THREAD_ONLY;
   // Replay feed cursor during encapsulated restoration.
   const msg::CallLogEntry* replay_entry_ = nullptr;
   std::size_t replay_outbound_cursor_ = 0;
 
-  std::unordered_map<std::uint64_t, PendingReply> pending_replies_;
+  std::unordered_map<std::uint64_t, PendingReply> pending_replies_
+      VAMP_MSG_THREAD_ONLY;
   // In-flight and pending recoveries. Jobs are owned here; the sync Reboot
   // wrapper and the chaos engine hold shared_ptrs across DriveRecovery.
-  std::vector<std::shared_ptr<RecoveryJob>> recovery_jobs_;
+  std::vector<std::shared_ptr<RecoveryJob>> recovery_jobs_
+      VAMP_MSG_THREAD_ONLY;
   std::unique_ptr<RecoveryPool> recovery_pool_;  // lazily spawned
-  std::mutex recovery_mu_;
-  std::condition_variable recovery_cv_;
+  // Completion handshake with the workers: restore_done is published under
+  // recovery_mu_ and the message thread waits on recovery_cv_.
+  std::mutex recovery_mu_ VAMP_RECOVERY_POOL_SHARED;
+  std::condition_variable recovery_cv_ VAMP_RECOVERY_POOL_SHARED;
   std::size_t peak_concurrent_recoveries_ = 0;
   // Escalating job failed while others were in flight: FailStop deferred
   // until the survivors finish recovering (they must not be stranded).
-  std::optional<ComponentFault> pending_failstop_;
+  std::optional<ComponentFault> pending_failstop_ VAMP_MSG_THREAD_ONLY;
   // rpc_id -> outbound feed for a retried request awaiting execution.
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<FunctionId, msg::MsgValue>>>
-      retry_feeds_;
+      retry_feeds_ VAMP_MSG_THREAD_ONLY;
   std::vector<sched::Fiber*> app_fibers_;
   std::vector<sched::Fiber*> parked_apps_;
 

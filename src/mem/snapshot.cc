@@ -32,9 +32,10 @@ inline std::uint64_t Finalize(std::uint64_t h) {
   return h;
 }
 
-/// Hashes pages [first, first+count) of `base` into hashes/zeros.
+/// Hashes pages [first, first+count) of `base` into hashes/zeros. Runs on
+/// snapshot hash workers: may touch only its arguments and the hash seam.
 void HashRange(const std::byte* base, std::size_t first, std::size_t count,
-               std::uint64_t* hashes, std::uint8_t* zeros) {
+               std::uint64_t* hashes, std::uint8_t* zeros) VAMP_POOL_ENTRY {
   for (std::size_t i = first; i < first + count; ++i) {
     bool is_zero = false;
     hashes[i] = Snapshot::PageHash(base + i * kPage, &is_zero);
@@ -148,7 +149,7 @@ const std::byte* PageBaseline::Intern(const std::byte* page,
   auto copy = std::make_unique<std::byte[]>(kPage);
   std::memcpy(copy.get(), page, kPage);
   chain.push_back(std::move(copy));
-  pages_++;
+  pooled_++;
   if (reused != nullptr) *reused = false;
   return chain.back().get();
 }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "mem/arena.h"
 
@@ -76,17 +77,22 @@ class PageBaseline {
   const std::byte* Intern(const std::byte* page, std::uint64_t hash,
                           bool* reused);
 
-  [[nodiscard]] std::size_t pages() const { return pages_; }
-  [[nodiscard]] std::size_t bytes() const { return pages_ * Arena::kPageSize; }
+  [[nodiscard]] std::size_t pages() const { return pooled_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return pooled_ * Arena::kPageSize;
+  }
   /// Dedup hits: interned pages served from an existing pooled copy.
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
 
  private:
+  // Interning happens only on the capture/recapture path, which never runs
+  // on a recovery worker: workers only *read* pooled pages through the
+  // PageEntry::shared pointers their job's snapshots already hold.
   // hash -> pooled pages with that hash (collision chain, memcmp-verified).
   std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<std::byte[]>>>
-      pool_;
-  std::size_t pages_ = 0;
-  std::uint64_t hits_ = 0;
+      pool_ VAMP_MSG_THREAD_ONLY;
+  std::size_t pooled_ VAMP_MSG_THREAD_ONLY = 0;
+  std::uint64_t hits_ VAMP_MSG_THREAD_ONLY = 0;
 };
 
 /// Knobs for one snapshot operation, assembled by the runtime from

@@ -143,6 +143,7 @@ void LwipComponent::RouteFrame(CallCtx& ctx, const Frame& f) {
         d.from = f.src_port;
         d.len = static_cast<std::uint16_t>(
             std::min(f.payload.size(), kDgramMax));
+        // vampcheck:allow(dirtywrite, d.data lives in the State root and kState tracking taints it on entry)
         std::memcpy(d.data, f.payload.data(), d.len);
         return;
       }
@@ -190,6 +191,7 @@ void LwipComponent::RouteFrame(CallCtx& ctx, const Frame& f) {
     }
     const auto n = std::min<std::size_t>(f.payload.size(),
                                          kRcvBuf - s.buf_len);
+    // vampcheck:allow(dirtywrite, s.buf lives in the State root and kState tracking taints it on entry)
     std::memcpy(s.buf + s.buf_len, f.payload.data(), n);
     s.buf_len += static_cast<std::uint32_t>(n);
     s.rcv_ack += static_cast<std::uint32_t>(f.payload.size());
@@ -353,6 +355,7 @@ void LwipComponent::Init(InitCtx& ctx) {
         const auto n = std::min<std::uint32_t>(
             s->buf_len, static_cast<std::uint32_t>(args[1].i64()));
         std::string out(s->buf, n);
+        // vampcheck:allow(dirtywrite, s->buf lives in the State root and kState tracking taints it on entry)
         std::memmove(s->buf, s->buf + n, s->buf_len - n);
         s->buf_len -= n;
         return MsgValue(std::move(out));

@@ -212,14 +212,15 @@ void RamFsComponent::Init(InitCtx& ctx) {
                const auto end =
                    off + static_cast<std::uint32_t>(data.size());
                if (!EnsureCapacity(&f, end)) return Err(Errno::kNoSpc);
+               // Content blocks live outside the State root; mark the
+               // whole span (gap fill + payload) for the dirty tracker
+               // before the writes land.
+               arena().MarkDirty(DataOf(&f) + std::min(off, f.size),
+                                 end - std::min(off, f.size));
                if (off > f.size) {
                  std::memset(DataOf(&f) + f.size, 0, off - f.size);
                }
                std::memcpy(DataOf(&f) + off, data.data(), data.size());
-               // Content blocks live outside the State root; mark the
-               // written span for the dirty tracker explicitly.
-               arena().MarkDirty(DataOf(&f) + std::min(off, f.size),
-                                 end - std::min(off, f.size));
                f.size = std::max(f.size, end);
                if (!c.restoring()) SaveFileVault(c, f);
                return MsgValue(static_cast<std::int64_t>(data.size()));

@@ -1,0 +1,149 @@
+#include "vampcheck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+namespace vampcheck {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool SourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses a vampcheck:allow comment on `raw`. Returns true if one is present;
+// fills pass/reason (either may come back empty when malformed).
+bool ParseAllow(const std::string& raw, std::string& pass,
+                std::string& reason) {
+  const std::size_t at = raw.find("vampcheck:allow(");
+  if (at == std::string::npos) return false;
+  const std::size_t open = at + std::string("vampcheck:allow").size();
+  const std::size_t close = raw.find(')', open);
+  if (close == std::string::npos) {
+    pass.clear();
+    reason.clear();
+    return true;
+  }
+  const std::string inner = raw.substr(open + 1, close - open - 1);
+  const std::size_t comma = inner.find(',');
+  if (comma == std::string::npos) {
+    pass = Trim(inner);
+    reason.clear();
+    return true;
+  }
+  pass = Trim(inner.substr(0, comma));
+  reason = Trim(inner.substr(comma + 1));
+  return true;
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t FindToken(const std::string& line, const std::string& tok,
+                      std::size_t from) {
+  for (std::size_t at = line.find(tok, from); at != std::string::npos;
+       at = line.find(tok, at + 1)) {
+    const bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
+    const std::size_t end = at + tok.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return at;
+  }
+  return std::string::npos;
+}
+
+std::string StripLineComment(const std::string& line) {
+  bool in_str = false;
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    const char c = line[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '/' && line[i + 1] == '/') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+bool Allowed(const SourceFile& f, std::size_t idx, const std::string& pass,
+             int& violations) {
+  for (std::size_t k = 0; k < 2; ++k) {
+    if (k > idx) break;
+    const std::size_t at = idx - k;
+    std::string got_pass;
+    std::string reason;
+    if (!ParseAllow(f.lines[at], got_pass, reason)) continue;
+    if (got_pass != pass) continue;
+    if (reason.empty()) {
+      violations += Report(f, at, pass,
+                           "vampcheck:allow(" + pass +
+                               ",...) requires a non-empty reason");
+    }
+    return true;  // suppress the underlying finding either way
+  }
+  return false;
+}
+
+int Report(const SourceFile& f, std::size_t idx, const std::string& pass,
+           const std::string& msg) {
+  std::fprintf(stderr, "%s:%zu: error: [%s] %s\n",
+               f.path.generic_string().c_str(), idx + 1, pass.c_str(),
+               msg.c_str());
+  return 1;
+}
+
+std::optional<std::vector<SourceFile>> LoadTree(const fs::path& root) {
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "vampcheck: not a directory: %s\n",
+                 root.generic_string().c_str());
+    return std::nullopt;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && SourceExtension(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic report order
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    SourceFile f;
+    f.path = path;
+    f.rel = path.lexically_relative(root).generic_string();
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "vampcheck: cannot read: %s\n",
+                   path.generic_string().c_str());
+      return std::nullopt;
+    }
+    std::string line;
+    while (std::getline(in, line)) f.lines.push_back(line);
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+}  // namespace vampcheck

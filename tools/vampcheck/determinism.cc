@@ -1,0 +1,207 @@
+// vampcheck determinism pass — replay-determinism lint for component
+// handler code (src/apps, src/comp).
+//
+// Recovery replays logged calls against a restored checkpoint and expects
+// the handler to reproduce its original results bit-for-bit (DESIGN.md §8,
+// docs/static-analysis.md). Anything that lets wall-clock time, the process
+// environment, or address-space layout leak into handler output breaks that
+// contract silently — the replayed state diverges and the divergence check
+// fires long after the root cause. This pass bans, in apps/ and comp/:
+//
+//   * libc / POSIX entropy and time calls (rand, random, time,
+//     gettimeofday, clock_gettime, ...)
+//   * <random> engines and std::random_device
+//   * std::chrono *_clock::now() (use the runtime's injected base::Clock,
+//     which is paused and replay-stable)
+//   * iteration over std::unordered_map/set members (bucket order is not
+//     stable across reboots; iterate a sorted view or use arena::map)
+//   * pointer values formatted or hashed into data ("%p",
+//     reinterpret_cast<uintptr_t>, std::hash over a pointer type)
+//
+// Escape hatch: // vampcheck:allow(determinism,<reason>) on the line or the
+// line above.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vampcheck.h"
+
+namespace vampcheck {
+namespace {
+
+constexpr const char* kPass = "determinism";
+
+// Functions whose *call* is banned: the token must be followed by '('.
+const char* const kBannedCalls[] = {
+    "rand",        "srand",     "rand_r",        "random",
+    "drand48",     "lrand48",   "mrand48",       "time",
+    "gettimeofday", "clock_gettime", "clock",    "getpid",
+    "getrandom",
+};
+
+// Names whose mere mention is banned (types / engines).
+const char* const kBannedNames[] = {
+    "random_device", "mt19937",      "mt19937_64",         "minstd_rand",
+    "minstd_rand0",  "ranlux24",     "ranlux48",           "knuth_b",
+    "default_random_engine",
+};
+
+bool InScope(const std::string& rel) {
+  return rel.rfind("apps/", 0) == 0 || rel.rfind("comp/", 0) == 0;
+}
+
+// True when `tok` occurs at a word boundary followed (after whitespace) by
+// '(' — i.e. looks like a call, not part of a longer name or a comment word.
+bool HasCall(const std::string& line, const std::string& tok) {
+  for (std::size_t at = FindToken(line, tok); at != std::string::npos;
+       at = FindToken(line, tok, at + 1)) {
+    std::size_t i = at + tok.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+// Extracts the member/variable name from a single-line declaration of an
+// unordered container: "std::unordered_map<K, V> name_;" (initializers and
+// brace-init tolerated). Returns empty if the shape doesn't match.
+std::string UnorderedDeclName(const std::string& line) {
+  std::size_t at = FindToken(line, "unordered_map");
+  if (at == std::string::npos) at = FindToken(line, "unordered_set");
+  if (at == std::string::npos) return "";
+  const std::size_t open = line.find('<', at);
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < line.size(); ++i) {
+    if (line[i] == '<') depth++;
+    if (line[i] == '>' && --depth == 0) break;
+  }
+  if (i >= line.size()) return "";  // template args span lines — give up
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                             line[i] == '&' || line[i] == '*')) {
+    ++i;
+  }
+  std::size_t b = i;
+  while (i < line.size() && IsIdentChar(line[i])) ++i;
+  if (i == b) return "";
+  if (i < line.size() && line[i] == '(') return "";  // function, not a var
+  return line.substr(b, i - b);
+}
+
+// True when `line` iterates `name`: a range-for over it, or an explicit
+// begin()/cbegin() call on it.
+bool Iterates(const std::string& line, const std::string& name) {
+  const std::size_t at = FindToken(line, name);
+  if (at == std::string::npos) return false;
+  const std::size_t end = at + name.size();
+  if (line.compare(end, 7, ".begin(") == 0 ||
+      line.compare(end, 8, ".cbegin(") == 0 ||
+      line.compare(end, 8, "->begin(") == 0) {
+    return true;
+  }
+  const std::size_t f = FindToken(line, "for");
+  if (f == std::string::npos || f > at) return false;
+  const std::size_t colon = line.find(':', f);
+  return colon != std::string::npos && colon < at &&
+         (colon + 1 >= line.size() || line[colon + 1] != ':') &&
+         line[colon - 1] != ':';
+}
+
+// True when `line` hashes a pointer type: "hash<...*...>".
+bool HashesPointer(const std::string& line) {
+  for (std::size_t at = line.find("hash<"); at != std::string::npos;
+       at = line.find("hash<", at + 1)) {
+    const std::size_t close = line.find('>', at);
+    if (close == std::string::npos) continue;
+    if (line.find('*', at) < close) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunDeterminism(const std::vector<std::filesystem::path>& roots) {
+  int violations = 0;
+  int nfiles = 0;
+  for (const auto& root : roots) {
+    const auto files = LoadTree(root);
+    if (!files.has_value()) return -1;
+
+    // Phase 1: collect unordered-container member/variable names declared
+    // in handler code (declarations themselves are fine). Names are scoped
+    // to the declaring file's stem — kvstore.h's table_ binds kvstore.cc,
+    // not a same-named ordered map in another app.
+    std::map<std::string, std::vector<std::string>> unordered_by_stem;
+    auto stem = [](const std::string& rel) {
+      const std::size_t dot = rel.find_last_of('.');
+      return dot == std::string::npos ? rel : rel.substr(0, dot);
+    };
+    for (const SourceFile& f : *files) {
+      if (!InScope(f.rel)) continue;
+      for (const std::string& raw : f.lines) {
+        const std::string name = UnorderedDeclName(StripLineComment(raw));
+        if (!name.empty()) unordered_by_stem[stem(f.rel)].push_back(name);
+      }
+    }
+
+    // Phase 2: scan handler code for banned constructs.
+    for (const SourceFile& f : *files) {
+      if (!InScope(f.rel)) continue;
+      nfiles++;
+      const std::vector<std::string>& unordered = unordered_by_stem[stem(f.rel)];
+      for (std::size_t i = 0; i < f.lines.size(); ++i) {
+        const std::string line = StripLineComment(f.lines[i]);
+        auto flag = [&](const std::string& msg) {
+          if (!Allowed(f, i, kPass, violations)) {
+            violations += Report(f, i, kPass, msg);
+          }
+        };
+        for (const char* tok : kBannedCalls) {
+          if (HasCall(line, tok)) {
+            flag(std::string("nondeterministic call '") + tok +
+                 "()' in component handler code (replay must reproduce "
+                 "logged results; use the runtime's injected base::Clock / "
+                 "base::Rng)");
+          }
+        }
+        for (const char* tok : kBannedNames) {
+          if (FindToken(line, tok) != std::string::npos) {
+            flag(std::string("nondeterministic entropy source '") + tok +
+                 "' in component handler code (use the deterministic "
+                 "base::Rng seeded by the runtime)");
+          }
+        }
+        if (line.find("_clock::now") != std::string::npos) {
+          flag("std::chrono clock read in component handler code (use the "
+               "runtime's injected base::Clock, which is replay-stable)");
+        }
+        for (const std::string& name : unordered) {
+          if (!UnorderedDeclName(line).empty()) break;  // the decl itself
+          if (Iterates(line, name)) {
+            flag("iteration over unordered container '" + name +
+                 "' (bucket order is not stable across reboots; iterate a "
+                 "sorted view instead)");
+          }
+        }
+        if (line.find("%p") != std::string::npos ||
+            line.find("reinterpret_cast<std::uintptr_t>") !=
+                std::string::npos ||
+            line.find("reinterpret_cast<uintptr_t>") != std::string::npos ||
+            HashesPointer(line)) {
+          flag("pointer value formatted/hashed into data (addresses change "
+               "across reboots; use stable ids)");
+        }
+      }
+    }
+  }
+  if (violations == 0) {
+    std::printf("vampcheck[determinism]: OK (%d handler files)\n", nfiles);
+  }
+  return violations;
+}
+
+}  // namespace vampcheck

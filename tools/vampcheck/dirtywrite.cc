@@ -1,0 +1,129 @@
+// vampcheck dirtywrite pass — dirty-write coverage lint.
+//
+// PR 6's write-tracked dirty pages make Recapture/Restore O(dirty) — but
+// only if every write into arena memory flows through a path that marks the
+// page dirty: the arena allocator (Alloc taints what it returns), the
+// message-domain copy-in/copy-out helpers, the MPK CheckedWrite seam, or an
+// explicit Arena::MarkDirty / TaintAll call. A raw memcpy/memset or
+// placement-new into component state that bypasses all of those makes the
+// next incremental recapture silently skip the page, and the divergence
+// only surfaces as a wrong replay much later (the randomized audit mode
+// exists precisely because this class of bug is quiet).
+//
+// This pass scans the state-owning layers (comp/, core/, uk/, apps/) — the
+// tracker/copy machinery itself (base/ mem/ mpk/ msg/ sched/ obs/ check/
+// chaos/) IS the sanctioned path and is exempt. A bulk write is accepted
+// when any of these holds:
+//
+//   * a MarkDirty / TaintAll call appears within the preceding 8 lines
+//     (mark the span before the write lands) or the 2 lines after
+//   * an arena Alloc( appears within the preceding 8 lines (fresh
+//     allocations are tainted by the allocator before first use)
+//   * an explicit // vampcheck:allow(dirtywrite,<reason>) comment — e.g.
+//     writes into buffers the component declared via WriteTracking::kState,
+//     or reads where arena memory is only the memcpy *source*
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vampcheck.h"
+
+namespace vampcheck {
+namespace {
+
+constexpr const char* kPass = "dirtywrite";
+
+const char* const kExemptLayers[] = {"base", "obs", "mem", "mpk",
+                                     "msg",  "sched", "check", "chaos"};
+
+bool InScope(const std::string& rel) {
+  for (const char* layer : kExemptLayers) {
+    if (rel.rfind(std::string(layer) + "/", 0) == 0) return false;
+  }
+  return rel.find('/') != std::string::npos;  // skip top-level strays
+}
+
+// Token followed (after whitespace) by '('.
+bool HasCall(const std::string& line, const std::string& tok) {
+  for (std::size_t at = FindToken(line, tok); at != std::string::npos;
+       at = FindToken(line, tok, at + 1)) {
+    std::size_t i = at + tok.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+// Placement-new: `new (expr)` — the '(' directly after the keyword.
+bool HasPlacementNew(const std::string& line) {
+  for (std::size_t at = FindToken(line, "new"); at != std::string::npos;
+       at = FindToken(line, "new", at + 1)) {
+    std::size_t i = at + 3;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+bool WindowHas(const SourceFile& f, std::size_t idx, int before, int after,
+               bool (*pred)(const std::string&)) {
+  const std::size_t lo =
+      idx >= static_cast<std::size_t>(before) ? idx - before : 0;
+  const std::size_t hi =
+      std::min(f.lines.size() - 1, idx + static_cast<std::size_t>(after));
+  for (std::size_t i = lo; i <= hi; ++i) {
+    if (pred(StripLineComment(f.lines[i]))) return true;
+  }
+  return false;
+}
+
+bool IsMark(const std::string& line) {
+  return FindToken(line, "MarkDirty") != std::string::npos ||
+         FindToken(line, "TaintAll") != std::string::npos;
+}
+
+bool IsAlloc(const std::string& line) { return HasCall(line, "Alloc"); }
+
+}  // namespace
+
+int RunDirtyWrite(const std::vector<std::filesystem::path>& roots) {
+  int violations = 0;
+  int nfiles = 0;
+  int nwrites = 0;
+  for (const auto& root : roots) {
+    const auto files = LoadTree(root);
+    if (!files.has_value()) return -1;
+    for (const SourceFile& f : *files) {
+      if (!InScope(f.rel)) continue;
+      nfiles++;
+      for (std::size_t i = 0; i < f.lines.size(); ++i) {
+        const std::string line = StripLineComment(f.lines[i]);
+        std::string what;
+        if (HasCall(line, "memcpy")) what = "memcpy";
+        else if (HasCall(line, "memmove")) what = "memmove";
+        else if (HasCall(line, "memset")) what = "memset";
+        else if (HasPlacementNew(line)) what = "placement-new";
+        if (what.empty()) continue;
+        nwrites++;
+        if (WindowHas(f, i, 8, 2, IsMark)) continue;
+        if (WindowHas(f, i, 8, 0, IsAlloc)) continue;
+        if (Allowed(f, i, kPass, violations)) continue;
+        violations += Report(
+            f, i, kPass,
+            what +
+                " into component-layer memory bypasses dirty tracking "
+                "(route it through a sanctioned write path, call "
+                "arena().MarkDirty on the span, or justify it with "
+                "vampcheck:allow(dirtywrite,<reason>))");
+      }
+    }
+  }
+  if (violations == 0) {
+    std::printf("vampcheck[dirtywrite]: OK (%d files, %d bulk writes)\n",
+                nfiles, nwrites);
+  }
+  return violations;
+}
+
+}  // namespace vampcheck

@@ -1,0 +1,28 @@
+// Determinism fixture: a component handler that smuggles nondeterminism
+// into replayable state, every way the pass knows about. Never compiled;
+// ctest (vampcheck.determinism.fixture) pins the rand() finding on line 14
+// and the unordered-iteration finding on line 22, and asserts the allowed
+// read on line 26 is NOT reported. Keep line numbers stable.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+struct EvilApp {
+  std::unordered_map<int, int> sessions_;
+
+  int Roll() {
+    return rand();  // banned call
+  }
+  long Stamp() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  int Sum() {
+    int total = 0;
+    std::mt19937 gen(42);  // banned engine, even when seeded
+    for (const auto& [k, v] : sessions_) total += v;  // unordered iteration
+    return total + static_cast<int>(gen());
+  }
+  // vampcheck:allow(determinism, fixture: bench-only wall-clock, not replayed)
+  long Bench() { return time(nullptr); }
+  long Addr(void* p) { return reinterpret_cast<uintptr_t>(p); }
+};

@@ -1,0 +1,26 @@
+// Dirty-write fixture: raw bulk writes into component state that bypass the
+// dirty tracker. Never compiled; ctest (vampcheck.dirtywrite.fixture) pins
+// the untracked memcpy on line 10 and asserts the tracked (line 14), fresh-
+// allocation (line 20), and allowed (line 25) writes are NOT reported.
+#include <cstring>
+
+struct State { char buf[64]; };
+
+void EvilPoke(State* s, const char* src, unsigned long n) {
+  std::memcpy(s->buf, src, n);  // flagged: no MarkDirty / Alloc in sight
+}
+
+void FinePoke(State* s, const char* src, unsigned long n) {
+  std::memcpy(s->buf, src, n);  // fine: MarkDirty adjacent
+  arena().MarkDirty(s->buf, n);
+}
+
+void FineFresh(Arena& a, const char* src, unsigned long n) {
+  void* p = a.Alloc(n);  // fresh allocation: the allocator taints it
+  std::memcpy(p, src, n);
+}
+
+void AllowedPoke(char* scratch, unsigned long n) {
+  // vampcheck:allow(dirtywrite, fixture: scratch buffer outside any arena)
+  std::memset(scratch, 0, n);
+}

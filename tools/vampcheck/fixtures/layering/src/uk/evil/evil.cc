@@ -1,0 +1,9 @@
+// Layering fixture: a component that breaks the rules on purpose.
+// This file is never compiled; ctest (vampcheck.layering.fixture) asserts
+// the pass reports the cross-component include on line 6 with its
+// file:line, and scripts/lint.sh asserts the run exits non-zero. Keep the
+// line numbers stable: the ctest regex pins evil.cc:6.
+#include "uk/vfs/vfs.h"     // another component's headers: forbidden
+#include "core/runtime.h"   // runtime internals: forbidden
+#include "sched/fiber.h"    // scheduler internals: forbidden
+#include "base/types.h"     // base/ is fine — must NOT be reported

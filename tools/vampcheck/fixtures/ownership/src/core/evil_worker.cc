@@ -1,0 +1,42 @@
+// Ownership fixture: thread-ownership violations on purpose. Never
+// compiled; ctest (vampcheck.ownership.fixture) pins the pool-reachable
+// touch of log_head_ inside ScrubLog (reached from the VAMP_POOL_ENTRY
+// Drain via Scrub) and asserts Pump()'s message-thread touch is NOT
+// reported. Keep line numbers stable: the ctest regex pins line 23.
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+struct Pool {
+  void Submit(void* task);
+};
+
+class EvilRuntime {
+ public:
+  void Pump() { log_head_ = 7; }  // message thread: must NOT be reported
+
+  void Drain() VAMP_POOL_ENTRY {
+    Scrub();
+  }
+  void Scrub() { ScrubLog(); }
+  void ScrubLog() {
+    log_head_ = 0;  // flagged: msg-thread-only, two hops from a pool entry
+  }
+  void Kick() {
+    pool_.Submit([this] { jobs_done_++; });  // flagged: touched in a task
+  }
+  void Steal() {
+    depth_ = 3;  // flagged: guarded by mu_, no visible lock
+  }
+  void Fine() {
+    std::lock_guard<std::mutex> lk(mu_);
+    depth_ = 0;  // fine: lock held
+  }
+
+ private:
+  Pool pool_;
+  std::mutex mu_;
+  int log_head_ VAMP_MSG_THREAD_ONLY = 0;
+  int jobs_done_ VAMP_MSG_THREAD_ONLY = 0;
+  int depth_ VAMP_GUARDED_BY(mu_) = 0;
+};

@@ -1,4 +1,5 @@
-// layering_lint — vampcheck's static prong.
+// vampcheck layering pass — the include-graph lint (originally
+// tools/layering_lint, PR 3).
 //
 // Enforces the include-layering rules documented in DESIGN.md ("Layering
 // rules"): each subsystem directory under src/ may only include headers from
@@ -6,31 +7,17 @@
 // base/obs/mem/msg/comp, the shared uk platform headers, and its own
 // directory — never another component's headers or core/sched internals —
 // and obs/ depends only on base/.
-//
-// Usage: layering_lint <root>...
-//   Each root is a source tree whose top-level directories are layer names
-//   (typically the repo's src/). Every .h/.cc/.cpp/.hpp under it is scanned
-//   for quoted #include directives; both endpoints are classified and
-//   forbidden edges are reported as
-//     <file>:<line>: error: ...
-//   Exit code: 0 clean, 1 violations found, 2 usage/IO error.
-//
-// Deliberately dependency-free (no libclang): quoted includes in this tree
-// are always root-relative layer paths, so textual extraction is exact.
 
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
-#include <vector>
 
+#include "vampcheck.h"
+
+namespace vampcheck {
 namespace {
-
-namespace fs = std::filesystem;
 
 // Allowed direct-include sets, bottom-up. "uk" covers the shared platform
 // files directly in src/uk/; per-component subdirectories get the same set
@@ -130,70 +117,37 @@ std::optional<std::string> CheckEdge(const Layer& file, const Layer& inc) {
   return "layer '" + file.top + "' may only include " + DescribeSet(allowed);
 }
 
-bool SourceExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-}
+}  // namespace
 
-int LintRoot(const fs::path& root, int& files, int& edges) {
+int RunLayering(const std::vector<std::filesystem::path>& roots) {
   int violations = 0;
-  std::vector<fs::path> paths;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (entry.is_regular_file() && SourceExtension(entry.path())) {
-      paths.push_back(entry.path());
-    }
-  }
-  std::sort(paths.begin(), paths.end());  // deterministic report order
-  for (const fs::path& path : paths) {
-    const std::string rel = path.lexically_relative(root).generic_string();
-    const std::optional<Layer> file_layer = Classify(rel);
-    if (!file_layer.has_value()) continue;
-    files++;
-    std::ifstream in(path);
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-      lineno++;
-      const std::optional<std::string> inc = QuotedInclude(line);
-      if (!inc.has_value()) continue;
-      const std::optional<Layer> inc_layer = Classify(*inc);
-      if (!inc_layer.has_value()) continue;
-      edges++;
-      if (const auto err = CheckEdge(*file_layer, *inc_layer)) {
-        std::fprintf(stderr, "%s:%d: error: forbidden include \"%s\": %s\n",
-                     path.generic_string().c_str(), lineno, inc->c_str(),
-                     err->c_str());
-        violations++;
+  int nfiles = 0;
+  int edges = 0;
+  for (const auto& root : roots) {
+    const auto files = LoadTree(root);
+    if (!files.has_value()) return -1;
+    for (const SourceFile& f : *files) {
+      const std::optional<Layer> file_layer = Classify(f.rel);
+      if (!file_layer.has_value()) continue;
+      nfiles++;
+      for (std::size_t i = 0; i < f.lines.size(); ++i) {
+        const std::optional<std::string> inc = QuotedInclude(f.lines[i]);
+        if (!inc.has_value()) continue;
+        const std::optional<Layer> inc_layer = Classify(*inc);
+        if (!inc_layer.has_value()) continue;
+        edges++;
+        if (const auto err = CheckEdge(*file_layer, *inc_layer)) {
+          violations += Report(f, i, "layering",
+                               "forbidden include \"" + *inc + "\": " + *err);
+        }
       }
     }
+  }
+  if (violations == 0) {
+    std::printf("vampcheck[layering]: OK (%d files, %d layered includes)\n",
+                nfiles, edges);
   }
   return violations;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: layering_lint <root>...\n");
-    return 2;
-  }
-  int violations = 0;
-  int files = 0;
-  int edges = 0;
-  for (int i = 1; i < argc; ++i) {
-    const fs::path root(argv[i]);
-    if (!fs::is_directory(root)) {
-      std::fprintf(stderr, "layering_lint: not a directory: %s\n", argv[i]);
-      return 2;
-    }
-    violations += LintRoot(root, files, edges);
-  }
-  if (violations > 0) {
-    std::fprintf(stderr, "layering_lint: %d violation%s in %d files\n",
-                 violations, violations == 1 ? "" : "s", files);
-    return 1;
-  }
-  std::printf("layering_lint: OK (%d files, %d layered includes)\n", files,
-              edges);
-  return 0;
-}
+}  // namespace vampcheck

@@ -1,0 +1,495 @@
+// vampcheck ownership pass — thread-ownership lint for concurrent recovery.
+//
+// DESIGN.md §8: the message thread owns all runtime state; recovery-pool
+// workers run only Snapshot::Restore against job-private pointers handed to
+// them by the message thread. That contract is declared in source with the
+// macros from base/thread_annotations.h:
+//
+//   T member_ VAMP_MSG_THREAD_ONLY;       message thread only — a pool
+//                                         worker must never touch it
+//   T member_ VAMP_RECOVERY_POOL_SHARED;  deliberately crosses the boundary
+//                                         (atomic, or mutex-published)
+//   T member_ VAMP_GUARDED_BY(mu_);       every touch needs mu_ held
+//   void Fn(...) VAMP_POOL_ENTRY { ... }  runs on a worker thread
+//
+// The pass builds a textual call graph over function definitions, walks it
+// from every VAMP_POOL_ENTRY function (plus every lambda passed to a
+// RecoveryPool Submit() call), and flags any VAMP_MSG_THREAD_ONLY member
+// touched inside that pool-reachable closure. Independently, every touch of
+// a VAMP_GUARDED_BY member must sit in a function that visibly takes its
+// mutex (lock_guard / unique_lock / scoped_lock / .lock()).
+//
+// Scope control: a member annotation only binds token matches inside the
+// top-level layer directory where it is declared (core/, mem/, ...), so a
+// same-named private member of an unrelated class in another layer is not
+// dragged in. Call-graph edges are cross-layer by base name — deliberately
+// conservative; rename or vampcheck:allow(ownership,<reason>) on collision.
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vampcheck.h"
+
+namespace vampcheck {
+namespace {
+
+constexpr const char* kPass = "ownership";
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof",  "new",    "delete",   "throw",  "decltype",
+      "else",   "do",       "assert", "noexcept", "static_assert",
+      "defined"};
+  return kw;
+}
+
+struct Annotated {
+  std::string name;
+  std::string kind;   // "msg" or "guarded" (shared members are just exempt)
+  std::string mutex;  // for guarded
+  std::string layer;  // top-level dir of the declaring file ("core", ...)
+};
+
+struct Def {
+  std::string name;
+  const SourceFile* file = nullptr;
+  std::size_t body_begin = 0;  // offset into the file's flattened text
+  std::size_t body_end = 0;
+  std::size_t line = 0;        // 0-based def line (for reports)
+  bool pool_entry = false;
+  bool synthetic = false;      // lambda handed to Submit()
+  std::vector<std::string> calls;
+  // Reachability bookkeeping (filled by the BFS).
+  bool reached = false;
+  std::string via;             // "pool entry 'Run'" or a short chain
+};
+
+// One file's text with comments, string/char literals, and preprocessor
+// lines blanked (structure-preserving: same length, newlines kept), so
+// brace/paren matching and token scans see only code.
+std::string Flatten(const SourceFile& f) {
+  std::string text;
+  for (const std::string& l : f.lines) {
+    text += l;
+    text += '\n';
+  }
+  std::string out = text;
+  enum { Code, Line, Block, Str, Chr } st = Code;
+  bool line_start = true;
+  bool pp = false;  // inside a preprocessor line
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      line_start = true;
+      if (st == Line) st = Code;
+      if (pp && (i == 0 || text[i - 1] != '\\')) pp = false;
+      continue;
+    }
+    if (st == Code && line_start && !pp) {
+      if (c == '#') pp = true;
+      if (c != ' ' && c != '\t') line_start = false;
+    }
+    if (pp) {
+      out[i] = ' ';
+      continue;
+    }
+    switch (st) {
+      case Code:
+        if (c == '/' && n == '/') {
+          st = Line;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = Str;
+        } else if (c == '\'') {
+          st = Chr;
+        }
+        break;
+      case Line:
+        out[i] = ' ';
+        break;
+      case Block:
+        out[i] = ' ';
+        if (c == '*' && n == '/') {
+          out[i + 1] = ' ';
+          ++i;
+          st = Code;
+        }
+        break;
+      case Str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case Chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t LineOf(const std::string& text, std::size_t off) {
+  std::size_t line = 0;
+  for (std::size_t i = 0; i < off && i < text.size(); ++i) {
+    if (text[i] == '\n') line++;
+  }
+  return line;
+}
+
+std::size_t SkipWs(const std::string& t, std::size_t i) {
+  while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i]))) ++i;
+  return i;
+}
+
+// Matching ')' for the '(' at `open`; npos if unbalanced.
+std::size_t MatchParen(const std::string& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i] == '(') depth++;
+    if (t[i] == ')' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// Matching '}' for the '{' at `open`; npos if unbalanced.
+std::size_t MatchBrace(const std::string& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i] == '{') depth++;
+    if (t[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// After a candidate signature's closing paren, decide whether a body '{'
+// follows (function definition) or something else (call, declaration).
+// Tolerates const/noexcept/override/annotation macros and ctor initializer
+// lists; bails on anything that signals an expression context. Parens and
+// commas are only legal once a ':' opened an initializer list — otherwise
+// `if (Cond()) {` would read as a definition of Cond.
+bool BodyFollows(const std::string& t, std::size_t after_paren,
+                 std::size_t* body_open) {
+  bool init_list = false;
+  for (std::size_t i = after_paren; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '{') {
+      *body_open = i;
+      return true;
+    }
+    if (c == ':') {
+      init_list = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) || IsIdentChar(c) ||
+        c == '<' || c == '>' || c == '&' || c == '*') {
+      continue;
+    }
+    if (init_list && (c == '(' || c == ')' || c == ',')) continue;
+    return false;  // ';', '[', '.', operators — not a definition
+  }
+  return false;
+}
+
+struct FileScan {
+  const SourceFile* file;
+  std::string text;  // flattened
+};
+
+// Extracts member names annotated in `f` with the given macro; `name ...
+// MACRO` order, i.e. the identifier immediately before the macro token.
+void CollectAnnotated(const std::string& layer, const std::string& flat,
+                      std::vector<Annotated>* out) {
+  struct MacroKind {
+    const char* macro;
+    const char* kind;
+  };
+  static const MacroKind kinds[] = {
+      {"VAMP_MSG_THREAD_ONLY", "msg"},
+      {"VAMP_GUARDED_BY", "guarded"},
+  };
+  for (const auto& mk : kinds) {
+    for (std::size_t at = FindToken(flat, mk.macro); at != std::string::npos;
+         at = FindToken(flat, mk.macro, at + 1)) {
+      std::size_t i = at;
+      while (i > 0 &&
+             std::isspace(static_cast<unsigned char>(flat[i - 1]))) {
+        --i;
+      }
+      std::size_t e = i;
+      while (i > 0 && IsIdentChar(flat[i - 1])) --i;
+      if (i == e) continue;  // macro definition itself, or odd placement
+      Annotated a;
+      a.name = flat.substr(i, e - i);
+      a.kind = mk.kind;
+      a.layer = layer;
+      if (a.kind == "guarded") {
+        const std::size_t open = flat.find('(', at);
+        const std::size_t close =
+            open == std::string::npos ? open : flat.find(')', open);
+        if (open == std::string::npos || close == std::string::npos) continue;
+        std::string mu = flat.substr(open + 1, close - open - 1);
+        while (!mu.empty() && std::isspace(static_cast<unsigned char>(
+                                  mu.front()))) {
+          mu.erase(mu.begin());
+        }
+        while (!mu.empty() &&
+               std::isspace(static_cast<unsigned char>(mu.back()))) {
+          mu.pop_back();
+        }
+        a.mutex = mu;
+      }
+      out->push_back(std::move(a));
+    }
+  }
+}
+
+// Parses function definitions and their call edges out of one flattened
+// file. Also records, for every `Submit(` call carrying a lambda, a
+// synthetic pool-entry def spanning the argument list.
+void ScanDefs(const FileScan& fs, std::vector<Def>* defs) {
+  const std::string& t = fs.text;
+  std::vector<std::size_t> open_defs;  // indices into *defs, innermost last
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    while (!open_defs.empty() &&
+           i >= (*defs)[open_defs.back()].body_end) {
+      open_defs.pop_back();
+    }
+    if (!IsIdentChar(t[i]) ||
+        (i > 0 && IsIdentChar(t[i - 1]))) {
+      continue;
+    }
+    std::size_t e = i;
+    while (e < t.size() && IsIdentChar(t[e])) ++e;
+    const std::string ident = t.substr(i, e - i);
+    const std::size_t k = SkipWs(t, e);
+    if (k >= t.size() || t[k] != '(') {
+      i = e - 1;
+      continue;
+    }
+    if (Keywords().contains(ident)) {
+      i = e - 1;
+      continue;
+    }
+    const bool method_call =
+        i > 0 && (t[i - 1] == '.' ||
+                  (t[i - 1] == '>' && i > 1 && t[i - 2] == '-'));
+    const std::size_t close = MatchParen(t, k);
+    if (close == std::string::npos) {
+      i = e - 1;
+      continue;
+    }
+    std::size_t body_open = 0;
+    if (!method_call && BodyFollows(t, close + 1, &body_open)) {
+      const std::size_t body_close = MatchBrace(t, body_open);
+      if (body_close == std::string::npos) {
+        i = e - 1;
+        continue;
+      }
+      Def d;
+      d.name = ident;
+      d.file = fs.file;
+      d.body_begin = body_open + 1;
+      d.body_end = body_close;
+      d.line = LineOf(t, i);
+      // The annotation sits between the signature and the body (or on the
+      // declaration line for out-of-line defs — both are covered by
+      // scanning identifier→'{').
+      d.pool_entry =
+          FindToken(t.substr(i, body_open - i), "VAMP_POOL_ENTRY") !=
+          std::string::npos;
+      defs->push_back(std::move(d));
+      open_defs.push_back(defs->size() - 1);
+      i = body_open;  // descend into the body
+      continue;
+    }
+    // Call edge (method or free) from the innermost enclosing def.
+    if (!open_defs.empty()) {
+      (*defs)[open_defs.back()].calls.push_back(ident);
+    }
+    // A task handed to a RecoveryPool runs on a worker thread: treat the
+    // whole argument list as a synthetic pool-entry region.
+    if (ident == "Submit" && t.find('[', k) < close) {
+      Def d;
+      d.name = "<lambda passed to Submit>";
+      d.file = fs.file;
+      d.body_begin = k + 1;
+      d.body_end = close;
+      d.line = LineOf(t, i);
+      d.pool_entry = true;
+      d.synthetic = true;
+      // Mini-scan for call edges inside the lambda.
+      for (std::size_t j = k + 1; j < close; ++j) {
+        if (!IsIdentChar(t[j]) || (j > 0 && IsIdentChar(t[j - 1]))) continue;
+        std::size_t je = j;
+        while (je < close && IsIdentChar(t[je])) ++je;
+        const std::size_t jk = SkipWs(t, je);
+        if (jk < close && t[jk] == '(' &&
+            !Keywords().contains(t.substr(j, je - j))) {
+          d.calls.push_back(t.substr(j, je - j));
+        }
+        j = je - 1;
+      }
+      defs->push_back(std::move(d));
+    }
+    i = e - 1;
+  }
+}
+
+std::string TopDir(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash);
+}
+
+// Innermost def (by span) in `file` containing offset `off`; -1 if none.
+int EnclosingDef(const std::vector<Def>& defs, const SourceFile* file,
+                 std::size_t off) {
+  int best = -1;
+  std::size_t best_span = 0;
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (defs[d].file != file) continue;
+    if (off < defs[d].body_begin || off >= defs[d].body_end) continue;
+    const std::size_t span = defs[d].body_end - defs[d].body_begin;
+    if (best < 0 || span < best_span) {
+      best = static_cast<int>(d);
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int RunOwnership(const std::vector<std::filesystem::path>& roots) {
+  int violations = 0;
+  int ndefs = 0;
+  int nannot = 0;
+  for (const auto& root : roots) {
+    const auto files = LoadTree(root);
+    if (!files.has_value()) return -1;
+
+    std::vector<FileScan> scans;
+    scans.reserve(files->size());
+    for (const SourceFile& f : *files) {
+      scans.push_back({&f, Flatten(f)});
+    }
+
+    std::vector<Annotated> annotated;
+    std::vector<Def> defs;
+    for (const FileScan& fs : scans) {
+      CollectAnnotated(TopDir(fs.file->rel), fs.text, &annotated);
+      ScanDefs(fs, &defs);
+    }
+    ndefs += static_cast<int>(defs.size());
+    nannot += static_cast<int>(annotated.size());
+
+    // BFS over call edges by base name, from pool entries.
+    std::multimap<std::string, std::size_t> by_name;
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+      by_name.emplace(defs[d].name, d);
+    }
+    std::vector<std::size_t> work;
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+      if (defs[d].pool_entry) {
+        defs[d].reached = true;
+        defs[d].via = defs[d].synthetic
+                          ? "a Submit() task"
+                          : "pool entry '" + defs[d].name + "'";
+        work.push_back(d);
+      }
+    }
+    while (!work.empty()) {
+      const std::size_t d = work.back();
+      work.pop_back();
+      for (const std::string& callee : defs[d].calls) {
+        for (auto [it, end] = by_name.equal_range(callee); it != end; ++it) {
+          Def& target = defs[it->second];
+          if (target.reached) continue;
+          target.reached = true;
+          target.via = defs[d].via + " via " + defs[d].name + "()";
+          work.push_back(it->second);
+        }
+      }
+    }
+
+    // Touch scan: every token match of an annotated member inside its
+    // declaring layer, attributed to the innermost enclosing definition.
+    for (const Annotated& a : annotated) {
+      for (const FileScan& fs : scans) {
+        if (TopDir(fs.file->rel) != a.layer) continue;
+        for (std::size_t at = FindToken(fs.text, a.name);
+             at != std::string::npos;
+             at = FindToken(fs.text, a.name, at + 1)) {
+          const std::size_t lineno = LineOf(fs.text, at);
+          const std::string& raw = fs.file->lines[lineno];
+          if (raw.find("VAMP_MSG_THREAD_ONLY") != std::string::npos ||
+              raw.find("VAMP_GUARDED_BY") != std::string::npos ||
+              raw.find("VAMP_RECOVERY_POOL_SHARED") != std::string::npos) {
+            continue;  // the declaration itself
+          }
+          const int d = EnclosingDef(defs, fs.file, at);
+          if (d < 0) continue;
+          const Def& def = defs[static_cast<std::size_t>(d)];
+          if (a.kind == "msg" && def.reached) {
+            if (!Allowed(*fs.file, lineno, kPass, violations)) {
+              violations += Report(
+                  *fs.file, lineno, kPass,
+                  "message-thread-only member '" + a.name +
+                      "' touched in pool-reachable code (" + def.via +
+                      "); see DESIGN.md §8");
+            }
+          }
+          if (a.kind == "guarded") {
+            const std::string body = fs.text.substr(
+                def.body_begin, def.body_end - def.body_begin);
+            const bool locks =
+                FindToken(body, a.mutex) != std::string::npos &&
+                (body.find("lock_guard") != std::string::npos ||
+                 body.find("unique_lock") != std::string::npos ||
+                 body.find("scoped_lock") != std::string::npos ||
+                 body.find(a.mutex + ".lock") != std::string::npos);
+            if (!locks) {
+              if (!Allowed(*fs.file, lineno, kPass, violations)) {
+                violations += Report(
+                    *fs.file, lineno, kPass,
+                    "member '" + a.name + "' is VAMP_GUARDED_BY(" + a.mutex +
+                        ") but '" + def.name +
+                        "' takes no visible lock on it");
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (violations == 0) {
+    std::printf(
+        "vampcheck[ownership]: OK (%d functions, %d annotated members)\n",
+        ndefs, nannot);
+  }
+  return violations;
+}
+
+}  // namespace vampcheck
