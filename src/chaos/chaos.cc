@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "base/clock.h"
 #include "base/rng.h"
+#include "core/rejuvenation.h"
 
 namespace vampos::chaos {
 
@@ -87,11 +89,53 @@ Report Campaign::Run() {
   const std::uint64_t failures0 = counter("rt.recovery_failures");
   const std::uint64_t diverge0 = counter("rt.replay_divergence");
 
+  // Adaptive mode: health telemetry plus a metric-driven scheduler. The
+  // scheduler only ticks where `allow_rejuv` says so (settle rounds and the
+  // aging phase), never while a burst's recoveries are still being counted —
+  // an extra reboot mid-wait would satisfy the burst's completion check
+  // before the injected faults actually recovered.
+  obs::HealthMonitor* health = nullptr;
+  std::optional<core::RejuvenationScheduler> sched;
+  if (spec_.adaptive) {
+    obs::HealthConfig hcfg;
+    hcfg.window_ns = spec_.health_window_ns;
+    // Campaign-scale detector tuning. Handler latencies are microseconds
+    // here, so p99 noise easily doubles — drift needs a wide limit. And a
+    // burst's downstream errors or a noisy drift reading alone (terms 0.5
+    // 0.5) must not degrade a component that is merely collateral; a
+    // saturated leak slope (0.6), an 8x drift (0.6), or a hang/fault (0.8)
+    // should.
+    hcfg.latency_drift_limit = 8.0;
+    hcfg.degrade_score = 0.55;
+    hcfg.leak_limit_bps = 2.0 * 1024.0 * 1024.0;
+    health = &rt.EnableHealth(hcfg);
+    sched.emplace(core::RejuvenationScheduler::ForAllComponents(
+        rt, /*interval=*/0));
+    sched->set_adaptive(*health);
+    rep.adaptive = true;
+  }
+  bool allow_rejuv = false;
+
   // Reboots completed as of the end of each traffic round, so recoveries
-  // can be attributed to availability windows afterwards.
+  // can be attributed to availability windows afterwards. Adaptive runs
+  // also keep the per-round worst health score for the window report.
   std::vector<std::size_t> reboots_by_round;
+  std::vector<double> score_by_round;
   const auto drive_round = [&] {
     h_.TrafficRound();
+    if (health != nullptr) {
+      const Nanos now = rt.options().clock->Now();
+      double worst = 0.0;
+      for (const ComponentId target : h_.targets()) {
+        worst = std::max(worst,
+                         health->Assess(rt.GroupLeader(target), now).score);
+      }
+      score_by_round.push_back(worst);
+      rep.peak_health_score = std::max(rep.peak_health_score, worst);
+      if (sched.has_value() && allow_rejuv && rt.active_recoveries() == 0) {
+        (void)sched->Tick();
+      }
+    }
     reboots_by_round.push_back(rt.reboot_history().size());
   };
 
@@ -123,7 +167,9 @@ Report Campaign::Run() {
       const bool gave_up = counter("rt.recovery_failures") > failures_before;
       if (all_recovered || gave_up) break;
     }
+    allow_rejuv = true;
     for (int r = 0; r < spec_.settle_rounds; ++r) drive_round();
+    allow_rejuv = false;
 
     // Score each fault in the burst: a reboot of its component completed
     // after the mark means it recovered; its MTTR is that reboot's total.
@@ -164,6 +210,48 @@ Report Campaign::Run() {
     }
   }
 
+  // Aging phase: leak real arena bytes from one component each round until
+  // the leak-slope detector degrades it and the adaptive scheduler reboots
+  // it (rebuilding the arena cures the leak) — or the round budget runs out.
+  // Reboots of any *other* component here are the false-positive count.
+  if (sched.has_value() && spec_.age_rounds > 0 && !h_.targets().empty() &&
+      !rt.terminal_fault().has_value()) {
+    const std::size_t tgt = spec_.age_target % h_.targets().size();
+    const ComponentId aged = rt.GroupLeader(h_.targets()[tgt]);
+    rep.aged_target = h_.TargetName(tgt);
+    const std::size_t mark = rt.reboot_history().size();
+    allow_rejuv = true;
+    for (std::size_t r = 0; r < spec_.age_rounds; ++r) {
+      comp::Component& victim = rt.component(aged);
+      if (victim.has_alloc()) (void)victim.alloc().Alloc(spec_.age_bytes);
+      drive_round();
+      rep.aging_rounds++;
+      bool rejuvenated = false;
+      for (std::size_t hidx = mark; hidx < rt.reboot_history().size();
+           ++hidx) {
+        if (rt.reboot_history()[hidx].component == aged) {
+          rejuvenated = true;
+          break;
+        }
+      }
+      if (rejuvenated) {
+        rep.aging_rounds_to_rejuvenate = static_cast<std::int64_t>(r + 1);
+        break;
+      }
+    }
+    allow_rejuv = false;
+    for (std::size_t hidx = mark; hidx < rt.reboot_history().size(); ++hidx) {
+      if (rt.reboot_history()[hidx].component != aged) {
+        rep.aging_offtarget_reboots++;
+      }
+    }
+  }
+
+  if (sched.has_value()) {
+    rep.rejuvenations = sched->adaptive_reboots();
+    rep.healthy_skips = sched->healthy_skips();
+  }
+
   rep.fail_stopped = rt.terminal_fault().has_value();
   rep.reboots = counter("rt.reboots") - reboots0;
   rep.recovery_failures = counter("rt.recovery_failures") - failures0;
@@ -183,6 +271,9 @@ Report Campaign::Run() {
     if (r < reboots_by_round.size()) {
       w.recoveries += reboots_by_round[r] - prev_reboots;
       prev_reboots = reboots_by_round[r];
+    }
+    if (r < score_by_round.size()) {
+      w.worst_score = std::max(w.worst_score, score_by_round[r]);
     }
   }
 
@@ -225,6 +316,19 @@ void Report::WriteJson(std::FILE* out) const {
   std::fprintf(out, "  \"peak_concurrent_recoveries\": %zu,\n",
                peak_concurrent_recoveries);
   std::fprintf(out, "  \"overlapped_bursts\": %zu,\n", overlapped_bursts);
+  std::fprintf(out, "  \"adaptive\": %s,\n", adaptive ? "true" : "false");
+  std::fprintf(out, "  \"rejuvenations\": %llu,\n",
+               static_cast<unsigned long long>(rejuvenations));
+  std::fprintf(out, "  \"healthy_skips\": %llu,\n",
+               static_cast<unsigned long long>(healthy_skips));
+  std::fprintf(out, "  \"peak_health_score\": %.3f,\n", peak_health_score);
+  std::fprintf(out, "  \"aged_target\": \"%s\",\n", aged_target.c_str());
+  std::fprintf(out, "  \"aging_rounds\": %llu,\n",
+               static_cast<unsigned long long>(aging_rounds));
+  std::fprintf(out, "  \"aging_rounds_to_rejuvenate\": %lld,\n",
+               static_cast<long long>(aging_rounds_to_rejuvenate));
+  std::fprintf(out, "  \"aging_offtarget_reboots\": %llu,\n",
+               static_cast<unsigned long long>(aging_offtarget_reboots));
   std::fprintf(out, "  \"fail_stopped\": %s,\n",
                fail_stopped ? "true" : "false");
   std::fprintf(out, "  \"min_availability\": %.4f,\n", min_availability());
@@ -238,12 +342,14 @@ void Report::WriteJson(std::FILE* out) const {
   for (std::size_t w = 0; w < windows.size(); ++w) {
     std::fprintf(out,
                  "%s\n    {\"rounds\": %llu, \"ok\": %llu, "
-                 "\"availability\": %.4f, \"recoveries\": %llu}",
+                 "\"availability\": %.4f, \"recoveries\": %llu, "
+                 "\"worst_score\": %.3f}",
                  w == 0 ? "" : ",",
                  static_cast<unsigned long long>(windows[w].rounds),
                  static_cast<unsigned long long>(windows[w].ok),
                  windows[w].availability(),
-                 static_cast<unsigned long long>(windows[w].recoveries));
+                 static_cast<unsigned long long>(windows[w].recoveries),
+                 windows[w].worst_score);
   }
   std::fprintf(out, "\n  ],\n");
   std::fprintf(out, "  \"faults\": [");
@@ -262,13 +368,14 @@ void Report::WriteJson(std::FILE* out) const {
 }
 
 void Report::WriteCurveCsv(std::FILE* out) const {
-  std::fprintf(out, "window,rounds,ok,availability,recoveries\n");
+  std::fprintf(out, "window,rounds,ok,availability,recoveries,worst_score\n");
   for (std::size_t w = 0; w < windows.size(); ++w) {
-    std::fprintf(out, "%zu,%llu,%llu,%.4f,%llu\n", w,
+    std::fprintf(out, "%zu,%llu,%llu,%.4f,%llu,%.3f\n", w,
                  static_cast<unsigned long long>(windows[w].rounds),
                  static_cast<unsigned long long>(windows[w].ok),
                  windows[w].availability(),
-                 static_cast<unsigned long long>(windows[w].recoveries));
+                 static_cast<unsigned long long>(windows[w].recoveries),
+                 windows[w].worst_score);
   }
 }
 

@@ -40,6 +40,26 @@ struct CampaignSpec {
   /// Weight (out of 100) of hang faults. Each hang costs a real
   /// hang-threshold delay, so campaigns keep this low.
   int hang_weight = 8;
+  /// Run the campaign with health telemetry enabled and a metric-driven
+  /// rejuvenation scheduler ticking after every traffic round: degraded
+  /// components get proactively rebooted between bursts, healthy ones are
+  /// left alone. The report gains rejuvenation counts and a per-window
+  /// worst-health-score column.
+  bool adaptive = false;
+  /// Health window for adaptive campaigns. Campaigns run in milliseconds of
+  /// real time, so the production default (250 ms) would never close a
+  /// window; 2 ms keeps the detectors on campaign timescale.
+  Nanos health_window_ns = 2 * kMillisecond;
+  /// Adaptive aging phase, driven after the fault plan completes: each round
+  /// leaks `age_bytes` from target `age_target`'s arena (allocated, never
+  /// freed), until the adaptive scheduler rejuvenates it or the round budget
+  /// runs out. 0 = no aging phase.
+  std::size_t age_rounds = 0;
+  /// Leaked per aging round. Big enough that the injected slope dwarfs the
+  /// campaign leak limit on any host; small enough that the round budget
+  /// cannot exhaust the victim's arena before detection.
+  std::size_t age_bytes = 16384;
+  std::size_t age_target = 0;  // index into the harness target list
 
   /// Seed after the VAMPOS_CHAOS_SEED env override (bit-for-bit repro knob).
   [[nodiscard]] std::uint64_t ResolvedSeed() const;
@@ -69,6 +89,9 @@ struct WindowStat {
   std::uint64_t rounds = 0;
   std::uint64_t ok = 0;
   std::uint64_t recoveries = 0;  // reboots completed during this window
+  /// Worst per-component health score observed in this window (adaptive
+  /// campaigns only; 0 when health is off).
+  double worst_score = 0.0;
   [[nodiscard]] double availability() const {
     return rounds == 0 ? 1.0 : static_cast<double>(ok) /
                                    static_cast<double>(rounds);
@@ -87,6 +110,18 @@ struct Report {
   std::uint64_t replay_divergence = 0;
   std::size_t peak_concurrent_recoveries = 0;
   std::size_t overlapped_bursts = 0;  // bursts that reached >=2 in flight
+  bool adaptive = false;
+  std::uint64_t rejuvenations = 0;   // adaptive scheduler reboots
+  std::uint64_t healthy_skips = 0;   // adaptive ticks that rebooted nothing
+  double peak_health_score = 0.0;    // worst score seen across the campaign
+  std::string aged_target;           // aging-phase victim (adaptive runs)
+  std::uint64_t aging_rounds = 0;    // aging-phase rounds actually driven
+  /// Rounds of leaking before the adaptive scheduler rejuvenated the aged
+  /// component; -1 when it never did (or no aging phase ran).
+  std::int64_t aging_rounds_to_rejuvenate = -1;
+  /// Reboots of components other than the aged one during the aging phase —
+  /// the "clean components left alone" signal; should stay 0.
+  std::uint64_t aging_offtarget_reboots = 0;
   bool fail_stopped = false;
   std::vector<FaultOutcome> outcomes;
   std::vector<WindowStat> windows;

@@ -188,6 +188,8 @@ class Component {
   [[nodiscard]] ComponentId id() const { return id_; }
   [[nodiscard]] mem::Arena& arena() { return arena_; }
   [[nodiscard]] mem::BuddyAllocator& alloc() { return *alloc_; }
+  /// True once Init engaged the arena allocator (alloc() is only valid then).
+  [[nodiscard]] bool has_alloc() const { return alloc_.has_value(); }
   [[nodiscard]] WriteTracking write_tracking() const {
     return write_tracking_;
   }

@@ -40,6 +40,12 @@ FunctionId Runtime::ExportFn(ComponentId owner, const std::string& name,
   entry.errors = &metrics_.GetCounter("fn." + qualified + ".errors");
   fns_.push_back(std::move(entry));
   fn_by_name_.emplace(qualified, id);
+  // Health series are kept per group leader (a merged group ages and
+  // reboots as a unit), under the leader's display name.
+  if (health_ != nullptr) {
+    const ComponentId leader = LeaderOf(owner);
+    health_->Track(leader, slots_[leader].component->name());
+  }
   return id;
 }
 
@@ -624,7 +630,16 @@ void Runtime::FinalizeRestore(const std::shared_ptr<RecoveryJob>& job) {
     Slot& ms = slots_[mr.member];
     comp::Component& c = *ms.component;
     if (!mr.status.ok()) {
-      if (options_.reinit_on_restore_failure) {
+      // Health-informed escalation: reinit is globally opt-in, but a group
+      // whose recent health history is degraded has been aging toward this
+      // failure — its checkpoint is the stale artifact of a sick image, so
+      // discarding it for a fresh Init + full replay is the better recovery
+      // even without the flag. Healthy components keep the strict
+      // status-error contract.
+      const bool reinit =
+          options_.reinit_on_restore_failure ||
+          (health_ != nullptr && health_->IsDegraded(job->leader));
+      if (reinit) {
         // The image is unusable; rebuild from scratch instead of giving up:
         // reformat + Init/Bind (exports replace in place, so fn ids and the
         // log stay valid), take a fresh post-init checkpoint, and let the
@@ -819,6 +834,9 @@ void Runtime::FinalizeReplay(const std::shared_ptr<RecoveryJob>& job) {
   recorder_.Record(obs::EventKind::kReboot, obs::TracePhase::kEnd, leader,
                    report.total_ns,
                    static_cast<std::int64_t>(report.entries_replayed));
+  // The group's arena was rebuilt: pre-reboot aging history describes a
+  // process image that no longer exists, so the health series restart.
+  if (health_ != nullptr) health_->OnReboot(leader, options_.clock->Now());
   reboot_history_.push_back(report);
   job->ok = true;
   job->done = true;
@@ -1092,6 +1110,7 @@ void Runtime::HandleFaultedFiber(sched::Fiber* fiber) {
   const ComponentId leader = LeaderOf(fiber->owner());
   Slot& slot = slots_[leader];
   slot.failed = true;
+  if (health_ != nullptr) health_->OnFault(leader, options_.clock->Now());
   VAMPOS_INFO("component '%s' failed: %s",
               slot.component->name().c_str(), fault.what());
   if (terminal_fault_.has_value()) {
@@ -1147,6 +1166,7 @@ void Runtime::CheckHangs() {
   if (hung == kComponentNone) return;
   Slot& slot = slots_[LeaderOf(hung)];
   ct_.hangs_detected->Add();
+  if (health_ != nullptr) health_->OnHang(LeaderOf(hung), now);
   recorder_.Record(obs::EventKind::kHangDetected, obs::TracePhase::kInstant,
                    hung, hung_age, static_cast<std::int64_t>(hung_rpc));
   VAMPOS_INFO("hang detected in '%s' (fn=%u rpc=%llu age=%lldus)",

@@ -37,12 +37,39 @@ std::optional<RebootReport> RejuvenationScheduler::Tick() {
 std::optional<RebootReport> RejuvenationScheduler::ForceNext() {
   if (plan_.empty()) return std::nullopt;
   last_ = rt_.options().clock->Now();
+  if (health_ != nullptr) {
+    const std::optional<ComponentId> worst = WorstInPlan();
+    if (!worst.has_value()) {
+      healthy_skips_++;
+      return std::nullopt;  // nothing degraded — leave everyone alone
+    }
+    auto result = rt_.Reboot(*worst, refresh_checkpoints_);
+    if (!result.ok()) return std::nullopt;
+    adaptive_reboots_++;
+    health_->NoteRejuvenation(*worst, last_);
+    return result.value();
+  }
   const ComponentId target = plan_[next_];
   next_ = (next_ + 1) % plan_.size();
   if (next_ == 0) cycles_++;
   auto result = rt_.Reboot(target, refresh_checkpoints_);
   if (!result.ok()) return std::nullopt;
   return result.value();
+}
+
+std::optional<ComponentId> RejuvenationScheduler::WorstInPlan() {
+  const Nanos now = rt_.options().clock->Now();
+  std::optional<ComponentId> worst;
+  double worst_score = 0.0;
+  for (ComponentId id : plan_) {
+    const obs::HealthSignals sig = health_->Assess(id, now);
+    if (!sig.degraded) continue;
+    if (!worst.has_value() || sig.score > worst_score) {
+      worst = id;
+      worst_score = sig.score;
+    }
+  }
+  return worst;
 }
 
 }  // namespace vampos::core

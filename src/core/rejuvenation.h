@@ -51,10 +51,28 @@ class RejuvenationScheduler {
     return refresh_checkpoints_;
   }
 
+  /// Adaptive (metric-driven) mode: instead of the blind round-robin, each
+  /// due tick assesses every plan member through the health monitor and
+  /// reboots the worst-scoring *degraded* component — or nothing at all
+  /// when every component is healthy. A fast-aging component is reached as
+  /// soon as its detectors fire instead of waiting for its slot, and clean
+  /// components are never disturbed.
+  void set_adaptive(obs::HealthMonitor& health) { health_ = &health; }
+  [[nodiscard]] bool adaptive() const { return health_ != nullptr; }
+  /// Reboots performed by adaptive picks.
+  [[nodiscard]] std::uint64_t adaptive_reboots() const {
+    return adaptive_reboots_;
+  }
+  /// Due ticks that rebooted nothing because every component was healthy.
+  [[nodiscard]] std::uint64_t healthy_skips() const { return healthy_skips_; }
+
   [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_; }
   [[nodiscard]] std::size_t plan_size() const { return plan_.size(); }
 
  private:
+  /// Worst-scoring degraded plan member, or nullopt when all are healthy.
+  std::optional<ComponentId> WorstInPlan();
+
   Runtime& rt_;
   std::vector<ComponentId> plan_;
   Nanos interval_;
@@ -62,6 +80,9 @@ class RejuvenationScheduler {
   std::size_t next_ = 0;
   std::uint64_t cycles_ = 0;
   bool refresh_checkpoints_ = false;
+  obs::HealthMonitor* health_ = nullptr;  // non-null = adaptive mode
+  std::uint64_t adaptive_reboots_ = 0;
+  std::uint64_t healthy_skips_ = 0;
 };
 
 }  // namespace vampos::core

@@ -59,6 +59,27 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
       options_.recovery_workers = static_cast<int>(n);
     }
   }
+  // VAMPOS_HEALTH forces the aging-aware health monitor on ("1") or off;
+  // VAMPOS_METRICS_FORMAT picks the VAMPOS_METRICS_DUMP exposition format.
+  if (const char* env = std::getenv("VAMPOS_HEALTH")) {
+    options_.health = env[0] == '1';
+  }
+  if (const char* env = std::getenv("VAMPOS_METRICS_FORMAT")) {
+    const std::string fmt = env;
+    if (fmt == "text") {
+      metrics_format_ = MetricsFormat::kText;
+    } else if (fmt == "json") {
+      metrics_format_ = MetricsFormat::kJson;
+    } else if (fmt == "prom") {
+      metrics_format_ = MetricsFormat::kProm;
+    } else {
+      std::fprintf(stderr,
+                   "vampos: unrecognized VAMPOS_METRICS_FORMAT='%s' "
+                   "(expected text, json, or prom)\n",
+                   env);
+      std::exit(2);
+    }
+  }
   ct_.calls = &metrics_.GetCounter("rt.calls");
   ct_.direct_calls = &metrics_.GetCounter("rt.direct_calls");
   ct_.messages = &metrics_.GetCounter("rt.messages");
@@ -124,6 +145,23 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
                              domain_->arena().base(), domain_->arena().size(),
                              "message-domain");
   }
+
+  if (options_.health) EnableHealth(options_.health_config);
+}
+
+obs::HealthMonitor& Runtime::EnableHealth(const obs::HealthConfig& config) {
+  if (health_ == nullptr) {
+    health_ = std::make_unique<obs::HealthMonitor>(config);
+    health_->BindMetrics(&metrics_);
+    health_->BindRecorder(&recorder_);
+    for (const auto& slot : slots_) {
+      if (slot.component == nullptr) continue;
+      const ComponentId id = slot.component->id();
+      if (LeaderOf(id) != id) continue;  // merged members ride the leader
+      health_->Track(id, slot.component->name());
+    }
+  }
+  return *health_;
 }
 
 Runtime::~Runtime() {
@@ -321,6 +359,9 @@ bool Runtime::Step() {
   // components keep being served while others recover.
   DriveRecovery(/*block=*/false);
   MaybeSpawnAux();
+  if (health_ != nullptr && health_->SampleDue(health_now_)) {
+    SampleHealth(health_now_);
+  }
 
   // Idle detection: work exists if an app fiber can run, a message or reply
   // is queued, or a handler is mid-flight.
@@ -540,8 +581,16 @@ msg::MsgValue Runtime::DirectInvoke(ComponentId /*caller*/, FunctionId fn_id,
   TaintComponentEntry(*slots_[fn.owner].component);
   const Nanos t0 = options_.clock->Now();
   MsgValue ret = fn.handler(ctx, args);
-  fn.latency->Record(options_.clock->Now() - t0);
-  if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
+  const Nanos t1 = options_.clock->Now();
+  fn.latency->Record(t1 - t0);
+  const bool failed = ret.is_i64() && ret.i64() < 0;
+  if (failed) fn.errors->Add();
+  if (health_ != nullptr && !restoring) {
+    health_now_ = t1;
+    const ComponentId hid = LeaderOf(fn.owner);
+    health_->OnRequest(hid, t1, t1 - t0);
+    if (failed) health_->OnError(hid, t1);
+  }
   return ret;
 }
 
@@ -782,7 +831,14 @@ bool Runtime::ExecuteOne(ComponentId id) {
     if (recorder_.enabled() && m.trace.active()) {
       hist_.trace_exec_ns->Record(t1 - t0);
     }
-    if (ret.is_i64() && ret.i64() < 0) fn.errors->Add();
+    const bool handler_error = ret.is_i64() && ret.i64() < 0;
+    if (handler_error) fn.errors->Add();
+    if (health_ != nullptr) {
+      health_now_ = t1;
+      const ComponentId hid = LeaderOf(id);
+      health_->OnRequest(hid, t1, t1 - t0);
+      if (handler_error) health_->OnError(hid, t1);
+    }
     // Reply-side leak scan, still inside the try so a leaked return value
     // gets the same retry-then-fail-stop treatment as a faulting handler.
     if (checker_ != nullptr) {
@@ -989,6 +1045,24 @@ MemoryReport Runtime::Memory() const {
   return r;
 }
 
+void Runtime::SampleHealth(Nanos now) {
+  for (const auto& slot : slots_) {
+    if (slot.component == nullptr) continue;
+    const ComponentId id = slot.component->id();
+    if (LeaderOf(id) != id) continue;  // merged members ride the leader
+    std::int64_t bytes = 0;
+    if (slot.component->alloc_.has_value()) {
+      bytes = static_cast<std::int64_t>(
+          slot.component->alloc_->Stats().bytes_in_use);
+    }
+    std::int64_t marks = 0;
+    if (const mem::DirtyTracker* t = slot.component->arena().dirty_tracker()) {
+      marks = static_cast<std::int64_t>(t->marks());
+    }
+    health_->OnSample(id, now, bytes, marks);
+  }
+}
+
 std::size_t Runtime::LogEntries(ComponentId id) const {
   return domain_->HasLog(id)
              ? const_cast<Runtime*>(this)->domain_->LogFor(id).size()
@@ -1045,6 +1119,7 @@ void Runtime::DumpState(std::FILE* out) const {
   }
   std::fprintf(out, "  terminal fault: %s\n",
                terminal_fault_.has_value() ? terminal_fault_->what() : "none");
+  if (health_ != nullptr) health_->Dump(out, options_.clock->Now());
   if (checker_ != nullptr) checker_->Dump(out);
   recorder_.DumpTail(out);
 }
@@ -1060,11 +1135,22 @@ void Runtime::WritePostmortemTrace(const char* why) const {
     VAMPOS_ERROR("cannot write post-mortem trace to %s", path);
   }
   // A companion metrics snapshot (VAMPOS_METRICS_DUMP=path) pairs the
-  // trace with the registry state — CI archives both as artifacts.
+  // trace with the registry state — CI archives both as artifacts. The
+  // exposition format follows VAMPOS_METRICS_FORMAT (text/json/prom).
   if (const char* mpath = std::getenv("VAMPOS_METRICS_DUMP");
       mpath != nullptr && mpath[0] != '\0') {
     if (std::FILE* f = std::fopen(mpath, "w")) {
-      metrics_.WriteJson(f);
+      switch (metrics_format_) {
+        case MetricsFormat::kText:
+          metrics_.WriteText(f);
+          break;
+        case MetricsFormat::kJson:
+          metrics_.WriteJson(f);
+          break;
+        case MetricsFormat::kProm:
+          metrics_.WritePrometheus(f);
+          break;
+      }
       std::fclose(f);
     } else {
       VAMPOS_ERROR("cannot write metrics snapshot to %s", mpath);

@@ -34,6 +34,7 @@
 #include "mem/snapshot.h"
 #include "mpk/mpk.h"
 #include "msg/domain.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/fiber.h"
@@ -134,6 +135,17 @@ struct RuntimeOptions {
   /// campaigns enable it so corrupt-checkpoint faults stay recoverable.
   /// Caveat: incorrect after a refresh pruned replayed history from the log.
   bool reinit_on_restore_failure = false;
+  /// Aging-aware health telemetry (docs/observability.md): per-component
+  /// windowed series for request rate / errors / p99 latency / hangs /
+  /// faults / arena bytes / dirty pages, with leak-slope, latency-drift,
+  /// and error-rate detectors feeding a hysteresis health score. Off by
+  /// default: the runtime holds a null monitor and every feed point is a
+  /// single predicted branch (the flight-recorder guarantee). Overridden by
+  /// the VAMPOS_HEALTH env var ("1"/"0"); can also be turned on later via
+  /// Runtime::EnableHealth().
+  bool health = false;
+  /// Window geometry and detector thresholds used when health is enabled.
+  obs::HealthConfig health_config = {};
   Clock* clock = &SteadyClock::Instance();
 };
 
@@ -363,6 +375,17 @@ class Runtime {
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
     return metrics_;
   }
+  /// Health monitor; nullptr unless RuntimeOptions::health / VAMPOS_HEALTH
+  /// enabled it (or EnableHealth() was called).
+  [[nodiscard]] obs::HealthMonitor* health() { return health_.get(); }
+  [[nodiscard]] const obs::HealthMonitor* health() const {
+    return health_.get();
+  }
+  /// Allocates and wires the health monitor (idempotent): binds it to the
+  /// metrics registry and flight recorder and tracks every component that
+  /// is already registered. Exported functions track their owner at export
+  /// time, so enabling before assembly also works.
+  obs::HealthMonitor& EnableHealth(const obs::HealthConfig& config = {});
   /// Snapshot of per-function metrics, sorted by total handler time.
   [[nodiscard]] std::vector<FunctionStats> TopFunctions(
       std::size_t limit = 16) const;
@@ -638,6 +661,12 @@ class Runtime {
   /// vampos_postmortem_trace.json). Called on fail-stop and on the
   /// VAMPOS_SPIN_LIMIT dump; a never-enabled recorder writes nothing.
   void WritePostmortemTrace(const char* why) const;
+  /// VAMPOS_METRICS_DUMP output format (VAMPOS_METRICS_FORMAT).
+  enum class MetricsFormat { kText, kJson, kProm };
+  /// Feeds the health monitor one gauge round: every group leader's arena
+  /// bytes-in-use and cumulative dirty-page marks. Called from Step() when
+  /// HealthMonitor::SampleDue() fires.
+  void SampleHealth(Nanos now);
 
   [[nodiscard]] ComponentId LeaderOf(ComponentId id) const {
     return slots_[id].leader;
@@ -657,6 +686,13 @@ class Runtime {
   // and fiber manager hold pointers into them) and destroyed last.
   obs::MetricsRegistry metrics_;
   obs::FlightRecorder recorder_;
+  // Aging-aware health telemetry; null when off so every feed point is a
+  // single predicted branch and disabled runs allocate nothing.
+  std::unique_ptr<obs::HealthMonitor> health_ VAMP_MSG_THREAD_ONLY;
+  // Latest handler-completion timestamp, reused to drive SampleDue() so
+  // Step() never pays a clock read for health (that alone costs percents of
+  // call throughput on the unlogged path).
+  Nanos health_now_ VAMP_MSG_THREAD_ONLY = 0;
   /// Hot-path counters, resolved once from the registry at construction.
   struct HotCounters {
     obs::Counter* calls = nullptr;
@@ -783,6 +819,9 @@ class Runtime {
   // (VAMPOS_TRACE_DUMP_ON_REBOOT=1), in addition to the fail-stop and
   // spin-limit dumps — all three honor VAMPOS_TRACE_DUMP.
   bool dump_trace_on_reboot_ = false;
+  // Format for the VAMPOS_METRICS_DUMP snapshot written alongside each
+  // trace dump (VAMPOS_METRICS_FORMAT={text,json,prom}, default json).
+  MetricsFormat metrics_format_ = MetricsFormat::kJson;
 
   std::vector<RebootReport> reboot_history_;
   std::optional<ComponentFault> terminal_fault_;

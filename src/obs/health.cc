@@ -1,0 +1,252 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vampos::obs {
+
+namespace {
+
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+/// Saturating detector term: 0 below zero signal, 1 at/above the limit.
+double Term(double signal, double limit) {
+  if (limit <= 0.0) return 0.0;
+  return Clamp01(signal / limit);
+}
+
+}  // namespace
+
+HealthMonitor::Comp::Comp(const HealthConfig& cfg)
+    : latency(cfg.window_ns, cfg.windows),
+      errors(cfg.window_ns, cfg.windows),
+      hangs(cfg.window_ns, cfg.windows),
+      faults(cfg.window_ns, cfg.windows),
+      arena(cfg.window_ns, cfg.windows),
+      dirty(cfg.window_ns, cfg.windows) {}
+
+HealthMonitor::HealthMonitor(HealthConfig cfg) : cfg_(cfg) {
+  if (cfg_.windows < 2) cfg_.windows = 2;
+  if (cfg_.window_ns <= 0) cfg_.window_ns = kMillisecond;
+}
+
+void HealthMonitor::BindMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  ct_samples_ = &metrics_->GetCounter("health.samples");
+  ct_assessments_ = &metrics_->GetCounter("health.assessments");
+  ct_degraded_events_ = &metrics_->GetCounter("health.degraded_events");
+  ct_recovered_events_ = &metrics_->GetCounter("health.recovered_events");
+  ct_rejuvenations_ = &metrics_->GetCounter("health.rejuvenations");
+}
+
+void HealthMonitor::BindRecorder(FlightRecorder* recorder) {
+  recorder_ = recorder;
+}
+
+HealthMonitor::Comp& HealthMonitor::Entry(ComponentId id) {
+  auto it = comps_.find(id);
+  if (it == comps_.end()) {
+    it = comps_.emplace(id, Comp(cfg_)).first;
+    it->second.name = "comp" + std::to_string(id);
+  }
+  if (id >= 0) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= dense_.size()) dense_.resize(idx + 1, nullptr);
+    dense_[idx] = &it->second;
+  }
+  return it->second;
+}
+
+void HealthMonitor::Track(ComponentId id, const std::string& name) {
+  Comp& c = Entry(id);
+  if (!name.empty()) c.name = name;
+}
+
+void HealthMonitor::OnHang(ComponentId id, Nanos now) {
+  Entry(id).hangs.Record(now, 1);
+}
+
+void HealthMonitor::OnFault(ComponentId id, Nanos now) {
+  Entry(id).faults.Record(now, 1);
+}
+
+void HealthMonitor::OnSample(ComponentId id, Nanos now,
+                             std::int64_t arena_bytes,
+                             std::int64_t dirty_marks) {
+  Comp& c = Entry(id);
+  c.arena.Record(now, arena_bytes);
+  c.dirty.Record(now, dirty_marks);
+  if (ct_samples_ != nullptr) ct_samples_->Add();
+}
+
+void HealthMonitor::OnReboot(ComponentId id, Nanos /*now*/) {
+  auto it = comps_.find(id);
+  if (it == comps_.end()) return;
+  Comp& c = it->second;
+  c.latency.Reset();
+  c.errors.Reset();
+  c.hangs.Reset();
+  c.faults.Reset();
+  c.arena.Reset();
+  c.dirty.Reset();
+  c.score = 0;
+  c.degraded = false;
+  if (c.g_score_x1000 != nullptr) c.g_score_x1000->Set(0);
+  if (c.g_degraded != nullptr) c.g_degraded->Set(0);
+}
+
+bool HealthMonitor::SampleDue(Nanos now) {
+  if (next_sample_ != 0 && now < next_sample_) return false;
+  next_sample_ = now + cfg_.window_ns / 2;
+  return true;
+}
+
+HealthSignals HealthMonitor::Assess(ComponentId id, Nanos now) {
+  Comp& c = Entry(id);
+  // Close out idle windows first so a silent component's history ages.
+  c.latency.Advance(now);
+  c.errors.Advance(now);
+  c.hangs.Advance(now);
+  c.faults.Advance(now);
+  c.arena.Advance(now);
+  c.dirty.Advance(now);
+
+  const std::size_t horizon = cfg_.windows;  // all closed windows
+  HealthSignals s;
+  s.req_per_sec = c.latency.RatePerSec(horizon);
+  const std::uint64_t reqs = c.latency.CountOver(horizon);
+  const std::uint64_t errs = c.errors.CountOver(horizon);
+  s.err_per_req =
+      reqs == 0 ? 0.0 : static_cast<double>(errs) / static_cast<double>(reqs);
+  s.p99_ns = c.latency.Percentile(99, horizon);
+  s.leak_bps = c.arena.SlopePerSec(horizon);
+  s.hangs = c.hangs.CountOver(horizon);
+  s.faults = c.faults.CountOver(horizon);
+
+  // Latency drift: p99 of the two newest closed windows vs the p99 of the
+  // trailing baseline behind them. Both sides need samples, or the drift
+  // says nothing.
+  const Histogram recent = c.latency.Merged(0, 2);
+  const Histogram baseline = c.latency.Merged(2, horizon);
+  if (recent.count() > 0 && baseline.count() > 0 && baseline.Percentile(99) > 0) {
+    s.latency_drift = recent.Percentile(99) / baseline.Percentile(99);
+  }
+
+  // Weighted saturating sum. A hang or fault in the horizon is a hard
+  // signal and degrades on its own; the aging detectors need to reach their
+  // limit to do the same.
+  double score = 0.0;
+  score += 0.6 * Term(s.leak_bps, cfg_.leak_limit_bps);
+  if (s.latency_drift > 1.0) {
+    score += 0.6 * Term(s.latency_drift - 1.0, cfg_.latency_drift_limit - 1.0);
+  }
+  score += 0.5 * Term(s.err_per_req, cfg_.err_rate_limit);
+  if (s.hangs > 0) score += 0.8;
+  if (s.faults > 0) score += 0.8;
+  s.score = Clamp01(score);
+
+  // Hysteresis latch with transition events.
+  if (!c.degraded && s.score >= cfg_.degrade_score) {
+    c.degraded = true;
+    if (ct_degraded_events_ != nullptr) ct_degraded_events_->Add();
+    if (recorder_ != nullptr) {
+      recorder_->Record(EventKind::kHealthDegraded, TracePhase::kInstant, id,
+                        static_cast<std::int64_t>(s.score * 1000));
+    }
+  } else if (c.degraded && s.score < cfg_.healthy_score) {
+    c.degraded = false;
+    if (ct_recovered_events_ != nullptr) ct_recovered_events_->Add();
+    if (recorder_ != nullptr) {
+      recorder_->Record(EventKind::kHealthRecovered, TracePhase::kInstant, id,
+                        static_cast<std::int64_t>(s.score * 1000));
+    }
+  }
+  s.degraded = c.degraded;
+  c.score = s.score;
+  if (ct_assessments_ != nullptr) ct_assessments_->Add();
+  ExportGauges(c, s);
+  return s;
+}
+
+void HealthMonitor::ExportGauges(Comp& c, const HealthSignals& s) {
+  if (metrics_ == nullptr) return;
+  if (c.g_score_x1000 == nullptr) {
+    const std::string prefix = "health." + c.name + ".";
+    c.g_req_per_sec = &metrics_->GetCounter(prefix + "req_per_sec");
+    c.g_err_pct_x100 = &metrics_->GetCounter(prefix + "err_pct_x100");
+    c.g_p99_ns = &metrics_->GetCounter(prefix + "p99_ns");
+    c.g_leak_bps = &metrics_->GetCounter(prefix + "leak_bps");
+    c.g_score_x1000 = &metrics_->GetCounter(prefix + "score_x1000");
+    c.g_degraded = &metrics_->GetCounter(prefix + "degraded");
+  }
+  c.g_req_per_sec->Set(static_cast<std::uint64_t>(s.req_per_sec + 0.5));
+  c.g_err_pct_x100->Set(
+      static_cast<std::uint64_t>(s.err_per_req * 10000.0 + 0.5));
+  c.g_p99_ns->Set(static_cast<std::uint64_t>(s.p99_ns + 0.5));
+  c.g_leak_bps->Set(
+      s.leak_bps <= 0 ? 0 : static_cast<std::uint64_t>(s.leak_bps + 0.5));
+  c.g_score_x1000->Set(static_cast<std::uint64_t>(s.score * 1000.0 + 0.5));
+  c.g_degraded->Set(s.degraded ? 1 : 0);
+}
+
+std::optional<ComponentId> HealthMonitor::Worst(Nanos now) {
+  std::optional<ComponentId> worst;
+  double worst_score = -1.0;
+  for (auto& [id, c] : comps_) {
+    const HealthSignals s = Assess(id, now);
+    if (!s.degraded) continue;
+    if (s.score > worst_score) {
+      worst_score = s.score;
+      worst = id;
+    }
+  }
+  return worst;
+}
+
+bool HealthMonitor::IsDegraded(ComponentId id) const {
+  auto it = comps_.find(id);
+  return it != comps_.end() && it->second.degraded;
+}
+
+double HealthMonitor::Score(ComponentId id) const {
+  auto it = comps_.find(id);
+  return it == comps_.end() ? 0.0 : it->second.score;
+}
+
+void HealthMonitor::NoteRejuvenation(ComponentId id, Nanos /*now*/) {
+  rejuvenations_++;
+  if (ct_rejuvenations_ != nullptr) ct_rejuvenations_->Add();
+  if (recorder_ != nullptr) {
+    auto it = comps_.find(id);
+    const std::int64_t score_x1000 =
+        it == comps_.end()
+            ? 0
+            : static_cast<std::int64_t>(it->second.score * 1000);
+    recorder_->Record(EventKind::kHealthRejuvenate, TracePhase::kInstant, id,
+                      score_x1000);
+  }
+}
+
+const std::string* HealthMonitor::Name(ComponentId id) const {
+  auto it = comps_.find(id);
+  return it == comps_.end() ? nullptr : &it->second.name;
+}
+
+void HealthMonitor::Dump(std::FILE* out, Nanos now) {
+  std::fprintf(out, "=== health (window=%lldms x%zu) ===\n",
+               static_cast<long long>(cfg_.window_ns / kMillisecond),
+               cfg_.windows);
+  for (auto& [id, c] : comps_) {
+    const HealthSignals s = Assess(id, now);
+    std::fprintf(out,
+                 "  %-12s score=%.2f %-8s req/s=%.1f err=%.2f%% "
+                 "p99=%.1fus leak=%.0fB/s hangs=%llu faults=%llu\n",
+                 c.name.c_str(), s.score, s.degraded ? "DEGRADED" : "ok",
+                 s.req_per_sec, s.err_per_req * 100.0, s.p99_ns / 1000.0,
+                 s.leak_bps, static_cast<unsigned long long>(s.hangs),
+                 static_cast<unsigned long long>(s.faults));
+  }
+}
+
+}  // namespace vampos::obs

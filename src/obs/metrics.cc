@@ -63,6 +63,42 @@ std::string MetricsRegistry::Json() const {
   return out;
 }
 
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "vampos_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::FILE* out) const {
+  for (const auto& [name, c] : counters_) {
+    const std::string p = PromName(name);
+    std::fprintf(out, "# TYPE %s counter\n%s %llu\n", p.c_str(), p.c_str(),
+                 static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = PromName(name);
+    std::fprintf(out, "# TYPE %s summary\n", p.c_str());
+    std::fprintf(out, "%s{quantile=\"0.5\"} %.3f\n", p.c_str(),
+                 h.Percentile(50));
+    std::fprintf(out, "%s{quantile=\"0.95\"} %.3f\n", p.c_str(),
+                 h.Percentile(95));
+    std::fprintf(out, "%s{quantile=\"0.99\"} %.3f\n", p.c_str(),
+                 h.Percentile(99));
+    std::fprintf(out, "%s_sum %llu\n", p.c_str(),
+                 static_cast<unsigned long long>(h.sum()));
+    std::fprintf(out, "%s_count %llu\n", p.c_str(),
+                 static_cast<unsigned long long>(h.count()));
+  }
+}
+
 void MetricsRegistry::WriteJson(std::FILE* out) const {
   const std::string json = Json();
   std::fwrite(json.data(), 1, json.size(), out);

@@ -31,6 +31,9 @@ constexpr KindInfo kKinds[] = {
     {"snapshot.dirty", "reboot"},
     {"snapshot.audit", "reboot"},
     {"recovery.overlap", "reboot"},
+    {"health.degraded", "health"},
+    {"health.recovered", "health"},
+    {"health.rejuvenate", "health"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kKindCount),

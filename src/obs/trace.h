@@ -50,6 +50,9 @@ enum class EventKind : std::uint8_t {
   kSnapshotDirty,      // write-tracked fast-path op (a=pages skipped, b=dirty)
   kSnapshotAudit,      // randomized tracker audit (a=misses, b=dirty)
   kRecoveryOverlap,    // >=2 recoveries in flight (a=active jobs)
+  kHealthDegraded,     // health score crossed the degrade latch (a=score*1000)
+  kHealthRecovered,    // score fell back under the healthy latch (a=score*1000)
+  kHealthRejuvenate,   // adaptive scheduler picked this component (a=score*1000)
   kKindCount,
 };
 

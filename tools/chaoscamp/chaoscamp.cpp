@@ -18,6 +18,16 @@
 //   --trace PATH        write the flight-recorder trace (vamptrace input)
 //   --burst-compare     also time a 4-components-down burst, serialized vs
 //                       concurrent, and report the wall-time ratio
+//   --adaptive          enable health telemetry + metric-driven rejuvenation
+//                       (report gains rejuvenation counts and per-window
+//                       worst-health-score)
+//   --age-rounds N      adaptive aging phase: leak arena bytes from one
+//                       component each round until the scheduler rejuvenates
+//                       it (0 = off)
+//   --age-bytes N       bytes leaked per aging round (4096)
+//   --age-target NAME   component to age (default: first harness target)
+//   --metrics PATH      write the final metrics snapshot as JSON (vampstat
+//                       input)
 //
 // Exit status: 0 if the campaign is clean (every fired fault recovered, no
 // fail-stop, no replay divergence) and every window meets the floor;
@@ -38,7 +48,9 @@ void Usage() {
                "usage: chaoscamp [--seed N] [--faults N] [--burst-percent P]\n"
                "                 [--windows N] [--hang-weight W] [--workers N]\n"
                "                 [--floor F] [--out PATH] [--curve PATH]\n"
-               "                 [--trace PATH] [--burst-compare]\n");
+               "                 [--trace PATH] [--burst-compare] [--adaptive]\n"
+               "                 [--age-rounds N] [--age-bytes N]\n"
+               "                 [--age-target NAME] [--metrics PATH]\n");
 }
 
 double Us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
@@ -66,6 +78,8 @@ int main(int argc, char** argv) {
   const char* out_path = nullptr;
   const char* curve_path = nullptr;
   const char* trace_path = nullptr;
+  const char* metrics_path = nullptr;
+  const char* age_target_name = nullptr;
   bool burst_compare = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +113,16 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--burst-compare") {
       burst_compare = true;
+    } else if (arg == "--adaptive") {
+      spec.adaptive = true;
+    } else if (arg == "--age-rounds") {
+      spec.age_rounds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--age-bytes") {
+      spec.age_bytes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--age-target") {
+      age_target_name = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -110,6 +134,21 @@ int main(int argc, char** argv) {
   }
 
   vampos::chaos::DasHarness harness(hopts);
+  if (age_target_name != nullptr) {
+    bool found = false;
+    for (std::size_t t = 0; t < harness.targets().size(); ++t) {
+      if (harness.TargetName(t) == age_target_name) {
+        spec.age_target = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "chaoscamp: unknown --age-target %s\n",
+                   age_target_name);
+      return 2;
+    }
+  }
   vampos::chaos::Campaign campaign(harness, spec);
   const vampos::chaos::Report report = campaign.Run();
 
@@ -124,6 +163,20 @@ int main(int argc, char** argv) {
               report.replay_divergence);
   std::printf("concurrency: peak=%zu overlapped_bursts=%zu\n",
               report.peak_concurrent_recoveries, report.overlapped_bursts);
+  if (report.adaptive) {
+    std::printf("adaptive: rejuvenations=%" PRIu64 " healthy_skips=%" PRIu64
+                " peak_score=%.2f\n",
+                report.rejuvenations, report.healthy_skips,
+                report.peak_health_score);
+    if (report.aging_rounds > 0) {
+      std::printf("aging: target=%s rounds=%" PRIu64
+                  " rounds_to_rejuvenate=%lld offtarget_reboots=%" PRIu64
+                  "\n",
+                  report.aged_target.c_str(), report.aging_rounds,
+                  static_cast<long long>(report.aging_rounds_to_rejuvenate),
+                  report.aging_offtarget_reboots);
+    }
+  }
   std::printf("mttr: p50=%.1fus p95=%.1fus max=%.1fus\n",
               Us(report.mttr_p50_ns), Us(report.mttr_p95_ns),
               Us(report.mttr_max_ns));
@@ -132,8 +185,9 @@ int main(int argc, char** argv) {
   for (std::size_t w = 0; w < report.windows.size(); ++w) {
     const auto& win = report.windows[w];
     std::printf("  window %zu: rounds=%" PRIu64 " ok=%" PRIu64
-                " availability=%.4f recoveries=%" PRIu64 "\n",
-                w, win.rounds, win.ok, win.availability(), win.recoveries);
+                " availability=%.4f recoveries=%" PRIu64 " score=%.2f\n",
+                w, win.rounds, win.ok, win.availability(), win.recoveries,
+                win.worst_score);
   }
 
   if (out_path != nullptr &&
@@ -154,6 +208,17 @@ int main(int argc, char** argv) {
                    trace_path);
       return 2;
     }
+  }
+  if (metrics_path != nullptr) {
+    std::FILE* f = std::fopen(metrics_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaoscamp: cannot open %s for metrics\n",
+                   metrics_path);
+      return 2;
+    }
+    harness.rt().metrics().WriteJson(f);
+    std::fclose(f);
+    std::printf("chaoscamp: wrote metrics to %s\n", metrics_path);
   }
 
   if (burst_compare) {

@@ -1,0 +1,174 @@
+// vampstat — top-like health-table renderer for VampOS metrics snapshots.
+//
+// Reads a metrics JSON dump (VAMPOS_METRICS_DUMP with VAMPOS_METRICS_FORMAT=
+// json, or chaoscamp --metrics) and renders the per-component health gauges
+// the HealthMonitor exports (health.<component>.<field> counters) as one
+// table row per component: request rate, error rate, p99 latency, leak
+// slope, score, and the degraded flag. Standard library only, like
+// vamptrace, so it builds anywhere the runtime does.
+//
+// Usage: vampstat [options] METRICS.json
+//   --sort FIELD   score (default), rate, err, p99, leak, name
+//   --degraded     only show components currently marked degraded
+//
+// Exit status: 0 on success (even with zero tracked components), 2 on usage
+// or parse errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string name;
+  double req_per_sec = 0;
+  double err_pct = 0;       // percent of requests failing
+  double p99_us = 0;
+  double leak_bps = 0;
+  double score = 0;
+  bool degraded = false;
+};
+
+struct Snapshot {
+  std::map<std::string, Row> rows;
+  std::map<std::string, unsigned long long> globals;  // health.samples etc.
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: vampstat [--sort score|rate|err|p99|leak|name] "
+               "[--degraded] METRICS.json\n");
+}
+
+// Pulls `"health.x.y": value` counter lines out of the metrics JSON. The
+// exporter writes one counter per line, so a line-oriented scan is exact
+// against its format (the fixture tests pin this).
+bool Parse(std::istream& in, Snapshot& snap) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t q0 = line.find('"');
+    if (q0 == std::string::npos) continue;
+    const std::size_t q1 = line.find('"', q0 + 1);
+    if (q1 == std::string::npos) continue;
+    const std::string key = line.substr(q0 + 1, q1 - q0 - 1);
+    if (key.rfind("health.", 0) != 0) continue;
+    const std::size_t colon = line.find(':', q1);
+    if (colon == std::string::npos) continue;
+    const unsigned long long value =
+        std::strtoull(line.c_str() + colon + 1, nullptr, 10);
+
+    const std::string rest = key.substr(std::strlen("health."));
+    const std::size_t dot = rest.rfind('.');
+    if (dot == std::string::npos) {
+      snap.globals[rest] = value;  // health.samples, health.rejuvenations...
+      continue;
+    }
+    const std::string comp = rest.substr(0, dot);
+    const std::string field = rest.substr(dot + 1);
+    Row& row = snap.rows[comp];
+    row.name = comp;
+    const double v = static_cast<double>(value);
+    if (field == "req_per_sec") {
+      row.req_per_sec = v;
+    } else if (field == "err_pct_x100") {
+      row.err_pct = v / 100.0;
+    } else if (field == "p99_ns") {
+      row.p99_us = v / 1000.0;
+    } else if (field == "leak_bps") {
+      row.leak_bps = v;
+    } else if (field == "score_x1000") {
+      row.score = v / 1000.0;
+    } else if (field == "degraded") {
+      row.degraded = value != 0;
+    }
+    // Unknown fields are skipped, so older vampstat binaries keep working
+    // when the monitor grows new gauges.
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sort = "score";
+  bool only_degraded = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sort") {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      sort = argv[++i];
+    } else if (arg == "--degraded") {
+      only_degraded = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "vampstat: unknown option %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    Usage();
+    return 2;
+  }
+  if (sort != "score" && sort != "rate" && sort != "err" && sort != "p99" &&
+      sort != "leak" && sort != "name") {
+    std::fprintf(stderr, "vampstat: unknown sort field %s\n", sort.c_str());
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vampstat: cannot open %s\n", path);
+    return 2;
+  }
+  Snapshot snap;
+  Parse(in, snap);
+
+  std::vector<Row> rows;
+  for (const auto& [name, row] : snap.rows) {
+    if (only_degraded && !row.degraded) continue;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [&sort](const Row& a, const Row& b) {
+    if (sort == "rate") return a.req_per_sec > b.req_per_sec;
+    if (sort == "err") return a.err_pct > b.err_pct;
+    if (sort == "p99") return a.p99_us > b.p99_us;
+    if (sort == "leak") return a.leak_bps > b.leak_bps;
+    if (sort == "name") return a.name < b.name;
+    if (a.score != b.score) return a.score > b.score;
+    return a.name < b.name;  // stable, readable order among the healthy
+  });
+
+  std::printf("vampstat: %zu components (sorted by %s)\n", rows.size(),
+              sort.c_str());
+  std::printf("%-14s %10s %8s %10s %12s %7s  %s\n", "COMPONENT", "REQ/S",
+              "ERR%", "P99(us)", "LEAK(B/s)", "SCORE", "STATE");
+  for (const Row& row : rows) {
+    std::printf("%-14s %10.0f %8.2f %10.1f %12.0f %7.2f  %s\n",
+                row.name.c_str(), row.req_per_sec, row.err_pct, row.p99_us,
+                row.leak_bps, row.score, row.degraded ? "DEGRADED" : "ok");
+  }
+  if (!snap.globals.empty()) {
+    std::printf("totals:");
+    for (const auto& [name, value] : snap.globals) {
+      std::printf(" %s=%llu", name.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
