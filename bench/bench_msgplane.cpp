@@ -3,9 +3,11 @@
 // latency with traffic in flight. Emits a JSON baseline (bench_msgplane.json
 // by default, or the path in VAMPOS_BENCH_JSON) so regressions in the
 // indexed-log hot path are diffable run-to-run.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -107,46 +109,211 @@ class SessComponent final : public comp::Component {
 
 // ----------------------------------------------------- call throughput
 
+/// One throughput configuration of the shared fanout workload.
+enum class CallMode { kUnlogged, kLogged, kInline };
+
+constexpr const char* Name(CallMode m) {
+  switch (m) {
+    case CallMode::kUnlogged: return "unlogged";
+    case CallMode::kLogged: return "logged";
+    case CallMode::kInline: return "inline";
+  }
+  return "?";
+}
+
+struct ThroughputRun {
+  double rate = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  std::uint64_t replies_batched = 0;
+  std::uint64_t direct_calls = 0;
+  std::string telemetry;
+};
+
+ThroughputRun RunThroughput(CallMode mode, int n) {
+  core::RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  opts.inline_calls = mode == CallMode::kInline;
+  core::Runtime rt(opts);
+  const ComponentId nop =
+      rt.AddComponent(std::make_unique<bench_testing::NopComponent>());
+  rt.AddAppDependency(nop);
+  rt.Boot();
+  const FunctionId fn =
+      rt.Lookup("nop", mode == CallMode::kLogged ? "nop_logged" : "nop");
+  // Fan out across pump fibers: several callers block on replies at once, so
+  // the resident's batched executions drain as coalesced reply flushes — the
+  // single-caller shape could never have more than one reply in flight and
+  // kept rt.replies_batched pinned at zero.
+  constexpr int kPumps = 8;
+  const int per_pump = n / kPumps;
+  const Nanos t0 = NowNs();
+  for (int p = 0; p < kPumps; ++p) {
+    rt.SpawnApp("pump" + std::to_string(p), [&rt, fn, per_pump] {
+      for (int i = 0; i < per_pump; ++i) rt.Call(fn, {});
+    });
+  }
+  rt.RunUntilIdle();
+  const double secs = static_cast<double>(NowNs() - t0) / 1e9;
+  ThroughputRun run;
+  run.rate = (per_pump * kPumps) / secs;
+  const auto stats = rt.Stats();
+  run.replies_batched = stats.replies_batched;
+  run.direct_calls = stats.direct_calls;
+  const obs::Histogram* lat = rt.metrics().FindHistogram("rt.call_ns");
+  if (lat != nullptr && lat->count() > 0) {
+    run.p50 = lat->Percentile(50);
+    run.p95 = lat->Percentile(95);
+    run.p99 = lat->Percentile(99);
+  }
+  if (mode == CallMode::kLogged) run.telemetry = rt.metrics().Json();
+  return run;
+}
+
 void BenchCallThroughput(JsonDoc& json) {
   Header("message-plane call throughput");
   const int n = FullScale() ? 200000 : 30000;
-  for (const bool logged : {false, true}) {
-    core::RuntimeOptions opts;
-    opts.hang_threshold = 0;
-    core::Runtime rt(opts);
-    const ComponentId nop =
-        rt.AddComponent(std::make_unique<bench_testing::NopComponent>());
-    rt.AddAppDependency(nop);
-    rt.Boot();
-    const FunctionId fn = rt.Lookup("nop", logged ? "nop_logged" : "nop");
-    const Nanos t0 = NowNs();
-    rt.SpawnApp("pump", [&] {
-      for (int i = 0; i < n; ++i) rt.Call(fn, {});
-    });
-    rt.RunUntilIdle();
-    const double secs = static_cast<double>(NowNs() - t0) / 1e9;
-    const double rate = n / secs;
-    const auto stats = rt.Stats();
-    std::printf("  %-12s %10.0f calls/s  (batched replies: %llu)\n",
-                logged ? "logged" : "unlogged", rate,
-                static_cast<unsigned long long>(stats.replies_batched));
-    json.Add(logged ? "calls_per_sec_logged" : "calls_per_sec_unlogged",
-             rate);
-    // End-to-end call latency distribution from the runtime's own
-    // histogram (enqueue to reply delivery, including scheduling).
-    const obs::Histogram* lat = rt.metrics().FindHistogram("rt.call_ns");
-    if (lat != nullptr && lat->count() > 0) {
-      PrintLatency(logged ? "logged" : "unlogged", *lat);
-      const std::string prefix =
-          logged ? "call_ns_logged_" : "call_ns_unlogged_";
-      json.Add(prefix + "p50", lat->Percentile(50));
-      json.Add(prefix + "p95", lat->Percentile(95));
-      json.Add(prefix + "p99", lat->Percentile(99));
+  // Interleave the modes across best-of-N rounds (the health_smoke recipe):
+  // running each mode to completion back-to-back let the later mode ride a
+  // warmed allocator and branch predictors, which once reported the *logged*
+  // path faster than the unlogged one. Round-robin order plus best-of keeps
+  // the comparison honest.
+  constexpr int kRounds = 3;
+  constexpr CallMode kModes[] = {CallMode::kUnlogged, CallMode::kLogged,
+                                 CallMode::kInline};
+  ThroughputRun best[3];
+  for (int round = 0; round < kRounds; ++round) {
+    for (int mi = 0; mi < 3; ++mi) {
+      ThroughputRun run = RunThroughput(kModes[mi], n);
+      if (run.rate > best[mi].rate) {
+        // Keep the telemetry block stable: first logged round wins it.
+        std::string telemetry = std::move(best[mi].telemetry);
+        best[mi] = std::move(run);
+        if (!telemetry.empty()) best[mi].telemetry = std::move(telemetry);
+      }
     }
-    // Snapshot the full registry of the logged run as the baseline's
-    // telemetry block — counters and histograms diffable run-to-run.
-    if (logged) json.AddRaw("telemetry", rt.metrics().Json());
   }
+  for (int mi = 0; mi < 3; ++mi) {
+    const ThroughputRun& run = best[mi];
+    std::printf("  %-12s %10.0f calls/s  (batched replies: %llu%s)\n",
+                Name(kModes[mi]), run.rate,
+                static_cast<unsigned long long>(run.replies_batched),
+                kModes[mi] == CallMode::kInline ? ", inlined" : "");
+    json.Add(std::string("calls_per_sec_") + Name(kModes[mi]), run.rate);
+  }
+  // End-to-end call latency distribution from the runtime's own histogram
+  // (enqueue to reply delivery, including scheduling) for the queued modes;
+  // the inline mode's latency is the handler itself.
+  for (const int mi : {0, 1}) {
+    const ThroughputRun& run = best[mi];
+    if (run.p50 <= 0) continue;
+    const std::string prefix =
+        std::string("call_ns_") + Name(kModes[mi]) + "_";
+    std::printf("  %-12s p50=%.0fns p95=%.0fns p99=%.0fns\n",
+                Name(kModes[mi]), run.p50, run.p95, run.p99);
+    json.Add(prefix + "p50", run.p50);
+    json.Add(prefix + "p95", run.p95);
+    json.Add(prefix + "p99", run.p99);
+  }
+  json.Add("replies_batched", static_cast<double>(best[0].replies_batched));
+  json.Add("inline_direct_calls", static_cast<double>(best[2].direct_calls));
+  // Snapshot the full registry of a logged run as the baseline's telemetry
+  // block — counters and histograms diffable run-to-run.
+  if (!best[1].telemetry.empty()) json.AddRaw("telemetry", best[1].telemetry);
+}
+
+// ------------------------------------------------ zero-copy payload path
+
+/// Lender component: serves a 16 KiB block out of its own arena as a
+/// borrowed view — the message plane either lends it (zero-copy) or
+/// materializes it through the staging arena (copy fallback, four payload
+/// copies end to end). Sized so the copy path's memcpy traffic dominates the
+/// borrow bookkeeping; at ~1 KiB the two roughly break even.
+class BlobComponent final : public comp::Component {
+ public:
+  static constexpr std::size_t kBlob = 16 * 1024;
+
+  BlobComponent()
+      : Component("blob", comp::Statefulness::kStateful, 256 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    for (std::size_t i = 0; i < kBlob; ++i) {
+      state_->block[i] = static_cast<char>('a' + i % 26);
+    }
+    ctx.Export("get", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return msg::MsgValue::Borrowed(
+                     std::span<const std::byte>(
+                         reinterpret_cast<const std::byte*>(state_->block),
+                         kBlob),
+                     arena());
+               });
+  }
+
+ private:
+  struct State {
+    char block[kBlob];
+  };
+  State* state_ = nullptr;
+};
+
+struct PayloadRun {
+  double rate = 0;
+  std::uint64_t bytes_copied = 0;
+};
+
+PayloadRun RunPayload(bool zero_copy, int n) {
+  core::RuntimeOptions opts;
+  opts.hang_threshold = 0;
+  opts.zero_copy_payloads = zero_copy;
+  core::Runtime rt(opts);
+  const ComponentId blob = rt.AddComponent(std::make_unique<BlobComponent>());
+  rt.AddAppDependency(blob);
+  rt.Boot();
+  const FunctionId fn = rt.Lookup("blob", "get");
+  constexpr int kPumps = 8;
+  const int per_pump = n / kPumps;
+  const Nanos t0 = NowNs();
+  for (int p = 0; p < kPumps; ++p) {
+    rt.SpawnApp("pump" + std::to_string(p), [&rt, fn, per_pump] {
+      for (int i = 0; i < per_pump; ++i) {
+        if (rt.Call(fn, {}).bytes().size() != BlobComponent::kBlob) {
+          std::fprintf(stderr, "payload bench: short read\n");
+          std::exit(1);
+        }
+      }
+    });
+  }
+  rt.RunUntilIdle();
+  const double secs = static_cast<double>(NowNs() - t0) / 1e9;
+  PayloadRun run;
+  run.rate = (per_pump * kPumps) / secs;
+  run.bytes_copied = rt.domain().payload_bytes_copied();
+  return run;
+}
+
+void BenchPayloadThroughput(JsonDoc& json) {
+  Header("payload throughput: 16 KiB borrowed views (zero-copy vs copy)");
+  const int n = FullScale() ? 60000 : 10000;
+  constexpr int kRounds = 3;
+  PayloadRun best[2];  // [0]=copy, [1]=zerocopy, interleaved like above
+  for (int round = 0; round < kRounds; ++round) {
+    for (const int zc : {0, 1}) {
+      PayloadRun run = RunPayload(zc == 1, n);
+      if (run.rate > best[zc].rate) best[zc] = run;
+    }
+  }
+  for (const int zc : {0, 1}) {
+    std::printf("  %-12s %10.0f calls/s  (payload bytes copied: %llu)\n",
+                zc == 1 ? "zerocopy" : "copy", best[zc].rate,
+                static_cast<unsigned long long>(best[zc].bytes_copied));
+  }
+  json.Add("calls_per_sec_copy", best[0].rate);
+  json.Add("calls_per_sec_zerocopy", best[1].rate);
+  json.Add("copy_payload_bytes_copied",
+           static_cast<double>(best[0].bytes_copied));
+  json.Add("zerocopy_payload_bytes_copied",
+           static_cast<double>(best[1].bytes_copied));
 }
 
 // -------------------------------------------------- log point-op latency
@@ -324,6 +491,7 @@ void BenchRebootUnderLoad(JsonDoc& json) {
 void Run() {
   JsonDoc json;
   BenchCallThroughput(json);
+  BenchPayloadThroughput(json);
   BenchLogOps(json);
   BenchSessionWorkload(json);
   BenchRebootUnderLoad(json);

@@ -95,6 +95,28 @@ void IsolationChecker::ScanPayload(ComponentId actor,
                            static_cast<std::uint64_t>(v.i64()));
     } else if (v.is_u64()) {
       FlagIfForeignPointer(actor, actor_domain, v.u64());
+    } else if (v.is_view()) {
+      // Borrowed views police lifetime, not content: a view is a sanctioned
+      // cross-domain reference (the borrow grant makes it legible), so the
+      // sliding-window scan is skipped — part of the zero-copy win. What is
+      // checked is that the borrow is still live: a revoked view escaping
+      // into a new payload, or one minted against a pre-reboot arena
+      // generation, faults here instead of being silently read.
+      views_checked_++;
+      if (!v.ViewUsable()) {
+        borrow_violations_++;
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs::EventKind::kPtrLeakDetected,
+                            obs::TracePhase::kInstant, actor, actor_domain);
+        }
+        const bool revoked =
+            v.view().borrow != nullptr && v.view().borrow->revoked;
+        throw ComponentFault(
+            actor, FaultKind::kMpkViolation,
+            std::string("borrowed view in payload from ") + NameOf(actor) +
+                (revoked ? " escaped its revoked borrow window"
+                         : " is stale after the lender rebooted"));
+      }
     } else if (v.is_bytes()) {
       // Addresses smuggled inside byte buffers (a struct copied wholesale)
       // hide at any alignment: slide an 8-byte window over the payload.
@@ -165,12 +187,14 @@ void IsolationChecker::RemoveWait(std::uint64_t rpc_id) {
 void IsolationChecker::Dump(std::FILE* out) const {
   std::fprintf(out,
                "  isolation checker: regions=%zu scans=%llu values=%llu "
-               "leaks=%llu deadlocks=%llu\n",
+               "leaks=%llu deadlocks=%llu views=%llu borrow_violations=%llu\n",
                regions_.size(),
                static_cast<unsigned long long>(payload_scans_),
                static_cast<unsigned long long>(values_scanned_),
                static_cast<unsigned long long>(leaks_detected_),
-               static_cast<unsigned long long>(deadlocks_detected_));
+               static_cast<unsigned long long>(deadlocks_detected_),
+               static_cast<unsigned long long>(views_checked_),
+               static_cast<unsigned long long>(borrow_violations_));
   for (const std::string& v : ownership_violations_) {
     std::fprintf(out, "    ownership violation: %s\n", v.c_str());
   }

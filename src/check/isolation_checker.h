@@ -100,6 +100,10 @@ class IsolationChecker {
   [[nodiscard]] std::uint64_t deadlocks_detected() const {
     return deadlocks_detected_;
   }
+  [[nodiscard]] std::uint64_t views_checked() const { return views_checked_; }
+  [[nodiscard]] std::uint64_t borrow_violations() const {
+    return borrow_violations_;
+  }
 
   /// DumpState section: counters, violations, and live wait edges.
   void Dump(std::FILE* out) const;
@@ -131,6 +135,8 @@ class IsolationChecker {
   std::uint64_t values_scanned_ = 0;
   std::uint64_t leaks_detected_ = 0;
   std::uint64_t deadlocks_detected_ = 0;
+  std::uint64_t views_checked_ = 0;
+  std::uint64_t borrow_violations_ = 0;
 };
 
 }  // namespace vampos::check

@@ -55,7 +55,11 @@ LogSeq Runtime::MaybeLogCall(const FnEntry& fn, const Args& args) {
   if (!fn.options.logged) return 0;
   CallLogEntry entry;
   entry.fn = fn.id;
-  entry.args = args;
+  // Borrowed views are compacted to owned bytes at append time: the log must
+  // replay (and checkpoint) deterministically after the lender's arena has
+  // been rebooted out from under the view.
+  entry.args.reserve(args.size());
+  for (const MsgValue& a : args) entry.args.push_back(a.Compacted());
   entry.state_changing = fn.options.state_changing;
   if (fn.options.session_arg >= 0 &&
       static_cast<std::size_t>(fn.options.session_arg) < args.size()) {
@@ -294,6 +298,13 @@ void Runtime::StopComponentFibers(ComponentId leader,
       if (checker_ != nullptr) checker_->RemoveWait(qm.rpc_id);
       pending_replies_.erase(qm.rpc_id);
     }
+  }
+  // Revoke-before-destroy: every borrow lent out of this group's arenas is
+  // invalidated now, before restore rewrites (or a variant swap destroys)
+  // the memory behind it. A borrower still holding such a view faults on
+  // its next use instead of silently reading post-reboot bytes.
+  for (ComponentId m : slot.group) {
+    domain_->RevokeBorrowsInto(slots_[m].component->arena());
   }
 }
 
@@ -647,6 +658,7 @@ void Runtime::FinalizeRestore(const std::shared_ptr<RecoveryJob>& job) {
         VAMPOS_INFO(
             "checkpoint restore failed for '%s' (%s); re-initializing",
             c.name().c_str(), mr.status.message().c_str());
+        c.arena().BumpGeneration();  // invalidate borrows minted pre-reboot
         c.alloc_.emplace(c.arena());
         comp::InitCtx ictx(*this, mr.member);
         c.Init(ictx);
@@ -674,6 +686,9 @@ void Runtime::FinalizeRestore(const std::shared_ptr<RecoveryJob>& job) {
     report.snapshot_pages_dirty += mr.stats.pages_dirty;
     report.snapshot_pages_skipped += mr.stats.pages_skipped;
     report.snapshot_bytes_copied += mr.stats.bytes_copied;
+    // The arena's bytes were just rewritten from the checkpoint: any view
+    // still pointing in carries the old generation and faults on use.
+    c.arena().BumpGeneration();
     c.alloc_.emplace(mem::BuddyAllocator::Attach(c.arena()));
     CallCtx rctx(*this, mr.member, /*restoring=*/true);
     TaintComponentEntry(c);
@@ -683,6 +698,7 @@ void Runtime::FinalizeRestore(const std::shared_ptr<RecoveryJob>& job) {
   for (ComponentId m : slot.group) {
     Slot& ms = slots_[m];
     if (ms.component->statefulness() == Statefulness::kStateful) continue;
+    ms.component->arena().BumpGeneration();
     ms.component->alloc_.emplace(ms.component->arena());
     comp::InitCtx ictx(*this, m);
     ms.component->Init(ictx);

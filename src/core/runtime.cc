@@ -64,6 +64,18 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   if (const char* env = std::getenv("VAMPOS_HEALTH")) {
     options_.health = env[0] == '1';
   }
+  // VAMPOS_MSG_ZEROCOPY forces zero-copy payload staging on ("1") or off;
+  // VAMPOS_INLINE_CALLS opts into the same-destination inline fast path;
+  // VAMPOS_TRACE_INLINE keeps it eligible while the flight recorder is on.
+  if (const char* env = std::getenv("VAMPOS_MSG_ZEROCOPY")) {
+    options_.zero_copy_payloads = env[0] == '1';
+  }
+  if (const char* env = std::getenv("VAMPOS_INLINE_CALLS")) {
+    options_.inline_calls = env[0] == '1';
+  }
+  if (const char* env = std::getenv("VAMPOS_TRACE_INLINE")) {
+    trace_inline_ = env[0] == '1';
+  }
   if (const char* env = std::getenv("VAMPOS_METRICS_FORMAT")) {
     const std::string fmt = env;
     if (fmt == "text") {
@@ -134,6 +146,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   domain_ = std::make_unique<msg::MessageDomain>(
       options_.msg_arena_size, isolation_ ? &domains_ : nullptr);
   domain_->BindTelemetry(&recorder_, hist_.queue_depth);
+  domain_->EnableZeroCopy(options_.zero_copy_payloads);
   fibers_.set_recorder(&recorder_);
 
   if (options_.isolation_check) {
@@ -570,6 +583,11 @@ msg::MsgValue Runtime::Call(FunctionId fn_id, Args args) {
     // other with plain function calls, skipping the message path.
     return DirectInvoke(caller, fn_id, args, /*restoring=*/false);
   }
+  if (options_.inline_calls) {
+    if (auto inlined = TryInlineCall(caller, fn_id, args)) {
+      return std::move(*inlined);
+    }
+  }
   return MessageCall(caller, fn_id, std::move(args));
 }
 
@@ -703,6 +721,174 @@ msg::MsgValue Runtime::MessageCall(ComponentId caller, FunctionId fn_id,
   auto it = pending_replies_.find(m.rpc_id);
   if (it == pending_replies_.end() || !it->second.arrived) {
     // Reply lost: the callee fail-stopped and could not be recovered.
+    if (it != pending_replies_.end()) pending_replies_.erase(it);
+    return MsgValue(ToWire(Status::Error(Errno::kIo, "component failed")));
+  }
+  MsgValue ret = std::move(it->second.value);
+  pending_replies_.erase(it);
+  return ret;
+}
+
+std::optional<msg::MsgValue> Runtime::TryInlineCall(ComponentId caller,
+                                                    FunctionId fn_id,
+                                                    const Args& args) {
+  const FnEntry& fn = Fn(fn_id);
+  const ComponentId leader = LeaderOf(fn.owner);
+  Slot& slot = slots_[leader];
+  sched::Fiber* self = fibers_.Current();
+  // Eligibility: resident, idle, and indistinguishable from the message path
+  // for everything the caller can observe. Anything that relies on queue
+  // order or the reboot machinery's mid-call windows — queued work, an armed
+  // injection, a pending retry, an outbound replay feed — takes the message
+  // path so its semantics are untouched.
+  if (self == nullptr || terminal_fault_.has_value()) return std::nullopt;
+  if (slot.failed || slot.resident == nullptr || slot.busy > 0 ||
+      slot.retried_once) {
+    return std::nullopt;
+  }
+  if (slot.injection.has_value() && slot.injection->armed) return std::nullopt;
+  if (recorder_.enabled() && !trace_inline_) return std::nullopt;
+  for (ComponentId member : slot.group) {
+    if (domain_->HasMessage(member)) return std::nullopt;
+  }
+  if (ExecCtx* ctx = CurrentExec();
+      ctx != nullptr && ctx->feed_cursor < ctx->outbound_feed.size()) {
+    return std::nullopt;  // MessageCall owns the retry-dedupe feed
+  }
+
+  if (checker_ != nullptr) {
+    // Push-time leak scan, same as the message path. No wait edge or cycle
+    // check: the call completes synchronously, so it can never participate
+    // in a reply wait-for cycle.
+    const ComponentId caller_domain =
+        caller == kComponentNone ? kComponentNone : LeaderOf(caller);
+    checker_->ScanPayload(caller, caller_domain, args);
+  }
+
+  // Log before dispatch (§V-C), exactly like the message path: a reboot
+  // during the inlined handler must find the inbound call in the log.
+  const LogSeq seq = MaybeLogCall(fn, args);
+
+  Message m;
+  m.kind = Message::Kind::kCall;
+  m.rpc_id = domain_->NextRpcId();
+  m.from = caller;
+  m.to = fn.owner;
+  m.fn = fn_id;
+  m.caller_fiber = self;
+  m.enqueued_at = options_.clock->Now();
+  m.log_seq = seq;
+
+  // Run the handler on this fiber under the callee's execution context, so
+  // nested calls, the hang-clock bookkeeping, and a mid-handler reboot all
+  // see the same state an ExecuteOne dispatch would produce. The caller's
+  // own context is restored afterwards.
+  std::optional<ExecCtx> saved;
+  if (auto it = exec_ctx_.find(self); it != exec_ctx_.end()) {
+    saved = std::move(it->second);
+  }
+  slot.busy++;
+  exec_ctx_[self] =
+      ExecCtx{fn.owner, seq, m, args, options_.clock->Now(), {}, 0};
+  InstallPkruFor(fn.owner);
+  TaintComponentEntry(*slots_[fn.owner].component);
+
+  CallCtx cctx(*this, fn.owner, /*restoring=*/false);
+  MsgValue ret;
+  Nanos t1 = 0;
+  const Nanos t0 = options_.clock->Now();
+  try {
+    ret = fn.handler(cctx, args);
+    t1 = options_.clock->Now();
+    if (checker_ != nullptr) {
+      checker_->ScanPayload(fn.owner, leader, Args{ret});
+    }
+  } catch (ComponentFault& fault) {
+    if (slot.busy > 0) slot.busy--;  // a racing reboot may have reset it
+    exec_ctx_.erase(self);
+    if (saved.has_value()) exec_ctx_[self] = std::move(*saved);
+    InstallPkruFor(caller);
+    if (fault.component() == kComponentNone ||
+        LeaderOf(fault.component()) != leader) {
+      throw;  // not ours to recover (e.g. a nested callee faulted)
+    }
+    return RecoverInlineFault(m, args, fault);
+  } catch (...) {
+    if (slot.busy > 0) slot.busy--;
+    exec_ctx_.erase(self);
+    if (saved.has_value()) exec_ctx_[self] = std::move(*saved);
+    InstallPkruFor(caller);
+    throw;
+  }
+  if (slot.busy > 0) slot.busy--;
+  slot.retried_once = false;
+  exec_ctx_.erase(self);
+  if (saved.has_value()) exec_ctx_[self] = std::move(*saved);
+  InstallPkruFor(caller);
+
+  fn.latency->Record(t1 - t0);
+  hist_.call_ns->Record(t1 - t0);
+  const bool handler_error = ret.is_i64() && ret.i64() < 0;
+  if (handler_error) fn.errors->Add();
+  if (health_ != nullptr) {
+    health_now_ = t1;
+    health_->OnRequest(leader, t1, t1 - t0);
+    if (handler_error) health_->OnError(leader, t1);
+  }
+  // A borrowed view returned inline never crosses the reply queue, so the
+  // single delivery copy the reply path would make happens here; a view the
+  // lender already invalidated becomes the same kIo error the message
+  // thread would deliver.
+  if (ret.is_view()) {
+    ret = ret.ViewUsable()
+              ? ret.Compacted()
+              : MsgValue(ToWire(Status::Error(
+                    Errno::kIo, "reply payload invalidated by lender reboot")));
+  }
+  if (seq != 0) FinishLog(fn, seq, ret, Args{});
+  if (ExecCtx* ctx = CurrentExec(); ctx != nullptr && ctx->inbound_seq != 0) {
+    // The caller's own outbound log still needs the return for its replay.
+    domain_->LogFor(ctx->component).RecordOutbound(ctx->inbound_seq, fn_id,
+                                                   ret);
+  }
+  ct_.direct_calls->Add();
+  return ret;
+}
+
+msg::MsgValue Runtime::RecoverInlineFault(const Message& m, const Args& args,
+                                          const ComponentFault& fault) {
+  // The faulted execution sits on the *caller's* live fiber, so the usual
+  // faulted-fiber teardown does not apply: park the interrupted call for the
+  // post-reboot retry, kick off recovery, and block like a message-path
+  // caller until the retried execution's reply (or a fail-stop) wakes us.
+  const ComponentId leader = LeaderOf(m.to);
+  Slot& slot = slots_[leader];
+  sched::Fiber* self = fibers_.Current();
+  slot.failed = true;
+  if (health_ != nullptr) {
+    health_now_ = options_.clock->Now();
+    health_->OnFault(leader, health_now_);
+  }
+  VAMPOS_INFO("component '%s' failed (inline): %s",
+              slots_[leader].component->name().c_str(), fault.what());
+  slot.inflight_failed = std::make_pair(m, args);
+  pending_replies_[m.rpc_id] = PendingReply{false, MsgValue(), self};
+  if (checker_ != nullptr && m.from != kComponentNone) {
+    checker_->AddWait(m.rpc_id, LeaderOf(m.from), leader);
+  }
+  auto begun =
+      BeginRecovery(leader, /*refresh=*/false, /*escalate=*/true, fault);
+  if (!begun.ok()) FailStop(fault);
+  // FailStop wakes only fibers already blocked, so if recovery ended in a
+  // fail-stop before we block there is nobody left to wake us: fall through
+  // to the reply-lost path instead.
+  if (!terminal_fault_.has_value()) {
+    fibers_.Block();  // message thread finishes recovery; reply wakes us
+  }
+  if (checker_ != nullptr) checker_->RemoveWait(m.rpc_id);
+  hist_.call_ns->Record(options_.clock->Now() - m.enqueued_at);
+  auto it = pending_replies_.find(m.rpc_id);
+  if (it == pending_replies_.end() || !it->second.arrived) {
     if (it != pending_replies_.end()) pending_replies_.erase(it);
     return MsgValue(ToWire(Status::Error(Errno::kIo, "component failed")));
   }
@@ -869,11 +1055,24 @@ bool Runtime::ExecuteOne(ComponentId id) {
   r.trace = m.trace;
   domain_->PushReply(r, Args{ret});
   ct_.messages->Add();
+  // End of the borrower's execution window: revoke the borrow grants made
+  // for this call's inbound views. Inbound views echoed into the reply were
+  // already materialized by PushReply (granted views take the copy path —
+  // one hop only), so nothing downstream still reads through the grant.
+  domain_->RevokeBorrows(m.rpc_id);
   return true;
 }
 
 void Runtime::DeliverOneReply(const Message& m, Args& payload) {
   MsgValue ret = payload.empty() ? MsgValue() : payload[0];
+  // A reply view whose lender rebooted between push and delivery must never
+  // be silently read (or logged): the caller gets an explicit I/O error, the
+  // same contract as a lost reply.
+  if (ret.is_view() && !ret.ViewUsable()) {
+    ret = MsgValue(
+        ToWire(Status::Error(Errno::kIo,
+                             "reply payload invalidated by lender reboot")));
+  }
   const FnEntry& fn = Fn(m.fn);
   // Message-thread log work: preserve the return value (§V-C), apply
   // session-aware shrinking, and record the value in the caller's
@@ -912,11 +1111,18 @@ void Runtime::DeliverOneReply(const Message& m, Args& payload) {
 }
 
 void Runtime::DeliverReplies() {
+  // Coalesced delivery: replies accumulated since the last scheduler turn
+  // are flushed in one pass rather than per message. The batching counter
+  // covers the whole turn's flush — kReplyBatch is a pull granularity, not
+  // a coalescing boundary, so two pulls of one reply each still count as a
+  // batch of two.
   std::vector<std::pair<Message, Args>> batch;
+  std::uint64_t flushed = 0;
   while (domain_->PullReplies(kReplyBatch, &batch) > 0) {
-    if (batch.size() > 1) ct_.replies_batched->Add(batch.size());
+    flushed += batch.size();
     for (auto& [m, payload] : batch) DeliverOneReply(m, payload);
   }
+  if (flushed > 1) ct_.replies_batched->Add(flushed);
 }
 
 Runtime::ExecCtx* Runtime::CurrentExec() {

@@ -146,6 +146,23 @@ struct RuntimeOptions {
   bool health = false;
   /// Window geometry and detector thresholds used when health is enabled.
   obs::HealthConfig health_config = {};
+  /// Zero-copy payload staging (docs/message-plane.md "zero-copy borrow
+  /// protocol"): borrowed views in payloads cross the message domain as
+  /// out-of-line references with a temporary MPK read grant instead of being
+  /// copied through the staging arena. Byte-equivalent to the copy path by
+  /// construction (fuzzed in test_zerocopy); the VAMPOS_MSG_ZEROCOPY env var
+  /// ("1"/"0") overrides this at construction so the copy fallback stays one
+  /// knob away.
+  bool zero_copy_payloads = true;
+  /// Same-destination inline call fast path: when the callee group is
+  /// resident and idle (no queued work, no handler mid-flight, no armed
+  /// injection or pending retry), run the handler synchronously on the
+  /// caller's fiber instead of paying the queue + fiber hop. Counted in
+  /// rt.direct_calls. Off by default: like merged-group DirectInvoke, an
+  /// inlined handler executes outside the hang detector and the mid-call
+  /// reboot window, which several recovery tests orchestrate through.
+  /// Overridden by the VAMPOS_INLINE_CALLS env var ("1"/"0").
+  bool inline_calls = false;
   Clock* clock = &SteadyClock::Instance();
 };
 
@@ -528,6 +545,19 @@ class Runtime {
   msg::MsgValue MessageCall(ComponentId caller, FunctionId fn,
                             msg::Args args);
   msg::MsgValue RestoreFeed(ComponentId caller, FunctionId fn);
+  /// Same-destination inline fast path (options_.inline_calls): runs the
+  /// handler on the caller's fiber when the callee is resident, idle, and
+  /// untraced-or-traced-inline. nullopt = conditions not met; take the
+  /// message path.
+  std::optional<msg::MsgValue> TryInlineCall(ComponentId caller,
+                                             FunctionId fn,
+                                             const msg::Args& args);
+  /// Fault thrown by an inlined handler: the faulting execution sits on the
+  /// caller's live fiber (which must survive), so recovery is kicked off
+  /// here and the interrupted call is parked for the message-path retry.
+  msg::MsgValue RecoverInlineFault(const msg::Message& m,
+                                   const msg::Args& args,
+                                   const ComponentFault& fault);
 
   // Message thread internals.
   void ResidentLoop(ComponentId id);
@@ -819,6 +849,10 @@ class Runtime {
   // (VAMPOS_TRACE_DUMP_ON_REBOOT=1), in addition to the fail-stop and
   // spin-limit dumps — all three honor VAMPOS_TRACE_DUMP.
   bool dump_trace_on_reboot_ = false;
+  // VAMPOS_TRACE_INLINE=1 keeps the inline call fast path eligible while the
+  // flight recorder is on (inlined calls produce no queue/exec/reply spans,
+  // so tracing normally forces the message path).
+  bool trace_inline_ = false;
   // Format for the VAMPOS_METRICS_DUMP snapshot written alongside each
   // trace dump (VAMPOS_METRICS_FORMAT={text,json,prom}, default json).
   MetricsFormat metrics_format_ = MetricsFormat::kJson;

@@ -68,6 +68,13 @@ class Arena {
     if (tracker_ != nullptr) tracker_->MarkAll();
   }
 
+  /// Content generation. Bumped whenever the arena's bytes are replaced
+  /// wholesale (checkpoint restore, re-Init): zero-copy views borrowed
+  /// against an older generation must fault instead of silently reading
+  /// the restored image.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  void BumpGeneration() { generation_++; }
+
   static constexpr std::size_t kPageSize = 4096;
 
  private:
@@ -75,6 +82,7 @@ class Arena {
   std::string name_;
   std::unique_ptr<std::byte[]> storage_;
   std::unique_ptr<DirtyTracker> tracker_;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace vampos::mem

@@ -87,10 +87,36 @@ void DomainManager::CheckAccess(ComponentId actor, const void* ptr,
   const bool allowed =
       write ? current_.CanWrite(r->key) : current_.CanRead(r->key);
   if (!inside || !allowed) {
+    // A read denial may be admitted by an active borrow grant covering the
+    // whole range (zero-copy views). Writes through a borrow are never
+    // allowed — borrows are read-only by construction.
+    if (!write && inside) {
+      for (const BorrowGrant& g : borrows_) {
+        if (p >= g.base && p + len <= g.end) return;
+      }
+    }
     throw ComponentFault(
         actor, FaultKind::kMpkViolation,
         std::string(write ? "write" : "read") + " to '" + r->label +
             "' denied by PKRU (key " + std::to_string(r->key) + ")");
+  }
+}
+
+std::uint64_t DomainManager::GrantBorrow(const void* ptr, std::size_t len) {
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  borrows_.push_back(BorrowGrant{next_borrow_id_, base, base + len});
+  borrow_grants_++;
+  return next_borrow_id_++;
+}
+
+void DomainManager::RevokeBorrow(std::uint64_t grant) {
+  if (grant == 0) return;
+  for (auto it = borrows_.begin(); it != borrows_.end(); ++it) {
+    if (it->id == grant) {
+      borrows_.erase(it);
+      borrow_revokes_++;
+      return;
+    }
   }
 }
 

@@ -124,6 +124,18 @@ class DomainManager {
 
   [[nodiscard]] int KeysInUse() const { return next_key_; }
 
+  /// Temporary read grant for a zero-copy borrow: [ptr, ptr+len) becomes
+  /// readable regardless of the current PKRU until revoked. Models a
+  /// scoped PKRU relaxation for the borrower's execution window without
+  /// re-tagging pages. Returns the grant id (never 0).
+  std::uint64_t GrantBorrow(const void* ptr, std::size_t len);
+  void RevokeBorrow(std::uint64_t grant);
+  [[nodiscard]] std::size_t ActiveBorrows() const { return borrows_.size(); }
+  [[nodiscard]] std::uint64_t borrow_grants() const { return borrow_grants_; }
+  [[nodiscard]] std::uint64_t borrow_revokes() const {
+    return borrow_revokes_;
+  }
+
  private:
   struct Region {
     std::uintptr_t base;
@@ -138,6 +150,12 @@ class DomainManager {
   /// search over the sorted, non-overlapping `regions_`.
   [[nodiscard]] const Region* FindRegion(std::uintptr_t ptr) const;
 
+  struct BorrowGrant {
+    std::uint64_t id;
+    std::uintptr_t base;
+    std::uintptr_t end;
+  };
+
   Pkru current_ = Pkru::AllDenied();
   int next_key_ = 1;  // key 0 reserved as default
   std::vector<Region> regions_;  // sorted by base, non-overlapping
@@ -145,6 +163,10 @@ class DomainManager {
   bool virtualize_ = false;
   std::uint64_t shared_assignments_ = 0;
   int key_population_[kNumKeys] = {};  // domains per physical key
+  std::vector<BorrowGrant> borrows_;  // active read grants, few at a time
+  std::uint64_t next_borrow_id_ = 1;
+  std::uint64_t borrow_grants_ = 0;
+  std::uint64_t borrow_revokes_ = 0;
 };
 
 }  // namespace vampos::mpk

@@ -210,13 +210,15 @@ void MessageDomain::BindTelemetry(obs::FlightRecorder* recorder,
   queue_depth_ = queue_depth;
 }
 
-void MessageDomain::Push(Message msg, const Args& payload) {
-  EnsureCapacity(msg.to);
-  pushes_++;
-  const std::vector<std::byte> wire = SerializeArgs(payload);
+bool MessageDomain::StagePayload(Message& msg, const Args& payload,
+                                 const char* what) {
+  std::vector<MsgValue> staged;
+  const std::vector<std::byte> wire =
+      zero_copy_ ? SerializeArgsZeroCopy(payload, &staged)
+                 : SerializeArgs(payload);
   void* buf = alloc_.Alloc(wire.size());
   if (buf == nullptr) {
-    Fatal("message domain arena exhausted (%zu bytes requested)",
+    Fatal("message domain arena exhausted on %s (%zu bytes requested)", what,
           wire.size());
   }
   if (domains_ != nullptr) {
@@ -225,8 +227,105 @@ void MessageDomain::Push(Message msg, const Args& payload) {
     std::memcpy(buf, wire.data(), wire.size());
     arena_.MarkDirty(buf, wire.size());
   }
+  payload_bytes_copied_ += wire.size();
   msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
   msg.buf_len = static_cast<std::uint32_t>(wire.size());
+  const bool has_views = !staged.empty();
+  if (has_views) staged_views_[msg.buf_off] = std::move(staged);
+  return has_views;
+}
+
+void MessageDomain::RehydrateViews(const Message& msg, Args* args) {
+  auto it = staged_views_.find(msg.buf_off);
+  if (it == staged_views_.end()) return;
+  std::vector<MsgValue> views = std::move(it->second);
+  staged_views_.erase(it);
+  ReattachViews(args, std::move(views));
+}
+
+void MessageDomain::RevokeOne(const std::shared_ptr<Borrow>& b) {
+  if (b == nullptr || b->revoked) return;
+  b->revoked = true;
+  if (domains_ != nullptr && b->mpk_grant != 0) {
+    domains_->RevokeBorrow(b->mpk_grant);
+  }
+  b->mpk_grant = 0;
+}
+
+void MessageDomain::RevokeBorrows(std::uint64_t rpc_id) {
+  auto it = borrows_.find(rpc_id);
+  if (it == borrows_.end()) return;
+  for (const auto& b : it->second) RevokeOne(b);
+  borrows_.erase(it);
+}
+
+void MessageDomain::RevokeBorrowsInto(const mem::Arena& arena) {
+  for (auto it = borrows_.begin(); it != borrows_.end();) {
+    auto& vec = it->second;
+    for (const auto& b : vec) {
+      if (b->arena == &arena) RevokeOne(b);
+    }
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [](const std::shared_ptr<Borrow>& b) {
+                               return b->revoked;
+                             }),
+              vec.end());
+    it = vec.empty() ? borrows_.erase(it) : std::next(it);
+  }
+  for (auto& [off, views] : staged_views_) {
+    (void)off;
+    for (const MsgValue& v : views) {
+      if (v.is_view() && v.view().borrow != nullptr &&
+          v.view().borrow->arena == &arena) {
+        RevokeOne(v.view().borrow);
+      }
+    }
+  }
+}
+
+void MessageDomain::DiscardStagedViews(const Message& msg) {
+  auto it = staged_views_.find(msg.buf_off);
+  if (it == staged_views_.end()) return;
+  for (const MsgValue& v : it->second) {
+    if (v.is_view() && v.view().borrow != nullptr) RevokeOne(v.view().borrow);
+  }
+  staged_views_.erase(it);
+  borrows_.erase(msg.rpc_id);
+}
+
+void MessageDomain::FinalizeReplyViews(Args* args) {
+  for (MsgValue& v : *args) {
+    if (!v.is_view()) continue;
+    const std::shared_ptr<Borrow> borrow = v.view().borrow;
+    if (v.ViewUsable()) {
+      // The single delivery copy of the zero-copy reply path; an unusable
+      // view is left in place for the runtime to turn into an error —
+      // never silently read.
+      payload_bytes_copied_ += v.view().len;
+      v = v.Compacted();
+    }
+    if (borrow != nullptr) RevokeOne(borrow);
+  }
+}
+
+void MessageDomain::Push(Message msg, const Args& payload) {
+  EnsureCapacity(msg.to);
+  pushes_++;
+  const bool has_views = StagePayload(msg, payload, "message");
+  if (has_views) {
+    // First hop of a call: grant each staged borrow to the callee for the
+    // duration of its execution window (revoked when the handler replies).
+    auto& rec = borrows_[msg.rpc_id];
+    for (const MsgValue& v : staged_views_[msg.buf_off]) {
+      const std::shared_ptr<Borrow>& b = v.view().borrow;
+      b->borrower = msg.to;
+      b->granted = true;
+      if (domains_ != nullptr) {
+        b->mpk_grant = domains_->GrantBorrow(b->data, b->len);
+      }
+      rec.push_back(b);
+    }
+  }
   inbox_[msg.to].push_back(msg);
   if (queue_depth_ != nullptr) {
     queue_depth_->Record(static_cast<std::int64_t>(inbox_[msg.to].size()));
@@ -254,30 +353,21 @@ std::optional<std::pair<Message, Args>> MessageDomain::Pull(ComponentId to) {
   }
   // Buffer no longer needed once consumed; logs hold their own copy.
   alloc_.Free(buf);
+  payload_bytes_copied_ += wire.size();
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kMsgPull, obs::TracePhase::kInstant,
                       to, msg.fn, static_cast<std::int64_t>(msg.rpc_id),
                       msg.trace);
   }
-  return std::make_pair(msg, DeserializeArgs(wire));
+  Args args = DeserializeArgs(wire);
+  RehydrateViews(msg, &args);
+  return std::make_pair(msg, std::move(args));
 }
 
 void MessageDomain::PushReply(Message msg, const Args& payload) {
   pushes_++;
-  const std::vector<std::byte> wire = SerializeArgs(payload);
-  void* buf = alloc_.Alloc(wire.size());
-  if (buf == nullptr) {
-    Fatal("message domain arena exhausted on reply (%zu bytes)", wire.size());
-  }
-  if (domains_ != nullptr) {
-    domains_->CheckedWrite(msg.from, buf, wire.data(), wire.size());
-  } else {
-    std::memcpy(buf, wire.data(), wire.size());
-    arena_.MarkDirty(buf, wire.size());
-  }
+  StagePayload(msg, payload, "reply");
   msg.kind = Message::Kind::kReply;
-  msg.buf_off = static_cast<std::uint32_t>(arena_.OffsetOf(buf));
-  msg.buf_len = static_cast<std::uint32_t>(wire.size());
   replies_.push_back(msg);
   if (recorder_ != nullptr) {
     recorder_->Record(obs::EventKind::kReplyPush, obs::TracePhase::kInstant,
@@ -295,7 +385,11 @@ std::optional<std::pair<Message, Args>> MessageDomain::PullReply() {
   // The message thread drains replies; it has full access to the domain.
   std::memcpy(wire.data(), buf, wire.size());
   alloc_.Free(buf);
-  return std::make_pair(msg, DeserializeArgs(wire));
+  payload_bytes_copied_ += wire.size();
+  Args args = DeserializeArgs(wire);
+  RehydrateViews(msg, &args);
+  FinalizeReplyViews(&args);
+  return std::make_pair(msg, std::move(args));
 }
 
 std::size_t MessageDomain::PullReplies(
@@ -308,7 +402,11 @@ std::size_t MessageDomain::PullReplies(
     void* buf = arena_.AtOffset(msg.buf_off);
     std::memcpy(wire.data(), buf, wire.size());
     alloc_.Free(buf);
-    out->emplace_back(msg, DeserializeArgs(wire));
+    payload_bytes_copied_ += wire.size();
+    Args args = DeserializeArgs(wire);
+    RehydrateViews(msg, &args);
+    FinalizeReplyViews(&args);
+    out->emplace_back(msg, std::move(args));
   }
   return out->size();
 }
@@ -339,6 +437,7 @@ ComponentId MessageDomain::OldestPendingDestination() const {
 void MessageDomain::DropQueued(ComponentId to) {
   if (static_cast<std::size_t>(to) >= inbox_.size()) return;
   for (const Message& m : inbox_[to]) {
+    DiscardStagedViews(m);
     alloc_.Free(arena_.AtOffset(m.buf_off));
   }
   inbox_[to].clear();
@@ -358,6 +457,7 @@ std::vector<Message> MessageDomain::DropQueuedFrom(ComponentId from) {
   for (auto& inbox : inbox_) {
     for (auto it = inbox.begin(); it != inbox.end();) {
       if (it->from == from) {
+        DiscardStagedViews(*it);
         alloc_.Free(arena_.AtOffset(it->buf_off));
         dropped.push_back(*it);
         it = inbox.erase(it);

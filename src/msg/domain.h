@@ -172,6 +172,12 @@ class MessageDomain {
   /// Makes room for inboxes up to component id `max_id`.
   void EnsureCapacity(ComponentId max_id);
 
+  /// Enables the zero-copy payload path: view-carrying payloads are staged
+  /// as out-of-line borrow references with a temporary MPK read grant for
+  /// the borrower instead of being copied into the domain arena.
+  void EnableZeroCopy(bool on) { zero_copy_ = on; }
+  [[nodiscard]] bool zero_copy() const { return zero_copy_; }
+
   /// Attaches the runtime's flight recorder (push/pull trace events) and
   /// queue-depth histogram. Either may be nullptr; the recorder's own
   /// enabled flag gates event cost at runtime.
@@ -222,6 +228,28 @@ class MessageDomain {
   /// surviving components).
   std::vector<Message> DropQueuedFrom(ComponentId from);
 
+  /// Revokes every borrow granted for call `rpc_id` (runtime calls this when
+  /// the handler serving the call replies — the end of the borrower's
+  /// execution window). Views escaped past this point fault on access.
+  void RevokeBorrows(std::uint64_t rpc_id);
+
+  /// Lender-side revocation: revokes every outstanding borrow (granted or
+  /// still staged in-queue) whose bytes live in `arena`. Called when the
+  /// owning component reboots or is torn down, before the arena's contents
+  /// are replaced or freed.
+  void RevokeBorrowsInto(const mem::Arena& arena);
+
+  /// Payload bytes memcpy'd through the staging arena (copy-path cost the
+  /// zero-copy path avoids; the syscall smoke test gates on this).
+  [[nodiscard]] std::uint64_t payload_bytes_copied() const {
+    return payload_bytes_copied_;
+  }
+
+  /// Outstanding call borrows across all rpcs (tests / checker).
+  [[nodiscard]] std::size_t ActiveBorrowRpcs() const {
+    return borrows_.size();
+  }
+
   CallLog& LogFor(ComponentId id) { return logs_[id]; }
   [[nodiscard]] bool HasLog(ComponentId id) const {
     return logs_.contains(id);
@@ -237,6 +265,22 @@ class MessageDomain {
   [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
 
  private:
+  /// Serializes `payload` (zero-copy aware), stages it at a fresh arena
+  /// buffer attributed to `from`, and fills msg.buf_off/buf_len. Staged
+  /// views are stashed under the buffer offset; returns true when any view
+  /// was staged out-of-line.
+  bool StagePayload(Message& msg, const Args& payload, const char* what);
+  /// Pops the stashed views for a consumed buffer and reattaches them.
+  void RehydrateViews(const Message& msg, Args* args);
+  /// Reply delivery: materializes usable views into owned bytes (the single
+  /// delivery copy) and revokes their borrows; unusable views are left
+  /// unreadable for the runtime to convert into an error.
+  void FinalizeReplyViews(Args* args);
+  /// Drops the stash entry (and its grants) for a message that will never
+  /// be pulled.
+  void DiscardStagedViews(const Message& msg);
+  void RevokeOne(const std::shared_ptr<Borrow>& b);
+
   mem::Arena arena_;
   mem::BuddyAllocator alloc_;
   mpk::DomainManager* domains_;
@@ -248,6 +292,13 @@ class MessageDomain {
   std::uint64_t pushes_ = 0;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::Histogram* queue_depth_ = nullptr;
+  bool zero_copy_ = false;
+  std::uint64_t payload_bytes_copied_ = 0;
+  // Views staged out-of-line, keyed by the wire buffer that references them.
+  std::unordered_map<std::uint32_t, std::vector<MsgValue>> staged_views_;
+  // Live borrows per call rpc, revoked when the handler replies.
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Borrow>>>
+      borrows_;
 
  public:
   std::uint64_t NextRpcId() { return next_rpc_id_++; }

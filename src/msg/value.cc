@@ -3,7 +3,13 @@
 namespace vampos::msg {
 
 namespace {
-enum Tag : std::uint8_t { kI64 = 1, kU64 = 2, kF64 = 3, kBytesTag = 4 };
+enum Tag : std::uint8_t {
+  kI64 = 1,
+  kU64 = 2,
+  kF64 = 3,
+  kBytesTag = 4,
+  kViewTag = 5,
+};
 
 void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -31,7 +37,97 @@ std::uint64_t GetU64(std::span<const std::byte> in, std::size_t& pos) {
   pos += 8;
   return v;
 }
+
+void PutOwnedBytes(std::vector<std::byte>& out,
+                   std::span<const std::byte> data) {
+  out.push_back(static_cast<std::byte>(kBytesTag));
+  PutU32(out, static_cast<std::uint32_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+}
 }  // namespace
+
+MsgValue MsgValue::Borrowed(std::span<const std::byte> data,
+                            const mem::Arena& arena) {
+  if (data.empty() || !arena.Contains(data.data(), data.size())) {
+    return Bytes(data);
+  }
+  auto borrow = std::make_shared<Borrow>();
+  borrow->data = data.data();
+  borrow->len = data.size();
+  borrow->arena = &arena;
+  borrow->generation = arena.generation();
+  View v;
+  v.borrow = std::move(borrow);
+  v.len = static_cast<std::uint32_t>(data.size());
+  v.generation = arena.generation();
+  return MsgValue(std::move(v));
+}
+
+bool MsgValue::ViewUsable() const {
+  if (!is_view()) return true;
+  const View& v = view();
+  if (v.borrow == nullptr) return false;
+  // Order matters: `revoked` is checked before the arena is dereferenced —
+  // the lender revokes its borrows before its arena can be destroyed
+  // (variant swap), so a revoked borrow's arena pointer is never chased.
+  if (v.borrow->revoked) return false;
+  return v.borrow->arena != nullptr &&
+         v.borrow->arena->generation() == v.generation;
+}
+
+void MsgValue::ValidateView() const {
+  if (ViewUsable()) return;
+  const View& v = view();
+  const ComponentId actor =
+      v.borrow != nullptr ? v.borrow->borrower : kComponentNone;
+  const char* why = "detached borrowed view";
+  if (v.borrow != nullptr) {
+    why = v.borrow->revoked ? "borrowed view accessed after revoke"
+                            : "stale-generation view after lender reboot";
+  }
+  throw ComponentFault(actor, FaultKind::kMpkViolation, why);
+}
+
+std::span<const std::byte> MsgValue::span() const {
+  if (is_view()) {
+    ValidateView();
+    return {view().borrow->data, view().borrow->len};
+  }
+  const std::string& s = std::get<std::string>(v_);
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+const std::string& MsgValue::bytes() const {
+  if (!is_view()) return std::get<std::string>(v_);
+  ValidateView();  // every access re-validates, even with a warm cache
+  const View& v = view();
+  if (v.cache == nullptr) {
+    v.cache = std::make_shared<std::string>(
+        reinterpret_cast<const char*>(v.borrow->data), v.borrow->len);
+  }
+  return *v.cache;
+}
+
+MsgValue MsgValue::Compacted() const {
+  if (!is_view()) return *this;
+  if (!ViewUsable()) return MsgValue(std::string());
+  return MsgValue(std::string(reinterpret_cast<const char*>(view().borrow->data),
+                              view().borrow->len));
+}
+
+bool MsgValue::operator==(const MsgValue& other) const {
+  // A borrowed payload equals an owned copy of the same bytes — replay
+  // divergence checks must not distinguish the two representations.
+  if (is_bytes() && other.is_bytes()) {
+    if (is_view() && !ViewUsable()) return !other.ViewUsable();
+    if (other.is_view() && !other.ViewUsable()) return false;
+    const auto a = span();
+    const auto b = other.span();
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+  return v_ == other.v_;
+}
 
 void MsgValue::Serialize(std::vector<std::byte>& out) const {
   if (is_i64()) {
@@ -46,11 +142,24 @@ void MsgValue::Serialize(std::vector<std::byte>& out) const {
     double d = f64();
     std::memcpy(&bits, &d, 8);
     PutU64(out, bits);
+  } else if (is_view()) {
+    if (ViewUsable()) {
+      // Copy fallback: a view serialized outside the zero-copy path is
+      // byte-identical to an owned payload on the wire.
+      PutOwnedBytes(out, {view().borrow->data, view().borrow->len});
+    } else {
+      // Poisoned reference: the borrow died in transit. The record keeps
+      // the view shape so the receiver faults on access rather than the
+      // message thread faulting here.
+      out.push_back(static_cast<std::byte>(kViewTag));
+      out.push_back(static_cast<std::byte>(0));  // not staged
+      PutU32(out, view().len);
+      PutU64(out, view().generation);
+    }
   } else {
-    out.push_back(static_cast<std::byte>(kBytesTag));
-    PutU32(out, static_cast<std::uint32_t>(bytes().size()));
-    const auto* p = reinterpret_cast<const std::byte*>(bytes().data());
-    out.insert(out.end(), p, p + bytes().size());
+    const std::string& s = std::get<std::string>(v_);
+    PutOwnedBytes(out,
+                  {reinterpret_cast<const std::byte*>(s.data()), s.size()});
   }
 }
 
@@ -74,6 +183,13 @@ MsgValue MsgValue::Deserialize(std::span<const std::byte> in,
       pos += len;
       return MsgValue(std::move(s));
     }
+    case kViewTag: {
+      View v;
+      v.staged = static_cast<std::uint8_t>(in[pos++]) != 0;
+      v.len = GetU32(in, pos);
+      v.generation = GetU64(in, pos);
+      return MsgValue(std::move(v));  // detached until ReattachViews
+    }
   }
   Fatal("MsgValue::Deserialize: corrupt tag %d", static_cast<int>(tag));
 }
@@ -84,6 +200,48 @@ std::vector<std::byte> SerializeArgs(const Args& args) {
   PutU32(out, static_cast<std::uint32_t>(args.size()));
   for (const auto& a : args) a.Serialize(out);
   return out;
+}
+
+std::vector<std::byte> SerializeArgsZeroCopy(const Args& args,
+                                             std::vector<MsgValue>* out_views) {
+  std::vector<std::byte> out;
+  out.reserve(WireSizeOf(args));
+  PutU32(out, static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) {
+    if (!a.is_view()) {
+      a.Serialize(out);
+      continue;
+    }
+    const MsgValue::View& v = a.view();
+    if (!a.ViewUsable() || v.borrow->granted) {
+      // One-hop rule: an already-granted borrow is not re-lent to a second
+      // borrower; Serialize materializes it (or poisons a dead one).
+      a.Serialize(out);
+      continue;
+    }
+    out.push_back(static_cast<std::byte>(kViewTag));
+    out.push_back(static_cast<std::byte>(1));  // staged: consumes a stash slot
+    PutU32(out, v.len);
+    PutU64(out, v.generation);
+    out_views->push_back(a);
+  }
+  return out;
+}
+
+void ReattachViews(Args* args, std::vector<MsgValue> views) {
+  std::size_t next = 0;
+  for (auto& a : *args) {
+    if (!a.is_view() || a.view().borrow != nullptr || !a.view().staged) {
+      continue;
+    }
+    if (next >= views.size()) {
+      Fatal("ReattachViews: staged view placeholder without a stashed view");
+    }
+    a = std::move(views[next++]);
+  }
+  if (next != views.size()) {
+    Fatal("ReattachViews: %zu stashed views unclaimed", views.size() - next);
+  }
 }
 
 Args DeserializeArgs(std::span<const std::byte> in) {

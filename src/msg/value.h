@@ -5,31 +5,87 @@
 // form: a small tagged union covering the types the hooked C interfaces use
 // (integers, doubles, byte buffers). Serialize/Deserialize define the wire
 // format staged in the message-domain arena and accounted against log space.
+//
+// Byte payloads come in two flavors: an owned std::string copy, and a
+// zero-copy View borrowed straight from the lender's arena. A View carries
+// the owning arena and the arena generation at mint time; every access
+// re-validates the borrow (not revoked, arena generation unchanged) and
+// faults with kMpkViolation instead of silently reading stale or revoked
+// memory. The borrow/grant lifecycle itself lives in MessageDomain — this
+// header only defines the value representation and its wire form.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "base/panic.h"
+#include "mem/arena.h"
 
 namespace vampos::msg {
 
+/// Shared control block for one borrowed payload. The lender-side runtime
+/// flips `revoked` at reply/reboot time; every View copy minted from the
+/// same borrow observes the revocation through the shared pointer.
+struct Borrow {
+  const std::byte* data = nullptr;
+  std::size_t len = 0;
+  const mem::Arena* arena = nullptr;
+  std::uint64_t generation = 0;
+  ComponentId borrower = kComponentNone;
+  bool revoked = false;
+  // One-hop rule: set once the borrow has been granted to a borrower. A
+  // view forwarded a second hop is materialized into an owned copy at
+  // serialization time instead of extending the grant chain.
+  bool granted = false;
+  std::uint64_t mpk_grant = 0;  // grant id in DomainManager, 0 = none
+};
+
 class MsgValue {
  public:
+  /// Zero-copy alternative of the byte payload: a validated window into a
+  /// live Borrow. `borrow == nullptr` marks a detached (unusable) view —
+  /// either a deserialized placeholder awaiting reattachment or a poisoned
+  /// reference whose borrow died in transit.
+  struct View {
+    std::shared_ptr<Borrow> borrow;
+    std::uint32_t len = 0;
+    std::uint64_t generation = 0;
+    // Lazily materialized owned copy handed out by bytes(); validity is
+    // still re-checked on every access so a revoked view faults even after
+    // a successful earlier read.
+    mutable std::shared_ptr<std::string> cache;
+    bool staged = false;
+
+    // Identity comparison only — content equality for views is handled by
+    // MsgValue::operator== so a view compares equal to an owned copy.
+    bool operator==(const View& other) const {
+      return borrow == other.borrow && len == other.len &&
+             generation == other.generation;
+    }
+  };
+
   MsgValue() : v_(std::int64_t{0}) {}
   MsgValue(std::int64_t v) : v_(v) {}            // NOLINT(google-explicit-*)
   MsgValue(std::uint64_t v) : v_(v) {}           // NOLINT
   MsgValue(double v) : v_(v) {}                  // NOLINT
   MsgValue(std::string v) : v_(std::move(v)) {}  // NOLINT
   MsgValue(const char* v) : v_(std::string(v)) {}  // NOLINT
+  MsgValue(View v) : v_(std::move(v)) {}         // NOLINT
   static MsgValue Bytes(std::span<const std::byte> data) {
     return MsgValue(std::string(reinterpret_cast<const char*>(data.data()),
                                 data.size()));
   }
+
+  /// Zero-copy constructor: borrows `data` from `arena` instead of copying.
+  /// Falls back to an owned copy when the span is empty or does not lie
+  /// inside the arena (a borrow against foreign memory is unenforceable).
+  static MsgValue Borrowed(std::span<const std::byte> data,
+                           const mem::Arena& arena);
 
   [[nodiscard]] bool is_i64() const {
     return std::holds_alternative<std::int64_t>(v_);
@@ -38,33 +94,65 @@ class MsgValue {
     return std::holds_alternative<std::uint64_t>(v_);
   }
   [[nodiscard]] bool is_f64() const { return std::holds_alternative<double>(v_); }
+  /// True for byte payloads, owned or borrowed.
   [[nodiscard]] bool is_bytes() const {
-    return std::holds_alternative<std::string>(v_);
+    return std::holds_alternative<std::string>(v_) || is_view();
+  }
+  [[nodiscard]] bool is_view() const {
+    return std::holds_alternative<View>(v_);
   }
 
   [[nodiscard]] std::int64_t i64() const { return std::get<std::int64_t>(v_); }
   [[nodiscard]] std::uint64_t u64() const { return std::get<std::uint64_t>(v_); }
   [[nodiscard]] double f64() const { return std::get<double>(v_); }
-  [[nodiscard]] const std::string& bytes() const {
-    return std::get<std::string>(v_);
-  }
+
+  /// Byte payload as an owned string. For a view this validates the borrow
+  /// (faulting on revoked/stale) and materializes a cached copy; call
+  /// span() instead to stay zero-copy.
+  [[nodiscard]] const std::string& bytes() const;
+
+  /// Byte payload without a copy. For a view the borrow is validated on
+  /// every call; a revoked or stale-generation view throws
+  /// ComponentFault(kMpkViolation) attributed to the borrower.
+  [[nodiscard]] std::span<const std::byte> span() const;
+
+  [[nodiscard]] const View& view() const { return std::get<View>(v_); }
+
+  /// True when a view can still be read: attached, not revoked, and the
+  /// owning arena has not been rebooted past the mint-time generation.
+  /// Non-views are always usable.
+  [[nodiscard]] bool ViewUsable() const;
+
+  /// Owned deep copy: views are flattened to owned bytes (or an empty
+  /// string when no longer readable). Used by the call log so replay and
+  /// checkpointing never depend on a borrow's lifetime.
+  [[nodiscard]] MsgValue Compacted() const;
 
   /// Serialized size: 1 tag byte + fixed or length-prefixed payload.
   [[nodiscard]] std::size_t WireSize() const {
+    if (is_view()) return 1 + 1 + 4 + 8;
     if (is_bytes()) return 1 + 4 + bytes().size();
     return 1 + 8;
   }
 
-  /// Appends the wire form to `out`.
+  /// Appends the wire form to `out`. A live view is materialized into an
+  /// owned-bytes record (the copy fallback); an unusable view becomes a
+  /// poisoned view record. Never throws, so the message thread can
+  /// serialize any payload.
   void Serialize(std::vector<std::byte>& out) const;
 
-  /// Parses one value from `in` starting at `pos`, advancing it.
+  /// Parses one value from `in` starting at `pos`, advancing it. A view
+  /// record deserializes to a detached View that must be reattached by the
+  /// domain (see ReattachViews) before it is readable.
   static MsgValue Deserialize(std::span<const std::byte> in, std::size_t& pos);
 
-  bool operator==(const MsgValue& other) const { return v_ == other.v_; }
+  bool operator==(const MsgValue& other) const;
 
  private:
-  std::variant<std::int64_t, std::uint64_t, double, std::string> v_;
+  /// Throws ComponentFault(kMpkViolation) unless the view is usable.
+  void ValidateView() const;
+
+  std::variant<std::int64_t, std::uint64_t, double, std::string, View> v_;
 };
 
 using Args = std::vector<MsgValue>;
@@ -72,6 +160,18 @@ using Args = std::vector<MsgValue>;
 /// Serializes a full argument vector (count-prefixed).
 std::vector<std::byte> SerializeArgs(const Args& args);
 Args DeserializeArgs(std::span<const std::byte> in);
+
+/// Zero-copy serialization: usable first-hop views are emitted as staged
+/// out-of-line references (the view MsgValue is appended to `out_views` for
+/// the domain to stash alongside the wire buffer) instead of being copied
+/// inline. Already-granted views (second hop) and unusable views fall back
+/// to Serialize's behavior. Never throws.
+std::vector<std::byte> SerializeArgsZeroCopy(const Args& args,
+                                             std::vector<MsgValue>* out_views);
+
+/// Reattaches the staged views collected by SerializeArgsZeroCopy to the
+/// detached placeholders DeserializeArgs produced, in order.
+void ReattachViews(Args* args, std::vector<MsgValue> views);
 
 inline std::size_t WireSizeOf(const Args& args) {
   std::size_t n = 4;

@@ -463,7 +463,12 @@ void LwipComponent::Init(InitCtx& ctx) {
             if (!d.used) continue;
             d.used = false;
             s->last_peer = d.from;
-            return MsgValue(std::string(d.data, d.len));
+            // Read-only payload: lend the datagram slot to the caller for
+            // one hop instead of copying it through the message arena.
+            return MsgValue::Borrowed(
+                std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(d.data), d.len),
+                arena());
           }
           return Err(Errno::kAgain);
         };

@@ -198,7 +198,13 @@ void RamFsComponent::Init(InitCtx& ctx) {
                if (off >= f.size) return MsgValue("");
                const auto len = std::min<std::uint32_t>(
                    static_cast<std::uint32_t>(args[2].i64()), f.size - off);
-               return MsgValue(std::string(DataOf(&f) + off, len));
+               // Read-only payload: lend the file block to the caller for
+               // one hop instead of copying it through the message arena.
+               return MsgValue::Borrowed(
+                   std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(DataOf(&f) + off),
+                       len),
+                   arena());
              });
 
   ctx.Export("write", FnOptions{},

@@ -388,6 +388,34 @@ TEST(BatchDelivery, RepliesDrainInBatchesUnderFanout) {
   EXPECT_GT(rt.Stats().replies_batched, 0u);
 }
 
+// Regression for the bench workload: sustained pump fibers making serial
+// calls must still produce coalesced reply flushes. The counter used to
+// credit only single PullReplies batches, which a steady-state pipeline of
+// one-reply pulls never filled — rt.replies_batched sat at zero on exactly
+// the workload the bench reports.
+TEST(BatchDelivery, SustainedPumpWorkloadBatchesReplies) {
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  const ComponentId store = rt.AddComponent(std::make_unique<StoreComponent>());
+  rt.AddAppDependency(store);
+  rt.Boot();
+
+  const FunctionId add = rt.Lookup("store", "add");
+  constexpr int kPumps = 8;
+  constexpr int kPerPump = 32;
+  for (int p = 0; p < kPumps; ++p) {
+    rt.SpawnApp("pump" + std::to_string(p), [&] {
+      for (int i = 0; i < kPerPump; ++i) {
+        rt.Call(add, {MsgValue(std::int64_t{1})});
+      }
+    });
+  }
+  rt.RunUntilIdle();
+  const auto stats = rt.Stats();
+  EXPECT_EQ(stats.messages, 2u * kPumps * kPerPump);  // calls + replies
+  EXPECT_GT(stats.replies_batched, 0u);
+}
+
 // Full-log scans must not grow with call count on the session hot path.
 TEST(HotPath, NoFullLogScansUnderSessionWorkload) {
   RuntimeOptions o = VampOpts();

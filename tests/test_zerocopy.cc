@@ -1,0 +1,497 @@
+// Zero-copy borrow protocol tests: reply views deliver byte-identical
+// payloads with fewer staging copies, escaped views fault after their
+// borrow window is revoked, stale-generation views fault after the lender
+// reboots, logged view arguments replay from compacted copies, the replay
+// transcript is byte-equivalent with zero-copy on and off (seeded fuzz),
+// and the same-destination inline call fast path completes, counts, and
+// recovers from mid-handler faults.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "check/isolation_checker.h"
+#include "mem/arena.h"
+#include "testing.h"
+
+namespace vampos {
+namespace {
+
+using core::Mode;
+using core::Runtime;
+using core::RuntimeOptions;
+using msg::MsgValue;
+using testing::RunApp;
+using testing::StoreComponent;
+
+RuntimeOptions VampOpts() {
+  RuntimeOptions o;
+  o.mode = Mode::kVampOS;
+  o.hang_threshold = 0;
+  return o;
+}
+
+std::span<const std::byte> AsBytes(const char* p, std::size_t n) {
+  return {reinterpret_cast<const std::byte*>(p), n};
+}
+
+/// Lender: serves (and rewrites) a block inside its arena. The stash_/leak
+/// pair models the misbehaving borrower/lender patterns the checker must
+/// catch: stashing a borrowed value past its window, and lending memory
+/// whose arena has since been rebooted. The stash lives in an object member
+/// (outside the arena) so it survives reboots the way an escaped reference
+/// would.
+class LenderComponent final : public comp::Component {
+ public:
+  static constexpr std::size_t kBlock = 256;
+
+  LenderComponent()
+      : Component("lender", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      state_->block[i] = static_cast<char>('a' + i % 26);
+    }
+    state_->len = kBlock;
+    ctx.Export("get", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return MsgValue::Borrowed(
+                     AsBytes(state_->block, state_->len), arena());
+               });
+    ctx.Export("put", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const std::string& data = args[0].bytes();
+                 const std::size_t n = std::min(data.size(), kBlock);
+                 arena().MarkDirty(state_->block, kBlock);
+                 std::memcpy(state_->block, data.data(), n);
+                 state_->len = n;
+                 return MsgValue(static_cast<std::int64_t>(n));
+               });
+    // Mints a borrow of its own arena and parks it outside any grant
+    // bookkeeping — after a reboot the view goes stale by generation.
+    ctx.Export("stash_own", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 stash_ = MsgValue::Borrowed(
+                     AsBytes(state_->block, state_->len), arena());
+                 return MsgValue(std::int64_t{0});
+               });
+    // Stashes an inbound (granted) view past the reply that revokes it.
+    ctx.Export("take", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 stash_ = args[0];
+                 return MsgValue(std::int64_t{0});
+               });
+    // Tries to smuggle the stashed view out in a fresh reply. Clears the
+    // stash so the post-reboot retry of a faulted leak succeeds.
+    ctx.Export("leak", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return std::exchange(stash_, MsgValue());
+               });
+  }
+
+ private:
+  struct State {
+    char block[kBlock];
+    std::size_t len = 0;
+  };
+  State* state_ = nullptr;
+  MsgValue stash_;
+};
+
+/// Borrower side of the call direction: flush() lends its own arena block
+/// to a logged downstream call — the sink's log entry must hold a compacted
+/// copy, not the borrow.
+class WriterComponent final : public comp::Component {
+ public:
+  static constexpr std::size_t kBlock = 192;
+
+  WriterComponent()
+      : Component("writer", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    ctx.Export("fill", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 arena().MarkDirty(state_->block, kBlock);
+                 for (std::size_t i = 0; i < kBlock; ++i) {
+                   state_->block[i] = static_cast<char>(
+                       'A' + (i + static_cast<std::size_t>(args[0].i64())) % 26);
+                 }
+                 return MsgValue(std::int64_t{0});
+               });
+    ctx.Export("flush", comp::FnOptions{},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 return c.Call(take_fn_,
+                               {MsgValue::Borrowed(
+                                   AsBytes(state_->block, kBlock), arena())});
+               });
+  }
+
+  void Bind(comp::InitCtx& ctx) override {
+    take_fn_ = ctx.Import("lender", "take");
+  }
+
+ private:
+  struct State {
+    char block[kBlock];
+  };
+  State* state_ = nullptr;
+  FunctionId take_fn_ = -1;
+};
+
+/// Logged downstream sink for view arguments: records length and checksum,
+/// both rebuilt by replay after its own reboot.
+class ChecksumSink final : public comp::Component {
+ public:
+  ChecksumSink()
+      : Component("sink", comp::Statefulness::kStateful, 128 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<State>();
+    ctx.Export("put", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx&, const msg::Args& args) {
+                 const std::string& data = args[0].bytes();
+                 std::int64_t sum = 0;
+                 for (const char ch : data) sum = sum * 31 + ch;
+                 state_->checksum = sum;
+                 state_->bytes += static_cast<std::int64_t>(data.size());
+                 state_->puts++;
+                 return MsgValue(state_->checksum);
+               });
+    ctx.Export("checksum", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return MsgValue(state_->checksum);
+               });
+    ctx.Export("puts", comp::FnOptions{},
+               [this](comp::CallCtx&, const msg::Args&) {
+                 return MsgValue(state_->puts);
+               });
+  }
+
+ private:
+  struct State {
+    std::int64_t checksum = 0;
+    std::int64_t bytes = 0;
+    std::int64_t puts = 0;
+  };
+  State* state_ = nullptr;
+};
+
+/// Faults once (object-member flag survives the reboot), then serves.
+class FlakyComponent final : public comp::Component {
+ public:
+  FlakyComponent()
+      : Component("flaky", comp::Statefulness::kStateful, 64 * 1024) {}
+
+  void Init(comp::InitCtx& ctx) override {
+    state_ = MakeState<std::int64_t>(0);
+    ctx.Export("poke", comp::FnOptions{.logged = true},
+               [this](comp::CallCtx& c, const msg::Args&) {
+                 if (fault_next_) {
+                   fault_next_ = false;
+                   c.Panic("injected inline fault");
+                 }
+                 return MsgValue(++*state_);
+               });
+  }
+
+  void Arm() { fault_next_ = true; }
+
+ private:
+  std::int64_t* state_ = nullptr;
+  bool fault_next_ = false;
+};
+
+// --------------------------------------------------------- view mechanics
+
+// Unit level: a borrowed view goes stale the moment the owning arena's
+// generation moves past its mint-time generation, and reading it throws the
+// kMpkViolation fault instead of returning post-reboot bytes.
+TEST(ZeroCopyView, StaleGenerationFaultsOnAccess) {
+  mem::Arena arena(4096, "unit");
+  std::memcpy(arena.base(), "borrowed-bytes", 14);
+  const MsgValue v = MsgValue::Borrowed({arena.base(), 14}, arena);
+  ASSERT_TRUE(v.is_view());
+  EXPECT_TRUE(v.ViewUsable());
+  EXPECT_EQ(v.bytes(), "borrowed-bytes");
+
+  arena.BumpGeneration();
+  EXPECT_FALSE(v.ViewUsable());
+  EXPECT_THROW((void)v.bytes(), ComponentFault);
+  EXPECT_THROW((void)v.span(), ComponentFault);
+  // Compaction of a dead view degrades to empty instead of reading through.
+  EXPECT_EQ(v.Compacted().bytes(), "");
+}
+
+// A span outside the arena cannot be enforced as a borrow: the constructor
+// falls back to an owned copy.
+TEST(ZeroCopyView, ForeignSpanFallsBackToOwnedCopy) {
+  mem::Arena arena(4096, "unit");
+  const char foreign[] = "not-in-arena";
+  const MsgValue v = MsgValue::Borrowed(AsBytes(foreign, 12), arena);
+  EXPECT_FALSE(v.is_view());
+  EXPECT_EQ(v.bytes(), "not-in-arena");
+}
+
+// ------------------------------------------------------ end-to-end borrow
+
+// The zero-copy reply path hands the caller the same bytes as the copy
+// fallback, while moving fewer payload bytes through the message domain.
+TEST(ZeroCopy, ReplyViewsAreByteEquivalentWithFewerCopies) {
+  std::string got[2];
+  std::uint64_t copied[2] = {0, 0};
+  for (const int zc : {0, 1}) {
+    RuntimeOptions o = VampOpts();
+    o.zero_copy_payloads = zc == 1;
+    Runtime rt(o);
+    const ComponentId lender =
+        rt.AddComponent(std::make_unique<LenderComponent>());
+    rt.AddAppDependency(lender);
+    rt.Boot();
+    const FunctionId get = rt.Lookup("lender", "get");
+    RunApp(rt, [&] { got[zc] = rt.Call(get, {}).bytes(); });
+    copied[zc] = rt.domain().payload_bytes_copied();
+  }
+  EXPECT_EQ(got[0], got[1]);
+  EXPECT_EQ(got[1].size(), LenderComponent::kBlock);
+  EXPECT_LT(copied[1], copied[0]);
+}
+
+// A component that stashes an inbound borrowed view and replays it in a
+// later payload escapes its borrow window: the checker faults it with
+// kMpkViolation and it takes the normal reboot path.
+TEST(ZeroCopy, EscapedViewAfterRevokeFaultsAndReboots) {
+  RuntimeOptions o = VampOpts();
+  o.isolation_check = true;
+  Runtime rt(o);
+  const ComponentId lender =
+      rt.AddComponent(std::make_unique<LenderComponent>());
+  const ComponentId writer =
+      rt.AddComponent(std::make_unique<WriterComponent>());
+  rt.AddAppDependency(writer);
+  rt.AddAppDependency(lender);
+  rt.AddDependency(writer, lender);
+  rt.Boot();
+
+  const FunctionId fill = rt.Lookup("writer", "fill");
+  const FunctionId flush = rt.Lookup("writer", "flush");
+  const FunctionId leak = rt.Lookup("lender", "leak");
+  RunApp(rt, [&] {
+    rt.Call(fill, {MsgValue(std::int64_t{3})});
+    rt.Call(flush, {});  // lender stashes the inbound view; reply revokes it
+    rt.Call(leak, {});   // smuggling it out faults the lender
+  });
+
+  EXPECT_GE(rt.Stats().reboots, 1u);
+  ASSERT_NE(rt.checker(), nullptr);
+  EXPECT_GE(rt.checker()->borrow_violations(), 1u);
+  EXPECT_GE(rt.checker()->views_checked(), 1u);
+
+  // The lender recovered: it serves fresh borrows again.
+  const FunctionId get = rt.Lookup("lender", "get");
+  std::string after;
+  RunApp(rt, [&] { after = rt.Call(get, {}).bytes(); });
+  EXPECT_EQ(after.size(), LenderComponent::kBlock);
+}
+
+// A view minted against a pre-reboot arena generation is stale, never
+// silently read: smuggling it out after the lender's own reboot faults.
+TEST(ZeroCopy, StaleGenerationAfterRebootFaults) {
+  RuntimeOptions o = VampOpts();
+  o.isolation_check = true;
+  Runtime rt(o);
+  const ComponentId lender =
+      rt.AddComponent(std::make_unique<LenderComponent>());
+  rt.AddAppDependency(lender);
+  rt.Boot();
+
+  const FunctionId stash_own = rt.Lookup("lender", "stash_own");
+  const FunctionId leak = rt.Lookup("lender", "leak");
+  RunApp(rt, [&] { rt.Call(stash_own, {}); });
+  ASSERT_TRUE(rt.Reboot(lender).ok());  // restore bumps the generation
+  RunApp(rt, [&] { rt.Call(leak, {}); });
+
+  EXPECT_GE(rt.Stats().reboots, 2u);  // explicit reboot + fault recovery
+  ASSERT_NE(rt.checker(), nullptr);
+  EXPECT_GE(rt.checker()->borrow_violations(), 1u);
+}
+
+// Logged calls carrying view arguments must compact them at append time:
+// the sink's replay happens after the writer's borrow is long revoked.
+TEST(ZeroCopy, LoggedViewArgsReplayAfterSinkReboot) {
+  class SinkWriter final : public comp::Component {
+   public:
+    SinkWriter()
+        : Component("sinkwriter", comp::Statefulness::kStateful, 64 * 1024) {}
+    void Init(comp::InitCtx& ctx) override {
+      state_ = MakeState<State>();
+      for (std::size_t i = 0; i < sizeof(state_->block); ++i) {
+        state_->block[i] = static_cast<char>('0' + i % 10);
+      }
+      ctx.Export("send", comp::FnOptions{},
+                 [this](comp::CallCtx& c, const msg::Args&) {
+                   return c.Call(
+                       put_fn_, {MsgValue::Borrowed(
+                                    AsBytes(state_->block,
+                                            sizeof(state_->block)),
+                                    arena())});
+                 });
+    }
+    void Bind(comp::InitCtx& ctx) override {
+      put_fn_ = ctx.Import("sink", "put");
+    }
+
+   private:
+    struct State {
+      char block[128];
+    };
+    State* state_ = nullptr;
+    FunctionId put_fn_ = -1;
+  };
+
+  RuntimeOptions o = VampOpts();
+  Runtime rt(o);
+  const ComponentId sink = rt.AddComponent(std::make_unique<ChecksumSink>());
+  const ComponentId writer = rt.AddComponent(std::make_unique<SinkWriter>());
+  rt.AddAppDependency(writer);
+  rt.AddDependency(writer, sink);
+  rt.Boot();
+
+  const FunctionId send = rt.Lookup("sinkwriter", "send");
+  const FunctionId checksum = rt.Lookup("sink", "checksum");
+  const FunctionId puts = rt.Lookup("sink", "puts");
+  std::int64_t before = 0;
+  RunApp(rt, [&] {
+    rt.Call(send, {});
+    before = rt.Call(checksum, {}).i64();
+  });
+  ASSERT_NE(before, 0);
+
+  // Reboot the *sink*: its log holds the put whose argument was a view of
+  // the writer's arena. Replay must reproduce the checksum from the
+  // compacted copy.
+  ASSERT_TRUE(rt.Reboot(sink).ok());
+  std::int64_t after = 0, count = 0;
+  RunApp(rt, [&] {
+    after = rt.Call(checksum, {}).i64();
+    count = rt.Call(puts, {}).i64();
+  });
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(count, 1);
+}
+
+// Seeded fuzz: a random put/get workload with a mid-stream reboot produces a
+// byte-identical transcript with zero-copy payloads on and off.
+TEST(ZeroCopy, ReplayByteEquivalenceFuzz) {
+  for (const std::uint64_t seed : {11u, 23u, 47u, 101u, 999u}) {
+    std::string transcript[2];
+    for (const int zc : {0, 1}) {
+      RuntimeOptions o = VampOpts();
+      o.zero_copy_payloads = zc == 1;
+      Runtime rt(o);
+      const ComponentId lender =
+          rt.AddComponent(std::make_unique<LenderComponent>());
+      rt.AddAppDependency(lender);
+      rt.Boot();
+      const FunctionId get = rt.Lookup("lender", "get");
+      const FunctionId put = rt.Lookup("lender", "put");
+      Rng rng(seed);
+      std::string& out = transcript[zc];
+      auto step = [&](int ops) {
+        RunApp(rt, [&] {
+          for (int i = 0; i < ops; ++i) {
+            if (rng.Below(3) == 0) {
+              std::string data(1 + rng.Below(LenderComponent::kBlock), '\0');
+              for (char& ch : data) {
+                ch = static_cast<char>('a' + rng.Below(26));
+              }
+              out += "put:";
+              out += std::to_string(rt.Call(put, {MsgValue(data)}).i64());
+              out += '\n';
+            } else {
+              out += "get:";
+              out += rt.Call(get, {}).bytes();
+              out += '\n';
+            }
+          }
+        });
+      };
+      step(40);
+      ASSERT_TRUE(rt.Reboot(lender).ok());
+      step(20);
+    }
+    EXPECT_EQ(transcript[0], transcript[1]) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------------- inline calls
+
+// The same-destination fast path completes a fanout workload with the same
+// results as the message path, counts rt.direct_calls, and leaves a log the
+// normal reboot machinery can replay.
+TEST(InlineCalls, FanoutCompletesCountsAndReplays) {
+  RuntimeOptions o = VampOpts();
+  o.inline_calls = true;
+  Runtime rt(o);
+  const ComponentId store =
+      rt.AddComponent(std::make_unique<StoreComponent>());
+  rt.AddAppDependency(store);
+  rt.Boot();
+
+  const FunctionId add = rt.Lookup("store", "add");
+  const FunctionId total = rt.Lookup("store", "total");
+  constexpr int kPumps = 8;
+  constexpr int kPerPump = 16;
+  for (int p = 0; p < kPumps; ++p) {
+    rt.SpawnApp("pump" + std::to_string(p), [&] {
+      for (int i = 0; i < kPerPump; ++i) {
+        rt.Call(add, {MsgValue(std::int64_t{1})});
+      }
+    });
+  }
+  rt.RunUntilIdle();
+  std::int64_t sum = 0;
+  RunApp(rt, [&] { sum = rt.Call(total, {}).i64(); });
+  EXPECT_EQ(sum, kPumps * kPerPump);
+  EXPECT_GE(rt.Stats().direct_calls, static_cast<std::uint64_t>(kPumps) *
+                                         kPerPump);
+
+  // Inline executions logged like queued ones: replay rebuilds the state.
+  ASSERT_TRUE(rt.Reboot(store).ok());
+  RunApp(rt, [&] { sum = rt.Call(total, {}).i64(); });
+  EXPECT_EQ(sum, kPumps * kPerPump);
+}
+
+// A fault thrown by an inlined handler enters the standard recovery path:
+// the component reboots and the interrupted call is retried through the
+// message plane, returning the retried result to the original caller.
+TEST(InlineCalls, FaultDuringInlineCallRecovers) {
+  RuntimeOptions o = VampOpts();
+  o.inline_calls = true;
+  Runtime rt(o);
+  auto flaky_ptr = std::make_unique<FlakyComponent>();
+  FlakyComponent* flaky = flaky_ptr.get();
+  const ComponentId id = rt.AddComponent(std::move(flaky_ptr));
+  rt.AddAppDependency(id);
+  rt.Boot();
+
+  const FunctionId poke = rt.Lookup("flaky", "poke");
+  std::int64_t first = 0, second = 0;
+  RunApp(rt, [&] { first = rt.Call(poke, {}).i64(); });
+  EXPECT_EQ(first, 1);
+
+  flaky->Arm();
+  RunApp(rt, [&] { second = rt.Call(poke, {}).i64(); });
+  // The retried execution lands after replay rebuilt the counter to 1.
+  EXPECT_EQ(second, 2);
+  EXPECT_EQ(rt.Stats().reboots, 1u);
+}
+
+}  // namespace
+}  // namespace vampos
